@@ -1,0 +1,37 @@
+"""Benchmark fixtures: one paper-scale world shared across all benches.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and figure
+of the paper against the default scenario and prints them, timing the
+regeneration step of each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ScenarioConfig, build_scenario
+from repro.analysis.claims import ClaimSuite
+from repro.core.builder import MapBuilder
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """The paper-scale simulated Internet (built once per session)."""
+    return build_scenario(ScenarioConfig.default())
+
+
+@pytest.fixture(scope="session")
+def builder(scenario):
+    b = MapBuilder(scenario)
+    b.itm = b.build()
+    return b
+
+
+@pytest.fixture(scope="session")
+def itm(builder):
+    return builder.itm
+
+
+@pytest.fixture(scope="session")
+def claims(scenario, builder, itm):
+    return ClaimSuite(scenario, itm, builder.artifacts)

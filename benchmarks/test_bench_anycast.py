@@ -1,0 +1,21 @@
+"""Experiment C5 — CDN mapping optimality and anycast efficiency.
+
+Paper (§2.1, from [38]): "While only 31% of routes go to the closest site,
+60% of users are mapped to the optimal site"; (§3.2.3): "anycast routing
+is extremely efficient for large services, with 80% of clients directed
+within 500 km of their closest serving site".
+"""
+
+from repro.analysis.report import render_claims
+
+
+def test_bench_mapping_optimality(benchmark, claims):
+    results = benchmark.pedantic(claims.c5_mapping_optimality, rounds=1,
+                                 iterations=1)
+    print()
+    print(render_claims(results))
+    for claim in results:
+        assert claim.passed, claim.render()
+    by_id = {c.claim_id: c for c in results}
+    # Users do better than routes, by a wide margin (paper: 60% vs 31%).
+    assert by_id["C5b"].measured > by_id["C5a"].measured * 1.3

@@ -1,0 +1,43 @@
+"""Experiment E8 — path asymmetry and reverse traceroute (§3.3.2, [36]).
+
+Quantifies why the routes component cannot be built from forward probes
+alone: a sizeable share of forward/reverse pairs diverge, which is the
+measurement gap Reverse Traceroute closes.
+"""
+
+from repro.analysis.report import render_table
+from repro.measure.atlas import AtlasPlatform
+from repro.measure.reverse_traceroute import (ReverseTraceroute,
+                                              asymmetry_study)
+from repro.rand import substream
+
+
+def test_bench_path_asymmetry(benchmark, scenario):
+    platform = AtlasPlatform(
+        scenario.registry, scenario.bgp, scenario.prefixes,
+        substream(scenario.config.seed, "bench-revtr"), vp_count=10)
+    tracer = ReverseTraceroute(scenario.bgp)
+    remotes = [a.asn for a in scenario.registry.eyeballs()]
+
+    def measure_all():
+        pairs = []
+        for vp in platform.vantage_points[:5]:
+            pairs.extend(tracer.measure_many(vp, remotes))
+        return pairs
+
+    pairs = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    study = asymmetry_study(pairs)
+
+    print()
+    print(render_table(
+        ["metric", "value"],
+        [("pairs measured", study.pairs_measured),
+         ("symmetric", f"{study.symmetric_fraction:.1%}"),
+         ("asymmetric", f"{study.asymmetric_fraction:.1%}"),
+         ("mean |len(fwd)-len(rev)|",
+          f"{study.mean_length_difference:.2f} hops")]))
+
+    # Forward probing alone misses a real share of reverse paths.
+    assert study.asymmetric_fraction > 0.05
+    # But routing is not chaos either: most paths are symmetric.
+    assert study.symmetric_fraction > 0.5

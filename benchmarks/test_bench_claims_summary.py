@@ -1,0 +1,16 @@
+"""Master experiment — every headline claim in one table.
+
+Runs the complete :class:`ClaimSuite` against the paper-scale world and
+prints the paper-vs-measured summary that EXPERIMENTS.md records.
+"""
+
+from repro.analysis.report import render_claims
+
+
+def test_bench_all_claims(benchmark, claims):
+    results = benchmark.pedantic(claims.run_all, rounds=1, iterations=1)
+    print()
+    print(render_claims(results))
+    failing = [c for c in results if not c.passed]
+    assert not failing, "\n".join(c.render() for c in failing)
+    assert len(results) >= 19

@@ -1,0 +1,48 @@
+"""Experiment E7 — measuring out from cloud VMs (§3.3.2, [7]).
+
+"Measuring out from cloud VMs uncovers most peering links between the
+cloud and users" — and its flip side, the §3.3.3 motivation: VM-less CDNs
+gain nothing, so the recommender is still needed.
+"""
+
+from repro.analysis.report import render_table
+from repro.measure.cloud_vantage import (CloudVantageCampaign,
+                                         augment_public_view)
+from repro.net.relationships import Relationship
+
+
+def test_bench_cloud_vantage(benchmark, scenario):
+    cloud = scenario.hypergiant_asn("amazonia")
+    vmless = scenario.hypergiant_asn("streamflix")
+    targets = [a.asn for a in scenario.registry.eyeballs()]
+
+    campaign = CloudVantageCampaign(scenario.bgp, cloud)
+    result = benchmark.pedantic(campaign.run, args=(targets,),
+                                rounds=1, iterations=1)
+
+    graph = scenario.graph
+
+    def peering_links(asn):
+        return [(a, b) for a, b, rel in graph.edges()
+                if rel is Relationship.P2P and asn in (a, b)]
+
+    augmented = augment_public_view(scenario.public_view, result,
+                                    scenario.graph)
+    rows = []
+    for label, asn in (("Amazonia (hosts our VMs)", cloud),
+                       ("StreamFlix (no VMs)", vmless)):
+        links = peering_links(asn)
+        before = scenario.public_view.visibility_of_links(links)
+        after = augmented.visibility_of_links(links)
+        rows.append((label, len(links), f"{before:.1%}", f"{after:.1%}"))
+    print()
+    print(render_table(
+        ["hypergiant", "peering links", "visible before",
+         "visible after VM campaign"], rows))
+    print(f"links discovered: {len(result.discovered_links)}, "
+          f"targets reached: {result.reach_fraction:.0%}")
+
+    cloud_links = peering_links(cloud)
+    vmless_links = peering_links(vmless)
+    assert augmented.visibility_of_links(cloud_links) > 0.8
+    assert augmented.visibility_of_links(vmless_links) < 0.3

@@ -1,0 +1,17 @@
+"""Experiment C7 — §3.2.3 ECS adoption among top sites.
+
+Paper: "Already, 15 of the top 20 sites (according to Alexa toplist)
+support ECS, representing 35% of Internet traffic and 91% of traffic to
+the top 20 sites."
+"""
+
+from repro.analysis.report import render_claims
+
+
+def test_bench_ecs_adoption(benchmark, claims):
+    results = benchmark.pedantic(claims.c7_ecs_adoption, rounds=5,
+                                 iterations=1)
+    print()
+    print(render_claims(results))
+    for claim in results:
+        assert claim.passed, claim.render()

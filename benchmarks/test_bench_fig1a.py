@@ -1,0 +1,34 @@
+"""Experiment F1a — Figure 1a: client prefixes detected per GDNS PoP.
+
+Regenerates the per-PoP detected-prefix counts from one day of ECS cache
+probing and checks the figure's shape: a heavy-tailed, multi-order-of-
+magnitude spread across PoPs (the paper plots it on a log axis).
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig1a_prefixes_per_pop
+from repro.analysis.report import render_fig1a
+
+
+def test_bench_fig1a(benchmark, scenario, builder):
+    cache_result = builder.artifacts.cache_result
+
+    rows = benchmark.pedantic(
+        fig1a_prefixes_per_pop, args=(scenario, cache_result),
+        rounds=3, iterations=1)
+
+    print()
+    print(render_fig1a(rows))
+
+    counts = np.array([r.prefix_count for r in rows], dtype=float)
+    # Every PoP serves someone; the spread spans at least one order of
+    # magnitude (log-scale figure), and most detected prefixes concentrate
+    # behind the biggest PoPs.
+    assert (counts > 0).sum() >= len(counts) * 0.8
+    nonzero = counts[counts > 0]
+    assert nonzero.max() / nonzero.min() > 10
+    top_quarter = counts[:max(1, len(counts) // 4)].sum()
+    assert top_quarter / counts.sum() > 0.4
+    # Total detected prefixes match the campaign's detection set.
+    assert counts.sum() == len(cache_result.detected_prefixes())

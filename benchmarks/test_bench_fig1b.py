@@ -1,0 +1,34 @@
+"""Experiment F1b — Figure 1b: country-level user coverage (shading) and
+the MetaBook server map (dots).
+
+Paper: cache probing accounts for ~98% of Internet users by APNIC's
+estimates, and TLS scans locate the Facebook-like hypergiant's servers —
+including its off-nets — worldwide.
+"""
+
+from repro.analysis.figures import fig1b_coverage_and_servers
+from repro.analysis.report import render_fig1b
+
+
+def test_bench_fig1b(benchmark, scenario, builder):
+    cache_result = builder.artifacts.cache_result
+    tls_result = builder.artifacts.tls_result
+
+    data = benchmark.pedantic(
+        fig1b_coverage_and_servers,
+        args=(scenario, cache_result, tls_result),
+        rounds=3, iterations=1)
+
+    print()
+    print(render_fig1b(data))
+
+    # Paper: ~98% of APNIC-estimated users covered.
+    assert data.global_user_coverage > 0.95
+    # Most countries shade dark (>=80% covered).
+    dark = [r for r in data.shading if r.apnic_users > 0
+            and r.covered_percent >= 80.0]
+    with_data = [r for r in data.shading if r.apnic_users > 0]
+    assert len(dark) / len(with_data) > 0.8
+    # Server dots span many countries and include off-net caches.
+    assert len({d.country_code for d in data.server_dots}) >= 10
+    assert any(d.is_offnet for d in data.server_dots)

@@ -1,0 +1,31 @@
+"""Experiment F2 — Figure 2: ISP subscribers vs cache hit rate vs APNIC.
+
+Paper: "Cache hit rate correctly orders French ISPs with respect to their
+subscriber counts, suggesting there is some signal available for
+estimating relative activities."
+"""
+
+from repro.analysis.figures import fig2_subscribers_vs_signals
+from repro.analysis.report import render_fig2
+
+
+def test_bench_fig2(benchmark, scenario, builder):
+    cache_result = builder.artifacts.cache_result
+
+    data = benchmark.pedantic(
+        fig2_subscribers_vs_signals, args=(scenario, cache_result),
+        rounds=3, iterations=1)
+
+    print()
+    print(render_fig2(data))
+
+    # The French case study: hit counts order the ISPs correctly.
+    assert data.orderings_correct["FR"]
+    # And in fact every focus country orders correctly in this world.
+    assert data.all_orderings_correct()
+    # Strong correlation between the estimator and ground truth.
+    assert data.hit_count_pearson > 0.9
+    assert data.hit_count_spearman > 0.9
+    # The unvalidated APNIC estimates exist for the focus ISPs too.
+    with_apnic = [r for r in data.rows if r.apnic_estimate_m is not None]
+    assert len(with_apnic) >= len(data.rows) * 0.8

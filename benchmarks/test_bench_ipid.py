@@ -1,0 +1,22 @@
+"""Experiment C8 — §3.1.3 IP ID velocity.
+
+Paper: "the IP ID values of most routers display diurnal patterns,
+suggesting that the rate at which the routers source packets may be
+proportional to the rate at which they forward traffic. We propose
+measuring IP ID velocity over time ... to estimate the rate at which
+routers forward user traffic."
+
+The benchmarked step is a 48-hour ping campaign over 100 router
+interfaces at 15-minute intervals.
+"""
+
+from repro.analysis.report import render_claims
+
+
+def test_bench_ipid_velocity(benchmark, claims):
+    results = benchmark.pedantic(claims.c8_ipid_velocity, rounds=1,
+                                 iterations=1)
+    print()
+    print(render_claims(results))
+    for claim in results:
+        assert claim.passed, claim.render()

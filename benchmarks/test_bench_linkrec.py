@@ -1,0 +1,20 @@
+"""Experiment C9 — §3.3.3 peering-link recommendation.
+
+Paper: "one could formulate the problem as a recommendation system [45] —
+we rate the likelihood that networks (the shoppers) would want to peer
+with other networks (the items being recommended) and infer the existence
+of links if the recommendation is strong."
+
+The recommender must rank the links that collectors cannot see well above
+co-located non-links (AUC well above 0.5).
+"""
+
+from repro.analysis.report import render_claims
+
+
+def test_bench_link_recommendation(benchmark, claims):
+    result = benchmark.pedantic(claims.c9_link_recommendation, rounds=1,
+                                iterations=1)
+    print()
+    print(render_claims([result]))
+    assert result.passed, result.render()

@@ -1,0 +1,66 @@
+"""Experiment E5 — closing the §3.3.3 loop: recommended links feed the
+path predictor.
+
+"Is it possible to predict with high confidence which links exist, to
+feed into a path prediction algorithm?" — rank co-located candidate pairs
+with the recommender, install the top-scoring predictions as peering
+links, and measure how much Atlas->root prediction improves.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.linkrec import PeeringRecommender
+from repro.core.pathpred import PathPredictor, evaluate_prediction
+from repro.measure.atlas import AtlasPlatform
+from repro.rand import substream
+
+
+def test_bench_recommendation_feeds_prediction(benchmark, scenario, itm):
+    platform = AtlasPlatform(
+        scenario.registry, scenario.bgp, scenario.prefixes,
+        substream(scenario.config.seed, "bench-e5-atlas"), vp_count=120)
+    truth = {}
+    for root in scenario.roots.roots:
+        for vp in platform.vantage_points:
+            if vp.asn != root.host_asn:
+                truth[(vp.asn, root.host_asn)] = scenario.bgp.path(
+                    vp.asn, root.host_asn)
+
+    recommender = PeeringRecommender(
+        scenario.public_view.graph, scenario.registry,
+        scenario.topology.peeringdb,
+        activity_by_as=itm.users.activity_by_as)
+
+    def recommend():
+        return recommender.recommend_missing_links(top_k=2000)
+
+    recommendations = benchmark.pedantic(recommend, rounds=1,
+                                         iterations=1)
+    predicted_links = [r.pair for r in recommendations]
+
+    rows = []
+    baseline = evaluate_prediction(
+        PathPredictor(scenario.public_view).predict_many(list(truth)),
+        truth)
+    rows.append(("public topology only", f"{baseline.exact_fraction:.3f}",
+                 f"{baseline.unpredictable_fraction:.3f}"))
+    results = {}
+    for k in (250, 1000, 2000):
+        predictor = PathPredictor.with_augmented_links(
+            scenario.public_view, predicted_links[:k])
+        evaluation = evaluate_prediction(
+            predictor.predict_many(list(truth)), truth)
+        results[k] = evaluation
+        rows.append((f"+ top-{k} recommended links",
+                     f"{evaluation.exact_fraction:.3f}",
+                     f"{evaluation.unpredictable_fraction:.3f}"))
+
+    print()
+    print(render_table(
+        ["topology", "exact-path fraction", "unpredictable fraction"],
+        rows))
+
+    # Recommendations help: exact prediction improves over the baseline.
+    assert results[2000].exact_fraction > baseline.exact_fraction
+    # And unpredictability does not get worse.
+    assert results[2000].unpredictable_fraction <= \
+        baseline.unpredictable_fraction + 1e-9

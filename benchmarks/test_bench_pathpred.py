@@ -1,0 +1,18 @@
+"""Experiment C6 — §3.3.1 path-prediction blind spots.
+
+Paper: "When we tried to predict paths from RIPE Atlas probes to root DNS
+servers, more than half could not be predicted due to missing links", and
+(from [4]) more than 90% of peering links are invisible in public
+topologies.
+"""
+
+from repro.analysis.report import render_claims
+
+
+def test_bench_path_prediction(benchmark, claims):
+    results = benchmark.pedantic(claims.c6_path_prediction, rounds=1,
+                                 iterations=1)
+    print()
+    print(render_claims(results))
+    for claim in results:
+        assert claim.passed, claim.render()

@@ -1,0 +1,104 @@
+"""Experiments Q1-Q3 — map quality: validation, bias, uncertainty.
+
+* Q1: APNIC-vs-map validation — "APNIC's methodology has not been
+  validated" (§3.1.1): in the simulation it can be, and the map's
+  measurement-driven weights order ASes at least as well.
+* Q2: country-bias correction (§3.1.3) — a one-off partner snapshot
+  corrects the GDNS-adoption skew across countries.
+* Q3: bootstrap uncertainty — confidence intervals on the map's
+  activity weights; big ASes are statistically distinguishable.
+"""
+
+import numpy as np
+
+from repro.analysis.apnic_study import validate_apnic_against_truth
+from repro.analysis.report import render_table
+from repro.core.bias import (PartnerSnapshot, correct_country_bias,
+                             estimate_country_shares)
+from repro.core.uncertainty import bootstrap_activity
+from repro.rand import substream
+
+
+def test_bench_apnic_validation(benchmark, scenario, itm):
+    """Q1: score both public estimators against ground truth."""
+    study = benchmark.pedantic(
+        validate_apnic_against_truth, args=(scenario, itm),
+        rounds=3, iterations=1)
+    print()
+    print(render_table(
+        ["estimator", "Spearman vs truth", "typical factor off",
+         "ASes"],
+        [(study.apnic.name, f"{study.apnic.spearman:.3f}",
+          f"{study.apnic.typical_factor_off:.2f}x",
+          study.apnic.covered_ases),
+         (study.map_activity.name,
+          f"{study.map_activity.spearman:.3f}",
+          f"{study.map_activity.typical_factor_off:.2f}x",
+          study.map_activity.covered_ases)]))
+    assert study.apnic.spearman > 0.6
+    assert study.map_activity.spearman > 0.6
+
+
+def test_bench_bias_correction(benchmark, scenario, builder):
+    """Q2: one-off partner aggregates fix cross-country skew."""
+    # The partner's one-off, coarse snapshot (privileged, one-time).
+    by_as = scenario.traffic.bytes_by_as()
+    total = sum(by_as.values())
+    truth_shares = {}
+    for asn, volume in by_as.items():
+        asys = scenario.registry.maybe(asn)
+        if asys is not None:
+            truth_shares[asys.country_code] = truth_shares.get(
+                asys.country_code, 0.0) + volume / total
+    snapshot = PartnerSnapshot(traffic_share_by_country=truth_shares)
+    estimate = builder.artifacts.activity
+
+    correction = benchmark.pedantic(
+        correct_country_bias,
+        args=(estimate, scenario.registry, snapshot),
+        rounds=3, iterations=1)
+
+    before = estimate_country_shares(estimate, scenario.registry)
+    after = estimate_country_shares(correction.corrected,
+                                    scenario.registry)
+
+    def total_error(shares):
+        return sum(abs(shares.get(c, 0.0) - t)
+                   for c, t in truth_shares.items())
+
+    err_before, err_after = total_error(before), total_error(after)
+    print()
+    print(render_table(
+        ["estimate", "total country-share error (L1)"],
+        [("raw map activity", f"{err_before:.3f}"),
+         ("bias-corrected", f"{err_after:.3f}")]))
+    sample = sorted(correction.factor_by_country.items(),
+                    key=lambda kv: -abs(np.log(kv[1])))[:6]
+    print(render_table(["country", "learned factor"],
+                       [(c, f"{f:.2f}x") for c, f in sample]))
+    assert err_after < err_before * 0.5
+
+
+def test_bench_uncertainty(benchmark, scenario, builder, itm):
+    """Q3: bootstrap confidence intervals on activity weights."""
+    top = [asn for asn, __ in itm.users.top_ases(12)]
+
+    report = benchmark.pedantic(
+        lambda: bootstrap_activity(
+            builder.artifacts.cache_result, scenario.prefixes,
+            replicates=150, rng=substream(scenario.config.seed, "q3"),
+            asns=top),
+        rounds=1, iterations=1)
+
+    print()
+    rows = []
+    for asn in top[:8]:
+        interval = report.interval(asn)
+        rows.append((f"AS{asn}", f"{interval.point:.3f}",
+                     f"[{interval.low:.3f}, {interval.high:.3f}]"))
+    print(render_table(
+        ["AS", "activity share", f"{report.confidence:.0%} CI"], rows))
+
+    assert report.distinguishable(top[0], top[-1])
+    for interval in report.intervals.values():
+        assert interval.low <= interval.point <= interval.high

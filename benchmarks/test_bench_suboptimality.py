@@ -1,0 +1,47 @@
+"""Experiment E6 — inferring anycast suboptimality (§3.2.3).
+
+"The main challenge is in inferring in which cases this optimality is
+likely violated" — including the honest negative result: the obvious
+public features (colocation, site proximity) carry almost no signal in
+this world; the map's own activity weights do.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.suboptimality import (SuboptimalityPredictor,
+                                      evaluate_risk_ranking,
+                                      true_inflation_by_as)
+from repro.services.hypergiants import RedirectionScheme
+
+
+def test_bench_suboptimality_inference(benchmark, scenario, itm):
+    key = next(iter(scenario.anycast_models))
+    model = scenario.anycast_models[key]
+    predictor = SuboptimalityPredictor(
+        scenario.registry, scenario.topology.peeringdb,
+        scenario.public_view.graph, scenario.hypergiant_asn(key),
+        [site.city for site in model.sites],
+        activity_by_as=itm.users.activity_by_as)
+    assignment = scenario.mapping.assignment(
+        key, RedirectionScheme.ANYCAST)
+    extra = true_inflation_by_as(scenario.registry, scenario.prefixes,
+                                 assignment.extra_km())
+
+    risks = benchmark.pedantic(predictor.rank, args=(sorted(extra),),
+                               rounds=1, iterations=1)
+    auc = evaluate_risk_ranking(risks, extra)
+
+    inflated = {asn for asn, e in extra.items() if e > 500}
+    top_quarter = risks[:len(risks) // 4]
+    hit_rate_top = sum(1 for r in top_quarter if r.asn in inflated) \
+        / len(top_quarter)
+    base_rate = len(inflated) / len(extra)
+    print()
+    print(render_table(
+        ["metric", "value"],
+        [("client ASes scored", len(risks)),
+         ("truly inflated (>500 km)", f"{base_rate:.1%}"),
+         ("inflated among top-risk quartile", f"{hit_rate_top:.1%}"),
+         ("risk-ranking AUC", f"{auc:.3f}")]))
+
+    assert auc > 0.55
+    assert hit_rate_top > base_rate

@@ -1,0 +1,75 @@
+"""Experiments W1/W2 — the §1 weighting fallacies, quantified.
+
+* W1: "each congested interconnect impacts the same amount of traffic" —
+  false: a small set of interconnects carries most bytes.
+* W2: the [40]/[25] consolidation view — a handful of providers serve
+  ~90% of traffic; Lorenz/Gini over provider byte shares.
+"""
+
+from repro.analysis.concentration import (provider_concentration,
+                                          summarize_concentration)
+from repro.analysis.report import render_table
+from repro.core.usecases import link_importance_study
+
+
+def test_bench_link_importance(benchmark, scenario):
+    """W1: interconnect volume concentration."""
+    study = benchmark.pedantic(
+        lambda: link_importance_study(scenario.flows.volume_by_link,
+                                      top_ks=(10, 50, 100)),
+        rounds=3, iterations=1)
+
+    print()
+    rows = []
+    for k in (10, 50, 100):
+        uniform = k / study.total_links
+        rows.append((f"top-{k} links",
+                     f"{study.top_share(k):.1%}",
+                     f"{uniform:.1%}"))
+    print(render_table(
+        ["link set", "volume carried", "uniform-assumption share"],
+        rows))
+    print(f"link-volume Gini: {study.volume_gini:.3f} over "
+          f"{study.total_links} links")
+
+    assert study.top_share(100) > 0.4
+    assert study.top_share(10) > 10 / study.total_links * 5
+    assert study.volume_gini > 0.5
+
+
+def test_bench_provider_concentration(benchmark, scenario):
+    """W2: consolidation across serving providers."""
+    def build_shares():
+        shares = {key: scenario.catalog.hypergiant_bytes_share(key)
+                  for key in scenario.catalog.hypergiants}
+        shares["(stub hosting)"] = 1.0 - sum(shares.values())
+        return provider_concentration(shares)
+
+    summary = benchmark.pedantic(build_shares, rounds=3, iterations=1)
+    print()
+    rows = [(f"top-{k}", f"{share:.1%}")
+            for k, share in sorted(summary.top_shares.items())]
+    print(render_table(["providers", "share of all bytes"], rows))
+    print(f"provider Gini: {summary.gini:.3f}")
+
+    # "Most user-facing traffic flows from a handful of large providers."
+    assert summary.share_of_top(5) > 0.55
+    assert summary.share_of_top(10) > 0.8
+
+
+def test_bench_activity_concentration(benchmark, scenario, itm):
+    """Concentration of the map's own activity weights across ASes —
+    the weighting an unweighted CDF ignores."""
+    weights = list(itm.users.activity_by_as.values())
+    summary = benchmark.pedantic(
+        lambda: summarize_concentration(weights, top_ks=(1, 10, 50)),
+        rounds=3, iterations=1)
+    print()
+    print(render_table(
+        ["AS set", "activity share"],
+        [(f"top-{k}", f"{share:.1%}")
+         for k, share in sorted(summary.top_shares.items())]))
+    print(f"activity Gini across {summary.entities} detected ASes: "
+          f"{summary.gini:.3f}")
+    assert summary.share_of_top(50) > 0.5
+    assert summary.gini > 0.5

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Anycast catchments and CDN mapping optimality (§2.1 / §3.2.3).
+
+Reproduces the two redirection findings the paper leans on:
+
+* DNS-based CDN mapping: far more *users* than *routes* are served from
+  their optimal site (paper, from [38]: 60% vs 31%) — mapping systems
+  know their heavy clients best;
+* anycast: BGP-selected sites are close to optimal for most clients
+  (paper: 80% within 500 km of the closest site).
+
+Usage::
+
+    python examples/anycast_study.py [seed]
+"""
+
+import sys
+
+from repro import ScenarioConfig, build_scenario
+from repro.analysis.report import render_table
+from repro.core.usecases import mapping_optimality_study
+from repro.services.hypergiants import RedirectionScheme
+
+
+def main(seed: int = 20211110) -> None:
+    scenario = build_scenario(ScenarioConfig.medium(seed=seed))
+    users = scenario.population.users_per_prefix
+
+    rows = []
+    dns_study = mapping_optimality_study(
+        scenario.mapping.assignment("amazonia", RedirectionScheme.DNS),
+        users)
+    rows.append(("Amazonia (DNS redirection)",
+                 f"{dns_study.route_optimal_fraction:.1%}",
+                 f"{dns_study.user_optimal_fraction:.1%}",
+                 f"{dns_study.within_500km_fraction:.1%}"))
+
+    for key in scenario.anycast_models:
+        study = mapping_optimality_study(
+            scenario.mapping.assignment(key, RedirectionScheme.ANYCAST),
+            users)
+        rows.append((f"{key} (anycast)",
+                     f"{study.route_optimal_fraction:.1%}",
+                     f"{study.user_optimal_fraction:.1%}",
+                     f"{study.within_500km_fraction:.1%}"))
+
+    custom = mapping_optimality_study(
+        scenario.mapping.assignment("streamflix",
+                                    RedirectionScheme.CUSTOM_URL),
+        users)
+    rows.append(("StreamFlix (custom URLs)",
+                 f"{custom.route_optimal_fraction:.1%}",
+                 f"{custom.user_optimal_fraction:.1%}",
+                 f"{custom.within_500km_fraction:.1%}"))
+
+    print("Client-to-site mapping optimality by redirection scheme:\n")
+    print(render_table(
+        ["deployment", "routes optimal", "users optimal",
+         "within 500km extra"], rows))
+    print("\nPaper reference points: 31% routes / 60% users optimal for a"
+          " large CDN; ~80% of anycast clients within 500 km of their"
+          " closest site; custom URLs effectively optimal (§3.2.3).")
+
+    dns = dns_study
+    print(f"\nDistance penalty distribution (Amazonia DNS): median "
+          f"{dns.extra_distance_cdf.median:.0f} km, p90 "
+          f"{dns.extra_distance_cdf.quantile(0.9):.0f} km")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20211110)

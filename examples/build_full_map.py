@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Full reproduction driver: paper-scale world, every figure and claim.
+
+This is the long-form run (about a minute). It regenerates Table 1,
+Figures 1a/1b/2 and the complete headline-claim suite against the default
+paper-scale scenario, printing everything EXPERIMENTS.md records.
+
+Usage::
+
+    python examples/build_full_map.py [seed]
+"""
+
+import sys
+import time
+
+from repro import ScenarioConfig, build_scenario
+from repro.analysis.claims import ClaimSuite
+from repro.analysis.figures import (fig1a_prefixes_per_pop,
+                                    fig1b_coverage_and_servers,
+                                    fig2_subscribers_vs_signals)
+from repro.analysis.report import (render_claims, render_fig1a,
+                                   render_fig1b, render_fig2,
+                                   render_table1)
+from repro.analysis.tables import regenerate_table1
+from repro.core.builder import MapBuilder
+
+
+def main(seed: int = 20211110) -> None:
+    t0 = time.time()
+    print("Building the paper-scale simulated Internet...")
+    scenario = build_scenario(ScenarioConfig.default(seed=seed))
+    print(f"  built in {time.time() - t0:.1f}s: "
+          f"{len(scenario.registry)} ASes, "
+          f"{len(scenario.prefixes)} /24s, "
+          f"{len(scenario.catalog)} services")
+
+    print("\nRunning all measurement campaigns...")
+    builder = MapBuilder(scenario)
+    itm = builder.build()
+    print(itm.summary())
+
+    print("\n" + "=" * 72)
+    print(render_table1(regenerate_table1(scenario, itm)))
+
+    print("\n" + "=" * 72)
+    print(render_fig1a(fig1a_prefixes_per_pop(
+        scenario, builder.artifacts.cache_result)))
+
+    print("\n" + "=" * 72)
+    print(render_fig1b(fig1b_coverage_and_servers(
+        scenario, builder.artifacts.cache_result,
+        builder.artifacts.tls_result)))
+
+    print("\n" + "=" * 72)
+    print(render_fig2(fig2_subscribers_vs_signals(
+        scenario, builder.artifacts.cache_result)))
+
+    print("\n" + "=" * 72)
+    suite = ClaimSuite(scenario, itm, builder.artifacts)
+    print(render_claims(suite.run_all()))
+    print(f"\nTotal wall time: {time.time() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20211110)

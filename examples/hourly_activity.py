@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Hourly activity estimation — Table 1's desired temporal precision.
+
+Table 1 lists *hourly* as the desired precision for relative-activity
+estimation, while published techniques deliver yearly or daily numbers.
+This example runs the time-sliced cache-probing campaign: one probe round
+every two hours, around the clock. Because cache occupancy tracks the
+instantaneous query rate, each country's hit-count profile traces its
+local diurnal curve — recovering *when* a population is online from
+nothing but public ECS probes.
+
+Usage::
+
+    python examples/hourly_activity.py [seed]
+"""
+
+import sys
+
+from repro import ScenarioConfig, build_scenario
+from repro.analysis.report import render_table
+from repro.core.activity import estimate_hourly_activity
+from repro.errors import ValidationError
+from repro.measure.cache_probing import TimedCacheProbing
+from repro.rand import substream
+
+
+def ascii_profile(profile, width: int = 30) -> str:
+    peak = max(profile) or 1
+    return "".join(" .:-=+*#%@"[min(9, int(v / peak * 9.99))]
+                   for v in profile)
+
+
+def main(seed: int = 20211110) -> None:
+    scenario = build_scenario(ScenarioConfig.medium(seed=seed))
+    services = scenario.catalog.top_by_popularity(10)
+    hours = list(range(0, 24, 2))
+    print(f"Probing {len(scenario.prefixes)} prefixes x "
+          f"{len(services)} domains at {len(hours)} UTC hours...")
+    campaign = TimedCacheProbing(
+        scenario.temporal_oracle, scenario.gdns, services,
+        scenario.routable_prefix_ids(), probe_hours_utc=hours,
+        rounds_per_slot=6, rng=substream(seed, "hourly-example"))
+    estimate = estimate_hourly_activity(
+        campaign.run(), scenario.prefixes, scenario.registry)
+
+    print("\nPer-country hit profiles over the UTC day "
+          "(darker = more hits):\n")
+    rows = []
+    for country in scenario.atlas.countries:
+        try:
+            profile = estimate.normalised_profile(country.code)
+            est_peak = estimate.peak_utc_hour(country.code)
+        except (ValidationError, KeyError):
+            continue
+        true_peak = (scenario.diurnal.peak_hour()
+                     - country.capital.utc_offset) % 24
+        rows.append((country.code, ascii_profile(profile),
+                     f"{est_peak:.0f}h", f"{true_peak:.1f}h"))
+    print(render_table(
+        ["cc", "hit profile 00..22 UTC", "est peak", "true peak"], rows))
+    print("\nEach country's hits peak at its local evening — hourly "
+          "activity recovered from public probes alone.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20211110)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Longitudinal off-net growth — the [25] study replayed on the map.
+
+The paper's services component builds on "Seven years in the life of
+hypergiants' off-nets" [25]: periodic TLS scans tracking how hypergiant
+cache programmes spread through eyeball networks. This example grows
+every off-net programme epoch by epoch and prints the curves a
+longitudinal study would plot: host counts and, more tellingly,
+*user coverage* — which rises much faster because big ISPs sign first.
+
+Usage::
+
+    python examples/offnet_evolution.py [seed]
+"""
+
+import sys
+
+from repro import ScenarioConfig, build_scenario
+from repro.analysis.report import render_table
+from repro.rand import substream
+from repro.services.evolution import OffnetGrowthModel
+from repro.services.hypergiants import OffnetReach
+
+
+def main(seed: int = 20211110) -> None:
+    scenario = build_scenario(ScenarioConfig.medium(seed=seed))
+    model = OffnetGrowthModel(scenario, substream(seed, "evolution"))
+    epochs = 14
+    series = model.run(epochs=epochs)
+    users_by_as = scenario.population.users_by_as()
+
+    sample_epochs = [0, 2, 4, 7, 10, 13]
+    print(f"Off-net host counts per scan epoch "
+          f"(of {len(scenario.registry.eyeballs())} eyeball ASes):\n")
+    rows = []
+    for key, spec in scenario.catalog.hypergiants.items():
+        if spec.offnet_reach is OffnetReach.NONE:
+            continue
+        counts = series.counts_for(key)
+        rows.append((spec.display_name, spec.offnet_reach.value,
+                     *[counts[e] for e in sample_epochs]))
+    print(render_table(
+        ["hypergiant", "reach"] + [f"e{e}" for e in sample_epochs], rows))
+
+    print("\nUser coverage of the MetaBook off-net programme:\n")
+    coverage = series.user_coverage_series("metabook", users_by_as)
+    counts = series.counts_for("metabook")
+    rows = [(e, counts[e], f"{coverage[e]:.1%}") for e in sample_epochs]
+    print(render_table(["epoch", "host ASes", "user coverage"], rows))
+    mid = epochs // 2
+    print(f"\nBy mid-study the programme reaches "
+          f"{coverage[mid]:.0%} of users with only "
+          f"{counts[mid]}/{counts[-1]} of its final host count — "
+          "hypergiants deploy into the biggest networks first.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20211110)

@@ -1,0 +1,42 @@
+"""Reproduction of "Towards a traffic map of the Internet" (HotNets 2021).
+
+The package builds a seeded simulated Internet (topology, users, services,
+DNS, TLS, routing — :mod:`repro.scenario`), implements every measurement
+technique the paper proposes (:mod:`repro.measure`), and assembles them
+into the paper's contribution: the Internet Traffic Map
+(:mod:`repro.core`).
+
+Quickstart::
+
+    from repro import ScenarioConfig, build_scenario
+    from repro.core.builder import MapBuilder
+
+    scenario = build_scenario(ScenarioConfig.small())
+    itm = MapBuilder(scenario).build()
+    print(itm.summary())
+"""
+
+from .config import (DnsConfig, MeasurementConfig, PopulationConfig,
+                     ScenarioConfig, ServiceConfig, TopologyConfig)
+from .errors import (ConfigError, MeasurementError, ReproError,
+                     TopologyError, ValidationError)
+from .scenario import Scenario, build_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigError",
+    "DnsConfig",
+    "MeasurementConfig",
+    "MeasurementError",
+    "PopulationConfig",
+    "ReproError",
+    "Scenario",
+    "ScenarioConfig",
+    "ServiceConfig",
+    "TopologyConfig",
+    "TopologyError",
+    "ValidationError",
+    "build_scenario",
+    "__version__",
+]

@@ -1,0 +1,2 @@
+"""Reproduction harness: data series for every figure, Table 1, and the
+paper's headline quantitative claims."""

@@ -1,0 +1,84 @@
+"""APNIC-estimate validation study.
+
+"APNIC publishes estimates of the number of users per network [33], but
+the data are coarse-grained, and the approach has not been validated."
+(§1) — in the simulation we *can* validate it: compare APNIC estimates
+and the map's activity weights against ground-truth users per AS, and
+quantify which public estimator tracks reality better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import stats
+
+from ..errors import ValidationError
+from ..core.traffic_map import InternetTrafficMap
+from ..scenario import Scenario
+
+
+@dataclass
+class EstimatorScore:
+    """How one public estimator tracks ground-truth users."""
+
+    name: str
+    spearman: float
+    median_abs_log_error: float   # median |log10(est/true)|
+    covered_ases: int
+
+    @property
+    def typical_factor_off(self) -> float:
+        """Median multiplicative error, e.g. 1.3 = 30% off."""
+        return float(10 ** self.median_abs_log_error)
+
+
+@dataclass
+class ApnicValidationStudy:
+    """APNIC vs the map, both scored against ground truth."""
+
+    apnic: EstimatorScore
+    map_activity: EstimatorScore
+
+    @property
+    def map_orders_better(self) -> bool:
+        return self.map_activity.spearman >= self.apnic.spearman
+
+
+def validate_apnic_against_truth(scenario: Scenario,
+                                 itm: InternetTrafficMap
+                                 ) -> ApnicValidationStudy:
+    """Score both public estimators on ASes all three datasets cover."""
+    truth = scenario.population.users_by_as()
+    apnic = scenario.apnic.estimates
+    map_weights = itm.users.activity_by_as
+
+    common = sorted(asn for asn in truth
+                    if truth[asn] > 0 and asn in apnic
+                    and asn in map_weights)
+    if len(common) < 5:
+        raise ValidationError("too few commonly-covered ASes")
+
+    true_vals = np.array([truth[a] for a in common])
+    apnic_vals = np.array([apnic[a] for a in common])
+    map_vals = np.array([map_weights[a] for a in common])
+
+    def score(name: str, estimates: np.ndarray,
+              comparable_units: bool) -> EstimatorScore:
+        rho = float(stats.spearmanr(true_vals, estimates).statistic)
+        if comparable_units:
+            log_err = np.abs(np.log10(estimates / true_vals))
+        else:
+            # Relative estimator: align scales by total mass first.
+            scaled = estimates * (true_vals.sum() / estimates.sum())
+            log_err = np.abs(np.log10(scaled / true_vals))
+        return EstimatorScore(
+            name=name, spearman=rho,
+            median_abs_log_error=float(np.median(log_err)),
+            covered_ases=len(common))
+
+    return ApnicValidationStudy(
+        apnic=score("APNIC user estimates", apnic_vals, True),
+        map_activity=score("map activity weights", map_vals, False))

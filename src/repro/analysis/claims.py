@@ -1,0 +1,305 @@
+"""Headline-claim reproduction suite.
+
+Every quantitative statement in the paper gets a :class:`ClaimResult`:
+the paper's number, our measured number, and a shape band. Bands are
+deliberately generous — the substrate is a simulator, so we reproduce
+*who wins and by roughly what factor*, not third decimal places — but
+tight enough that a broken technique fails its claim.
+
+The suite shares one scenario build and one measurement pass across all
+claims; benches and EXPERIMENTS.md render its output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import stats
+
+from ..core.builder import BuildArtifacts, MapBuilder
+from ..core.linkrec import PeeringRecommender, evaluate_recommender
+from ..core.pathpred import PathPredictor, evaluate_prediction
+from ..core.traffic_map import InternetTrafficMap
+from ..core.usecases import (iplane_short_fraction, mapping_optimality_study,
+                             path_length_study)
+from ..core.validation import validate_users_component
+from ..errors import ValidationError
+from ..measure.atlas import AtlasPlatform
+from ..measure.ipid import IpIdMonitor
+from ..net.ases import ASType
+from ..rand import substream
+from ..scenario import Scenario
+from ..services.hypergiants import (GROUND_TRUTH_CDN_KEY,
+                                    RedirectionScheme)
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """One checked claim."""
+
+    claim_id: str
+    description: str
+    paper_value: str
+    measured: float
+    band: Tuple[float, float]
+
+    @property
+    def passed(self) -> bool:
+        lo, hi = self.band
+        return lo <= self.measured <= hi
+
+    def render(self) -> str:
+        flag = "ok " if self.passed else "FAIL"
+        return (f"[{flag}] {self.claim_id}: {self.description} | paper "
+                f"{self.paper_value} | measured {self.measured:.3f} "
+                f"(band {self.band[0]:.2f}..{self.band[1]:.2f})")
+
+
+class ClaimSuite:
+    """Computes every claim against one scenario (shared artifacts)."""
+
+    def __init__(self, scenario: Scenario,
+                 itm: Optional[InternetTrafficMap] = None,
+                 artifacts: Optional[BuildArtifacts] = None) -> None:
+        self._scenario = scenario
+        if itm is None or artifacts is None:
+            builder = MapBuilder(scenario)
+            itm = builder.build()
+            artifacts = builder.artifacts
+        self._itm = itm
+        self._artifacts = artifacts
+        self._users_validation = validate_users_component(
+            itm.users, scenario, GROUND_TRUTH_CDN_KEY)
+
+    # -- §3.1.2: users-component coverage -------------------------------------
+
+    def c1_cache_probing_coverage(self) -> List[ClaimResult]:
+        """Cache probing finds prefixes with ~95% of CDN traffic, <1% FP."""
+        val = self._users_validation
+        return [
+            ClaimResult(
+                "C1a", "cache probing: prefix-level CDN traffic coverage",
+                "95%", val.prefix_traffic_coverage, (0.90, 0.999)),
+            ClaimResult(
+                "C1b", "cache probing: detected-prefix false positives",
+                "<1%", val.false_positive_rate, (0.0, 0.01)),
+        ]
+
+    def c2_rootlog_coverage(self) -> ClaimResult:
+        """Root-log crawling finds ASes with ~60% of CDN traffic."""
+        result = self._artifacts.rootlog_result
+        if result is None:
+            raise ValidationError("builder did not run root-log crawling")
+        coverage = self._scenario.traffic.coverage_of_as_set(
+            result.detected_asns(), GROUND_TRUTH_CDN_KEY)
+        return ClaimResult(
+            "C2", "root-log crawl: AS-level CDN traffic coverage",
+            "60%", coverage, (0.40, 0.80))
+
+    def c3_combined_coverage(self) -> List[ClaimResult]:
+        """Combined: ~99% of CDN traffic, ~98% of APNIC users."""
+        val = self._users_validation
+        return [
+            ClaimResult(
+                "C3a", "combined techniques: AS-level CDN traffic coverage",
+                "99%", val.as_traffic_coverage, (0.95, 1.0)),
+            ClaimResult(
+                "C3b", "combined techniques: APNIC-user coverage",
+                "98%", val.apnic_user_coverage, (0.95, 1.0)),
+        ]
+
+    # -- §2.1: weighting use cases -----------------------------------------------
+
+    def c4_path_lengths(self) -> List[ClaimResult]:
+        """Unweighted ~2% short paths vs ~73% of queries from <=1-hop ASes."""
+        scenario = self._scenario
+        stubs = [a.asn for a in scenario.registry.of_type(ASType.STUB)]
+        baseline = iplane_short_fraction(
+            scenario.bgp, stubs[:10], scenario.registry.asns)
+        hg_key = "googol"
+        hg_asn = scenario.hypergiant_asn(hg_key)
+        users_by_as = scenario.population.users_by_as()
+        clients = [a for a, u in users_by_as.items() if u > 0]
+        offnets = {s.host_asn for s in scenario.deployment.sites(hg_key)
+                   if s.is_offnet}
+        study = path_length_study(scenario.graph, scenario.bgp, clients,
+                                  users_by_as, hg_asn, offnets)
+        return [
+            ClaimResult(
+                "C4a", "unweighted: fraction of paths <=2 ASes long",
+                "2%", baseline, (0.0, 0.10)),
+            ClaimResult(
+                "C4b", "weighted: query mass hosting/adjacent to hypergiant",
+                "73%", study.offnet_or_adjacent_weighted, (0.60, 0.92)),
+        ]
+
+    # -- §2.1 / §3.2.3: mapping optimality ---------------------------------------
+
+    def c5_mapping_optimality(self) -> List[ClaimResult]:
+        """~31% of routes optimal, ~60% of users optimal; anycast ~80%
+        within 500 km of the closest site."""
+        scenario = self._scenario
+        dns_assignment = scenario.mapping.assignment(
+            "amazonia", RedirectionScheme.DNS)
+        study = mapping_optimality_study(
+            dns_assignment, scenario.population.users_per_prefix)
+        anycast_key = next(iter(scenario.anycast_models))
+        anycast_assignment = scenario.mapping.assignment(
+            anycast_key, RedirectionScheme.ANYCAST)
+        anycast_study = mapping_optimality_study(
+            anycast_assignment, scenario.population.users_per_prefix)
+        return [
+            ClaimResult(
+                "C5a", "CDN mapping: route-level optimal fraction",
+                "31%", study.route_optimal_fraction, (0.20, 0.45)),
+            ClaimResult(
+                "C5b", "CDN mapping: user-weighted optimal fraction",
+                "60%", study.user_optimal_fraction, (0.45, 0.75)),
+            ClaimResult(
+                "C5c", "anycast: clients within 500 km of closest site",
+                "80%", anycast_study.within_500km_fraction, (0.70, 0.98)),
+        ]
+
+    # -- §3.3.1: public-topology blind spots -------------------------------------
+
+    def c6_path_prediction(self) -> List[ClaimResult]:
+        """>50% of Atlas->root paths not predictable; >90% of hypergiant
+        peerings invisible at collectors."""
+        scenario = self._scenario
+        platform = AtlasPlatform(
+            scenario.registry, scenario.bgp, scenario.prefixes,
+            substream(scenario.config.seed, "claims-atlas"),
+            vp_count=scenario.config.measurement.atlas_vantage_points)
+        truth = {}
+        for root in scenario.roots.roots:
+            for vp in platform.vantage_points:
+                if vp.asn != root.host_asn:
+                    truth[(vp.asn, root.host_asn)] = scenario.bgp.path(
+                        vp.asn, root.host_asn)
+        predictor = PathPredictor(scenario.public_view)
+        evaluation = evaluate_prediction(
+            predictor.predict_many(list(truth)), truth)
+        not_predicted = 1.0 - evaluation.exact_fraction
+
+        hg_asns = set(scenario.topology.hypergiant_asns.values())
+        hg_links = [(a, b) for a, b, rel in scenario.graph.edges()
+                    if rel.name == "P2P" and (a in hg_asns or b in hg_asns)]
+        invisibility = 1.0 - scenario.public_view.visibility_of_links(
+            hg_links)
+        return [
+            ClaimResult(
+                "C6a", "Atlas->root paths not correctly predictable",
+                ">50%", not_predicted, (0.45, 1.0)),
+            ClaimResult(
+                "C6b", "hypergiant peering links invisible at collectors",
+                ">90%", invisibility, (0.85, 1.0)),
+        ]
+
+    # -- §3.2.3: ECS adoption ------------------------------------------------------
+
+    def c7_ecs_adoption(self) -> List[ClaimResult]:
+        """15/20 top sites support ECS = ~35% of traffic, ~91% of top-20."""
+        catalog = self._scenario.catalog
+        top20 = catalog.top_by_popularity(20)
+        ecs = [s for s in top20 if s.ecs_supported]
+        ecs_bytes = sum(s.bytes_share for s in ecs)
+        top_bytes = sum(s.bytes_share for s in top20)
+        return [
+            ClaimResult("C7a", "top-20 sites supporting ECS",
+                        "15 of 20", float(len(ecs)), (13, 17)),
+            ClaimResult("C7b", "ECS top-20 sites: share of all traffic",
+                        "35%", ecs_bytes, (0.28, 0.42)),
+            ClaimResult("C7c", "ECS share of top-20 traffic",
+                        "91%", ecs_bytes / top_bytes, (0.85, 0.96)),
+        ]
+
+    # -- §3.1.3: IP ID velocity -------------------------------------------------------
+
+    def c8_ipid_velocity(self, max_routers: int = 100) -> List[ClaimResult]:
+        """IP ID velocity is diurnal and tracks forwarded volume."""
+        scenario = self._scenario
+        cfg = scenario.config.measurement
+        monitor = IpIdMonitor(
+            interval_s=cfg.ipid_ping_interval_s,
+            duration_hours=cfg.ipid_campaign_hours,
+            rng=substream(scenario.config.seed, "claims-ipid"))
+        routers = scenario.routers.countable()[:max_routers]
+        analyses = monitor.campaign(routers)
+        usable = [a for a in analyses if a.usable]
+        diurnal_fraction = (np.mean([a.looks_diurnal for a in usable])
+                            if usable else 0.0)
+        velocity = {a.address: a.mean_velocity for a in usable}
+        xs, ys = [], []
+        for router in routers:
+            estimate = velocity.get(router.address)
+            if estimate is not None:
+                xs.append(scenario.flows.as_volume(router.asn))
+                ys.append(estimate)
+        correlation = float(stats.spearmanr(xs, ys).statistic) if (
+            len(xs) >= 3) else 0.0
+        return [
+            ClaimResult("C8a", "routers with diurnal IP ID velocity",
+                        "most routers", float(diurnal_fraction), (0.7, 1.0)),
+            ClaimResult("C8b", "IP ID velocity vs forwarded volume "
+                        "(Spearman)", "proportional", correlation,
+                        (0.6, 1.0)),
+        ]
+
+    # -- §3.3.3: link recommendation -----------------------------------------------------
+
+    def c9_link_recommendation(self, max_positives: int = 300,
+                               max_negatives: int = 1500) -> ClaimResult:
+        """Recommender ranks hidden peering links well above chance."""
+        scenario = self._scenario
+        hidden = scenario.graph.link_set() - \
+            scenario.public_view.graph.link_set()
+        colocated = scenario.topology.peeringdb.colocated_pairs()
+        positives = sorted(p for p in hidden if p in colocated)
+        negatives = sorted(
+            p for p in colocated
+            if scenario.graph.relationship_of(*p) is None)
+        rng = substream(scenario.config.seed, "claims-linkrec")
+        if len(positives) > max_positives:
+            idx = rng.choice(len(positives), size=max_positives,
+                             replace=False)
+            positives = [positives[int(i)] for i in sorted(idx)]
+        if len(negatives) > max_negatives:
+            idx = rng.choice(len(negatives), size=max_negatives,
+                             replace=False)
+            negatives = [negatives[int(i)] for i in sorted(idx)]
+        recommender = PeeringRecommender(
+            scenario.public_view.graph, scenario.registry,
+            scenario.topology.peeringdb,
+            activity_by_as=self._itm.users.activity_by_as)
+        evaluation = evaluate_recommender(
+            recommender, set(positives), set(negatives))
+        return ClaimResult(
+            "C9", "peering-link recommender AUC on hidden links",
+            "above chance", evaluation.auc, (0.60, 1.0))
+
+    # -- §1 / §2: consolidation --------------------------------------------------------
+
+    def c10_consolidation(self) -> ClaimResult:
+        """A handful of hypergiants serve ~90% of traffic [25]."""
+        return ClaimResult(
+            "C10", "traffic share served from hypergiant infrastructure",
+            "~90%", self._scenario.catalog.total_hypergiant_share(),
+            (0.80, 0.97))
+
+    # -- orchestration -------------------------------------------------------------------
+
+    def run_all(self) -> List[ClaimResult]:
+        results: List[ClaimResult] = []
+        results.extend(self.c1_cache_probing_coverage())
+        results.append(self.c2_rootlog_coverage())
+        results.extend(self.c3_combined_coverage())
+        results.extend(self.c4_path_lengths())
+        results.extend(self.c5_mapping_optimality())
+        results.extend(self.c6_path_prediction())
+        results.extend(self.c7_ecs_adoption())
+        results.extend(self.c8_ipid_velocity())
+        results.append(self.c9_link_recommendation())
+        results.append(self.c10_consolidation())
+        return results

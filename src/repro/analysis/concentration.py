@@ -1,0 +1,95 @@
+"""Traffic concentration analysis.
+
+"Most user-facing traffic flows from a handful of large providers" (§1)
+and the 2010 inter-domain traffic paper [40] the paper credits with
+reshaping the community's mental model both describe *concentration*. The
+helpers here quantify it: top-k shares, Lorenz curves and Gini
+coefficients over any weighted set (providers by bytes, ASes by activity,
+links by volume) — so the map's outputs plug straight into the same kind
+of analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+
+
+@dataclass
+class ConcentrationSummary:
+    """Concentration statistics of a non-negative weight distribution."""
+
+    total: float
+    gini: float
+    top_shares: Dict[int, float]        # k -> share of top-k entities
+    entities: int
+
+    def share_of_top(self, k: int) -> float:
+        try:
+            return self.top_shares[k]
+        except KeyError:
+            raise ValidationError(f"top-{k} share was not computed") \
+                from None
+
+
+def lorenz_curve(weights: Sequence[float]) -> List[Tuple[float, float]]:
+    """(population fraction, weight fraction) points, ascending order."""
+    values = np.asarray(list(weights), dtype=float)
+    if values.size == 0:
+        raise ValidationError("empty weight vector")
+    if (values < 0).any():
+        raise ValidationError("negative weights")
+    total = values.sum()
+    if total <= 0:
+        raise ValidationError("weights sum to zero")
+    ordered = np.sort(values)
+    cumulative = np.cumsum(ordered) / total
+    population = np.arange(1, len(ordered) + 1) / len(ordered)
+    return [(0.0, 0.0)] + [(float(p), float(c))
+                           for p, c in zip(population, cumulative)]
+
+
+def gini_coefficient(weights: Sequence[float]) -> float:
+    """Gini coefficient in [0, 1); 0 = perfectly even."""
+    values = np.sort(np.asarray(list(weights), dtype=float))
+    if values.size == 0:
+        raise ValidationError("empty weight vector")
+    if (values < 0).any():
+        raise ValidationError("negative weights")
+    total = values.sum()
+    if total <= 0:
+        raise ValidationError("weights sum to zero")
+    n = len(values)
+    ranks = np.arange(1, n + 1)
+    return float((2 * (ranks * values).sum()) / (n * total) - (n + 1) / n)
+
+
+def summarize_concentration(weights: Sequence[float],
+                            top_ks: Sequence[int] = (1, 5, 10, 20)
+                            ) -> ConcentrationSummary:
+    """Full concentration summary of a weight vector."""
+    values = np.asarray(list(weights), dtype=float)
+    gini = gini_coefficient(values)
+    ordered = np.sort(values)[::-1]
+    total = float(ordered.sum())
+    top_shares = {}
+    for k in top_ks:
+        if k < 1:
+            raise ValidationError("top-k requires k >= 1")
+        top_shares[k] = float(ordered[:k].sum()) / total
+    return ConcentrationSummary(total=total, gini=gini,
+                                top_shares=top_shares,
+                                entities=len(values))
+
+
+def provider_concentration(bytes_by_host: Dict[str, float]
+                           ) -> ConcentrationSummary:
+    """Concentration across serving providers — the [40]/[25] view."""
+    if not bytes_by_host:
+        raise ValidationError("no providers given")
+    return summarize_concentration(list(bytes_by_host.values()),
+                                   top_ks=(1, 2, 5, 10))

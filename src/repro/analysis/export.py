@@ -1,0 +1,105 @@
+"""Markdown report export: the whole reproduction in one document.
+
+``python -m repro report -o report.md`` (or :func:`build_report`) runs
+the measurement pipeline and emits a self-contained markdown report with
+the map summary, Table 1, all figure data and the claim suite — the
+artefact a research group would attach to a reproduction submission.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.builder import BuildArtifacts, MapBuilder
+from ..core.traffic_map import InternetTrafficMap
+from ..scenario import Scenario
+from .claims import ClaimSuite
+from .figures import (fig1a_prefixes_per_pop, fig1b_coverage_and_servers,
+                      fig2_subscribers_vs_signals)
+from .tables import regenerate_table1
+
+
+def _md_table(headers: List[str], rows: List[List[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for __ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def build_report(scenario: Scenario,
+                 itm: Optional[InternetTrafficMap] = None,
+                 artifacts: Optional[BuildArtifacts] = None) -> str:
+    """Render the full reproduction report as markdown text."""
+    if itm is None or artifacts is None:
+        builder = MapBuilder(scenario)
+        itm = builder.build()
+        artifacts = builder.artifacts
+
+    sections: List[str] = []
+    sections.append("# Internet Traffic Map — reproduction report\n")
+    sections.append(f"Seed `{scenario.config.seed}`; "
+                    f"{len(scenario.registry)} ASes, "
+                    f"{len(scenario.prefixes)} /24 prefixes, "
+                    f"{len(scenario.catalog)} services.\n")
+    sections.append("```\n" + itm.summary() + "\n```\n")
+
+    # Table 1.
+    sections.append("## Table 1 — component granularity and coverage\n")
+    t1 = regenerate_table1(scenario, itm)
+    sections.append(_md_table(
+        ["component", "question", "temporal (desired / now)",
+         "network (desired / now)", "coverage now"],
+        [[r.component, r.question,
+          f"{r.temporal_desired} / {r.temporal_now}",
+          f"{r.network_desired} / {r.network_now}",
+          r.coverage_now] for r in t1]) + "\n")
+
+    # Figure 1a.
+    sections.append("## Figure 1a — client prefixes per GDNS PoP\n")
+    fig1a = fig1a_prefixes_per_pop(scenario, artifacts.cache_result)
+    sections.append(_md_table(
+        ["PoP", "city", "detected prefixes"],
+        [[r.pop_name, r.pop_city, r.prefix_count]
+         for r in fig1a[:15]]) + "\n")
+
+    # Figure 1b.
+    sections.append("## Figure 1b — user coverage and server map\n")
+    fig1b = fig1b_coverage_and_servers(scenario, artifacts.cache_result,
+                                       artifacts.tls_result)
+    sections.append(
+        f"Global APNIC-user coverage: "
+        f"**{fig1b.global_user_coverage:.1%}** (paper: ~98%). "
+        f"MetaBook server dots: {len(fig1b.server_dots)} locations, "
+        f"{sum(1 for d in fig1b.server_dots if d.is_offnet)} off-net.\n")
+
+    # Figure 2.
+    sections.append("## Figure 2 — subscribers vs cache hits vs APNIC\n")
+    fig2 = fig2_subscribers_vs_signals(scenario, artifacts.cache_result)
+    sections.append(_md_table(
+        ["cc", "ISP", "subscribers (M)", "cache hits", "APNIC est (M)"],
+        [[r.country_code, r.isp_name, f"{r.subscribers_m:.1f}",
+          f"{r.cache_hit_count:.0f}",
+          "-" if r.apnic_estimate_m is None
+          else f"{r.apnic_estimate_m:.1f}"]
+         for r in sorted(fig2.rows, key=lambda r: (r.country_code,
+                                                   -r.subscribers_m))])
+        + "\n")
+    orderings = ", ".join(
+        f"{cc}: {'ok' if ok else 'WRONG'}"
+        for cc, ok in fig2.orderings_correct.items())
+    sections.append(f"Within-country orderings: {orderings}; "
+                    f"Pearson {fig2.hit_count_pearson:.3f}.\n")
+
+    # Claims.
+    sections.append("## Headline claims\n")
+    suite = ClaimSuite(scenario, itm, artifacts)
+    results = suite.run_all()
+    sections.append(_md_table(
+        ["id", "claim", "paper", "measured", "band", "status"],
+        [[r.claim_id, r.description, r.paper_value,
+          f"{r.measured:.3f}", f"{r.band[0]:.2f}..{r.band[1]:.2f}",
+          "pass" if r.passed else "FAIL"] for r in results]) + "\n")
+    passed = sum(1 for r in results if r.passed)
+    sections.append(f"**{passed}/{len(results)} claims within band.**\n")
+    return "\n".join(sections)

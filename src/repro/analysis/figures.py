@@ -1,0 +1,229 @@
+"""Data series behind the paper's figures.
+
+Each function returns plain rows (lists of small dataclasses) — the same
+numbers the paper plots — so benchmarks and examples can print or plot
+them without any measurement logic of their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import stats
+
+from ..errors import ValidationError
+from ..measure.cache_probing import CacheProbingResult
+from ..measure.tlsscan import TlsScanResult
+from ..scenario import Scenario
+from ..services.hypergiants import FIG1B_SERVER_MAP_KEY
+
+
+# -- Figure 1a --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig1aRow:
+    """One bar: client prefixes detected behind one GDNS PoP."""
+
+    pop_name: str
+    pop_city: str
+    prefix_count: int
+
+
+def fig1a_prefixes_per_pop(scenario: Scenario,
+                           cache_result: CacheProbingResult
+                           ) -> List[Fig1aRow]:
+    """Figure 1a: locations of clients detected with cache probing —
+    detected prefix count per probed GDNS PoP, largest first."""
+    counts = cache_result.detected_per_pop()
+    rows = []
+    for pop in scenario.gdns.pops:
+        rows.append(Fig1aRow(
+            pop_name=pop.name, pop_city=pop.city.name,
+            prefix_count=counts.get(pop.pop_id, 0)))
+    rows.sort(key=lambda r: (-r.prefix_count, r.pop_name))
+    return rows
+
+
+# -- Figure 1b --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig1bCountryRow:
+    """Shading of one country: % of its APNIC users in detected ASes."""
+
+    country_code: str
+    country_name: str
+    apnic_users: float
+    covered_users: float
+
+    @property
+    def covered_percent(self) -> float:
+        if self.apnic_users <= 0:
+            return 0.0
+        return min(100.0, 100.0 * self.covered_users / self.apnic_users)
+
+
+@dataclass(frozen=True)
+class Fig1bServerDot:
+    """One dot: a detected hypergiant server location."""
+
+    city_name: str
+    country_code: str
+    lat: float
+    lon: float
+    is_offnet: bool
+
+
+@dataclass
+class Fig1bData:
+    """Both layers of Figure 1b: country shading + server dots."""
+
+    shading: List[Fig1bCountryRow]
+    server_dots: List[Fig1bServerDot]
+    global_user_coverage: float       # paper: ~98%
+
+
+def fig1b_coverage_and_servers(scenario: Scenario,
+                               cache_result: CacheProbingResult,
+                               tls_result: TlsScanResult) -> Fig1bData:
+    """Figure 1b: per-country APNIC-user coverage of cache probing
+    (shading) and TLS-scan-detected server locations of the Facebook-like
+    hypergiant (dots)."""
+    detected_asns = cache_result.detected_asns(scenario.prefixes)
+    registry = scenario.registry
+
+    per_country_total: Dict[str, float] = {}
+    per_country_covered: Dict[str, float] = {}
+    for asn, users in scenario.apnic.estimates.items():
+        asys = registry.maybe(asn)
+        if asys is None:
+            continue
+        code = asys.country_code
+        per_country_total[code] = per_country_total.get(code, 0.0) + users
+        if asn in detected_asns:
+            per_country_covered[code] = (
+                per_country_covered.get(code, 0.0) + users)
+
+    shading = []
+    for code in scenario.atlas.country_codes:
+        total = per_country_total.get(code, 0.0)
+        shading.append(Fig1bCountryRow(
+            country_code=code,
+            country_name=scenario.atlas.country(code).name,
+            apnic_users=total,
+            covered_users=per_country_covered.get(code, 0.0)))
+
+    spec = scenario.catalog.hypergiants[FIG1B_SERVER_MAP_KEY]
+    dots: List[Fig1bServerDot] = []
+    if spec.cert_org in tls_result.footprints:
+        footprint = tls_result.footprint_of(spec.cert_org)
+        offnet_set = set(footprint.offnet_prefixes)
+        for pid in footprint.onnet_prefixes + footprint.offnet_prefixes:
+            city = scenario.prefixes.city_of(pid)
+            dots.append(Fig1bServerDot(
+                city_name=city.name, country_code=city.country_code,
+                lat=city.lat, lon=city.lon, is_offnet=pid in offnet_set))
+
+    grand_total = sum(per_country_total.values())
+    grand_covered = sum(per_country_covered.values())
+    coverage = grand_covered / grand_total if grand_total > 0 else 0.0
+    return Fig1bData(shading=shading, server_dots=dots,
+                     global_user_coverage=coverage)
+
+
+# -- Figure 2 ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig2Row:
+    """One focus ISP: ground truth vs the two unvalidated estimators."""
+
+    country_code: str
+    isp_name: str
+    subscribers_m: float          # ground truth (x of the fitted line)
+    cache_hit_count: float        # our estimator
+    cache_hit_rate: float         # hits per probe
+    apnic_estimate_m: Optional[float]
+
+
+@dataclass(frozen=True)
+class FittedLine:
+    """Least-squares fit, subscriber count vs an estimator (the paper's
+    "Fitted Lines" overlay)."""
+
+    slope: float
+    intercept: float
+    r_value: float
+
+    def predict(self, subscribers_m: float) -> float:
+        return self.slope * subscribers_m + self.intercept
+
+
+@dataclass
+class Fig2Data:
+    """Figure 2 rows plus the derived correlations/fits/orderings."""
+
+    rows: List[Fig2Row]
+    hit_count_pearson: float
+    hit_count_spearman: float
+    orderings_correct: Dict[str, bool]   # per country
+    hit_count_fit: Optional[FittedLine] = None
+    apnic_fit: Optional[FittedLine] = None
+
+    def all_orderings_correct(self) -> bool:
+        return all(self.orderings_correct.values())
+
+
+def fig2_subscribers_vs_signals(scenario: Scenario,
+                                cache_result: CacheProbingResult
+                                ) -> Fig2Data:
+    """Figure 2: ISP subscriber counts vs cache hit rate and APNIC
+    estimates for the named focus ISPs (France is the case study)."""
+    focus = scenario.topology.focus_subscribers_m
+    if not focus:
+        raise ValidationError("scenario has no focus ISPs")
+    names = scenario.topology.focus_isp_names
+    hit_counts = cache_result.hit_counts_by_as(scenario.prefixes)
+    hit_rates = cache_result.hit_rate_by_as(scenario.prefixes)
+    rows = []
+    for asn in sorted(focus):
+        apnic = scenario.apnic.users_for_as(asn)
+        rows.append(Fig2Row(
+            country_code=scenario.registry.get(asn).country_code,
+            isp_name=names[asn],
+            subscribers_m=focus[asn],
+            cache_hit_count=hit_counts.get(asn, 0.0),
+            cache_hit_rate=hit_rates.get(asn, 0.0),
+            apnic_estimate_m=(apnic / 1e6 if apnic is not None else None)))
+
+    subs = [r.subscribers_m for r in rows]
+    hits = [r.cache_hit_count for r in rows]
+    pearson = float(stats.pearsonr(subs, hits).statistic)
+    spearman = float(stats.spearmanr(subs, hits).statistic)
+
+    hit_fit_raw = stats.linregress(subs, hits)
+    hit_fit = FittedLine(slope=float(hit_fit_raw.slope),
+                         intercept=float(hit_fit_raw.intercept),
+                         r_value=float(hit_fit_raw.rvalue))
+    apnic_fit = None
+    with_apnic = [(r.subscribers_m, r.apnic_estimate_m) for r in rows
+                  if r.apnic_estimate_m is not None]
+    if len(with_apnic) >= 3:
+        apnic_raw = stats.linregress([s for s, __ in with_apnic],
+                                     [a for __, a in with_apnic])
+        apnic_fit = FittedLine(slope=float(apnic_raw.slope),
+                               intercept=float(apnic_raw.intercept),
+                               r_value=float(apnic_raw.rvalue))
+
+    orderings: Dict[str, bool] = {}
+    for code in sorted({r.country_code for r in rows}):
+        country_rows = [r for r in rows if r.country_code == code]
+        by_subs = sorted(country_rows, key=lambda r: -r.subscribers_m)
+        by_hits = sorted(country_rows, key=lambda r: -r.cache_hit_count)
+        orderings[code] = [r.isp_name for r in by_subs] == \
+            [r.isp_name for r in by_hits]
+
+    return Fig2Data(rows=rows, hit_count_pearson=pearson,
+                    hit_count_spearman=spearman,
+                    orderings_correct=orderings,
+                    hit_count_fit=hit_fit, apnic_fit=apnic_fit)

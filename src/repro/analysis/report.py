@@ -1,0 +1,115 @@
+"""Plain-text rendering of figures, tables and claim results.
+
+The benchmark harness prints these so ``pytest benchmarks/`` regenerates
+the paper's artefacts as readable terminal output (and EXPERIMENTS.md
+embeds the same renderings).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .claims import ClaimResult
+from .figures import Fig1aRow, Fig1bData, Fig2Data
+from .tables import Table1Row
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Monospace table with per-column widths."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_fig1a(rows: List[Fig1aRow], bar_width: int = 40) -> str:
+    """ASCII bars on a log scale, mirroring Figure 1a's log axis."""
+    import math
+    peak = max((r.prefix_count for r in rows), default=1) or 1
+    lines = ["Figure 1a — client prefixes detected per GDNS PoP "
+             "(log scale)"]
+    for row in rows:
+        if row.prefix_count > 0:
+            frac = math.log10(1 + row.prefix_count) / math.log10(1 + peak)
+        else:
+            frac = 0.0
+        bar = "#" * max(0, int(round(frac * bar_width)))
+        lines.append(f"{row.pop_name:24s} {row.prefix_count:7d} {bar}")
+    return "\n".join(lines)
+
+
+def render_fig1b(data: Fig1bData) -> str:
+    """Country-coverage table + server-dot summary (Figure 1b)."""
+    lines = [
+        "Figure 1b — % of APNIC users in ASes detected by cache probing",
+        f"(global coverage: {data.global_user_coverage:.1%}; paper: ~98%)",
+    ]
+    lines.append(render_table(
+        ["country", "APNIC users (M)", "covered %"],
+        [(r.country_name, f"{r.apnic_users / 1e6:.1f}",
+          f"{r.covered_percent:.0f}%") for r in data.shading]))
+    offnets = sum(1 for d in data.server_dots if d.is_offnet)
+    lines.append(f"server dots (MetaBook): {len(data.server_dots)} "
+                 f"locations, {offnets} off-net")
+    return "\n".join(lines)
+
+
+def render_fig2(data: Fig2Data) -> str:
+    """Subscribers-vs-estimators table with orderings (Figure 2)."""
+    lines = [
+        "Figure 2 — ISP subscribers vs cache hits vs APNIC estimates",
+        f"(hit-count correlation: pearson {data.hit_count_pearson:.3f}, "
+        f"spearman {data.hit_count_spearman:.3f})",
+    ]
+    rows = []
+    for r in sorted(data.rows, key=lambda r: (r.country_code,
+                                              -r.subscribers_m)):
+        rows.append((r.country_code, r.isp_name,
+                     f"{r.subscribers_m:.1f}",
+                     f"{r.cache_hit_count:.0f}",
+                     f"{100 * r.cache_hit_rate:.2f}%",
+                     "-" if r.apnic_estimate_m is None
+                     else f"{r.apnic_estimate_m:.1f}"))
+    lines.append(render_table(
+        ["cc", "ISP", "subscribers (M)", "cache hits", "hit rate",
+         "APNIC est (M)"], rows))
+    ordering = ", ".join(f"{cc}:{'ok' if ok else 'X'}"
+                         for cc, ok in data.orderings_correct.items())
+    lines.append(f"within-country orderings: {ordering}")
+    if data.hit_count_fit is not None:
+        fit = data.hit_count_fit
+        lines.append(f"fitted line (hits vs subscribers): "
+                     f"{fit.slope:.1f}/M + {fit.intercept:.0f} "
+                     f"(r={fit.r_value:.3f})")
+    return "\n".join(lines)
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    """Monospace rendering of the regenerated Table 1."""
+    lines = ["Table 1 — ITM components: desired vs achieved (this repro)"]
+    lines.append(render_table(
+        ["component", "question", "temporal d|now", "network d|now",
+         "coverage desired", "coverage now"],
+        [(r.component, r.question,
+          f"{r.temporal_desired} | {r.temporal_now}",
+          f"{r.network_desired} | {r.network_now}",
+          r.coverage_desired, r.coverage_now) for r in rows]))
+    return "\n".join(lines)
+
+
+def render_claims(results: List[ClaimResult]) -> str:
+    """One line per claim plus the pass count."""
+    lines = ["Headline claims — paper vs measured"]
+    lines.extend(result.render() for result in results)
+    passed = sum(1 for r in results if r.passed)
+    lines.append(f"{passed}/{len(results)} claims within band")
+    return "\n".join(lines)

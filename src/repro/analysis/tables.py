@@ -1,0 +1,102 @@
+"""Table 1 regeneration: granularity and coverage of each ITM component.
+
+The paper's Table 1 contrasts *desired* granularity/coverage with what is
+achievable *now*. Our regenerated table keeps the paper's "Desired" column
+verbatim and fills the "Now" column with what the measurement techniques
+achieved against this scenario's ground truth — so the table is a live
+summary of the whole reproduction rather than a transcription.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.traffic_map import InternetTrafficMap
+from ..core.validation import (UsersValidation, validate_routes_component,
+                               validate_services_component,
+                               validate_users_component)
+from ..scenario import Scenario
+from ..services.hypergiants import GROUND_TRUTH_CDN_KEY
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the regenerated Table 1."""
+
+    component: str
+    question: str
+    temporal_desired: str
+    temporal_now: str
+    network_desired: str
+    network_now: str
+    coverage_desired: str
+    coverage_now: str
+
+
+def regenerate_table1(scenario: Scenario,
+                      itm: InternetTrafficMap) -> List[Table1Row]:
+    """Build Table 1 from the map's measured performance."""
+    users_val = validate_users_component(itm.users, scenario,
+                                         GROUND_TRUTH_CDN_KEY)
+    services_val = validate_services_component(itm, scenario)
+    routes_val = validate_routes_component(itm, scenario)
+
+    n_prefixes = len(scenario.prefixes)
+    n_detected = len(itm.users.detected_prefixes)
+    n_ases = len(scenario.registry)
+    n_detected_as = len(itm.users.activity_by_as)
+
+    rows = [
+        Table1Row(
+            component="Where are users?",
+            question="Finding prefixes with users",
+            temporal_desired="Daily", temporal_now="Daily (one-day probe)",
+            network_desired="/24 Prefix", network_now="/24 Prefix",
+            coverage_desired=f"{n_ases} ASes, {n_prefixes} /24s",
+            coverage_now=(f"{n_detected_as} ASes, {n_detected} /24s "
+                          f"({users_val.prefix_traffic_coverage:.0%} of "
+                          f"CDN traffic)")),
+        Table1Row(
+            component="Where are users?",
+            question="Estimating relative activity",
+            temporal_desired="Hourly", temporal_now="Daily",
+            network_desired="/24 Prefix", network_now="/24 + AS fusion",
+            coverage_desired=f"{n_prefixes} /24s",
+            coverage_now=(f"{n_detected} /24s (Spearman "
+                          f"{users_val.activity_spearman:.2f} vs truth)")),
+        Table1Row(
+            component="Where are services hosted?",
+            question="Mapping services",
+            temporal_desired="Weekly", temporal_now="Scan-day",
+            network_desired="Facility",
+            network_now="City (client-centric geolocation)",
+            coverage_desired="Popular services",
+            coverage_now=(f"{services_val.org_recall:.0%} of hypergiants; "
+                          f"median geo error "
+                          f"{services_val.geolocation_median_error_km or 0:.0f} km")),
+        Table1Row(
+            component="Where are services hosted?",
+            question="Mapping users to hosts",
+            temporal_desired="Hourly", temporal_now="Scan-day",
+            network_desired="Prefix", network_now="/24 Prefix",
+            coverage_desired="Client /24s, all services",
+            coverage_now=(f"{len(itm.services.user_to_host)} ECS services "
+                          f"({services_val.mapping_agreement:.0%} answer "
+                          f"agreement); "
+                          f"{len(itm.services.unmapped_services)} services "
+                          f"uncovered")),
+        Table1Row(
+            component="What routes are used?",
+            question="Commonly used routes",
+            temporal_desired="Daily", temporal_now="Collector snapshot",
+            network_desired="<city, AS>", network_now="AS path",
+            coverage_desired="Commonly used routes",
+            coverage_now=(f"{routes_val.pairs_scored} pairs; "
+                          f"{routes_val.exact_path_fraction:.0%} exact, "
+                          f"{routes_val.unpredictable_fraction:.0%} "
+                          f"unpredictable")),
+    ]
+    return rows

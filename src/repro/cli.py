@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``summary`` — build a world, run the measurement pipeline, print the
+  map summary and its top activity weights;
+* ``claims``  — run the headline-claim suite (paper vs measured);
+* ``figures`` — regenerate Figures 1a, 1b and 2 as ASCII;
+* ``table1``  — regenerate Table 1;
+* ``outage``  — outage-impact report for an AS (or the top-k ASes).
+
+Common flags: ``--scale {small,medium,default}`` and ``--seed N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import ScenarioConfig, build_scenario
+from .analysis.claims import ClaimSuite
+from .analysis.figures import (fig1a_prefixes_per_pop,
+                               fig1b_coverage_and_servers,
+                               fig2_subscribers_vs_signals)
+from .analysis.report import (render_claims, render_fig1a, render_fig1b,
+                              render_fig2, render_table, render_table1)
+from .analysis.tables import regenerate_table1
+from .core.builder import MapBuilder
+from .core.usecases import OutageImpactAnalyzer
+
+SCALES = {
+    "small": ScenarioConfig.small,
+    "medium": ScenarioConfig.medium,
+    "default": ScenarioConfig.default,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Internet Traffic Map reproduction (HotNets 2021)")
+    parser.add_argument("--scale", choices=sorted(SCALES),
+                        default="small",
+                        help="world size (default: small)")
+    parser.add_argument("--seed", type=int, default=20211110,
+                        help="scenario seed (default: 20211110)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("summary", help="build the map and summarise it")
+    sub.add_parser("claims", help="run the headline-claim suite")
+    sub.add_parser("figures", help="regenerate Figures 1a/1b/2")
+    sub.add_parser("table1", help="regenerate Table 1")
+    outage = sub.add_parser("outage", help="outage impact report")
+    outage.add_argument("--asn", type=int, default=None,
+                        help="AS to take down (default: top-k report)")
+    outage.add_argument("--top", type=int, default=5,
+                        help="rank the top-k ASes by impact (default 5)")
+    report = sub.add_parser("report",
+                            help="write the full markdown report")
+    report.add_argument("-o", "--output", default="itm-report.md",
+                        help="output path (default itm-report.md)")
+    return parser
+
+
+def _prepare(args: argparse.Namespace):
+    config = SCALES[args.scale](seed=args.seed)
+    scenario = build_scenario(config)
+    builder = MapBuilder(scenario)
+    itm = builder.build()
+    return scenario, builder, itm
+
+
+def _cmd_summary(scenario, builder, itm) -> int:
+    print(itm.summary())
+    print()
+    rows = []
+    for asn, weight in itm.users.top_ases(10):
+        asys = scenario.registry.get(asn)
+        rows.append((f"AS{asn}", asys.name, asys.country_code,
+                     f"{weight:.2%}"))
+    print(render_table(["ASN", "name", "cc", "activity share"], rows))
+    return 0
+
+
+def _cmd_claims(scenario, builder, itm) -> int:
+    suite = ClaimSuite(scenario, itm, builder.artifacts)
+    results = suite.run_all()
+    print(render_claims(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_figures(scenario, builder, itm) -> int:
+    cache = builder.artifacts.cache_result
+    print(render_fig1a(fig1a_prefixes_per_pop(scenario, cache)))
+    print()
+    print(render_fig1b(fig1b_coverage_and_servers(
+        scenario, cache, builder.artifacts.tls_result)))
+    print()
+    print(render_fig2(fig2_subscribers_vs_signals(scenario, cache)))
+    return 0
+
+
+def _cmd_table1(scenario, builder, itm) -> int:
+    print(render_table1(regenerate_table1(scenario, itm)))
+    return 0
+
+
+def _cmd_outage(scenario, builder, itm, asn: Optional[int],
+                top: int) -> int:
+    analyzer = OutageImpactAnalyzer(itm, scenario.prefixes,
+                                    scenario.graph)
+    if asn is not None:
+        if scenario.registry.maybe(asn) is None:
+            print(f"unknown ASN {asn}", file=sys.stderr)
+            return 2
+        report = analyzer.assess_as_outage(asn)
+        print(report.headline())
+        print(f"  off-net caches inside: "
+              f"{', '.join(report.offnet_orgs_inside) or 'none'}")
+        print(f"  alternate transit: "
+              f"{'yes' if report.alternate_transit else 'NO'}")
+        return 0
+    eyeballs = [a.asn for a in scenario.registry.eyeballs()]
+    rows = []
+    for ranked_asn, weight in analyzer.rank_by_impact(eyeballs, k=top):
+        asys = scenario.registry.get(ranked_asn)
+        rows.append((f"AS{ranked_asn}", asys.name, f"{weight:.2%}"))
+    print(render_table(["ASN", "ISP", "activity share"], rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    scenario, builder, itm = _prepare(args)
+    if args.command == "summary":
+        return _cmd_summary(scenario, builder, itm)
+    if args.command == "claims":
+        return _cmd_claims(scenario, builder, itm)
+    if args.command == "figures":
+        return _cmd_figures(scenario, builder, itm)
+    if args.command == "table1":
+        return _cmd_table1(scenario, builder, itm)
+    if args.command == "outage":
+        return _cmd_outage(scenario, builder, itm, args.asn, args.top)
+    if args.command == "report":
+        from .analysis.export import build_report
+        text = build_report(scenario, itm, builder.artifacts)
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({len(text)} chars)")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,226 @@
+"""Scenario configuration.
+
+A :class:`ScenarioConfig` fully determines a simulated Internet: pass the
+same config (same seed) to :func:`repro.scenario.build_scenario` twice and
+you get bit-identical worlds. Sub-configs group the knobs by subsystem.
+
+Presets:
+
+* :meth:`ScenarioConfig.default` — the paper-scale world used by the
+  benchmark harness (~1200 ASes, ~30k routable /24s, 38 countries).
+* :meth:`ScenarioConfig.small` — a fast world for unit tests
+  (~150 ASes, ~2k /24s, 10 countries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Sizes and wiring probabilities for the AS-level topology."""
+
+    n_tier1: int = 12
+    n_transit: int = 80
+    n_eyeball: int = 420
+    n_stub: int = 620
+    n_research: int = 30
+    # Eyeballs multi-home to this many transit providers on average.
+    eyeball_provider_mean: float = 1.8
+    # Fraction of eyeball ASes a hypergiant peers with directly (Internet
+    # flattening, §3.3.2): large hypergiants reach most user networks.
+    hypergiant_eyeball_peering: float = 0.45
+    # Fraction of transit ASes a hypergiant peers with.
+    hypergiant_transit_peering: float = 0.85
+    # Probability two eyeball/transit ASes co-located at a facility peer.
+    colo_peering_prob: float = 0.18
+    # Research networks (root operators, NRENs) peer openly when
+    # co-located — a much higher rate than commercial networks.
+    research_colo_peering_prob: float = 0.80
+    # Facilities per city with facility presence.
+    facilities_per_major_city: int = 2
+    # Mean number of facilities an eyeball/transit AS joins.
+    facility_join_mean: float = 2.5
+
+    def validate(self) -> None:
+        for name in ("n_tier1", "n_transit", "n_eyeball", "n_stub", "n_research"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        for name in ("hypergiant_eyeball_peering", "hypergiant_transit_peering",
+                     "colo_peering_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """User populations and their distribution over prefixes."""
+
+    # Target number of routable /24 prefixes in the whole world.
+    target_prefixes: int = 30_000
+    # Zipf exponent for subscriber counts across an ISP's country peers.
+    subscriber_zipf_exponent: float = 1.1
+    # Log-normal sigma for users-per-prefix dispersion within an AS.
+    prefix_dispersion_sigma: float = 0.8
+    # Fraction of routable prefixes that host no users (infrastructure,
+    # servers, empty allocations) — the false-positive pool for §3.1.2.
+    userless_prefix_fraction: float = 0.18
+    # Simulated-APNIC estimator noise (log-normal sigma) and coverage.
+    apnic_noise_sigma: float = 0.35
+    apnic_min_users_covered: float = 2000.0
+
+    def validate(self) -> None:
+        if self.target_prefixes < 100:
+            raise ConfigError("target_prefixes too small")
+        if not 0.0 <= self.userless_prefix_fraction < 1.0:
+            raise ConfigError("userless_prefix_fraction must be in [0, 1)")
+        if self.apnic_noise_sigma < 0:
+            raise ConfigError("apnic_noise_sigma must be >= 0")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service catalogue and serving-infrastructure deployment."""
+
+    # Number of long-tail third-party services hosted on clouds.
+    n_longtail_services: int = 80
+    longtail_zipf_exponent: float = 0.9
+    # Off-net deployment: fraction of eyeball ASes (weighted by users) that
+    # host an off-net cache, per hypergiant deployment aggressiveness.
+    offnet_reach_major: float = 0.38
+    offnet_reach_minor: float = 0.15
+    # Anycast deployments announce from this many sites.
+    anycast_site_count: int = 24
+    # Default DNS TTL (seconds) for service records.
+    default_dns_ttl: int = 60
+
+    def validate(self) -> None:
+        if self.n_longtail_services < 0:
+            raise ConfigError("n_longtail_services must be >= 0")
+        if self.anycast_site_count < 1:
+            raise ConfigError("anycast_site_count must be >= 1")
+        if self.default_dns_ttl <= 0:
+            raise ConfigError("default_dns_ttl must be positive")
+
+
+@dataclass(frozen=True)
+class DnsConfig:
+    """The DNS resolution ecosystem."""
+
+    # Share of client queries sent to Google-Public-DNS-like resolver
+    # (paper: GDNS answers 30-35% of DNS queries).
+    gdns_query_share_mean: float = 0.32
+    gdns_query_share_spread: float = 0.10
+    # Number of GDNS PoP locations worldwide.
+    gdns_pop_count: int = 24
+    # Share of clients running Chromium-based browsers (root-probe source).
+    chromium_share: float = 0.70
+    # Root server letters and the fraction whose logs are usable
+    # (some operators anonymise, §3.1.3).
+    root_server_count: int = 13
+    roots_with_usable_logs: int = 8
+    # Per-user DNS queries per day for a service with unit demand.
+    queries_per_user_day: float = 40.0
+
+    def validate(self) -> None:
+        if not 0.0 < self.gdns_query_share_mean < 1.0:
+            raise ConfigError("gdns_query_share_mean must be in (0, 1)")
+        if not 0 < self.roots_with_usable_logs <= self.root_server_count:
+            raise ConfigError("roots_with_usable_logs out of range")
+        if not 0.0 <= self.chromium_share <= 1.0:
+            raise ConfigError("chromium_share must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class MeasurementConfig:
+    """Budgets for the measurement campaigns."""
+
+    # Cache probing: probe rounds in one day, domains from the top-k sites.
+    probe_rounds_per_day: int = 16
+    probe_top_k_domains: int = 20
+    # IP ID monitoring: ping interval in seconds and campaign length.
+    ipid_ping_interval_s: int = 900
+    ipid_campaign_hours: int = 48
+    # Atlas-like vantage points (ASes hosting probes).
+    atlas_vantage_points: int = 120
+
+    def validate(self) -> None:
+        if self.probe_rounds_per_day < 1:
+            raise ConfigError("probe_rounds_per_day must be >= 1")
+        if self.ipid_ping_interval_s < 1:
+            raise ConfigError("ipid_ping_interval_s must be >= 1")
+        if self.atlas_vantage_points < 1:
+            raise ConfigError("atlas_vantage_points must be >= 1")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Top-level configuration: everything that defines a simulated world."""
+
+    seed: int = 20211110  # HotNets '21 started November 10, 2021.
+    country_codes: Optional[Tuple[str, ...]] = None  # None = full atlas
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    services: ServiceConfig = field(default_factory=ServiceConfig)
+    dns: DnsConfig = field(default_factory=DnsConfig)
+    measurement: MeasurementConfig = field(default_factory=MeasurementConfig)
+
+    def validate(self) -> None:
+        self.topology.validate()
+        self.population.validate()
+        self.services.validate()
+        self.dns.validate()
+        self.measurement.validate()
+
+    # -- presets ----------------------------------------------------------
+
+    @classmethod
+    def default(cls, seed: int = 20211110) -> "ScenarioConfig":
+        """Paper-scale world used by the benchmark harness."""
+        return cls(seed=seed)
+
+    @classmethod
+    def small(cls, seed: int = 20211110) -> "ScenarioConfig":
+        """Fast world for unit tests (builds in well under a second)."""
+        return cls(
+            seed=seed,
+            country_codes=("US", "FR", "DE", "GB", "JP", "KR", "BR", "IN",
+                           "ZA", "AU"),
+            topology=TopologyConfig(
+                n_tier1=4, n_transit=12, n_eyeball=40, n_stub=50,
+                n_research=6, facility_join_mean=2.0),
+            population=PopulationConfig(target_prefixes=2_000),
+            services=ServiceConfig(n_longtail_services=15,
+                                   anycast_site_count=8),
+            dns=DnsConfig(gdns_pop_count=8),
+            measurement=MeasurementConfig(
+                probe_rounds_per_day=8, atlas_vantage_points=25),
+        )
+
+    @classmethod
+    def medium(cls, seed: int = 20211110) -> "ScenarioConfig":
+        """Mid-size world: integration tests and quick benchmarks."""
+        return cls(
+            seed=seed,
+            country_codes=("US", "CA", "BR", "GB", "FR", "DE", "NL", "ES",
+                           "IT", "RU", "ZA", "NG", "IN", "CN", "JP", "KR",
+                           "SG", "AU"),
+            topology=TopologyConfig(
+                n_tier1=8, n_transit=40, n_eyeball=160, n_stub=220,
+                n_research=14),
+            population=PopulationConfig(target_prefixes=10_000),
+            services=ServiceConfig(n_longtail_services=40,
+                                   anycast_site_count=16),
+            dns=DnsConfig(gdns_pop_count=14),
+            measurement=MeasurementConfig(
+                probe_rounds_per_day=12, atlas_vantage_points=60),
+        )
+
+    def with_seed(self, seed: int) -> "ScenarioConfig":
+        """Same world shape, different random draw."""
+        return replace(self, seed=seed)

@@ -1,0 +1,4 @@
+"""The paper's contribution: the Internet Traffic Map (ITM) — its data
+structures, the builder that fuses measurements into it, activity
+estimation, path prediction, link recommendation, weighted-CDF machinery,
+validation against ground truth, and the §2.1 use cases."""

@@ -1,0 +1,212 @@
+"""Relative-activity estimation and technique fusion (§3.1.3).
+
+"Realizing the best Internet traffic map attainable will require combining
+the techniques and designing methods to best mitigate their limitations."
+
+Inputs:
+
+* cache probing — per-*prefix* hit counts (proportional to query rate in
+  the unsaturated regime) but only for prefixes whose queries traverse the
+  probed public resolver;
+* root-log crawling — per-*AS* Chromium-probe volume (a direct relative
+  activity measure) but blind to public-DNS-dominant networks;
+* optionally IP ID velocities — per-AS forwarded-traffic proxies.
+
+Fusion strategy (simple, transparent, documented):
+
+1. per-AS cache-hit totals and root-log volumes are each normalised;
+2. on ASes seen by both, a robust scale factor (median ratio) aligns the
+   root-log unit with the cache-hit unit;
+3. the fused AS activity is the cache-hit estimate where present, the
+   rescaled root-log estimate otherwise;
+4. prefix-level activity distributes each AS's fused weight over its
+   detected prefixes proportionally to their hit counts (uniform when the
+   AS was only seen in root logs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..net.ases import ASRegistry
+from ..net.prefixes import PrefixTable
+from ..measure.cache_probing import CacheProbingResult, TimedProbingResult
+from ..measure.rootlogs import RootLogCrawlResult
+
+
+@dataclass
+class ActivityEstimate:
+    """Fused relative activity (each dict normalised to sum to 1)."""
+
+    by_prefix: Dict[int, float]
+    by_as: Dict[int, float]
+    techniques: Tuple[str, ...]
+    scale_factor: Optional[float]   # root-log unit -> cache-hit unit
+
+    def as_weight(self, asn: int) -> float:
+        return self.by_as.get(asn, 0.0)
+
+
+def _normalise(d: Dict[int, float]) -> Dict[int, float]:
+    total = sum(d.values())
+    if total <= 0:
+        return {}
+    return {k: v / total for k, v in d.items()}
+
+
+def fuse_activity(prefix_table: PrefixTable,
+                  cache_result: Optional[CacheProbingResult] = None,
+                  rootlog_result: Optional[RootLogCrawlResult] = None,
+                  rootlog_attribution: Optional[Dict[int, float]] = None,
+                  ipid_activity: Optional[Dict[int, float]] = None
+                  ) -> ActivityEstimate:
+    """Combine the available §3.1.2/§3.1.3 signals. See module docstring.
+
+    ``rootlog_attribution`` — optional replacement for the root-log
+    crawl's per-AS volumes, e.g. the output of
+    :func:`repro.measure.resolver_assoc.attribute_rootlog_volume`, which
+    drops the clients-in-resolver-AS assumption.
+
+    ``ipid_activity`` — optional per-AS IP-ID-velocity estimates; used as
+    a last-resort signal for ASes no DNS technique covered.
+    """
+    if cache_result is None and rootlog_result is None \
+            and rootlog_attribution is None:
+        raise ValidationError("need at least one activity signal")
+    techniques = []
+
+    cache_by_as: Dict[int, float] = {}
+    prefix_hits: Dict[int, float] = {}
+    if cache_result is not None:
+        techniques.append("cache-probing")
+        hits = cache_result.hits_per_prefix()
+        for pid, count in zip(cache_result.prefix_ids, hits):
+            if count > 0:
+                prefix_hits[int(pid)] = float(count)
+        cache_by_as = {asn: v for asn, v in
+                       cache_result.hit_counts_by_as(prefix_table).items()
+                       if v > 0}
+
+    root_by_as: Dict[int, float] = {}
+    if rootlog_attribution is not None:
+        techniques.append("root-logs+association")
+        root_by_as = {asn: vol for asn, vol in rootlog_attribution.items()
+                      if vol > 0}
+    elif rootlog_result is not None:
+        techniques.append("root-logs")
+        root_by_as = {asn: vol for asn, vol
+                      in rootlog_result.volume_by_as.items()
+                      if vol >= rootlog_result.min_query_threshold}
+
+    scale: Optional[float] = None
+    fused_as: Dict[int, float] = dict(cache_by_as)
+    if root_by_as and cache_by_as:
+        overlap = sorted(set(cache_by_as) & set(root_by_as))
+        if overlap:
+            ratios = np.array([cache_by_as[a] / root_by_as[a]
+                               for a in overlap])
+            scale = float(np.median(ratios))
+        else:
+            # No overlap: align total masses instead.
+            scale = sum(cache_by_as.values()) / sum(root_by_as.values())
+        for asn, vol in root_by_as.items():
+            if asn not in fused_as:
+                fused_as[asn] = vol * scale
+    elif root_by_as:
+        fused_as = dict(root_by_as)
+
+    # IP ID velocities: a weak, last-resort per-AS signal for networks
+    # the DNS-side techniques missed entirely.
+    if ipid_activity:
+        techniques.append("ipid-velocity")
+        missing = {asn: v for asn, v in ipid_activity.items()
+                   if asn not in fused_as and v > 0}
+        if missing and fused_as:
+            # Align scales: match the median covered-AS weight.
+            median_known = float(np.median(list(fused_as.values())))
+            median_new = float(np.median(list(missing.values())))
+            factor = median_known / median_new if median_new > 0 else 0.0
+            for asn, value in missing.items():
+                fused_as[asn] = value * factor
+        elif missing:
+            fused_as = dict(missing)
+
+    by_as = _normalise(fused_as)
+    if not by_as:
+        raise ValidationError("no activity detected by any technique")
+
+    # Prefix-level: split each AS's weight over its detected prefixes.
+    by_prefix: Dict[int, float] = {}
+    hits_by_as_prefixes: Dict[int, Dict[int, float]] = {}
+    for pid, count in prefix_hits.items():
+        asn = prefix_table.asn_of(pid)
+        hits_by_as_prefixes.setdefault(asn, {})[pid] = count
+    for asn, weight in by_as.items():
+        detected = hits_by_as_prefixes.get(asn)
+        if detected:
+            total = sum(detected.values())
+            for pid, count in detected.items():
+                by_prefix[pid] = weight * count / total
+        else:
+            # Root-log-only AS: spread uniformly over its prefixes.
+            pids = prefix_table.prefixes_of_as(asn)
+            if pids:
+                share = weight / len(pids)
+                for pid in pids:
+                    by_prefix[pid] = share
+
+    return ActivityEstimate(
+        by_prefix=by_prefix, by_as=by_as,
+        techniques=tuple(techniques), scale_factor=scale)
+
+
+@dataclass
+class HourlyActivityEstimate:
+    """Estimated 24-hour activity profiles per country (Table 1's
+    desired *hourly* temporal precision, recovered from time-sliced
+    cache probing)."""
+
+    probe_hours_utc: Tuple[float, ...]
+    profile_by_country: Dict[str, np.ndarray]   # hit counts per hour
+
+    def peak_utc_hour(self, country_code: str) -> float:
+        profile = self.profile_by_country.get(country_code)
+        if profile is None or profile.sum() == 0:
+            raise ValidationError(
+                f"no hourly signal for {country_code!r}")
+        return float(self.probe_hours_utc[int(np.argmax(profile))])
+
+    def normalised_profile(self, country_code: str) -> np.ndarray:
+        profile = self.profile_by_country[country_code].astype(float)
+        total = profile.sum()
+        if total <= 0:
+            raise ValidationError(
+                f"no hourly signal for {country_code!r}")
+        return profile / total
+
+
+def estimate_hourly_activity(timed_result: TimedProbingResult,
+                             prefix_table: PrefixTable,
+                             registry: ASRegistry
+                             ) -> HourlyActivityEstimate:
+    """Aggregate time-sliced probing hits into per-country profiles.
+
+    Grouping is by the origin AS's home country — public information (an
+    AS registry lookup), so this stays a legal measurement-side step.
+    """
+    pids_by_country: Dict[str, list] = {}
+    for pid in timed_result.prefix_ids:
+        asys = registry.maybe(prefix_table.asn_of(int(pid)))
+        if asys is None:
+            continue
+        pids_by_country.setdefault(asys.country_code, []).append(int(pid))
+    profiles = {
+        code: timed_result.hourly_profile_for(np.asarray(pids))
+        for code, pids in pids_by_country.items()}
+    return HourlyActivityEstimate(
+        probe_hours_utc=tuple(timed_result.probe_hours_utc),
+        profile_by_country=profiles)

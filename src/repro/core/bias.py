@@ -1,0 +1,133 @@
+"""Bias correction for activity estimates (§3.1.3).
+
+"Usage of both Google Public DNS and Chromium may be skewed. ... It is
+possible that (one-off or periodic) logs from organizations (e.g., CDNs)
+can help understand biases in Chromium usage and/or Google Public DNS
+usage."
+
+Cache-probing hit counts are proportional to *GDNS-visible* query volume,
+so a country with 15% public-DNS adoption looks ~3x less active than an
+equally-sized country at 45% — the structural skew the paper worries
+about. The corrector consumes a **one-off, coarse** partner snapshot
+(per-country traffic aggregates — the kind of thing a CDN can publish
+once without exposing anything sensitive) and learns per-country
+multipliers that calibrate the map's activity weights. The map stays
+public-data-driven day to day; the partner data is a one-time calibration
+constant, exactly the §4 "large content providers can help validate it"
+role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..errors import ValidationError
+from ..net.ases import ASRegistry
+from .activity import ActivityEstimate
+
+
+@dataclass(frozen=True)
+class PartnerSnapshot:
+    """One-off per-country traffic aggregates from a partner CDN.
+
+    ``traffic_share_by_country`` must sum to ~1 over the countries the
+    partner serves. Coarse by design: no ASes, no prefixes, no time
+    series.
+    """
+
+    traffic_share_by_country: Dict[str, float]
+    partner_name: str = "partner-cdn"
+
+    def __post_init__(self) -> None:
+        total = sum(self.traffic_share_by_country.values())
+        if not self.traffic_share_by_country:
+            raise ValidationError("empty partner snapshot")
+        if not 0.98 <= total <= 1.02:
+            raise ValidationError(
+                f"partner shares sum to {total:.3f}, expected ~1")
+
+
+@dataclass
+class BiasCorrection:
+    """Learned per-country multipliers and the corrected estimate."""
+
+    factor_by_country: Dict[str, float]
+    corrected: ActivityEstimate
+    uncorrectable_weight: float    # weight in countries the partner lacks
+
+
+def estimate_country_shares(estimate: ActivityEstimate,
+                            registry: ASRegistry) -> Dict[str, float]:
+    """The map's own per-country activity shares (public side)."""
+    shares: Dict[str, float] = {}
+    for asn, weight in estimate.by_as.items():
+        asys = registry.maybe(asn)
+        if asys is None:
+            continue
+        shares[asys.country_code] = shares.get(asys.country_code, 0.0) \
+            + weight
+    return shares
+
+
+def correct_country_bias(estimate: ActivityEstimate,
+                         registry: ASRegistry,
+                         snapshot: PartnerSnapshot,
+                         prefix_asn: Optional[Mapping[int, int]] = None,
+                         max_factor: float = 10.0) -> BiasCorrection:
+    """Rescale per-country activity to match the partner's aggregates.
+
+    Within a country, relative AS ordering is untouched (the within-
+    country signal — Figure 2 — is unbiased because adoption is country-
+    level); only cross-country mass moves. Countries absent from the
+    snapshot keep factor 1 and are reported as uncorrectable.
+
+    ``prefix_asn`` (pid -> ASN) lets prefix-level weights follow their
+    AS's correction; omit it to correct only the AS level.
+    """
+    if max_factor <= 1.0:
+        raise ValidationError("max_factor must exceed 1")
+    measured = estimate_country_shares(estimate, registry)
+    factors: Dict[str, float] = {}
+    uncorrectable = 0.0
+    for code, measured_share in measured.items():
+        partner_share = snapshot.traffic_share_by_country.get(code)
+        if partner_share is None or measured_share <= 0:
+            factors[code] = 1.0
+            uncorrectable += measured_share
+            continue
+        raw = partner_share / measured_share
+        factors[code] = float(min(max_factor, max(1.0 / max_factor, raw)))
+
+    def factor_for(asn: int) -> float:
+        asys = registry.maybe(asn)
+        if asys is None:
+            return 1.0
+        return factors.get(asys.country_code, 1.0)
+
+    by_as = {asn: weight * factor_for(asn)
+             for asn, weight in estimate.by_as.items()}
+    as_total = sum(by_as.values())
+    by_as = {asn: w / as_total for asn, w in by_as.items()}
+
+    by_prefix: Dict[int, float] = {}
+    if prefix_asn is not None:
+        for pid, weight in estimate.by_prefix.items():
+            asn = prefix_asn.get(pid)
+            by_prefix[pid] = weight * (factor_for(asn)
+                                       if asn is not None else 1.0)
+        prefix_total = sum(by_prefix.values())
+        if prefix_total > 0:
+            by_prefix = {pid: w / prefix_total
+                         for pid, w in by_prefix.items()}
+    else:
+        by_prefix = dict(estimate.by_prefix)
+
+    corrected = ActivityEstimate(
+        by_prefix=by_prefix,
+        by_as=by_as,
+        techniques=estimate.techniques + ("country-bias-corrected",),
+        scale_factor=estimate.scale_factor)
+    return BiasCorrection(factor_by_country=factors,
+                          corrected=corrected,
+                          uncorrectable_weight=uncorrectable)

@@ -1,0 +1,304 @@
+"""Map builder: run the measurement campaigns and assemble the ITM.
+
+This is the pipeline the paper calls for — each §3 technique feeding one
+component, fused into a single queryable artefact:
+
+* users component  <- cache probing (§3.1.2-1) + root-log crawl (§3.1.2-2)
+                      fused per §3.1.3;
+* services component <- TLS scans + SNI scans (§3.2.2) + ECS user-to-host
+                        mapping (§3.2) + client-centric / RTT geolocation;
+* routes component <- valley-free prediction over the collector topology
+                      (§3.3), with unpredictable pairs recorded.
+
+The builder touches only the scenario's public surfaces. Technique
+selection is configurable so ablations (probing-only vs logs-only vs
+fused) fall out naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..measure.atlas import AtlasPlatform
+from ..measure.cache_probing import (CacheProbingCampaign,
+                                     CacheProbingResult)
+from ..measure.catchment_probe import (CatchmentMeasurement,
+                                       VerfploeterCampaign)
+from ..measure.ecs_mapping import EcsMapper, EcsMappingResult
+from ..measure.geolocation import client_centric_geolocate
+from ..measure.rootlogs import RootLogCrawler, RootLogCrawlResult
+from ..measure.sniscan import SniScanner
+from ..measure.tlsscan import TlsScanner, TlsScanResult
+from ..services.hypergiants import RedirectionScheme
+from ..rand import substream
+from ..scenario import Scenario
+from .activity import ActivityEstimate, fuse_activity
+from .pathpred import PathPredictor
+from .traffic_map import (InternetTrafficMap, MappedSite, RoutesComponent,
+                          ServicesComponent, UsersComponent)
+
+
+@dataclass(frozen=True)
+class BuilderOptions:
+    """Which techniques to run and with what budgets."""
+
+    use_cache_probing: bool = True
+    use_root_logs: bool = True
+    use_tls_scan: bool = True
+    use_sni_scan: bool = True
+    use_ecs_mapping: bool = True
+    # Verfploeter-style catchment probing for anycast services (§3.2.3,
+    # [21]). Needs the anycast operators' cooperation (or edge workers),
+    # which the paper argues is attainable; disable for a
+    # strictly-third-party map.
+    use_catchment_probing: bool = True
+    geolocate_sites: bool = True
+    max_geolocated_sites_per_org: int = 40
+    route_pairs_top_ases: int = 150
+    rootlog_min_queries: float = 50.0
+    rng_label: str = "itm-builder"
+
+    def validate(self) -> None:
+        if not (self.use_cache_probing or self.use_root_logs):
+            raise ValidationError(
+                "users component needs at least one §3.1.2 technique")
+
+
+@dataclass
+class BuildArtifacts:
+    """Intermediate measurement outputs, kept for validation/reporting."""
+
+    cache_result: Optional[CacheProbingResult] = None
+    rootlog_result: Optional[RootLogCrawlResult] = None
+    tls_result: Optional[TlsScanResult] = None
+    ecs_result: Optional[EcsMappingResult] = None
+    activity: Optional[ActivityEstimate] = None
+    catchments: Dict[str, CatchmentMeasurement] = field(
+        default_factory=dict)
+
+
+class MapBuilder:
+    """Builds an :class:`InternetTrafficMap` from a scenario's public
+    surfaces."""
+
+    def __init__(self, scenario: Scenario,
+                 options: Optional[BuilderOptions] = None) -> None:
+        self._scenario = scenario
+        self._options = options or BuilderOptions()
+        self._options.validate()
+        self._rng = substream(scenario.config.seed, self._options.rng_label)
+        self.artifacts = BuildArtifacts()
+
+    # -- users component ------------------------------------------------------
+
+    def _run_cache_probing(self) -> CacheProbingResult:
+        scenario = self._scenario
+        cfg = scenario.config.measurement
+        services = scenario.catalog.top_by_popularity(
+            cfg.probe_top_k_domains)
+        campaign = CacheProbingCampaign(
+            oracle=scenario.cache_oracle, gdns=scenario.gdns,
+            services=services,
+            prefix_ids=scenario.routable_prefix_ids(),
+            rounds_per_day=cfg.probe_rounds_per_day,
+            rng=substream(scenario.config.seed, "probe-campaign"))
+        return campaign.run()
+
+    def _run_rootlog_crawl(self) -> RootLogCrawlResult:
+        crawler = RootLogCrawler(
+            self._scenario.root_archive,
+            min_query_threshold=self._options.rootlog_min_queries)
+        return crawler.run()
+
+    def _build_users(self) -> UsersComponent:
+        cache_result = None
+        rootlog_result = None
+        if self._options.use_cache_probing:
+            cache_result = self._run_cache_probing()
+            self.artifacts.cache_result = cache_result
+        if self._options.use_root_logs:
+            rootlog_result = self._run_rootlog_crawl()
+            self.artifacts.rootlog_result = rootlog_result
+        activity = fuse_activity(self._scenario.prefixes, cache_result,
+                                 rootlog_result)
+        self.artifacts.activity = activity
+        detected = np.array(sorted(activity.by_prefix), dtype=int)
+        return UsersComponent(
+            detected_prefixes=detected,
+            activity_by_prefix=activity.by_prefix,
+            activity_by_as=activity.by_as,
+            techniques=activity.techniques)
+
+    # -- services component ------------------------------------------------------
+
+    def _build_services(self, users: UsersComponent) -> ServicesComponent:
+        scenario = self._scenario
+        sites_by_org: Dict[str, List[MappedSite]] = {}
+        serving_by_domain: Dict[str, "set[int]"] = {}
+        user_to_host: Dict[str, Dict[int, int]] = {}
+        unmapped: List[str] = []
+
+        tls_result: Optional[TlsScanResult] = None
+        if self._options.use_tls_scan:
+            scanner = TlsScanner(scenario.certstore, scenario.prefixes)
+            tls_result = scanner.run()
+            self.artifacts.tls_result = tls_result
+
+        ecs_result: Optional[EcsMappingResult] = None
+        if self._options.use_ecs_mapping:
+            mapper = EcsMapper(scenario.authoritative, scenario.catalog,
+                               scenario.prefixes)
+            ecs_result = mapper.run(scenario.routable_prefix_ids())
+            self.artifacts.ecs_result = ecs_result
+            for key, mapping in ecs_result.per_service.items():
+                mapped = mapping.answer_pids >= 0
+                user_to_host[key] = {
+                    int(c): int(a) for c, a in zip(
+                        mapping.client_pids[mapped],
+                        mapping.answer_pids[mapped])}
+            unmapped.extend(ecs_result.uncovered_services)
+        else:
+            unmapped.extend(s.key for s in scenario.catalog.services)
+
+        if self._options.use_catchment_probing:
+            covered = self._map_anycast_services(user_to_host)
+            unmapped = [key for key in unmapped if key not in covered]
+
+        if tls_result is not None:
+            if self._options.use_sni_scan:
+                sni = SniScanner(scenario.certstore, scenario.prefixes)
+                domains = [s.domain for s in scenario.catalog.services]
+                sni_result = sni.run(domains, tls_result.serving_prefixes())
+                serving_by_domain = {
+                    d: sni_result.asns_serving(d) for d in domains}
+            sites_by_org = self._assemble_sites(tls_result, ecs_result)
+
+        return ServicesComponent(
+            sites_by_org=sites_by_org,
+            serving_asns_by_domain=serving_by_domain,
+            user_to_host=user_to_host,
+            unmapped_services=tuple(sorted(set(unmapped))))
+
+    def _map_anycast_services(self,
+                              user_to_host: Dict[str, Dict[int, int]]
+                              ) -> "set[str]":
+        """Fill user->host entries for anycast services via Verfploeter.
+
+        One catchment campaign per anycast operator covers all of its
+        services (catchments are per-network, not per-service). Returns
+        the service keys covered.
+        """
+        scenario = self._scenario
+        covered: "set[str]" = set()
+        targets = scenario.routable_prefix_ids()
+        for hg_key, model in scenario.anycast_models.items():
+            campaign = VerfploeterCampaign(
+                model, scenario.prefixes,
+                substream(scenario.config.seed, "builder-verf", hg_key))
+            measurement = campaign.run(targets)
+            self.artifacts.catchments[hg_key] = measurement
+            site_answer = {site.site_id: site.prefix_ids[0]
+                           for site in model.sites}
+            mapping: Dict[int, int] = {}
+            for pid, site in zip(measurement.prefix_ids,
+                                 measurement.site_of_prefix):
+                if site >= 0:
+                    mapping[int(pid)] = site_answer[int(site)]
+            if not mapping:
+                continue
+            for service in scenario.catalog.services_hosted_by(hg_key):
+                if service.redirection is not RedirectionScheme.ANYCAST:
+                    continue
+                user_to_host[service.key] = dict(mapping)
+                covered.add(service.key)
+        return covered
+
+    def _assemble_sites(self, tls_result: TlsScanResult,
+                        ecs_result: Optional[EcsMappingResult]
+                        ) -> Dict[str, List[MappedSite]]:
+        """Turn TLS footprints into located sites.
+
+        Site cities are estimated with client-centric geolocation when an
+        ECS mapping exists for a service of that organisation; otherwise
+        the city stays unknown (honest about precision, per Table 1).
+        """
+        scenario = self._scenario
+        prefixes = scenario.prefixes
+        # answer prefix -> client prefixes, pooled over mapped services.
+        clients_of_answer: Dict[int, List[int]] = {}
+        if ecs_result is not None:
+            for mapping in ecs_result.per_service.values():
+                mapped = mapping.answer_pids >= 0
+                for client, answer in zip(mapping.client_pids[mapped],
+                                          mapping.answer_pids[mapped]):
+                    clients_of_answer.setdefault(
+                        int(answer), []).append(int(client))
+        candidate_cities = scenario.atlas.cities
+        sites_by_org: Dict[str, List[MappedSite]] = {}
+        for org in tls_result.organizations():
+            footprint = tls_result.footprint_of(org)
+            sites: List[MappedSite] = []
+            geolocated = 0
+            for pid in (footprint.onnet_prefixes
+                        + footprint.offnet_prefixes):
+                city = None
+                if (self._options.geolocate_sites and geolocated
+                        < self._options.max_geolocated_sites_per_org):
+                    client_pids = clients_of_answer.get(pid, [])
+                    if len(client_pids) >= 3:
+                        client_cities = [prefixes.city_of(c)
+                                         for c in client_pids[:500]]
+                        estimate = client_centric_geolocate(
+                            client_cities, candidate_cities)
+                        city = estimate.city
+                        geolocated += 1
+                sites.append(MappedSite(
+                    prefix_id=pid,
+                    asn=prefixes.asn_of(pid),
+                    organization=org,
+                    estimated_city=city,
+                    is_offnet=pid in set(footprint.offnet_prefixes)))
+            sites_by_org[org] = sites
+        return sites_by_org
+
+    # -- routes component ------------------------------------------------------
+
+    def _build_routes(self, users: UsersComponent,
+                      services: ServicesComponent) -> RoutesComponent:
+        """Predict routes between the most active user ASes and the
+        discovered serving organisations' home ASes."""
+        predictor = PathPredictor(self._scenario.public_view)
+        top_ases = [asn for asn, __ in users.top_ases(
+            self._options.route_pairs_top_ases)]
+        dst_asns: List[int] = []
+        if self.artifacts.tls_result is not None:
+            for org in self.artifacts.tls_result.organizations():
+                footprint = self.artifacts.tls_result.footprint_of(org)
+                if footprint.total_prefixes >= 5:
+                    dst_asns.append(footprint.home_asn)
+        dst_asns = sorted(set(dst_asns)) or [self._scenario.gdns_operator_asn]
+        pairs = [(src, dst) for src in top_ases for dst in dst_asns
+                 if src != dst]
+        paths = predictor.predict_many(pairs)
+        predicted = sum(1 for p in paths.values() if p is not None)
+        predictability = predicted / len(paths) if paths else 0.0
+        return RoutesComponent(paths=paths, predictability=predictability)
+
+    # -- assembly -----------------------------------------------------------------
+
+    def build(self) -> InternetTrafficMap:
+        """Run the configured campaigns and assemble the map."""
+        users = self._build_users()
+        services = self._build_services(users)
+        routes = self._build_routes(users, services)
+        return InternetTrafficMap(
+            users=users, services=services, routes=routes,
+            metadata={
+                "seed": self._scenario.config.seed,
+                "prefix_asn": self._scenario.prefixes.asn_array,
+                "options": self._options,
+            })

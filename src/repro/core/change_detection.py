@@ -1,0 +1,101 @@
+"""Traffic-anomaly detection from probing deltas (§2.1, operator view).
+
+"Network operators can lack visibility to contextualize network events
+such as network blackouts, performance anomalies, unusual traffic
+patterns, or DDoS attacks."
+
+Given two cache-probing campaigns (a baseline and a current one), the
+detector compares per-AS hit counts and flags networks whose activity
+changed beyond sampling noise. Hit counts are binomial sums, so the
+per-AS z-score uses a Poisson-style variance estimate on the baseline.
+
+This turns the map's users component into a monitoring primitive: run the
+probing campaign daily, diff, and the map tells you *where* the Internet
+changed — without any operator's private telemetry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ValidationError
+from ..measure.cache_probing import CacheProbingResult
+from ..net.prefixes import PrefixTable
+
+
+@dataclass(frozen=True)
+class ActivityChange:
+    """One AS whose measured activity moved."""
+
+    asn: int
+    baseline_hits: float
+    current_hits: float
+    z_score: float
+
+    @property
+    def direction(self) -> str:
+        return "surge" if self.current_hits > self.baseline_hits \
+            else "drop"
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_hits <= 0:
+            return math.inf
+        return self.current_hits / self.baseline_hits
+
+
+@dataclass
+class ChangeReport:
+    """All flagged ASes, strongest change first."""
+
+    changes: List[ActivityChange]
+    threshold_z: float
+    ases_compared: int
+
+    def surges(self) -> List[ActivityChange]:
+        return [c for c in self.changes if c.direction == "surge"]
+
+    def drops(self) -> List[ActivityChange]:
+        return [c for c in self.changes if c.direction == "drop"]
+
+    def flagged_asns(self) -> "set[int]":
+        return {c.asn for c in self.changes}
+
+
+def detect_activity_changes(baseline: CacheProbingResult,
+                            current: CacheProbingResult,
+                            prefix_table: PrefixTable,
+                            threshold_z: float = 4.0,
+                            min_baseline_hits: float = 20.0
+                            ) -> ChangeReport:
+    """Diff two campaigns; flag per-AS hit-count changes beyond noise.
+
+    Campaigns must probe the same prefix set with the same budget
+    (otherwise counts are not comparable).
+    """
+    if baseline.probes_per_prefix != current.probes_per_prefix:
+        raise ValidationError("campaigns used different probe budgets")
+    if len(baseline.prefix_ids) != len(current.prefix_ids):
+        raise ValidationError("campaigns probed different prefix sets")
+    base_by_as = baseline.hit_counts_by_as(prefix_table)
+    curr_by_as = current.hit_counts_by_as(prefix_table)
+    changes: List[ActivityChange] = []
+    compared = 0
+    for asn in sorted(set(base_by_as) | set(curr_by_as)):
+        base = base_by_as.get(asn, 0.0)
+        curr = curr_by_as.get(asn, 0.0)
+        if base < min_baseline_hits and curr < min_baseline_hits:
+            continue
+        compared += 1
+        # Binomial/Poisson noise on both sides of the diff.
+        sigma = math.sqrt(max(base, 1.0) + max(curr, 1.0))
+        z = (curr - base) / sigma
+        if abs(z) >= threshold_z:
+            changes.append(ActivityChange(
+                asn=asn, baseline_hits=base, current_hits=curr,
+                z_score=z))
+    changes.sort(key=lambda c: (-abs(c.z_score), c.asn))
+    return ChangeReport(changes=changes, threshold_z=threshold_z,
+                        ases_compared=compared)

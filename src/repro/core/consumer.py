@@ -1,0 +1,127 @@
+"""Consumer facade: "use the map to weight your analysis" in one call.
+
+The paper's ask of the community (§4): "we hope the research community
+both uses and encourages others to use the Internet traffic map for
+weighting analysis". This module is the adapter a downstream researcher
+would import: hand it your per-AS (or per-prefix) metric, get back the
+unweighted-vs-map-weighted contrast, quantiles and a rendered table —
+without touching the map internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from .traffic_map import InternetTrafficMap
+from .weighting import WeightedCDF, WeightingContrast, weighting_contrast
+
+
+@dataclass
+class WeightedStudy:
+    """A finished weighting study over one metric."""
+
+    metric_name: str
+    contrast: WeightingContrast
+    covered_weight: float      # map weight carried by the studied keys
+    keys_used: int
+    keys_without_weight: int
+
+    def summary_rows(self,
+                     quantiles: Tuple[float, ...] = (0.1, 0.5, 0.9)
+                     ) -> List[Tuple[str, str, str]]:
+        rows = []
+        for q in quantiles:
+            rows.append((f"p{int(q * 100)}",
+                         f"{self.contrast.unweighted.quantile(q):.3g}",
+                         f"{self.contrast.weighted.quantile(q):.3g}"))
+        rows.append(("mean",
+                     f"{self.contrast.unweighted.mean():.3g}",
+                     f"{self.contrast.weighted.mean():.3g}"))
+        return rows
+
+
+class MapWeighter:
+    """Weights arbitrary metrics with the map's activity estimates."""
+
+    def __init__(self, itm: InternetTrafficMap) -> None:
+        self._itm = itm
+
+    # -- weights -----------------------------------------------------------
+
+    def as_weight(self, asn: int) -> float:
+        return self._itm.users.as_weight(asn)
+
+    def prefix_weight(self, pid: int) -> float:
+        return self._itm.users.prefix_weight(pid)
+
+    # -- studies -----------------------------------------------------------
+
+    def study_as_metric(self, metric_by_as: Mapping[int, float],
+                        metric_name: str = "metric",
+                        drop_zero_weight: bool = False) -> WeightedStudy:
+        """Contrast a per-AS metric unweighted vs activity-weighted.
+
+        ASes absent from the map get zero weight; by default they still
+        appear in the unweighted view (that is the point of the
+        contrast), unless ``drop_zero_weight``.
+        """
+        if not metric_by_as:
+            raise ValidationError("empty metric")
+        values: List[float] = []
+        weights: List[float] = []
+        skipped = 0
+        for asn, value in sorted(metric_by_as.items()):
+            weight = self.as_weight(asn)
+            if weight == 0.0:
+                skipped += 1
+                if drop_zero_weight:
+                    continue
+            values.append(float(value))
+            weights.append(weight)
+        if not values or sum(weights) <= 0:
+            raise ValidationError("no map weight on any studied AS")
+        contrast = weighting_contrast(metric_name, values, weights,
+                                      weight_name="map activity")
+        return WeightedStudy(
+            metric_name=metric_name, contrast=contrast,
+            covered_weight=float(sum(weights)),
+            keys_used=len(values), keys_without_weight=skipped)
+
+    def study_prefix_metric(self, metric_by_prefix: Mapping[int, float],
+                            metric_name: str = "metric") -> WeightedStudy:
+        """Same contrast at /24 granularity."""
+        if not metric_by_prefix:
+            raise ValidationError("empty metric")
+        values: List[float] = []
+        weights: List[float] = []
+        skipped = 0
+        for pid, value in sorted(metric_by_prefix.items()):
+            weight = self.prefix_weight(pid)
+            if weight == 0.0:
+                skipped += 1
+            values.append(float(value))
+            weights.append(weight)
+        if sum(weights) <= 0:
+            raise ValidationError("no map weight on any studied prefix")
+        contrast = weighting_contrast(metric_name, values, weights,
+                                      weight_name="map activity")
+        return WeightedStudy(
+            metric_name=metric_name, contrast=contrast,
+            covered_weight=float(sum(weights)),
+            keys_used=len(values), keys_without_weight=skipped)
+
+    def study_computed_metric(self, asns: Iterable[int],
+                              metric_fn: Callable[[int], Optional[float]],
+                              metric_name: str = "metric"
+                              ) -> WeightedStudy:
+        """Compute a metric per AS on the fly (None skips the AS)."""
+        metric: Dict[int, float] = {}
+        for asn in asns:
+            value = metric_fn(asn)
+            if value is not None:
+                metric[asn] = value
+        return self.study_as_metric(metric, metric_name=metric_name)

@@ -1,0 +1,162 @@
+"""Peering-link prediction as a recommendation problem (§3.3.3).
+
+"Given two networks are both present in a facility, it may be possible to
+develop techniques to predict how likely it is that two networks
+interconnect at that facility. Such predictions could rely on publicly
+available information about networks, such as their peering policy,
+traffic profile, customer cone size, user activity, and network type. With
+the assumption that networks with similar peering profiles are likely to
+peer with the same networks, one could formulate the problem as a
+recommendation system [45]."
+
+The recommender scores co-located AS pairs using only public inputs:
+
+* **collaborative signal** — cosine similarity between the candidate pair's
+  neighbourhoods in the *public* (collector-visible) graph: networks that
+  already share many visible peers likely peer with each other too;
+* **content-affinity** — content networks peer with eyeball/inbound-heavy
+  networks (traffic-profile complementarity);
+* **policy** — open policies peer more readily than restrictive ones;
+* **colocation breadth** — more shared facilities, more opportunity;
+* **activity prior** — an optional per-AS user-activity weight (from the
+  map's own users component: the ITM feeding its own construction).
+
+Evaluation: hide the actually-invisible links (actual minus public), rank
+all co-located candidate pairs, report AUC and precision-at-k.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..net.ases import ASRegistry, ASType, PeeringPolicy, TrafficProfile
+from ..net.facilities import PeeringRegistry
+from ..net.relationships import ASGraph
+
+POLICY_SCORE = {
+    PeeringPolicy.OPEN: 1.0,
+    PeeringPolicy.SELECTIVE: 0.55,
+    PeeringPolicy.RESTRICTIVE: 0.15,
+}
+
+
+@dataclass(frozen=True)
+class LinkScore:
+    """One scored candidate pair."""
+
+    pair: Tuple[int, int]
+    score: float
+    shared_facilities: int
+
+
+@dataclass
+class RecommendationEvaluation:
+    """Ranking quality over held-out links."""
+
+    auc: float
+    precision_at_k: float
+    k: int
+    positives: int
+    candidates: int
+
+
+class PeeringRecommender:
+    """Scores co-located AS pairs for peering likelihood (public data)."""
+
+    def __init__(self, public_graph: ASGraph, registry: ASRegistry,
+                 peeringdb: PeeringRegistry,
+                 activity_by_as: Optional[Dict[int, float]] = None) -> None:
+        self._graph = public_graph
+        self._registry = registry
+        self._pdb = peeringdb
+        self._activity = activity_by_as or {}
+        self._neighbors: Dict[int, Set[int]] = {}
+
+    def _neighborhood(self, asn: int) -> Set[int]:
+        if asn not in self._neighbors:
+            self._neighbors[asn] = self._graph.neighbors_of(asn)
+        return self._neighbors[asn]
+
+    def score_pair(self, a: int, b: int) -> float:
+        """Peering likelihood score for one co-located pair."""
+        shared = self._pdb.common_facilities(a, b)
+        if not shared:
+            return 0.0
+        as_a = self._registry.get(a)
+        as_b = self._registry.get(b)
+        # Collaborative: cosine similarity of visible neighbourhoods.
+        na, nb = self._neighborhood(a), self._neighborhood(b)
+        common = len(na & nb)
+        denom = math.sqrt(max(len(na), 1) * max(len(nb), 1))
+        collaborative = common / denom
+        # Policy willingness (geometric mean of the two policies).
+        policy = math.sqrt(POLICY_SCORE[as_a.peering_policy]
+                           * POLICY_SCORE[as_b.peering_policy])
+        # Traffic complementarity: outbound-heavy <-> inbound-heavy pairs
+        # (content meets eyeballs) are the classic peering motive.
+        profiles = {as_a.traffic_profile, as_b.traffic_profile}
+        if profiles == {TrafficProfile.HEAVY_OUTBOUND,
+                        TrafficProfile.HEAVY_INBOUND}:
+            complementarity = 1.0
+        elif TrafficProfile.BALANCED in profiles:
+            complementarity = 0.5
+        else:
+            complementarity = 0.25
+        # Colocation breadth saturates quickly.
+        breadth = 1.0 - math.exp(-0.5 * len(shared))
+        # Activity prior: a content network wants the eyeball's users.
+        activity = (self._activity.get(a, 0.0)
+                    + self._activity.get(b, 0.0))
+        activity_boost = 1.0 + min(1.0, 50.0 * activity)
+        base = (0.45 * collaborative + 0.25 * policy
+                + 0.20 * complementarity + 0.10 * breadth)
+        return base * activity_boost
+
+    def rank_candidates(self, candidate_pairs: Sequence[Tuple[int, int]]
+                        ) -> List[LinkScore]:
+        """Score and sort candidate pairs (highest first)."""
+        scored = []
+        for a, b in candidate_pairs:
+            pair = (min(a, b), max(a, b))
+            scored.append(LinkScore(
+                pair=pair, score=self.score_pair(*pair),
+                shared_facilities=len(self._pdb.common_facilities(a, b))))
+        scored.sort(key=lambda s: (-s.score, s.pair))
+        return scored
+
+    def recommend_missing_links(self, top_k: int = 100) -> List[LinkScore]:
+        """Predict the strongest not-yet-visible links among co-located
+        pairs — the §3.3.3 output that would feed path prediction."""
+        candidates = [pair for pair in self._pdb.colocated_pairs()
+                      if self._graph.relationship_of(*pair) is None]
+        return self.rank_candidates(sorted(candidates))[:top_k]
+
+
+def evaluate_recommender(recommender: PeeringRecommender,
+                         hidden_links: Set[Tuple[int, int]],
+                         negative_pairs: Set[Tuple[int, int]],
+                         k: int = 100) -> RecommendationEvaluation:
+    """AUC / precision@k over held-out true links vs. true non-links."""
+    positives = sorted(hidden_links)
+    negatives = sorted(negative_pairs - hidden_links)
+    if not positives or not negatives:
+        raise ValidationError("need both positive and negative pairs")
+    pos_scores = np.array([recommender.score_pair(*p) for p in positives])
+    neg_scores = np.array([recommender.score_pair(*p) for p in negatives])
+    # AUC = P(random positive outscores random negative), ties count half.
+    wins = (pos_scores[:, None] > neg_scores[None, :]).sum()
+    ties = (pos_scores[:, None] == neg_scores[None, :]).sum()
+    auc = float((wins + 0.5 * ties) / (len(positives) * len(negatives)))
+    ranked = recommender.rank_candidates(positives + negatives)
+    top = ranked[:k]
+    hidden = set(positives)
+    hits = sum(1 for s in top if s.pair in hidden)
+    return RecommendationEvaluation(
+        auc=auc, precision_at_k=hits / max(1, len(top)), k=k,
+        positives=len(positives),
+        candidates=len(positives) + len(negatives))

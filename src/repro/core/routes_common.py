@@ -1,0 +1,139 @@
+"""Commonly-used routes (§3.3).
+
+"By trying to identify routes *commonly used* between these services and
+users, rather than the exact set of routes in use at a particular point
+in time, we simplify the problem considerably while still enabling
+interesting use cases."
+
+A route is *common* if it survives the Internet's churn: transient link
+failures, maintenance, backup-path activations. The estimator samples the
+route under random perturbations of the topology (dropping a small
+fraction of non-essential links per sample) and reports the modal path
+with a confidence — the fraction of samples that used it.
+
+Run against the public topology this yields the map's routes component
+with confidence attached; run against the actual topology (validation
+side) it defines the ground-truth "commonly used" notion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..net.relationships import ASGraph, Relationship
+from ..net.routing import BgpSimulator
+
+
+@dataclass
+class CommonRoute:
+    """The modal route for one pair, with stability evidence."""
+
+    src: int
+    dst: int
+    path: Optional[Tuple[int, ...]]    # None = mostly unreachable
+    confidence: float                  # fraction of samples on this path
+    distinct_paths: int                # path diversity under churn
+    samples: int
+
+    @property
+    def is_stable(self) -> bool:
+        """A route used in >2/3 of samples counts as "commonly used"."""
+        return self.path is not None and self.confidence > 2 / 3
+
+
+class CommonRouteEstimator:
+    """Samples routes under random link churn."""
+
+    def __init__(self, graph: ASGraph, rng: np.random.Generator,
+                 churn_fraction: float = 0.03,
+                 samples: int = 12) -> None:
+        if not 0.0 <= churn_fraction < 0.5:
+            raise ValidationError("churn_fraction must be in [0, 0.5)")
+        if samples < 1:
+            raise ValidationError("need at least one sample")
+        self._graph = graph
+        self._rng = rng
+        self._churn = churn_fraction
+        self._samples = samples
+
+    def _perturbed_graph(self) -> ASGraph:
+        """Copy of the graph with a random sliver of links removed.
+
+        Only links whose removal cannot disconnect a single-homed
+        customer are eligible (maintenance does not cut a stub's only
+        uplink for a whole sample period, and removing it would just
+        produce trivial unreachability noise).
+        """
+        perturbed = self._graph.copy()
+        edges = sorted(perturbed.edges(), key=lambda e: (e[0], e[1]))
+        n_drop = int(len(edges) * self._churn)
+        if n_drop == 0:
+            return perturbed
+        order = self._rng.permutation(len(edges))
+        dropped = 0
+        for idx in order:
+            if dropped >= n_drop:
+                break
+            a, b, rel = edges[idx]
+            if rel is Relationship.C2P:
+                # a is the customer; keep its last provider.
+                if len(perturbed.providers_of(a)) <= 1:
+                    continue
+            perturbed.remove_link(a, b)
+            dropped += 1
+        return perturbed
+
+    def estimate(self, pairs: Sequence[Tuple[int, int]]
+                 ) -> Dict[Tuple[int, int], CommonRoute]:
+        """Common route per pair over the sampled perturbations."""
+        if not pairs:
+            raise ValidationError("no pairs given")
+        counts: Dict[Tuple[int, int], Dict[Optional[Tuple[int, ...]], int]]
+        counts = {pair: {} for pair in pairs}
+        for __ in range(self._samples):
+            bgp = BgpSimulator(self._perturbed_graph())
+            by_dst: Dict[int, List[int]] = {}
+            for src, dst in pairs:
+                by_dst.setdefault(dst, []).append(src)
+            for dst, sources in by_dst.items():
+                routes = bgp.routes_to([dst])
+                for src in sources:
+                    route = routes.get(src)
+                    path = route.path if route is not None else None
+                    tally = counts[(src, dst)]
+                    tally[path] = tally.get(path, 0) + 1
+        results: Dict[Tuple[int, int], CommonRoute] = {}
+        for pair, tally in counts.items():
+            real_paths = {p: c for p, c in tally.items() if p is not None}
+            if real_paths:
+                best_path = max(sorted(real_paths, key=str),
+                                key=lambda p: real_paths[p])
+                confidence = real_paths[best_path] / self._samples
+            else:
+                best_path = None
+                confidence = tally.get(None, 0) / self._samples
+            results[pair] = CommonRoute(
+                src=pair[0], dst=pair[1], path=best_path,
+                confidence=confidence,
+                distinct_paths=len(real_paths),
+                samples=self._samples)
+        return results
+
+
+def common_route_agreement(predicted: Dict[Tuple[int, int], CommonRoute],
+                           actual: Dict[Tuple[int, int], CommonRoute]
+                           ) -> float:
+    """Fraction of pairs where the predicted common route equals the
+    ground-truth common route (validation metric for the routes
+    component at 'commonly used' granularity)."""
+    shared = [pair for pair in predicted
+              if pair in actual and actual[pair].path is not None]
+    if not shared:
+        raise ValidationError("no comparable pairs")
+    agree = sum(1 for pair in shared
+                if predicted[pair].path == actual[pair].path)
+    return agree / len(shared)

@@ -1,0 +1,151 @@
+"""Map serialisation: ship the ITM as a JSON artefact.
+
+The paper imagines the community *publishing* the traffic map for others
+to weight their analyses with (§4). This module round-trips the
+measurement-derived parts of an :class:`InternetTrafficMap` through plain
+JSON: activity weights, service sites (with estimated cities as
+country/name pairs), user-to-host mappings, and predicted routes.
+
+Ground-truth-derived metadata (the scenario's prefix table) is *not*
+embedded; the loader re-attaches it from a scenario when cross-component
+queries need it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..net.geography import WorldAtlas
+from .traffic_map import (InternetTrafficMap, MappedSite, RoutesComponent,
+                          ServicesComponent, UsersComponent)
+
+FORMAT_VERSION = 1
+
+
+def map_to_dict(itm: InternetTrafficMap) -> Dict[str, Any]:
+    """Serialisable dict of the map's measurement-derived content."""
+    sites = {
+        org: [{
+            "prefix_id": site.prefix_id,
+            "asn": site.asn,
+            "city": ([site.estimated_city.country_code,
+                      site.estimated_city.name]
+                     if site.estimated_city is not None else None),
+            "offnet": site.is_offnet,
+        } for site in site_list]
+        for org, site_list in itm.services.sites_by_org.items()}
+    return {
+        "format_version": FORMAT_VERSION,
+        "seed": itm.metadata.get("seed"),
+        "users": {
+            "detected_prefixes": [int(p) for p in
+                                  itm.users.detected_prefixes],
+            "activity_by_prefix": {str(k): v for k, v in
+                                   itm.users.activity_by_prefix.items()},
+            "activity_by_as": {str(k): v for k, v in
+                               itm.users.activity_by_as.items()},
+            "techniques": list(itm.users.techniques),
+        },
+        "services": {
+            "sites_by_org": sites,
+            "serving_asns_by_domain": {
+                d: sorted(asns) for d, asns in
+                itm.services.serving_asns_by_domain.items()},
+            "user_to_host": {
+                key: {str(c): a for c, a in mapping.items()}
+                for key, mapping in itm.services.user_to_host.items()},
+            "unmapped_services": list(itm.services.unmapped_services),
+        },
+        "routes": {
+            "paths": [{
+                "src": src, "dst": dst,
+                "path": list(path) if path is not None else None,
+            } for (src, dst), path in itm.routes.paths.items()],
+            "predictability": itm.routes.predictability,
+        },
+    }
+
+
+def map_to_json(itm: InternetTrafficMap, indent: Optional[int] = None
+                ) -> str:
+    """JSON string form of :func:`map_to_dict`."""
+    return json.dumps(map_to_dict(itm), indent=indent, sort_keys=True)
+
+
+def map_from_dict(payload: Dict[str, Any],
+                  atlas: Optional[WorldAtlas] = None,
+                  prefix_asn: Optional[np.ndarray] = None
+                  ) -> InternetTrafficMap:
+    """Rebuild a map from its serialised form.
+
+    ``atlas`` resolves site cities back to :class:`City` objects;
+    ``prefix_asn`` re-enables the cross-component queries that need the
+    prefix-to-AS table.
+    """
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported map format {payload.get('format_version')!r}")
+    atlas = atlas or WorldAtlas.default()
+
+    users_raw = payload["users"]
+    users = UsersComponent(
+        detected_prefixes=np.asarray(users_raw["detected_prefixes"],
+                                     dtype=int),
+        activity_by_prefix={int(k): float(v) for k, v in
+                            users_raw["activity_by_prefix"].items()},
+        activity_by_as={int(k): float(v) for k, v in
+                        users_raw["activity_by_as"].items()},
+        techniques=tuple(users_raw["techniques"]))
+
+    services_raw = payload["services"]
+    sites_by_org = {}
+    for org, site_list in services_raw["sites_by_org"].items():
+        sites = []
+        for entry in site_list:
+            city = None
+            if entry["city"] is not None:
+                code, name = entry["city"]
+                city = atlas.city(code, name)
+            sites.append(MappedSite(
+                prefix_id=int(entry["prefix_id"]),
+                asn=int(entry["asn"]),
+                organization=org,
+                estimated_city=city,
+                is_offnet=bool(entry["offnet"])))
+        sites_by_org[org] = sites
+    services = ServicesComponent(
+        sites_by_org=sites_by_org,
+        serving_asns_by_domain={
+            d: set(asns) for d, asns in
+            services_raw["serving_asns_by_domain"].items()},
+        user_to_host={
+            key: {int(c): int(a) for c, a in mapping.items()}
+            for key, mapping in services_raw["user_to_host"].items()},
+        unmapped_services=tuple(services_raw["unmapped_services"]))
+
+    routes_raw = payload["routes"]
+    paths = {}
+    for entry in routes_raw["paths"]:
+        path = tuple(entry["path"]) if entry["path"] is not None else None
+        paths[(int(entry["src"]), int(entry["dst"]))] = path
+    routes = RoutesComponent(
+        paths=paths,
+        predictability=float(routes_raw["predictability"]))
+
+    metadata: Dict[str, Any] = {"seed": payload.get("seed")}
+    if prefix_asn is not None:
+        metadata["prefix_asn"] = prefix_asn
+    return InternetTrafficMap(users=users, services=services,
+                              routes=routes, metadata=metadata)
+
+
+def map_from_json(text: str, atlas: Optional[WorldAtlas] = None,
+                  prefix_asn: Optional[np.ndarray] = None
+                  ) -> InternetTrafficMap:
+    """Parse JSON text and rebuild the map (see :func:`map_from_dict`)."""
+    return map_from_dict(json.loads(text), atlas=atlas,
+                         prefix_asn=prefix_asn)

@@ -1,0 +1,143 @@
+"""Predicting anycast suboptimality from public features (§3.2.3).
+
+"We anticipate that the main challenge is in inferring in which cases
+this optimality is likely violated and where clients with suboptimal
+routing are directed."
+
+An empirical finding of this reproduction (see the E6 benchmark): the
+obvious public features — shared PeeringDB facilities, distance to the
+operator's nearest site, provider count — carry almost no signal about
+which networks suffer anycast inflation. The feature that *does* work is
+the traffic map's own users component: **low-activity networks are the
+ones operators have not engineered good paths for** (they peer with big
+eyeballs first), so inverse map activity ranks inflation risk well above
+chance. The map predicting where anycast goes wrong is exactly the kind
+of cross-component question §2.1 says a map should answer.
+
+The weak features are still computed and reported per AS — they document
+the negative result rather than hiding it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..net.ases import ASRegistry
+from ..net.facilities import PeeringRegistry
+from ..net.geography import City, haversine_km
+from ..net.relationships import ASGraph
+
+# Weights: map activity dominates; the geometric features get token
+# weights (they act as tie-breakers and keep the diagnostics visible).
+ACTIVITY_WEIGHT = 1.0
+COLOCATION_WEIGHT = 0.05
+PROXIMITY_WEIGHT = 0.05
+
+
+@dataclass(frozen=True)
+class SuboptimalityRisk:
+    """Predicted inflation risk for one client AS."""
+
+    asn: int
+    score: float                 # higher = more likely suboptimal
+    activity_weight: float       # the map's estimate for this AS
+    colocated_with_operator: bool
+    km_to_nearest_site: float
+    provider_count: int
+
+
+class SuboptimalityPredictor:
+    """Ranks client ASes by anycast-inflation risk from public data."""
+
+    def __init__(self, registry: ASRegistry, peeringdb: PeeringRegistry,
+                 public_graph: ASGraph, operator_asn: int,
+                 site_cities: Sequence[City],
+                 activity_by_as: Dict[int, float]) -> None:
+        if not site_cities:
+            raise ValidationError("no operator sites given")
+        if not activity_by_as:
+            raise ValidationError("need the map's activity weights")
+        self._registry = registry
+        self._pdb = peeringdb
+        self._graph = public_graph
+        self._operator = operator_asn
+        self._sites = list(site_cities)
+        self._activity = activity_by_as
+        logs = [math.log10(max(w, 1e-12))
+                for w in activity_by_as.values()]
+        self._log_min = min(logs)
+        self._log_max = max(logs)
+
+    def _normalized_log_activity(self, asn: int) -> float:
+        """Activity on a log scale in [0, 1]; 0 = quietest, 1 = busiest.
+        ASes unknown to the map count as quietest."""
+        weight = self._activity.get(asn, 0.0)
+        if weight <= 0 or self._log_max <= self._log_min:
+            return 0.0
+        log_w = math.log10(max(weight, 1e-12))
+        return (log_w - self._log_min) / (self._log_max - self._log_min)
+
+    def risk_for(self, asn: int) -> SuboptimalityRisk:
+        """Score one client AS (deterministic, public features only)."""
+        asys = self._registry.get(asn)
+        colocated = self._pdb.colocated(asn, self._operator)
+        nearest = min(haversine_km(asys.home_city.lat,
+                                   asys.home_city.lon,
+                                   c.lat, c.lon) for c in self._sites)
+        providers = len(self._graph.providers_of(asn))
+        score = (ACTIVITY_WEIGHT * (1.0 - self._normalized_log_activity(asn))
+                 + COLOCATION_WEIGHT * (0.0 if colocated else 1.0)
+                 + PROXIMITY_WEIGHT * min(1.0, nearest / 5000.0))
+        return SuboptimalityRisk(
+            asn=asn, score=score,
+            activity_weight=self._activity.get(asn, 0.0),
+            colocated_with_operator=colocated,
+            km_to_nearest_site=nearest,
+            provider_count=providers)
+
+    def rank(self, asns: Sequence[int]) -> List[SuboptimalityRisk]:
+        """All client risks, highest first."""
+        risks = [self.risk_for(asn) for asn in asns]
+        risks.sort(key=lambda r: (-r.score, r.asn))
+        return risks
+
+
+def evaluate_risk_ranking(risks: Sequence[SuboptimalityRisk],
+                          extra_km_by_asn: Dict[int, float],
+                          inflation_threshold_km: float = 500.0
+                          ) -> float:
+    """AUC of the risk score against true >threshold inflation."""
+    scored = [(r.score, extra_km_by_asn[r.asn]) for r in risks
+              if r.asn in extra_km_by_asn]
+    positives = [s for s, extra in scored
+                 if extra > inflation_threshold_km]
+    negatives = [s for s, extra in scored
+                 if extra <= inflation_threshold_km]
+    if not positives or not negatives:
+        raise ValidationError("need both inflated and optimal clients")
+    pos = np.asarray(positives)
+    neg = np.asarray(negatives)
+    wins = (pos[:, None] > neg[None, :]).sum()
+    ties = (pos[:, None] == neg[None, :]).sum()
+    return float((wins + 0.5 * ties) / (len(pos) * len(neg)))
+
+
+def true_inflation_by_as(registry: ASRegistry, prefix_table,
+                         extra_km: np.ndarray) -> Dict[int, float]:
+    """Ground-truth AS-level inflation (validation side): the median
+    extra distance of the AS's home-city prefixes — where the entry-point
+    logic, not intra-AS geography, drives the result."""
+    result: Dict[int, float] = {}
+    for asys in registry.eyeballs():
+        pids = [p for p in prefix_table.prefixes_of_as(asys.asn)
+                if prefix_table.city_of(p) == asys.home_city]
+        values = [float(extra_km[p]) for p in pids
+                  if np.isfinite(extra_km[p])]
+        if values:
+            result[asys.asn] = float(np.median(values))
+    return result

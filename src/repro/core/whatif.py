@@ -1,0 +1,137 @@
+"""What-if engine: validate the map's outage predictions against the
+world's actual reaction.
+
+§2.1 promises the map can assess outage impact. A reproduction can do one
+better: actually *take the AS down* in the simulated Internet, recompute
+routing, and compare the ground-truth blast radius with what the map
+predicted from public data alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import ValidationError
+from ..net.relationships import ASGraph
+from ..net.routing import BgpSimulator, compute_routes
+from ..scenario import Scenario
+from .traffic_map import InternetTrafficMap
+from .usecases import OutageImpactAnalyzer, OutageReport
+
+
+@dataclass
+class GroundTruthOutage:
+    """What actually happens when an AS disappears."""
+
+    asn: int
+    true_traffic_share: float           # bytes sourced by its prefixes
+    true_user_share: float              # users in the AS
+    disconnected_asns: Set[int]         # ASes losing all hypergiant reach
+    services_losing_local_serving: Tuple[str, ...]
+
+
+@dataclass
+class OutageComparison:
+    """Map prediction vs ground truth for one outage."""
+
+    report: OutageReport
+    truth: GroundTruthOutage
+
+    @property
+    def activity_estimate_error(self) -> float:
+        """|map activity share - true traffic share| (absolute)."""
+        return abs(self.report.activity_share
+                   - self.truth.true_traffic_share)
+
+    @property
+    def service_recall(self) -> float:
+        """Fraction of truly-affected services the map listed."""
+        truth = set(self.truth.services_losing_local_serving)
+        if not truth:
+            return 1.0
+        predicted = set(self.report.affected_services)
+        return len(truth & predicted) / len(truth)
+
+
+class WhatIfEngine:
+    """Applies outages to the ground-truth world."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        self._scenario = scenario
+
+    def ground_truth_outage(self, asn: int) -> GroundTruthOutage:
+        """Remove the AS; measure the actual impact."""
+        scenario = self._scenario
+        if asn not in scenario.graph:
+            raise ValidationError(f"ASN {asn} not in the topology")
+
+        # Traffic and users actually inside the AS.
+        bytes_by_as = scenario.traffic.bytes_by_as()
+        total_bytes = sum(bytes_by_as.values())
+        true_traffic = bytes_by_as.get(asn, 0.0) / total_bytes \
+            if total_bytes else 0.0
+        users_by_as = scenario.population.users_by_as()
+        total_users = sum(users_by_as.values())
+        true_users = users_by_as.get(asn, 0.0) / total_users \
+            if total_users else 0.0
+
+        # Rebuild the graph without the AS and check who still reaches
+        # the hypergiants (reachability of content, the user-facing
+        # definition of "connected").
+        degraded = self._graph_without(scenario.graph, asn)
+        hg_asns = [a for a in scenario.topology.hypergiant_asns.values()
+                   if a != asn]
+        reachable: Set[int] = set()
+        if hg_asns:
+            routes = compute_routes(degraded, hg_asns)
+            reachable = set(routes)
+        disconnected = {
+            candidate for candidate in scenario.graph.asns
+            if candidate != asn and candidate not in reachable
+            and users_by_as.get(candidate, 0.0) > 0}
+
+        # Services that lose in-AS serving capacity (off-nets/hosting).
+        losing: List[str] = []
+        for service in scenario.catalog:
+            if service.host_key is None:
+                pid = scenario.deployment.stub_hosting.get(service.key)
+                if pid is not None and \
+                        scenario.prefixes.asn_of(pid) == asn:
+                    losing.append(service.key)
+                continue
+            site = scenario.deployment.offnet_site_in_as(
+                asn, service.host_key)
+            if site is not None:
+                losing.append(service.key)
+
+        return GroundTruthOutage(
+            asn=asn,
+            true_traffic_share=true_traffic,
+            true_user_share=true_users,
+            disconnected_asns=disconnected,
+            services_losing_local_serving=tuple(sorted(losing)))
+
+    @staticmethod
+    def _graph_without(graph: ASGraph, asn: int) -> ASGraph:
+        degraded = ASGraph()
+        for node in graph.asns:
+            if node != asn:
+                degraded.add_as(node)
+        for a, b, rel in graph.edges():
+            if asn in (a, b):
+                continue
+            if rel.name == "P2P":
+                degraded.add_p2p(a, b)
+            else:
+                degraded.add_c2p(a, b)
+        return degraded
+
+    def compare_with_map(self, itm: InternetTrafficMap,
+                         asn: int) -> OutageComparison:
+        """Ground truth vs the map's public-data prediction."""
+        analyzer = OutageImpactAnalyzer(itm, self._scenario.prefixes,
+                                        self._scenario.graph)
+        return OutageComparison(
+            report=analyzer.assess_as_outage(asn),
+            truth=self.ground_truth_outage(asn))

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the ITM reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class. Subclasses distinguish configuration problems from
+modelling inconsistencies and from misuse of measurement views.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A scenario or component configuration is invalid."""
+
+
+class TopologyError(ReproError):
+    """The AS graph or routing state is inconsistent (e.g. unknown ASN)."""
+
+
+class MeasurementError(ReproError):
+    """A measurement was issued with invalid parameters or against a view
+    that cannot answer it (e.g. ECS query for a non-ECS service)."""
+
+
+class ValidationError(ReproError):
+    """Ground-truth validation was asked to score incompatible artefacts."""

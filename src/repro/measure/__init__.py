@@ -1,0 +1,7 @@
+"""Measurement techniques (§3).
+
+Every module here consumes only *public* surfaces of the scenario — probe
+oracles, log archives, scan endpoints, collector feeds — never the ground
+truth. Validation against ground truth happens in
+:mod:`repro.core.validation`.
+"""

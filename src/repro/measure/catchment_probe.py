@@ -1,0 +1,93 @@
+"""Anycast catchment measurement, Verfploeter-style (§3.2.3).
+
+"Another possibility may come from increased popularity of edge computing
+platforms, such as Cloudflare's Workers [2], where CDN customers can
+execute custom code on CDN PoPs. This may enable use of techniques that
+infer per-PoP anycast catchments by probing out to the Internet [21]."
+
+The campaign sends probes *from the anycast address* to targets across
+the Internet; each reply routes back to whichever site the target's
+network's BGP selects — the catchment. Coverage is limited to targets
+that answer probes (ICMP-responsive), which the model samples per prefix.
+
+This runs with the anycast operator's cooperation (or from rented edge
+workers) — it needs no proprietary logs, only the ability to emit packets
+from the anycast prefix, exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..net.prefixes import PrefixTable
+from ..services.anycast import AnycastModel
+
+DEFAULT_RESPONSE_RATE = 0.62   # share of probed /24s that answer ICMP
+
+
+@dataclass
+class CatchmentMeasurement:
+    """Measured catchment: site id per responsive target prefix."""
+
+    prefix_ids: np.ndarray          # targets probed
+    site_of_prefix: np.ndarray      # measured site id, -1 = no response
+    site_count: int
+
+    def responsive_fraction(self) -> float:
+        return float((self.site_of_prefix >= 0).mean())
+
+    def catchment_sizes(self) -> Dict[int, int]:
+        """Responsive prefixes per site — the per-PoP catchment weights."""
+        sizes: Dict[int, int] = {}
+        for site in self.site_of_prefix[self.site_of_prefix >= 0]:
+            sizes[int(site)] = sizes.get(int(site), 0) + 1
+        return sizes
+
+    def measured_site(self, pid: int) -> Optional[int]:
+        idx = np.searchsorted(self.prefix_ids, pid)
+        if idx >= len(self.prefix_ids) or self.prefix_ids[idx] != pid:
+            raise MeasurementError(f"prefix {pid} was not probed")
+        site = int(self.site_of_prefix[idx])
+        return site if site >= 0 else None
+
+
+class VerfploeterCampaign:
+    """Probe out from the anycast prefix; replies reveal catchments."""
+
+    def __init__(self, model: AnycastModel, prefix_table: PrefixTable,
+                 rng: np.random.Generator,
+                 response_rate: float = DEFAULT_RESPONSE_RATE) -> None:
+        if not 0.0 < response_rate <= 1.0:
+            raise MeasurementError("response_rate must be in (0, 1]")
+        self._model = model
+        self._prefixes = prefix_table
+        self._rng = rng
+        self._response_rate = response_rate
+
+    def run(self, target_pids: np.ndarray) -> CatchmentMeasurement:
+        targets = np.sort(np.asarray(target_pids, dtype=int))
+        if len(targets) == 0:
+            raise MeasurementError("no targets to probe")
+        sites = np.full(len(targets), -1, dtype=np.int32)
+        responds = self._rng.random(len(targets)) < self._response_rate
+        # Catchments are per-AS (BGP decides per network); resolve each
+        # distinct AS once.
+        asns = self._prefixes.asn_array[targets]
+        site_by_asn: Dict[int, int] = {}
+        for asn in sorted({int(a) for a in asns}):
+            result = self._model.catchment(asn)
+            if result is not None:
+                site_by_asn[asn] = result.site.site_id
+        for i, (pid, asn) in enumerate(zip(targets, asns)):
+            if not responds[i]:
+                continue
+            site = site_by_asn.get(int(asn))
+            if site is not None:
+                sites[i] = site
+        return CatchmentMeasurement(
+            prefix_ids=targets, site_of_prefix=sites,
+            site_count=len(self._model.sites))

@@ -1,0 +1,95 @@
+"""Reverse traceroute and path asymmetry (§3.3.2, [36]).
+
+"Measuring out from cloud VMs uncovers most peering links between the
+cloud and users [7], and Reverse Traceroute can measure reverse paths
+[36]."
+
+Forward traceroute shows the path *from* a vantage point; the path back
+is generally different (valley-free routing is not symmetric), and no
+amount of forward probing reveals it. Reverse Traceroute measures it with
+record-route/spoofing tricks from a controlled host. Here the primitive
+returns the true reverse AS path, and :func:`asymmetry_study` quantifies
+how often forward != reverse — the measurement gap the technique closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import MeasurementError
+from ..net.routing import BgpSimulator
+from .atlas import VantagePoint
+
+
+@dataclass(frozen=True)
+class PathPair:
+    """Forward and reverse AS paths between a vantage point and an AS."""
+
+    vp_asn: int
+    remote_asn: int
+    forward: Optional[Tuple[int, ...]]   # vp -> remote
+    reverse: Optional[Tuple[int, ...]]   # remote -> vp
+
+    @property
+    def measurable(self) -> bool:
+        return self.forward is not None and self.reverse is not None
+
+    @property
+    def symmetric(self) -> bool:
+        """True iff the reverse path is the forward path reversed."""
+        if not self.measurable:
+            return False
+        return tuple(reversed(self.reverse)) == self.forward
+
+
+class ReverseTraceroute:
+    """Reverse-path measurement from a controlled vantage point.
+
+    Requires control of the vantage host (to stamp and receive
+    record-route probes), like the real system; usable from any Atlas VP.
+    """
+
+    def __init__(self, bgp: BgpSimulator) -> None:
+        self._bgp = bgp
+
+    def measure(self, vp: VantagePoint, remote_asn: int) -> PathPair:
+        """Both directions between the VP's AS and a remote AS."""
+        return PathPair(
+            vp_asn=vp.asn, remote_asn=remote_asn,
+            forward=self._bgp.path(vp.asn, remote_asn),
+            reverse=self._bgp.path(remote_asn, vp.asn))
+
+    def measure_many(self, vp: VantagePoint,
+                     remote_asns: Sequence[int]) -> List[PathPair]:
+        if not remote_asns:
+            raise MeasurementError("no remote ASes given")
+        return [self.measure(vp, asn) for asn in remote_asns
+                if asn != vp.asn]
+
+
+@dataclass
+class AsymmetryStudy:
+    """How asymmetric the measured path corpus is."""
+
+    pairs_measured: int
+    symmetric_fraction: float
+    mean_length_difference: float   # |len(fwd) - len(rev)| in hops
+
+    @property
+    def asymmetric_fraction(self) -> float:
+        return 1.0 - self.symmetric_fraction
+
+
+def asymmetry_study(pairs: Sequence[PathPair]) -> AsymmetryStudy:
+    """Quantify forward/reverse divergence over measured pairs."""
+    measurable = [p for p in pairs if p.measurable]
+    if not measurable:
+        raise MeasurementError("no measurable pairs")
+    symmetric = sum(1 for p in measurable if p.symmetric)
+    length_diffs = [abs(len(p.forward) - len(p.reverse))
+                    for p in measurable]
+    return AsymmetryStudy(
+        pairs_measured=len(measurable),
+        symmetric_fraction=symmetric / len(measurable),
+        mean_length_difference=sum(length_diffs) / len(length_diffs))

@@ -1,0 +1,67 @@
+"""Approach 2 of §3.2.2: SNI scans for per-service footprints.
+
+"We propose using Internet-wide SNI (TLS + hostname) scans to uncover the
+footprint of popular services by identifying which CDN or cloud IP
+addresses have the services' TLS certificates."
+
+Given a list of candidate serving prefixes (e.g. from a prior TLS scan),
+the scanner offers each service's hostname in the SNI and records which
+endpoints present a certificate covering it. The result maps every service
+domain to the set of (prefix, AS) locations serving it — including
+third-party services exposed on CDN/cloud infrastructure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import MeasurementError
+from ..net.prefixes import PrefixTable
+from ..services.tls import CertificateStore
+
+
+@dataclass
+class SniScanResult:
+    """domain -> endpoints presenting a matching certificate."""
+
+    endpoints_by_domain: Dict[str, List[Tuple[int, int]]]  # (pid, asn)
+
+    def footprint(self, domain: str) -> List[Tuple[int, int]]:
+        return list(self.endpoints_by_domain.get(domain, []))
+
+    def asns_serving(self, domain: str) -> "set[int]":
+        return {asn for __, asn in self.endpoints_by_domain.get(domain, [])}
+
+    def domains_found(self) -> List[str]:
+        return sorted(d for d, eps in self.endpoints_by_domain.items()
+                      if eps)
+
+    def domains_missing(self) -> List[str]:
+        return sorted(d for d, eps in self.endpoints_by_domain.items()
+                      if not eps)
+
+
+class SniScanner:
+    """SNI scan of candidate endpoints for a set of service hostnames."""
+
+    def __init__(self, certstore: CertificateStore,
+                 prefix_table: PrefixTable) -> None:
+        self._certstore = certstore
+        self._prefixes = prefix_table
+
+    def run(self, domains: Sequence[str],
+            candidate_prefixes: Iterable[int]) -> SniScanResult:
+        if not domains:
+            raise MeasurementError("no SNI hostnames given")
+        candidates = sorted(set(int(p) for p in candidate_prefixes))
+        result: Dict[str, List[Tuple[int, int]]] = {d: [] for d in domains}
+        for pid in candidates:
+            cert = self._certstore.cert_for_prefix(pid)
+            if cert is None:
+                continue
+            asn = self._prefixes.asn_of(pid)
+            for domain in domains:
+                if cert.covers_domain(domain):
+                    result[domain].append((pid, asn))
+        return SniScanResult(endpoints_by_domain=result)

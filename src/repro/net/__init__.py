@@ -1,0 +1,2 @@
+"""Internet substrate: geography, ASes, relationships, topology, routing,
+prefixes, routers and the public route-collector view."""

@@ -1,0 +1,121 @@
+"""Autonomous systems: the actors of the simulated Internet.
+
+Each AS carries the attributes a real operator would publish (or that can be
+inferred from public data): its type, home country/city, PeeringDB-style
+peering policy and traffic profile. These public attributes feed the
+link-recommendation technique of §3.3.3; private attributes (true subscriber
+counts, true traffic) live elsewhere in the scenario and are only exposed to
+ground-truth validation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import TopologyError
+from .geography import City
+
+
+class ASType(enum.Enum):
+    """Coarse role of an AS in the Internet ecosystem."""
+
+    TIER1 = "tier1"              # global transit-free backbone
+    TRANSIT = "transit"          # regional / national transit provider
+    EYEBALL = "eyeball"          # access ISP hosting end users
+    HYPERGIANT = "hypergiant"    # large content/cloud provider
+    STUB = "stub"                # enterprise, university, small hoster
+    RESEARCH = "research"        # NREN / research network (hosts VPs, roots)
+
+
+class PeeringPolicy(enum.Enum):
+    """PeeringDB-style interconnection policy."""
+
+    OPEN = "open"
+    SELECTIVE = "selective"
+    RESTRICTIVE = "restrictive"
+
+
+class TrafficProfile(enum.Enum):
+    """PeeringDB-style traffic ratio."""
+
+    HEAVY_INBOUND = "heavy_inbound"      # eyeballs
+    BALANCED = "balanced"
+    HEAVY_OUTBOUND = "heavy_outbound"    # content
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """A single AS and its publicly-observable attributes."""
+
+    asn: int
+    name: str
+    as_type: ASType
+    country_code: str
+    home_city: City
+    peering_policy: PeeringPolicy
+    traffic_profile: TrafficProfile
+
+    @property
+    def is_transit_like(self) -> bool:
+        return self.as_type in (ASType.TIER1, ASType.TRANSIT)
+
+    @property
+    def is_content(self) -> bool:
+        return self.as_type is ASType.HYPERGIANT
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AS{self.asn}({self.name})"
+
+
+class ASRegistry:
+    """Container mapping ASN -> :class:`AutonomousSystem`.
+
+    Iteration order is insertion order, which topology generation keeps
+    deterministic.
+    """
+
+    def __init__(self, ases: Iterable[AutonomousSystem] = ()):  # noqa: D401
+        self._by_asn: Dict[int, AutonomousSystem] = {}
+        for asys in ases:
+            self.add(asys)
+
+    def add(self, asys: AutonomousSystem) -> None:
+        if asys.asn in self._by_asn:
+            raise TopologyError(f"duplicate ASN {asys.asn}")
+        self._by_asn[asys.asn] = asys
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __iter__(self):
+        return iter(self._by_asn.values())
+
+    def get(self, asn: int) -> AutonomousSystem:
+        try:
+            return self._by_asn[asn]
+        except KeyError:
+            raise TopologyError(f"unknown ASN {asn}") from None
+
+    def maybe(self, asn: int) -> Optional[AutonomousSystem]:
+        return self._by_asn.get(asn)
+
+    @property
+    def asns(self) -> List[int]:
+        return list(self._by_asn.keys())
+
+    def of_type(self, as_type: ASType) -> List[AutonomousSystem]:
+        return [a for a in self if a.as_type is as_type]
+
+    def in_country(self, country_code: str) -> List[AutonomousSystem]:
+        return [a for a in self if a.country_code == country_code]
+
+    def eyeballs(self) -> List[AutonomousSystem]:
+        return self.of_type(ASType.EYEBALL)
+
+    def hypergiants(self) -> List[AutonomousSystem]:
+        return self.of_type(ASType.HYPERGIANT)

@@ -1,0 +1,120 @@
+"""Route collectors: the *public* view of the AS topology.
+
+Public BGP feeds (RouteViews / RIPE RIS style) see paths through the lens
+of their vantage ASes — mostly transit providers and research networks.
+This systematically hides peering links low in the hierarchy: a peering
+link (a, b) only appears on a collector path if some vantage point sits
+inside the customer cone of ``a`` or ``b`` (the announcement must climb
+from one cone, cross the link, and descend into the other — and the
+vantage must be on that path). Hypergiant-to-eyeball peering links, whose
+cones contain no vantage points, are therefore invisible — the paper's
+§3.3.1 motivation ("available vantage points cannot uncover most peering
+links for large content providers [4, 48, 63]"; the 2012 IXP paper found
+>90% of peerings missing from public topologies).
+
+``build_public_view`` derives the collector-visible topology from the
+actual one using exactly that cone rule (plus a small sampling loss on
+c2p links — collectors miss some backup transit links too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from .ases import ASRegistry, ASType
+from .relationships import ASGraph, Relationship
+
+# Probability a c2p link appears in the public view (transit links are
+# well announced; a few backup links never carry best paths).
+C2P_VISIBILITY = 0.96
+# Probability a peer link satisfying the cone rule is actually captured
+# (path selection does not always cross it at a vantage).
+P2P_CAPTURE = 0.90
+
+
+@dataclass
+class PublicTopologyView:
+    """What a researcher can download: topology + vantage points."""
+
+    graph: ASGraph                       # collector-visible AS graph
+    vantage_asns: Tuple[int, ...]        # ASes feeding the collectors
+    visible_links: FrozenSet[Tuple[int, int]] = field(default_factory=frozenset)
+
+    def missing_links(self, actual: ASGraph) -> FrozenSet[Tuple[int, int]]:
+        return actual.link_set() - self.graph.link_set()
+
+    def visibility_of_links(self, links: Sequence[Tuple[int, int]]) -> float:
+        """Fraction of the given (unordered) links present in the view."""
+        if not links:
+            raise ConfigError("no links given")
+        present = self.graph.link_set()
+        hits = sum(1 for a, b in links if (min(a, b), max(a, b)) in present)
+        return hits / len(links)
+
+
+def pick_vantage_asns(registry: ASRegistry, rng: np.random.Generator,
+                      count: int = 30) -> List[int]:
+    """Choose collector-feeding ASes: transit-heavy, plus research nets.
+
+    Mirrors the real collector ecosystem: big transit networks and NRENs
+    feed collectors; hypergiants and most eyeballs do not.
+    """
+    transits = [a.asn for a in registry
+                if a.as_type in (ASType.TIER1, ASType.TRANSIT)]
+    research = [a.asn for a in registry.of_type(ASType.RESEARCH)]
+    n_transit = min(len(transits), max(1, int(count * 0.7)))
+    n_research = min(len(research), count - n_transit)
+    chosen: List[int] = []
+    if n_transit:
+        idx = rng.choice(len(transits), size=n_transit, replace=False)
+        chosen.extend(sorted(transits[int(i)] for i in idx))
+    if n_research:
+        idx = rng.choice(len(research), size=n_research, replace=False)
+        chosen.extend(sorted(research[int(i)] for i in idx))
+    return chosen
+
+
+def build_public_view(actual: ASGraph, registry: ASRegistry,
+                      rng: np.random.Generator,
+                      vantage_count: int = 30) -> PublicTopologyView:
+    """Derive the collector-visible topology (see module docstring)."""
+    vantages = pick_vantage_asns(registry, rng, vantage_count)
+    vantage_set = set(vantages)
+
+    # An AS's customer cone contains a vantage point iff the AS is
+    # reachable from some vantage by climbing provider links.
+    cone_has_vp: Set[int] = set()
+    frontier = list(vantage_set)
+    cone_has_vp.update(frontier)
+    seen = set(frontier)
+    while frontier:
+        nxt: List[int] = []
+        for asn in frontier:
+            for provider in actual.providers_of(asn):
+                if provider not in seen:
+                    seen.add(provider)
+                    nxt.append(provider)
+        cone_has_vp.update(nxt)
+        frontier = nxt
+
+    public = ASGraph()
+    for asn in actual.asns:
+        public.add_as(asn)
+    visible: Set[Tuple[int, int]] = set()
+    for a, b, rel in sorted(actual.edges()):
+        if rel is Relationship.C2P:
+            if rng.random() < C2P_VISIBILITY:
+                public.add_c2p(a, b)
+                visible.add((min(a, b), max(a, b)))
+        else:
+            if (a in cone_has_vp or b in cone_has_vp) and \
+                    rng.random() < P2P_CAPTURE:
+                public.add_p2p(a, b)
+                visible.add((min(a, b), max(a, b)))
+    return PublicTopologyView(
+        graph=public, vantage_asns=tuple(vantages),
+        visible_links=frozenset(visible))

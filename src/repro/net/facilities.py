@@ -1,0 +1,94 @@
+"""Colocation facilities and the PeeringDB-like public registry.
+
+Increasingly many networks list the facilities where they maintain a peering
+presence (§3.3.3). The registry here plays that role: it is *public* input
+to the link-recommendation technique, while the actual peering links remain
+hidden in the AS graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..errors import TopologyError
+from .geography import City
+
+
+@dataclass(frozen=True)
+class Facility:
+    """A colocation facility (an interconnection building) in a city."""
+
+    fid: int
+    name: str
+    city: City
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} ({self.city.name})"
+
+
+class PeeringRegistry:
+    """Public registry of which ASes are present at which facilities."""
+
+    def __init__(self, facilities: Iterable[Facility] = ()):  # noqa: D401
+        self._facilities: Dict[int, Facility] = {}
+        self._members: Dict[int, Set[int]] = {}       # fid -> {asn}
+        self._presence: Dict[int, Set[int]] = {}      # asn -> {fid}
+        for facility in facilities:
+            self.add_facility(facility)
+
+    def add_facility(self, facility: Facility) -> None:
+        if facility.fid in self._facilities:
+            raise TopologyError(f"duplicate facility id {facility.fid}")
+        self._facilities[facility.fid] = facility
+        self._members[facility.fid] = set()
+
+    def register(self, asn: int, fid: int) -> None:
+        """Record that ``asn`` has presence at facility ``fid``."""
+        if fid not in self._facilities:
+            raise TopologyError(f"unknown facility {fid}")
+        self._members[fid].add(asn)
+        self._presence.setdefault(asn, set()).add(fid)
+
+    # -- queries ----------------------------------------------------------
+
+    def facility(self, fid: int) -> Facility:
+        try:
+            return self._facilities[fid]
+        except KeyError:
+            raise TopologyError(f"unknown facility {fid}") from None
+
+    @property
+    def facilities(self) -> List[Facility]:
+        return list(self._facilities.values())
+
+    def facilities_of(self, asn: int) -> Set[int]:
+        """Facility ids where ``asn`` is present (empty if unlisted)."""
+        return set(self._presence.get(asn, set()))
+
+    def members_at(self, fid: int) -> Set[int]:
+        if fid not in self._members:
+            raise TopologyError(f"unknown facility {fid}")
+        return set(self._members[fid])
+
+    def common_facilities(self, a: int, b: int) -> Set[int]:
+        """Facilities where both ASes are present — peering is only
+        *possible* between co-located networks."""
+        return self.facilities_of(a) & self.facilities_of(b)
+
+    def colocated(self, a: int, b: int) -> bool:
+        return bool(self.common_facilities(a, b))
+
+    def colocated_pairs(self) -> FrozenSet[Tuple[int, int]]:
+        """All unordered AS pairs sharing at least one facility."""
+        pairs: Set[Tuple[int, int]] = set()
+        for members in self._members.values():
+            ordered = sorted(members)
+            for i, a in enumerate(ordered):
+                for b in ordered[i + 1:]:
+                    pairs.add((a, b))
+        return frozenset(pairs)
+
+    def facility_cities(self, asn: int) -> List[City]:
+        """Cities where ``asn`` has facility presence."""
+        return [self._facilities[fid].city for fid in self.facilities_of(asn)]

@@ -1,0 +1,210 @@
+"""AS business relationships and the annotated AS-level graph.
+
+The graph stores customer-to-provider (``C2P``) and settlement-free peering
+(``P2P``) edges, the two relationship kinds that Gao-Rexford routing policy
+distinguishes. It is the single source of truth for the *actual* topology;
+the public view observed at route collectors is derived from it in
+:mod:`repro.net.collectors` and is incomplete by construction (§3.3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from ..errors import TopologyError
+
+
+class Relationship(enum.Enum):
+    """Business relationship between two adjacent ASes."""
+
+    C2P = "c2p"   # stored as (customer, provider)
+    P2P = "p2p"   # symmetric
+
+
+class ASGraph:
+    """AS-level graph annotated with business relationships.
+
+    Edges are stored per-AS in three role sets (providers, customers, peers)
+    for O(1) policy checks during route propagation. The graph is
+    deliberately mutable — topology generation adds links incrementally, and
+    experiments hide/reveal links (e.g. holding out peering links for the
+    link-recommendation evaluation of §3.3.3).
+    """
+
+    def __init__(self) -> None:
+        self._providers: Dict[int, Set[int]] = {}
+        self._customers: Dict[int, Set[int]] = {}
+        self._peers: Dict[int, Set[int]] = {}
+
+    # -- node management -------------------------------------------------
+
+    def add_as(self, asn: int) -> None:
+        """Register an AS with no links (idempotent)."""
+        self._providers.setdefault(asn, set())
+        self._customers.setdefault(asn, set())
+        self._peers.setdefault(asn, set())
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._providers
+
+    def __len__(self) -> int:
+        return len(self._providers)
+
+    @property
+    def asns(self) -> List[int]:
+        return list(self._providers.keys())
+
+    def _require(self, asn: int) -> None:
+        if asn not in self._providers:
+            raise TopologyError(f"ASN {asn} not in graph")
+
+    # -- edge management --------------------------------------------------
+
+    def add_c2p(self, customer: int, provider: int) -> None:
+        """Add a customer-to-provider link."""
+        self._check_new_edge(customer, provider)
+        self._providers[customer].add(provider)
+        self._customers[provider].add(customer)
+
+    def add_p2p(self, a: int, b: int) -> None:
+        """Add a settlement-free peering link."""
+        self._check_new_edge(a, b)
+        self._peers[a].add(b)
+        self._peers[b].add(a)
+
+    def _check_new_edge(self, a: int, b: int) -> None:
+        if a == b:
+            raise TopologyError(f"self-link on ASN {a}")
+        self._require(a)
+        self._require(b)
+        if self.relationship_of(a, b) is not None:
+            raise TopologyError(f"link {a}-{b} already exists")
+
+    def remove_link(self, a: int, b: int) -> Relationship:
+        """Remove the link between ``a`` and ``b``; return what it was."""
+        rel = self.relationship_of(a, b)
+        if rel is None:
+            raise TopologyError(f"no link {a}-{b}")
+        if rel is Relationship.P2P:
+            self._peers[a].discard(b)
+            self._peers[b].discard(a)
+        elif b in self._providers[a]:
+            self._providers[a].discard(b)
+            self._customers[b].discard(a)
+        else:
+            self._providers[b].discard(a)
+            self._customers[a].discard(b)
+        return rel
+
+    # -- queries ----------------------------------------------------------
+
+    def providers_of(self, asn: int) -> Set[int]:
+        self._require(asn)
+        return set(self._providers[asn])
+
+    def customers_of(self, asn: int) -> Set[int]:
+        self._require(asn)
+        return set(self._customers[asn])
+
+    def peers_of(self, asn: int) -> Set[int]:
+        self._require(asn)
+        return set(self._peers[asn])
+
+    def neighbors_of(self, asn: int) -> Set[int]:
+        self._require(asn)
+        return self._providers[asn] | self._customers[asn] | self._peers[asn]
+
+    def degree(self, asn: int) -> int:
+        return len(self.neighbors_of(asn))
+
+    def relationship_of(self, a: int, b: int) -> "Relationship | None":
+        """Relationship on the ``a``-``b`` link, or None if not adjacent.
+
+        For ``C2P`` the orientation is *not* encoded in the return value;
+        use :meth:`is_provider_of` when orientation matters.
+        """
+        self._require(a)
+        self._require(b)
+        if b in self._peers[a]:
+            return Relationship.P2P
+        if b in self._providers[a] or b in self._customers[a]:
+            return Relationship.C2P
+        return None
+
+    def is_provider_of(self, provider: int, customer: int) -> bool:
+        self._require(provider)
+        return customer in self._customers[provider]
+
+    def edges(self) -> Iterator[Tuple[int, int, Relationship]]:
+        """Yield every link once.
+
+        ``C2P`` edges are yielded as ``(customer, provider, C2P)``;
+        ``P2P`` edges as ``(min_asn, max_asn, P2P)``.
+        """
+        for customer, providers in self._providers.items():
+            for provider in providers:
+                yield (customer, provider, Relationship.C2P)
+        for a, peers in self._peers.items():
+            for b in peers:
+                if a < b:
+                    yield (a, b, Relationship.P2P)
+
+    def edge_count(self) -> int:
+        c2p = sum(len(p) for p in self._providers.values())
+        p2p = sum(len(p) for p in self._peers.values()) // 2
+        return c2p + p2p
+
+    # -- derived structures -------------------------------------------------
+
+    def customer_cone(self, asn: int) -> Set[int]:
+        """All ASes reachable from ``asn`` by walking provider→customer
+        links, including ``asn`` itself (CAIDA-style customer cone)."""
+        self._require(asn)
+        cone: Set[int] = {asn}
+        frontier = [asn]
+        while frontier:
+            nxt: List[int] = []
+            for node in frontier:
+                for customer in self._customers[node]:
+                    if customer not in cone:
+                        cone.add(customer)
+                        nxt.append(customer)
+            frontier = nxt
+        return cone
+
+    def transit_free(self) -> List[int]:
+        """ASes with no providers (tier-1-like)."""
+        return [asn for asn, providers in self._providers.items() if not providers]
+
+    def copy(self) -> "ASGraph":
+        """Deep copy (used to derive public/held-out variants)."""
+        dup = ASGraph()
+        for asn in self._providers:
+            dup.add_as(asn)
+        for customer, providers in self._providers.items():
+            for provider in providers:
+                dup._providers[customer].add(provider)
+                dup._customers[provider].add(customer)
+        for a, peers in self._peers.items():
+            dup._peers[a] = set(peers)
+        return dup
+
+    def validate(self) -> None:
+        """Check internal consistency; raise :class:`TopologyError` if broken."""
+        for asn, providers in self._providers.items():
+            for provider in providers:
+                if asn not in self._customers.get(provider, set()):
+                    raise TopologyError(f"dangling c2p {asn}->{provider}")
+            if asn in self._peers[asn]:
+                raise TopologyError(f"self peering on {asn}")
+        for a, peers in self._peers.items():
+            for b in peers:
+                if a not in self._peers.get(b, set()):
+                    raise TopologyError(f"asymmetric p2p {a}-{b}")
+                if b in self._providers[a] or b in self._customers[a]:
+                    raise TopologyError(f"link {a}-{b} is both p2p and c2p")
+
+    def link_set(self) -> FrozenSet[Tuple[int, int]]:
+        """Unordered adjacency pairs, for set arithmetic on topologies."""
+        return frozenset((min(a, b), max(a, b)) for a, b, _ in self.edges())

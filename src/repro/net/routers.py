@@ -1,0 +1,127 @@
+"""Router interfaces with incrementing IP ID counters (§3.1.3).
+
+"Every packet must include an IP ID value, and many routers source the IP
+ID values from an incrementing counter. ... We have observed that the IP ID
+values of most routers display diurnal patterns, suggesting that the rate
+at which the routers source packets may be proportional to the rate at
+which they forward traffic."
+
+Each simulated router belongs to an AS and sources packets (flow exports,
+ICMP, keepalives) at a rate proportional to the AS's forwarded traffic
+volume, modulated by the local diurnal curve. The counter wraps at 2^16
+like the real 16-bit IP ID field, so measurement code must unwrap it.
+
+Not every router is measurable: some use randomised IP IDs (per-flow
+counters or RFC 6864-style randomisation), in which case pings see noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..population.activity import DiurnalCurve
+from .ases import ASRegistry, ASType
+from .geography import City
+
+IPID_MODULUS = 65_536
+
+
+@dataclass(frozen=True)
+class RouterInterface:
+    """One pingable router interface."""
+
+    address: str
+    asn: int
+    city: City
+    base_rate_pps: float        # mean packets/second sourced by the router
+    counter_offset: int
+    uses_random_ipid: bool
+    curve: DiurnalCurve
+
+    def ipid_at(self, t_seconds: float,
+                rng: Optional[np.random.Generator] = None) -> int:
+        """IP ID value observed in a reply sent at ``t_seconds``.
+
+        Randomised-ID routers return uniform noise (requires ``rng``).
+        """
+        if self.uses_random_ipid:
+            if rng is None:
+                raise ConfigError("random-IPID router needs an rng")
+            return int(rng.integers(0, IPID_MODULUS))
+        sourced = self.base_rate_pps * self.curve.integral(
+            0.0, t_seconds, self.city.utc_offset)
+        return int(self.counter_offset + round(sourced)) % IPID_MODULUS
+
+    def expected_rate_at(self, t_seconds: float) -> float:
+        """Instantaneous sourcing rate (packets/second) — ground truth."""
+        if self.uses_random_ipid:
+            return 0.0
+        return self.base_rate_pps * self.curve.value_at(
+            t_seconds, self.city.utc_offset)
+
+
+class RouterPopulation:
+    """All pingable router interfaces, indexed by AS."""
+
+    def __init__(self, routers: List[RouterInterface]) -> None:
+        self._routers = list(routers)
+        self._by_as: Dict[int, List[RouterInterface]] = {}
+        for router in routers:
+            self._by_as.setdefault(router.asn, []).append(router)
+
+    def __len__(self) -> int:
+        return len(self._routers)
+
+    def __iter__(self):
+        return iter(self._routers)
+
+    def in_as(self, asn: int) -> List[RouterInterface]:
+        return list(self._by_as.get(asn, []))
+
+    def by_address(self, address: str) -> Optional[RouterInterface]:
+        for router in self._routers:
+            if router.address == address:
+                return router
+        return None
+
+    def countable(self) -> List[RouterInterface]:
+        return [r for r in self._routers if not r.uses_random_ipid]
+
+
+def build_routers(registry: ASRegistry, volume_by_as: Dict[int, float],
+                  curve: DiurnalCurve, rng: np.random.Generator,
+                  random_ipid_fraction: float = 0.25,
+                  pps_per_volume_unit: float = 125.0) -> RouterPopulation:
+    """Create router interfaces for transit-like and eyeball ASes.
+
+    ``volume_by_as`` is the flow assignment's per-AS forwarded volume (in
+    relative byte units summing to ~path-length); the sourcing rate is
+    proportional to it.
+    """
+    routers: List[RouterInterface] = []
+    for asys in registry:
+        if asys.as_type not in (ASType.TIER1, ASType.TRANSIT,
+                                ASType.EYEBALL, ASType.HYPERGIANT):
+            continue
+        volume = volume_by_as.get(asys.asn, 0.0)
+        if volume <= 0:
+            continue
+        n_interfaces = 2 if asys.as_type in (ASType.TIER1,
+                                             ASType.TRANSIT) else 1
+        for k in range(n_interfaces):
+            jitter = float(rng.lognormal(0.0, 0.4))
+            routers.append(RouterInterface(
+                address=f"rtr{k}.as{asys.asn}.example",
+                asn=asys.asn,
+                city=asys.home_city,
+                base_rate_pps=max(0.05, volume * pps_per_volume_unit
+                                  * jitter / n_interfaces),
+                counter_offset=int(rng.integers(0, IPID_MODULUS)),
+                uses_random_ipid=bool(rng.random() < random_ipid_fraction),
+                curve=curve,
+            ))
+    return RouterPopulation(routers)

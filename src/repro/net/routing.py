@@ -1,0 +1,187 @@
+"""Valley-free (Gao-Rexford) route computation over the AS graph.
+
+Routes are computed per destination with the standard three-phase
+propagation model:
+
+1. **Customer routes** — the origin's route propagates upward over
+   customer→provider links any number of times.
+2. **Peer routes** — a route held via a customer (or by the origin) crosses
+   at most one peering link.
+3. **Provider routes** — after crossing a peer link or turning downhill,
+   routes propagate only downward over provider→customer links.
+
+Route selection follows BGP decision logic restricted to the attributes the
+model carries: prefer customer over peer over provider routes (local
+preference mirrors economics), then shortest AS path, then lowest next-hop
+ASN as the deterministic tie-break.
+
+The simulator also supports *anycast* destinations — several origin ASes
+announcing the same prefix — by seeding phase 1 with every origin; the
+winning origin at each AS is its catchment.
+
+Results are cached per (graph epoch, origin set); mutating the graph via
+the provided ``invalidate`` hook clears the cache.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import TopologyError
+from .relationships import ASGraph
+
+
+class RouteKind(enum.Enum):
+    """How the best route at an AS was learned (BGP local-pref classes)."""
+
+    ORIGIN = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+
+@dataclass(frozen=True)
+class Route:
+    """Best route from one AS toward a destination.
+
+    ``path`` lists ASNs from the route holder to the origin, inclusive:
+    ``path[0]`` is the holder, ``path[-1]`` the (anycast) origin reached.
+    """
+
+    path: Tuple[int, ...]
+    kind: RouteKind
+
+    @property
+    def holder(self) -> int:
+        return self.path[0]
+
+    @property
+    def origin(self) -> int:
+        return self.path[-1]
+
+    @property
+    def as_path_length(self) -> int:
+        """Number of AS hops (edges) on the path."""
+        return len(self.path) - 1
+
+
+def _better(candidate: Route, incumbent: Optional[Route]) -> bool:
+    """BGP decision: kind (local pref), then path length, then next hop."""
+    if incumbent is None:
+        return True
+    if candidate.kind.value != incumbent.kind.value:
+        return candidate.kind.value < incumbent.kind.value
+    if candidate.as_path_length != incumbent.as_path_length:
+        return candidate.as_path_length < incumbent.as_path_length
+    cand_next = candidate.path[1] if len(candidate.path) > 1 else -1
+    inc_next = incumbent.path[1] if len(incumbent.path) > 1 else -1
+    return cand_next < inc_next
+
+
+def compute_routes(graph: ASGraph, origins: Sequence[int]
+                   ) -> Dict[int, Route]:
+    """Best route from every AS that can reach any of ``origins``.
+
+    Unreachable ASes are absent from the result. With multiple origins the
+    announcement is anycast: each AS reaches exactly one winning origin.
+    """
+    if not origins:
+        raise TopologyError("need at least one origin")
+    for origin in origins:
+        if origin not in graph:
+            raise TopologyError(f"origin ASN {origin} not in graph")
+
+    best: Dict[int, Route] = {}
+
+    # Phase 1: customer routes, BFS upward. A heap ordered by
+    # (path_len, next_hop) makes selection deterministic and shortest-first.
+    heap: List[Tuple[int, int, Tuple[int, ...]]] = []
+    for origin in sorted(set(origins)):
+        route = Route(path=(origin,), kind=RouteKind.ORIGIN)
+        best[origin] = route
+        heapq.heappush(heap, (0, -1, route.path))
+    while heap:
+        path_len, __, path = heapq.heappop(heap)
+        holder = path[0]
+        current = best.get(holder)
+        if current is None or current.path != path:
+            continue  # superseded by a better route
+        for provider in sorted(graph.providers_of(holder)):
+            candidate = Route(path=(provider,) + path,
+                              kind=RouteKind.CUSTOMER)
+            if _better(candidate, best.get(provider)):
+                best[provider] = candidate
+                heapq.heappush(
+                    heap, (candidate.as_path_length, path[0], candidate.path))
+
+    # Phase 2: peer routes — cross one peering link from any AS holding an
+    # origin or customer route. Collect candidates first so that phase-2
+    # routes never chain across two peer links.
+    uphill_holders = [r for r in best.values()
+                      if r.kind in (RouteKind.ORIGIN, RouteKind.CUSTOMER)]
+    for route in sorted(uphill_holders, key=lambda r: (r.as_path_length,
+                                                       r.path)):
+        for peer in sorted(graph.peers_of(route.holder)):
+            candidate = Route(path=(peer,) + route.path, kind=RouteKind.PEER)
+            if _better(candidate, best.get(peer)):
+                best[peer] = candidate
+
+    # Phase 3: provider routes, BFS downward from every route holder.
+    heap = []
+    for route in best.values():
+        heapq.heappush(heap, (route.as_path_length, -1, route.path))
+    while heap:
+        path_len, __, path = heapq.heappop(heap)
+        holder = path[0]
+        current = best.get(holder)
+        if current is None or current.path != path:
+            continue
+        for customer in sorted(graph.customers_of(holder)):
+            candidate = Route(path=(customer,) + path,
+                              kind=RouteKind.PROVIDER)
+            if _better(candidate, best.get(customer)):
+                best[customer] = candidate
+                heapq.heappush(
+                    heap, (candidate.as_path_length, path[0], candidate.path))
+
+    return best
+
+
+class BgpSimulator:
+    """Per-origin-set route cache over a (mostly static) AS graph."""
+
+    def __init__(self, graph: ASGraph) -> None:
+        self._graph = graph
+        self._cache: Dict[FrozenSet[int], Dict[int, Route]] = {}
+
+    @property
+    def graph(self) -> ASGraph:
+        return self._graph
+
+    def invalidate(self) -> None:
+        """Drop cached routes after a topology change."""
+        self._cache.clear()
+
+    def routes_to(self, origins: Iterable[int]) -> Dict[int, Route]:
+        """Best routes from every AS toward the origin set (cached)."""
+        key = frozenset(origins)
+        if key not in self._cache:
+            self._cache[key] = compute_routes(self._graph, sorted(key))
+        return self._cache[key]
+
+    def route(self, src: int, dst: int) -> Optional[Route]:
+        """Best route from ``src`` to ``dst`` (None if unreachable)."""
+        return self.routes_to([dst]).get(src)
+
+    def path(self, src: int, dst: int) -> Optional[Tuple[int, ...]]:
+        """AS path from ``src`` to ``dst`` (None if unreachable)."""
+        route = self.route(src, dst)
+        return route.path if route is not None else None
+
+    def catchment(self, src: int, origins: Iterable[int]) -> Optional[int]:
+        """Which anycast origin ``src``'s best route reaches."""
+        route = self.routes_to(origins).get(src)
+        return route.origin if route is not None else None

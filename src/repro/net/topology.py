@@ -1,0 +1,492 @@
+"""Flattened-Internet topology generation.
+
+Builds the *actual* AS-level topology of the simulated Internet:
+
+* a tier-1 clique at the top of the transit hierarchy,
+* regional transit providers buying from tier-1s,
+* eyeball ISPs multi-homed to regional transit,
+* stub enterprise/hosting ASes at the edge,
+* research networks (which later host vantage points and root servers), and
+* hypergiants that, in line with the Internet-flattening literature the
+  paper builds on (§3.3.2, [7, 19]), peer *directly* with most transit and
+  eyeball networks — the links that route collectors largely cannot see.
+
+The generator also populates a PeeringDB-like :class:`PeeringRegistry` with
+facility presences, and wires IXP-style peering between co-located networks.
+
+Ground-truth "size weights" for eyeball ASes are drawn here (Zipf within
+each country) so that both the population model and the hypergiants'
+peering strategies (which target large eyeballs first) agree on which
+networks are big.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..config import TopologyConfig
+from ..errors import ConfigError
+from ..rand import zipf_weights
+from .ases import (ASRegistry, ASType, AutonomousSystem, PeeringPolicy,
+                   TrafficProfile)
+from .facilities import Facility, PeeringRegistry
+from .geography import City, WorldAtlas
+from .relationships import ASGraph
+
+# ASN ranges per role keep identities readable in debug output.
+TIER1_BASE = 1
+TRANSIT_BASE = 100
+EYEBALL_BASE = 1000
+STUB_BASE = 5000
+RESEARCH_BASE = 10_000
+HYPERGIANT_BASE = 20_000
+
+# Named "focus" eyeball ISPs reproduce Figure 2: large ISPs in France,
+# Japan, South Korea, the UK and the US with ground-truth subscriber counts
+# (millions). The French ISPs are the paper's case study. Values are
+# loosely modelled on public subscriber figures; only ordering matters.
+FOCUS_ISPS: Mapping[str, Tuple[Tuple[str, float], ...]] = {
+    "FR": (("Orange", 21.0), ("SFR", 15.0), ("Free", 11.5),
+           ("Bouygues", 9.0), ("Free_M", 6.0), ("El_tele", 2.5)),
+    "JP": (("NTT_Com", 68.0), ("KDDI_Net", 52.0), ("SoftBranch", 40.0)),
+    "KR": (("SK_Band", 28.0), ("KT_Net", 21.0), ("LG_Plus", 14.0)),
+    "GB": (("BT_Net", 27.0), ("VirginM", 15.0), ("SkyNet", 12.0),
+           ("TalkTalk", 4.2)),
+    "US": (("Comstream", 112.0), ("Charta", 96.0), ("ATT_Net", 81.0),
+           ("Verzon", 69.0)),
+}
+
+
+@dataclass
+class TopologyBuild:
+    """Everything the topology generator produces.
+
+    ``eyeball_size_weight`` maps eyeball ASN -> relative size (country-local
+    Zipf weight scaled by country Internet users); the population model
+    turns it into absolute subscriber counts. ``focus_subscribers_m`` holds
+    the fixed ground-truth subscriber counts (millions) of the named focus
+    ISPs keyed by ASN.
+    """
+
+    registry: ASRegistry
+    graph: ASGraph
+    peeringdb: PeeringRegistry
+    hypergiant_asns: Dict[str, int] = field(default_factory=dict)
+    eyeball_size_weight: Dict[int, float] = field(default_factory=dict)
+    focus_subscribers_m: Dict[int, float] = field(default_factory=dict)
+    focus_isp_names: Dict[int, str] = field(default_factory=dict)
+    # Per-country hypergiant infrastructure presence (0..1): how deeply
+    # the big providers have invested locally. Scales both direct peering
+    # with the country's eyeballs and off-net cache deployment — "the
+    # amount of traffic from these services varies greatly across user
+    # networks" (§1) in part because presence does.
+    hg_country_presence: Dict[str, float] = field(default_factory=dict)
+
+
+def _country_counts(atlas: WorldAtlas, total: int,
+                    rng: np.random.Generator) -> Dict[str, int]:
+    """Distribute ``total`` ASes over countries ∝ sqrt(Internet users)."""
+    codes = atlas.country_codes
+    weights = np.array(
+        [max(atlas.country(c).internet_users_m, 0.1) ** 0.5 for c in codes])
+    weights = weights / weights.sum()
+    counts = np.floor(weights * total).astype(int)
+    counts = np.maximum(counts, 1)
+    # Hand out any remainder to the largest countries, deterministically.
+    remainder = total - int(counts.sum())
+    order = np.argsort(-weights)
+    i = 0
+    while remainder > 0:
+        counts[order[i % len(codes)]] += 1
+        remainder -= 1
+        i += 1
+    while remainder < 0:
+        j = order[i % len(codes)]
+        if counts[j] > 1:
+            counts[j] -= 1
+            remainder += 1
+        i += 1
+    return dict(zip(codes, (int(c) for c in counts)))
+
+
+def _pick_city(atlas: WorldAtlas, code: str, rng: np.random.Generator) -> City:
+    cities = atlas.country(code).cities
+    # Capital city hosts most networks; secondary cities the rest.
+    weights = np.array([2.0] + [1.0] * (len(cities) - 1))
+    idx = rng.choice(len(cities), p=weights / weights.sum())
+    return cities[int(idx)]
+
+
+class TopologyBuilder:
+    """Stateful builder; call :meth:`build` once."""
+
+    def __init__(self, config: TopologyConfig, atlas: WorldAtlas,
+                 hypergiant_names: Sequence[str],
+                 rng: np.random.Generator,
+                 open_peering_names: "Sequence[str]" = ()) -> None:
+        config.validate()
+        if not hypergiant_names:
+            raise ConfigError("need at least one hypergiant")
+        self._cfg = config
+        self._atlas = atlas
+        self._hg_names = list(hypergiant_names)
+        self._open_peering = set(open_peering_names)
+        self._rng = rng
+        self._registry = ASRegistry()
+        self._graph = ASGraph()
+        self._pdb = PeeringRegistry()
+        self._build_out = TopologyBuild(
+            registry=self._registry, graph=self._graph, peeringdb=self._pdb)
+
+    # -- public entry point -------------------------------------------------
+
+    def build(self) -> TopologyBuild:
+        self._make_facilities()
+        tier1 = self._make_tier1()
+        transit = self._make_transit(tier1)
+        eyeballs = self._make_eyeballs(transit)
+        self._make_stubs(transit, eyeballs)
+        self._make_research(transit)
+        self._make_hypergiants(tier1, transit, eyeballs)
+        self._wire_colo_peering()
+        self._graph.validate()
+        return self._build_out
+
+    # -- helpers --------------------------------------------------------------
+
+    def _add_as(self, asys: AutonomousSystem) -> AutonomousSystem:
+        self._registry.add(asys)
+        self._graph.add_as(asys.asn)
+        return asys
+
+    def _join_facilities(self, asn: int, cities: Sequence[City],
+                         count: int) -> None:
+        """Register ``asn`` at up to ``count`` facilities near ``cities``."""
+        fids: List[int] = []
+        for city in cities:
+            fids.extend(self._city_fids.get((city.country_code, city.name), []))
+        if not fids:
+            return
+        unique = sorted(set(fids))
+        take = min(count, len(unique))
+        chosen = self._rng.choice(len(unique), size=take, replace=False)
+        for idx in chosen:
+            self._pdb.register(asn, unique[int(idx)])
+
+    def _make_facilities(self) -> None:
+        self._city_fids: Dict[Tuple[str, str], List[int]] = {}
+        fid = 0
+        for country in self._atlas.countries:
+            for pos, city in enumerate(country.cities):
+                n_fac = self._cfg.facilities_per_major_city if pos == 0 else 1
+                for k in range(n_fac):
+                    facility = Facility(
+                        fid=fid, name=f"{city.name}-IX{k + 1}", city=city)
+                    self._pdb.add_facility(facility)
+                    self._city_fids.setdefault(
+                        (country.code, city.name), []).append(fid)
+                    fid += 1
+
+    # -- tier1 ---------------------------------------------------------------
+
+    def _make_tier1(self) -> List[AutonomousSystem]:
+        tier1: List[AutonomousSystem] = []
+        # Spread tier-1s over the largest countries of each region.
+        regions = self._atlas.regions
+        big_countries = sorted(self._atlas.countries,
+                               key=lambda c: -c.internet_users_m)
+        homes: List[str] = []
+        for region in regions:
+            in_region = [c for c in big_countries if c.region == region]
+            if in_region:
+                homes.append(in_region[0].code)
+        i = 0
+        while len(homes) < self._cfg.n_tier1:
+            homes.append(big_countries[i % len(big_countries)].code)
+            i += 1
+        for idx in range(self._cfg.n_tier1):
+            code = homes[idx]
+            asys = self._add_as(AutonomousSystem(
+                asn=TIER1_BASE + idx,
+                name=f"Tier1-{idx + 1}",
+                as_type=ASType.TIER1,
+                country_code=code,
+                home_city=self._atlas.country(code).capital,
+                peering_policy=PeeringPolicy.RESTRICTIVE,
+                traffic_profile=TrafficProfile.BALANCED,
+            ))
+            tier1.append(asys)
+            # Tier-1s are present in major facilities worldwide.
+            capitals = [c.capital for c in self._atlas.countries]
+            self._join_facilities(asys.asn, capitals,
+                                  count=max(6, len(capitals) // 2))
+        for i, a in enumerate(tier1):
+            for b in tier1[i + 1:]:
+                self._graph.add_p2p(a.asn, b.asn)
+        return tier1
+
+    # -- transit --------------------------------------------------------------
+
+    def _make_transit(self, tier1: List[AutonomousSystem]
+                      ) -> List[AutonomousSystem]:
+        counts = _country_counts(self._atlas, self._cfg.n_transit, self._rng)
+        transit: List[AutonomousSystem] = []
+        asn = TRANSIT_BASE
+        for code, n in counts.items():
+            for k in range(n):
+                home = _pick_city(self._atlas, code, self._rng)
+                asys = self._add_as(AutonomousSystem(
+                    asn=asn,
+                    name=f"Transit-{code}-{k + 1}",
+                    as_type=ASType.TRANSIT,
+                    country_code=code,
+                    home_city=home,
+                    peering_policy=PeeringPolicy.SELECTIVE,
+                    traffic_profile=TrafficProfile.BALANCED,
+                ))
+                transit.append(asys)
+                asn += 1
+                # Providers: 2-3 tier-1s, preferring same-region ones.
+                region = self._atlas.country(code).region
+                same = [t for t in tier1
+                        if self._atlas.country(t.country_code).region == region]
+                pool = same if same else tier1
+                n_prov = int(self._rng.integers(2, 4))
+                chosen = set()
+                for __ in range(n_prov):
+                    pick = pool[int(self._rng.integers(len(pool)))] \
+                        if self._rng.random() < 0.7 else \
+                        tier1[int(self._rng.integers(len(tier1)))]
+                    chosen.add(pick.asn)
+                for provider in sorted(chosen):
+                    self._graph.add_c2p(asys.asn, provider)
+                # Facility presence around the region.
+                region_cities = self._atlas.cities_in_region(region)
+                n_fac = 1 + int(self._rng.poisson(self._cfg.facility_join_mean))
+                self._join_facilities(asys.asn, region_cities, n_fac)
+        return transit
+
+    # -- eyeballs --------------------------------------------------------------
+
+    def _make_eyeballs(self, transit: List[AutonomousSystem]
+                       ) -> List[AutonomousSystem]:
+        counts = _country_counts(self._atlas, self._cfg.n_eyeball, self._rng)
+        eyeballs: List[AutonomousSystem] = []
+        asn = EYEBALL_BASE
+        for code, n in counts.items():
+            focus = FOCUS_ISPS.get(code, ())
+            n = max(n, len(focus))
+            country_users = self._atlas.country(code).internet_users_m
+            # Zipf size weights within the country, scaled by country size.
+            local = zipf_weights(n, 1.1) * country_users
+            for k in range(n):
+                if k < len(focus):
+                    name, subscribers_m = focus[k]
+                else:
+                    name, subscribers_m = f"ISP-{code}-{k + 1}", None
+                home = _pick_city(self._atlas, code, self._rng)
+                asys = self._add_as(AutonomousSystem(
+                    asn=asn,
+                    name=name,
+                    as_type=ASType.EYEBALL,
+                    country_code=code,
+                    home_city=home,
+                    peering_policy=PeeringPolicy.SELECTIVE,
+                    traffic_profile=TrafficProfile.HEAVY_INBOUND,
+                ))
+                eyeballs.append(asys)
+                if subscribers_m is not None:
+                    self._build_out.focus_subscribers_m[asn] = subscribers_m
+                    self._build_out.focus_isp_names[asn] = name
+                    self._build_out.eyeball_size_weight[asn] = subscribers_m
+                else:
+                    self._build_out.eyeball_size_weight[asn] = float(local[k])
+                asn += 1
+                # Providers: 1-3 transit networks, same country preferred.
+                local_transit = [t for t in transit if t.country_code == code]
+                region = self._atlas.country(code).region
+                regional_transit = [
+                    t for t in transit
+                    if self._atlas.country(t.country_code).region == region]
+                pool = local_transit or regional_transit or transit
+                n_prov = max(1, int(self._rng.poisson(
+                    self._cfg.eyeball_provider_mean - 1) + 1))
+                chosen = set()
+                for __ in range(n_prov):
+                    source = pool if self._rng.random() < 0.8 else transit
+                    chosen.add(source[int(self._rng.integers(len(source)))].asn)
+                for provider in sorted(chosen):
+                    self._graph.add_c2p(asys.asn, provider)
+                # Facility presence in own country.
+                own_cities = self._atlas.country(code).cities
+                n_fac = 1 + int(self._rng.poisson(
+                    self._cfg.facility_join_mean / 2))
+                self._join_facilities(asys.asn, own_cities, n_fac)
+        return eyeballs
+
+    # -- stubs -----------------------------------------------------------------
+
+    def _make_stubs(self, transit: List[AutonomousSystem],
+                    eyeballs: List[AutonomousSystem]) -> None:
+        counts = _country_counts(self._atlas, self._cfg.n_stub, self._rng)
+        asn = STUB_BASE
+        for code, n in counts.items():
+            local_upstreams = ([t for t in transit if t.country_code == code] +
+                               [e for e in eyeballs if e.country_code == code])
+            pool = local_upstreams or transit
+            for k in range(n):
+                home = _pick_city(self._atlas, code, self._rng)
+                asys = self._add_as(AutonomousSystem(
+                    asn=asn,
+                    name=f"Stub-{code}-{k + 1}",
+                    as_type=ASType.STUB,
+                    country_code=code,
+                    home_city=home,
+                    peering_policy=PeeringPolicy.OPEN,
+                    traffic_profile=TrafficProfile.BALANCED,
+                ))
+                asn += 1
+                n_prov = 1 if self._rng.random() < 0.75 else 2
+                chosen = set()
+                for __ in range(n_prov):
+                    chosen.add(pool[int(self._rng.integers(len(pool)))].asn)
+                for provider in sorted(chosen):
+                    self._graph.add_c2p(asys.asn, provider)
+                if self._rng.random() < 0.10:
+                    self._join_facilities(
+                        asys.asn, self._atlas.country(code).cities, 1)
+
+    # -- research networks ------------------------------------------------------
+
+    def _make_research(self, transit: List[AutonomousSystem]) -> None:
+        research: List[AutonomousSystem] = []
+        codes = self._atlas.country_codes
+        for idx in range(self._cfg.n_research):
+            code = codes[idx % len(codes)]
+            home = self._atlas.country(code).capital
+            asys = self._add_as(AutonomousSystem(
+                asn=RESEARCH_BASE + idx,
+                name=f"NREN-{code}-{idx + 1}",
+                as_type=ASType.RESEARCH,
+                country_code=code,
+                home_city=home,
+                peering_policy=PeeringPolicy.OPEN,
+                traffic_profile=TrafficProfile.BALANCED,
+            ))
+            research.append(asys)
+            local = [t for t in transit if t.country_code == code] or transit
+            self._graph.add_c2p(asys.asn, local[int(
+                self._rng.integers(len(local)))].asn)
+            # Root-server operators and NRENs peer openly and worldwide
+            # (root letters are anycast from hundreds of exchanges) —
+            # that is why real paths to the roots are short and hard to
+            # predict from public data (§3.3.1).
+            all_cities = self._atlas.cities
+            n_fac = 22 + int(self._rng.poisson(10))
+            self._join_facilities(asys.asn, all_cities, n_fac)
+        # Research networks form a loose peering mesh (NREN fabric).
+        for i, a in enumerate(research):
+            for b in research[i + 1:]:
+                if self._rng.random() < 0.3:
+                    self._graph.add_p2p(a.asn, b.asn)
+
+    # -- hypergiants --------------------------------------------------------------
+
+    def _make_hypergiants(self, tier1: List[AutonomousSystem],
+                          transit: List[AutonomousSystem],
+                          eyeballs: List[AutonomousSystem]) -> None:
+        # Per-country presence: hypergiants invest unevenly across
+        # countries; in low-presence countries even large eyeballs reach
+        # them through transit.
+        presence = {code: float(self._rng.uniform(0.25, 1.0))
+                    for code in self._atlas.country_codes}
+        self._build_out.hg_country_presence = presence
+        for idx, name in enumerate(self._hg_names):
+            asn = HYPERGIANT_BASE + idx
+            home = self._atlas.country("US").capital
+            asys = self._add_as(AutonomousSystem(
+                asn=asn,
+                name=name,
+                as_type=ASType.HYPERGIANT,
+                country_code="US",
+                home_city=home,
+                peering_policy=PeeringPolicy.OPEN,
+                traffic_profile=TrafficProfile.HEAVY_OUTBOUND,
+            ))
+            self._build_out.hypergiant_asns[name] = asn
+            # Hypergiants keep a little transit for reachability of last
+            # resort, but serve nearly everything over direct peering.
+            providers = sorted(
+                {tier1[int(self._rng.integers(len(tier1)))].asn
+                 for __ in range(2)})
+            for provider in providers:
+                self._graph.add_c2p(asn, provider)
+            # Global facility presence (open peering everywhere).
+            all_cities = self._atlas.cities
+            self._join_facilities(asn, all_cities,
+                                  count=max(8, int(len(all_cities) * 0.8)))
+            # Direct peering with transit networks.
+            for t in transit:
+                if self._rng.random() < self._cfg.hypergiant_transit_peering:
+                    if self._graph.relationship_of(asn, t.asn) is None:
+                        self._graph.add_p2p(asn, t.asn)
+            # Direct peering with eyeballs, biased toward the big ones and
+            # scaled by local presence. Open-peering (anycast) hypergiants
+            # interconnect with nearly everyone, everywhere.
+            weights = self._build_out.eyeball_size_weight
+            ranked = sorted(eyeballs, key=lambda e: -weights[e.asn])
+            if name in self._open_peering:
+                base, local = 0.85, {c: 1.0 for c in presence}
+            else:
+                base, local = self._cfg.hypergiant_eyeball_peering, presence
+            for rank, eye in enumerate(ranked):
+                quantile = rank / max(1, len(ranked) - 1)
+                prob = (base * (1.6 - 1.2 * quantile)
+                        * local[eye.country_code])
+                if self._rng.random() < min(0.98, max(0.02, prob)):
+                    if self._graph.relationship_of(asn, eye.asn) is None:
+                        self._graph.add_p2p(asn, eye.asn)
+        # Hypergiants all interconnect with each other.
+        hg_asns = sorted(self._build_out.hypergiant_asns.values())
+        for i, a in enumerate(hg_asns):
+            for b in hg_asns[i + 1:]:
+                self._graph.add_p2p(a, b)
+
+    # -- IXP-style colocation peering ------------------------------------------------
+
+    def _wire_colo_peering(self) -> None:
+        """Peer co-located non-stub networks with configured probability.
+
+        Research networks (root operators, NRENs) peer much more readily —
+        their open policies keep paths toward them short (§3.3.1)."""
+        eligible = {ASType.TRANSIT, ASType.EYEBALL, ASType.RESEARCH}
+        for facility in self._pdb.facilities:
+            members = sorted(self._pdb.members_at(facility.fid))
+            for i, a in enumerate(members):
+                type_a = self._registry.get(a).as_type
+                if type_a not in eligible:
+                    continue
+                for b in members[i + 1:]:
+                    type_b = self._registry.get(b).as_type
+                    if type_b not in eligible:
+                        continue
+                    if self._graph.relationship_of(a, b) is not None:
+                        continue
+                    if ASType.RESEARCH in (type_a, type_b):
+                        prob = self._cfg.research_colo_peering_prob
+                    else:
+                        prob = self._cfg.colo_peering_prob
+                    if self._rng.random() < prob:
+                        self._graph.add_p2p(a, b)
+
+
+def build_topology(config: TopologyConfig, atlas: WorldAtlas,
+                   hypergiant_names: Sequence[str],
+                   rng: np.random.Generator,
+                   open_peering_names: Sequence[str] = ()) -> TopologyBuild:
+    """Generate the full AS topology. See module docstring."""
+    return TopologyBuilder(config, atlas, hypergiant_names, rng,
+                           open_peering_names=open_peering_names).build()

@@ -1,0 +1,1 @@
+"""User populations, activity models and the simulated APNIC estimator."""

@@ -1,0 +1,97 @@
+"""Diurnal activity model.
+
+Human Internet activity follows a strong diurnal pattern (the paper leans
+on this for the IP ID velocity technique, §3.1.3). The activity multiplier
+is a two-harmonic Fourier series over local time of day with mean exactly
+1, so multiplying a demand by the curve preserves daily totals:
+
+    m(h) = 1 + c1*cos(wh) + s1*sin(wh) + c2*cos(2wh) + s2*sin(2wh)
+
+with w = 2*pi/24. The default coefficients are fitted to a realistic
+shape: trough ~0.36 around 04:00 local, evening peak ~1.55 around 20:00.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+SECONDS_PER_DAY = 86_400.0
+_OMEGA_H = 2.0 * math.pi / 24.0
+
+
+@dataclass(frozen=True)
+class DiurnalCurve:
+    """Mean-1 diurnal multiplier over local hour-of-day."""
+
+    cos1: float = -0.06136
+    sin1: float = -0.48401
+    cos2: float = 0.02873
+    sin2: float = -0.19745
+
+    def __post_init__(self) -> None:
+        hours = np.linspace(0.0, 24.0, 481)
+        values = (1.0
+                  + self.cos1 * np.cos(_OMEGA_H * hours)
+                  + self.sin1 * np.sin(_OMEGA_H * hours)
+                  + self.cos2 * np.cos(2 * _OMEGA_H * hours)
+                  + self.sin2 * np.sin(2 * _OMEGA_H * hours))
+        if values.min() <= 0:
+            raise ConfigError("diurnal curve must stay positive")
+
+    def value(self, local_hour: float) -> float:
+        """Activity multiplier at a local hour (wraps mod 24)."""
+        theta = _OMEGA_H * local_hour
+        return (1.0
+                + self.cos1 * math.cos(theta)
+                + self.sin1 * math.sin(theta)
+                + self.cos2 * math.cos(2 * theta)
+                + self.sin2 * math.sin(2 * theta))
+
+    def value_at(self, t_seconds: float, utc_offset: float) -> float:
+        """Multiplier at absolute time ``t_seconds`` (UTC epoch of the
+        simulation) for a place with the given UTC offset in hours."""
+        local_hour = ((t_seconds / 3600.0) + utc_offset) % 24.0
+        return self.value(local_hour)
+
+    def integral(self, t0: float, t1: float, utc_offset: float) -> float:
+        """Closed-form integral of the multiplier over [t0, t1] seconds.
+
+        Useful for counting events of a non-homogeneous Poisson process
+        with rate ``base_rate * value_at(t)``: the expected count over
+        [t0, t1] is ``base_rate * integral(t0, t1)``.
+        """
+        if t1 < t0:
+            raise ConfigError("t1 must be >= t0")
+        omega = 2.0 * math.pi / SECONDS_PER_DAY
+        phase = _OMEGA_H * utc_offset
+
+        def antiderivative(t: float) -> float:
+            theta = omega * t + phase
+            return (t
+                    + self.cos1 * math.sin(theta) / omega
+                    - self.sin1 * math.cos(theta) / omega
+                    + self.cos2 * math.sin(2 * theta) / (2 * omega)
+                    - self.sin2 * math.cos(2 * theta) / (2 * omega))
+
+        return antiderivative(t1) - antiderivative(t0)
+
+    def mean_over_day(self) -> float:
+        """Sanity helper: the daily mean is 1 by construction."""
+        return self.integral(0.0, SECONDS_PER_DAY, 0.0) / SECONDS_PER_DAY
+
+    def peak_hour(self) -> float:
+        """Local hour with the highest multiplier (grid search)."""
+        hours = np.linspace(0.0, 24.0, 481)
+        values = [self.value(float(h)) for h in hours]
+        return float(hours[int(np.argmax(values))])
+
+    def trough_hour(self) -> float:
+        """Local hour with the lowest multiplier (grid search)."""
+        hours = np.linspace(0.0, 24.0, 481)
+        values = [self.value(float(h)) for h in hours]
+        return float(hours[int(np.argmin(values))])

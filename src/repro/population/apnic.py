@@ -1,0 +1,70 @@
+"""Simulated APNIC per-AS user estimates.
+
+APNIC labs publishes estimated user counts per AS derived from ad-based
+sampling [33]. The paper uses them as the best public baseline while noting
+they are coarse-grained (AS granularity), yearly, and unvalidated. We
+reproduce an estimator with exactly those properties:
+
+* AS granularity only — no prefix detail;
+* multiplicative log-normal noise on the true user counts;
+* incomplete coverage — ASes below a user threshold are missing, plus a
+  few percent dropped at random (sampling holes).
+
+Figures 1b and 2 consume these estimates the same way the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import PopulationConfig
+from ..net.ases import ASRegistry
+from .users import PopulationModel
+
+
+@dataclass(frozen=True)
+class ApnicDataset:
+    """A yearly snapshot of per-AS user estimates (public data)."""
+
+    estimates: Dict[int, float]       # ASN -> estimated users
+    snapshot_year: int = 2021
+
+    def users_for_as(self, asn: int) -> Optional[float]:
+        """Estimated users, or None if APNIC has no data for the AS."""
+        return self.estimates.get(asn)
+
+    def covered_asns(self) -> "frozenset[int]":
+        return frozenset(self.estimates)
+
+    def users_by_country(self, registry: ASRegistry) -> Dict[str, float]:
+        """Country totals of estimated users (AS home country attribution,
+        mirroring how per-country APNIC rollups are built)."""
+        totals: Dict[str, float] = {}
+        for asn, users in self.estimates.items():
+            asys = registry.maybe(asn)
+            if asys is None:
+                continue
+            totals[asys.country_code] = totals.get(asys.country_code, 0) + users
+        return totals
+
+    @property
+    def total_users(self) -> float:
+        return float(sum(self.estimates.values()))
+
+
+def simulate_apnic(config: PopulationConfig, population: PopulationModel,
+                   rng: np.random.Generator,
+                   dropout_fraction: float = 0.04) -> ApnicDataset:
+    """Produce the public APNIC-style dataset from ground truth."""
+    estimates: Dict[int, float] = {}
+    for asn, users in sorted(population.users_by_as().items()):
+        if users < config.apnic_min_users_covered:
+            continue
+        if rng.random() < dropout_fraction:
+            continue
+        noise = float(rng.lognormal(0.0, config.apnic_noise_sigma))
+        estimates[asn] = users * noise
+    return ApnicDataset(estimates=estimates)

@@ -1,0 +1,185 @@
+"""User populations: subscribers per AS and users per /24 prefix.
+
+This is *ground truth* the paper's techniques try to recover: which prefixes
+host users (§3.1 "Where are users?") and at what relative activity levels.
+
+Subscriber counts per eyeball AS come from the topology's size weights
+(country-local Zipf scaled by country Internet users), except for the named
+focus ISPs whose counts are pinned so Figure 2 has its ground-truth axis.
+Within an AS, subscribers are spread over its access /24s with log-normal
+dispersion, so prefix-level activity spans orders of magnitude like the real
+Internet.
+
+The module also allocates the *userless* part of the address space:
+infrastructure, hosting and scanner prefixes — the pool from which cache
+probing could draw false positives (§3.1.2 reports <1%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import PopulationConfig
+from ..errors import ConfigError
+from ..net.ases import ASRegistry, ASType
+from ..net.geography import WorldAtlas
+from ..net.prefixes import PrefixKind, PrefixTable
+from ..net.topology import TopologyBuild
+
+
+@dataclass
+class PopulationModel:
+    """Ground-truth population: users per prefix and per AS."""
+
+    prefix_table: PrefixTable
+    users_per_prefix: np.ndarray                 # aligned with prefix ids
+    subscribers_by_as: Dict[int, float]          # eyeball ASN -> subscribers
+    scanner_rate_per_prefix: np.ndarray          # DNS-active non-users
+    focus_subscribers_m: Dict[int, float] = field(default_factory=dict)
+
+    def pad_to_table(self) -> None:
+        """Zero-extend per-prefix vectors after later allocation phases
+        (e.g. serving prefixes) appended to the prefix table."""
+        n = len(self.prefix_table)
+        for name in ("users_per_prefix", "scanner_rate_per_prefix"):
+            vec = getattr(self, name)
+            if len(vec) < n:
+                setattr(self, name, np.concatenate(
+                    [vec, np.zeros(n - len(vec))]))
+
+    def users_in_as(self, asn: int) -> float:
+        pids = self.prefix_table.prefixes_of_as(asn)
+        if not pids:
+            return 0.0
+        return float(self.users_per_prefix[pids].sum())
+
+    def users_by_as(self) -> Dict[int, float]:
+        return self.prefix_table.group_by_as(self.users_per_prefix)
+
+    def users_by_country(self, registry: ASRegistry) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for asn, users in self.users_by_as().items():
+            asys = registry.maybe(asn)
+            if asys is None or users <= 0:
+                continue
+            totals[asys.country_code] = totals.get(asys.country_code, 0) + users
+        return totals
+
+    @property
+    def total_users(self) -> float:
+        return float(self.users_per_prefix.sum())
+
+    def prefixes_with_users(self) -> np.ndarray:
+        return np.flatnonzero(self.users_per_prefix > 0)
+
+
+def build_population(config: PopulationConfig, atlas: WorldAtlas,
+                     topo: TopologyBuild, prefix_table: PrefixTable,
+                     rng: np.random.Generator) -> PopulationModel:
+    """Allocate prefixes and distribute users over them.
+
+    Must run before the prefix table is frozen; it appends ACCESS prefixes
+    for every eyeball AS plus INFRA/HOSTING/SCANNER prefixes, then the
+    scenario freezes the table after serving prefixes are added too.
+    """
+    config.validate()
+    if prefix_table.frozen:
+        raise ConfigError("prefix table already frozen")
+    registry = topo.registry
+
+    # Subscribers per eyeball AS: pinned for focus ISPs, scaled weights
+    # otherwise. The global scale makes one weight unit ~ one million users.
+    subscribers: Dict[int, float] = {}
+    for asn, weight in topo.eyeball_size_weight.items():
+        pinned = topo.focus_subscribers_m.get(asn)
+        if pinned is not None:
+            subscribers[asn] = pinned * 1e6
+        else:
+            subscribers[asn] = weight * 1e6
+
+    total_subscribers = sum(subscribers.values())
+    if total_subscribers <= 0:
+        raise ConfigError("no subscribers generated")
+
+    # Access-prefix budget: most of the target address space, sized per AS
+    # sublinearly in subscribers (big ISPs aggregate more users per /24).
+    access_budget = int(config.target_prefixes
+                        * (1.0 - config.userless_prefix_fraction))
+    raw = {asn: max(subs, 1.0) ** 0.85 for asn, subs in subscribers.items()}
+    raw_total = sum(raw.values())
+    prefix_counts: Dict[int, int] = {
+        asn: max(1, int(round(access_budget * share / raw_total)))
+        for asn, share in raw.items()}
+
+    users_list: List[float] = []
+    scanner_list: List[float] = []
+
+    def push(users: float, scanner: float) -> None:
+        users_list.append(users)
+        scanner_list.append(scanner)
+
+    for asn in sorted(subscribers):
+        asys = registry.get(asn)
+        country = atlas.country(asys.country_code)
+        n_prefixes = prefix_counts[asn]
+        # Spread prefixes over the country's cities, weighted to the
+        # ISP's home city.
+        cities = list(country.cities)
+        weights = np.array([3.0 if c == asys.home_city else 1.0
+                            for c in cities])
+        weights = weights / weights.sum()
+        city_draws = rng.choice(len(cities), size=n_prefixes, p=weights)
+        # Log-normal dispersion of users across prefixes, then scaled so the
+        # AS total matches its subscriber count exactly.
+        dispersion = rng.lognormal(0.0, config.prefix_dispersion_sigma,
+                                   size=n_prefixes)
+        dispersion *= subscribers[asn] / dispersion.sum()
+        for users, city_idx in zip(dispersion, city_draws):
+            prefix_table.add(asn, PrefixKind.ACCESS, cities[int(city_idx)])
+            push(float(users), 0.0)
+
+    # Userless address space.
+    userless_budget = config.target_prefixes - len(prefix_table)
+    userless_budget = max(userless_budget, 0)
+    infra_share, hosting_share, scanner_share = 0.48, 0.49, 0.03
+    transit_like = [a for a in registry
+                    if a.as_type in (ASType.TIER1, ASType.TRANSIT)]
+    stubs = registry.of_type(ASType.STUB)
+
+    n_infra = int(userless_budget * infra_share)
+    for i in range(n_infra):
+        owner = transit_like[i % len(transit_like)] if transit_like else None
+        if owner is None:
+            break
+        prefix_table.add(owner.asn, PrefixKind.INFRA, owner.home_city)
+        push(0.0, 0.0)
+
+    n_hosting = int(userless_budget * hosting_share)
+    for i in range(n_hosting):
+        owner = stubs[i % len(stubs)] if stubs else None
+        if owner is None:
+            break
+        prefix_table.add(owner.asn, PrefixKind.HOSTING, owner.home_city)
+        push(0.0, 0.0)
+
+    # A small population of scanner/bot prefixes: DNS-loud, zero CDN
+    # bytes. Their lookup rates overlap the low end of real user-prefix
+    # rates, so a few get "detected" by cache probing — the paper's <1%
+    # false-positive pool.
+    n_scanner = max(1, int(userless_budget * scanner_share))
+    hosts = stubs or transit_like
+    for i in range(n_scanner):
+        owner = hosts[i % len(hosts)]
+        prefix_table.add(owner.asn, PrefixKind.SCANNER, owner.home_city)
+        push(0.0, float(rng.lognormal(np.log(0.08), 1.5)))
+
+    return PopulationModel(
+        prefix_table=prefix_table,
+        users_per_prefix=np.asarray(users_list, dtype=float),
+        subscribers_by_as=subscribers,
+        scanner_rate_per_prefix=np.asarray(scanner_list, dtype=float),
+        focus_subscribers_m=dict(topo.focus_subscribers_m),
+    )

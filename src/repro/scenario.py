@@ -1,0 +1,200 @@
+"""Scenario assembly: build the whole simulated Internet from one config.
+
+:func:`build_scenario` deterministically generates every substrate in
+dependency order and returns a :class:`Scenario` holding both the
+*privileged* ground truth (traffic matrix, actual topology, populations)
+and the *public* surfaces measurement code is allowed to touch (GDNS probe
+oracle, root-log archive, TLS store, collector view, PeeringDB registry).
+
+Measurement modules must only consume the public surfaces; validation code
+(and only validation code) compares their output against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .config import ScenarioConfig
+from .errors import ConfigError
+from .net.ases import ASRegistry
+from .net.collectors import PublicTopologyView, build_public_view
+from .net.geography import WorldAtlas
+from .net.prefixes import PrefixKind, PrefixTable
+from .net.relationships import ASGraph
+from .net.routers import RouterPopulation, build_routers
+from .net.routing import BgpSimulator
+from .net.topology import TopologyBuild, build_topology
+from .population.activity import DiurnalCurve
+from .population.apnic import ApnicDataset, simulate_apnic
+from .population.users import PopulationModel, build_population
+from .rand import substream
+from .services.anycast import AnycastModel
+from .services.catalog import ServiceCatalog
+from .services.cdn import CdnDeployment, deploy_cdns
+from .services.dnsinfra import (AuthoritativeDns, CacheOracle,
+                                GoogleDnsModel, RootLogArchive, RootSystem,
+                                TemporalCacheOracle)
+from .services.hypergiants import PUBLIC_DNS_OPERATOR_KEY, hypergiant_names
+from .services.mapping import GroundTruthMapping
+from .services.tls import CertificateStore, issue_certificates
+from .traffic.flows import FlowAssignment, assign_flows
+from .traffic.matrix import TrafficMatrix, build_traffic_matrix
+
+
+@dataclass
+class Scenario:
+    """A fully-built simulated Internet (ground truth + public surfaces)."""
+
+    config: ScenarioConfig
+    atlas: WorldAtlas
+    topology: TopologyBuild
+    bgp: BgpSimulator
+    prefixes: PrefixTable
+    population: PopulationModel
+    apnic: ApnicDataset
+    catalog: ServiceCatalog
+    deployment: CdnDeployment
+    certstore: CertificateStore
+    anycast_models: Dict[str, AnycastModel]
+    mapping: GroundTruthMapping
+    traffic: TrafficMatrix
+    flows: FlowAssignment
+    routers: RouterPopulation
+    gdns: GoogleDnsModel
+    cache_oracle: CacheOracle
+    temporal_oracle: TemporalCacheOracle
+    authoritative: AuthoritativeDns
+    roots: RootSystem
+    root_archive: RootLogArchive
+    public_view: PublicTopologyView
+    diurnal: DiurnalCurve
+
+    # -- convenience accessors ------------------------------------------------
+
+    @property
+    def registry(self) -> ASRegistry:
+        return self.topology.registry
+
+    @property
+    def graph(self) -> ASGraph:
+        return self.topology.graph
+
+    def hypergiant_asn(self, key: str) -> int:
+        spec = self.catalog.hypergiants.get(key)
+        if spec is None:
+            raise ConfigError(f"unknown hypergiant {key!r}")
+        return self.topology.hypergiant_asns[spec.display_name]
+
+    @property
+    def gdns_operator_asn(self) -> int:
+        return self.hypergiant_asn(PUBLIC_DNS_OPERATOR_KEY)
+
+    def user_prefix_ids(self) -> np.ndarray:
+        return self.population.prefixes_with_users()
+
+    def routable_prefix_ids(self) -> np.ndarray:
+        """All announced /24s — the public probing target list."""
+        return np.arange(len(self.prefixes))
+
+
+def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
+    """Build the world. Deterministic in ``config`` (including its seed)."""
+    if config is None:
+        config = ScenarioConfig.default()
+    config.validate()
+    seed = config.seed
+
+    atlas = WorldAtlas.default()
+    if config.country_codes is not None:
+        atlas = atlas.subset(config.country_codes)
+
+    catalog = ServiceCatalog.build(config.services,
+                                   substream(seed, "catalog"))
+    open_peering = tuple(spec.display_name
+                         for spec in catalog.hypergiants.values()
+                         if spec.uses_anycast)
+    topo = build_topology(config.topology, atlas, hypergiant_names(),
+                          substream(seed, "topology"),
+                          open_peering_names=open_peering)
+
+    prefix_table = PrefixTable()
+    population = build_population(config.population, atlas, topo,
+                                  prefix_table,
+                                  substream(seed, "population"))
+    deployment = deploy_cdns(config.services, atlas, topo, catalog,
+                             prefix_table, substream(seed, "cdn"))
+    prefix_table.freeze()
+    population.pad_to_table()
+
+    apnic = simulate_apnic(config.population, population,
+                           substream(seed, "apnic"))
+    traffic = build_traffic_matrix(catalog, population, config.dns,
+                                   substream(seed, "traffic"))
+
+    bgp = BgpSimulator(topo.graph)
+    anycast_models: Dict[str, AnycastModel] = {}
+    for key, spec in catalog.hypergiants.items():
+        if spec.uses_anycast:
+            anycast_models[key] = AnycastModel(
+                hypergiant_key=key,
+                hg_asn=topo.hypergiant_asns[spec.display_name],
+                sites=deployment.sites(key),
+                graph=topo.graph, registry=topo.registry,
+                peeringdb=topo.peeringdb, bgp=bgp)
+
+    mapping = GroundTruthMapping(
+        prefix_table=prefix_table, registry=topo.registry,
+        deployment=deployment, catalog=catalog,
+        anycast_models=anycast_models,
+        users_per_prefix=population.users_per_prefix,
+        rng=substream(seed, "mapping"))
+
+    certstore = issue_certificates(catalog, deployment, prefix_table,
+                                   substream(seed, "tls"))
+    flows = assign_flows(traffic, mapping, deployment, bgp)
+    diurnal = DiurnalCurve()
+    routers = build_routers(topo.registry, flows.volume_by_as, diurnal,
+                            substream(seed, "routers"))
+
+    gdns = GoogleDnsModel(config.dns, atlas, topo.registry, prefix_table,
+                          substream(seed, "gdns"))
+    # Query rate reaching GDNS caches = client resolutions * GDNS share.
+    gdns_rate = traffic.queries_per_day * gdns.gdns_share[None, :]
+    ttls = [s.dns_ttl for s in catalog.services]
+    probe_sids = [s.sid for s in catalog.top_by_popularity(
+        config.measurement.probe_top_k_domains)]
+    cache_oracle = CacheOracle.calibrated(
+        gdns_rate, ttls, probe_sids, population.prefixes_with_users())
+    city_offsets = np.array([c.utc_offset for c in prefix_table.cities])
+    temporal_oracle = TemporalCacheOracle.from_oracle(
+        cache_oracle,
+        utc_offsets=city_offsets[prefix_table.city_index_array],
+        curve=diurnal)
+
+    authoritative = AuthoritativeDns(catalog, mapping)
+    roots = RootSystem(config.dns, topo.registry, substream(seed, "roots"))
+    gdns_operator = topo.hypergiant_asns[
+        catalog.hypergiants[PUBLIC_DNS_OPERATOR_KEY].display_name]
+    root_archive = roots.generate_archive(
+        registry=topo.registry, prefix_table=prefix_table,
+        users_per_prefix=population.users_per_prefix,
+        isp_resolver_share=gdns.isp_resolver_share,
+        gdns_operator_asn=gdns_operator,
+        config=config.dns, rng=substream(seed, "rootlogs"))
+
+    public_view = build_public_view(topo.graph, topo.registry,
+                                    substream(seed, "collectors"))
+
+    return Scenario(
+        config=config, atlas=atlas, topology=topo, bgp=bgp,
+        prefixes=prefix_table, population=population, apnic=apnic,
+        catalog=catalog, deployment=deployment, certstore=certstore,
+        anycast_models=anycast_models, mapping=mapping, traffic=traffic,
+        flows=flows, routers=routers, gdns=gdns,
+        cache_oracle=cache_oracle, temporal_oracle=temporal_oracle,
+        authoritative=authoritative,
+        roots=roots, root_archive=root_archive, public_view=public_view,
+        diurnal=diurnal)

@@ -1,0 +1,2 @@
+"""Services substrate: hypergiants, the service catalogue, serving
+infrastructure (on-nets, off-nets, anycast), DNS and TLS."""

@@ -1,0 +1,131 @@
+"""Anycast catchments.
+
+Anycast services announce one prefix from many sites; BGP, not the
+operator, picks the serving site for each client ("some services ... use
+anycast [14] to direct a user to a site", §3.2.3). We model catchment
+formation through the *entry point* of the client's route into the anycast
+operator's network:
+
+* clients that peer directly with the operator enter at the common
+  facility closest to the client's home city (flattened Internet: this is
+  the common case, and it yields near-optimal catchments — the basis of the
+  paper's observation that anycast is "extremely efficient for large
+  services, with 80% of clients directed within 500 km of their closest
+  serving site" [38]);
+* clients reaching the operator through transit enter wherever that
+  transit interconnects with the operator, which can haul traffic far from
+  home — the source of anycast path inflation.
+
+The catchment site is the operator site nearest to the entry city.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..net.ases import ASRegistry
+from ..net.facilities import PeeringRegistry
+from ..net.geography import City, haversine_km
+from ..net.relationships import ASGraph, Relationship
+from ..net.routing import BgpSimulator
+from .cdn import ServingSite
+
+
+@dataclass(frozen=True)
+class CatchmentResult:
+    """Anycast catchment for one client AS."""
+
+    client_asn: int
+    site: ServingSite
+    entry_city: City
+
+
+class AnycastModel:
+    """Computes per-AS catchments for one anycast hypergiant."""
+
+    def __init__(self, hypergiant_key: str, hg_asn: int,
+                 sites: Sequence[ServingSite], graph: ASGraph,
+                 registry: ASRegistry, peeringdb: PeeringRegistry,
+                 bgp: BgpSimulator) -> None:
+        if not sites:
+            raise ConfigError(f"anycast {hypergiant_key!r} has no sites")
+        self._key = hypergiant_key
+        self._hg_asn = hg_asn
+        self._sites = list(sites)
+        self._graph = graph
+        self._registry = registry
+        self._pdb = peeringdb
+        self._bgp = bgp
+        self._cache: Dict[int, Optional[CatchmentResult]] = {}
+
+    @property
+    def sites(self) -> List[ServingSite]:
+        return list(self._sites)
+
+    def _nearest_site(self, city: City) -> ServingSite:
+        return min(self._sites,
+                   key=lambda s: (haversine_km(city.lat, city.lon,
+                                               s.city.lat, s.city.lon),
+                                  s.site_id))
+
+    def _entry_city(self, client_asn: int) -> Optional[City]:
+        """Where the client's best route enters the anycast network."""
+        if client_asn == self._hg_asn:
+            return self._registry.get(client_asn).home_city
+        client = self._registry.get(client_asn)
+        rel = self._graph.relationship_of(client_asn, self._hg_asn)
+        if rel is not None:
+            # Direct interconnection: enter at the common facility nearest
+            # to the client's home. Peers with no shared facility are
+            # remote peerings [47]: they still enter wherever the
+            # *operator* has presence, nearest to the client.
+            common = self._pdb.common_facilities(client_asn, self._hg_asn)
+            if common:
+                cities = [self._pdb.facility(fid).city for fid in common]
+            else:
+                cities = self._pdb.facility_cities(self._hg_asn) or \
+                    [client.home_city]
+            return min(cities, key=lambda c: (
+                haversine_km(client.home_city.lat, client.home_city.lon,
+                             c.lat, c.lon), c.name))
+        # Indirect: walk the BGP route; the penultimate AS hands traffic to
+        # the anycast operator wherever *they* interconnect.
+        route = self._bgp.route(client_asn, self._hg_asn)
+        if route is None or len(route.path) < 2:
+            return None
+        handoff_asn = route.path[-2]
+        handoff = self._registry.get(handoff_asn)
+        common = self._pdb.common_facilities(handoff_asn, self._hg_asn)
+        if common:
+            cities = [self._pdb.facility(fid).city for fid in common]
+            return min(cities, key=lambda c: (
+                haversine_km(handoff.home_city.lat, handoff.home_city.lon,
+                             c.lat, c.lon), c.name))
+        return handoff.home_city
+
+    def catchment(self, client_asn: int) -> Optional[CatchmentResult]:
+        """The site serving a client AS (None if the AS cannot reach it)."""
+        if client_asn not in self._cache:
+            entry = self._entry_city(client_asn)
+            if entry is None:
+                self._cache[client_asn] = None
+            else:
+                self._cache[client_asn] = CatchmentResult(
+                    client_asn=client_asn,
+                    site=self._nearest_site(entry),
+                    entry_city=entry)
+        return self._cache[client_asn]
+
+    def catchment_map(self, client_asns: Sequence[int]
+                      ) -> Dict[int, CatchmentResult]:
+        """Catchments for many client ASes (unreachable ones omitted)."""
+        result = {}
+        for asn in client_asns:
+            entry = self.catchment(asn)
+            if entry is not None:
+                result[asn] = entry
+        return result

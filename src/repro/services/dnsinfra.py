@@ -1,0 +1,530 @@
+"""The DNS resolution ecosystem.
+
+Everything §3.1-§3.2's techniques touch lives here:
+
+* **Recursive resolver mix** — each client prefix splits its queries
+  between its ISP's resolver and the Googol public DNS ("GDNS", which like
+  its real counterpart answers 30-35% of DNS queries [16]). Some networks
+  default CPE to public DNS, making their ISP resolvers nearly silent —
+  those networks are invisible to root-log crawling, which is one reason
+  the two techniques of §3.1.2 complement each other.
+* **GDNS PoPs and caches** — GDNS operates PoPs worldwide; a prefix is
+  served by a nearby PoP. Caches are scoped per (PoP, ECS /24, domain), so
+  a *non-recursive* query with an ECS option reveals whether a client from
+  that /24 recently resolved the domain — the cache-probing technique.
+* **Cache occupancy oracle** — client queries per (prefix, domain) form a
+  Poisson process whose rate comes from the traffic matrix. A probe at
+  time t hits iff a client query landed within the record's TTL, i.e.
+  with probability 1 - exp(-lambda_eff * TTL) for probes spaced >= TTL.
+  ``observability_scale`` folds per-PoP cache sharding/eviction and
+  probe-window misalignment into one calibrated constant (see DESIGN.md).
+* **Exact resolver cache** — a discrete-event cache with real TTL
+  semantics, used by unit tests and small-scale simulations to validate
+  the analytic oracle.
+* **Authoritative DNS** — answers ECS queries from the ground-truth
+  mapping for ECS-supporting services, and refuses ECS precision for the
+  rest (they answer based on resolver location).
+* **Root servers** — 13 letters; Chromium's random-TLD interception
+  probes leak through ISP resolvers to the roots, and a subset of root
+  operators publish usable logs (§3.1.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import DnsConfig
+from ..errors import ConfigError, MeasurementError
+from ..net.ases import ASRegistry, ASType
+from ..net.geography import City, WorldAtlas, haversine_km_matrix
+from ..net.prefixes import PrefixKind, PrefixTable
+from .catalog import Service, ServiceCatalog
+from .mapping import GroundTruthMapping
+from .cdn import ServingSite
+
+SECONDS_PER_DAY = 86_400.0
+
+# Calibration target: the median user prefix's per-probe hit probability
+# aggregated over the top-20 domains (keeps hit rates informative rather
+# than saturated, and leaves the low-activity tail of prefixes genuinely
+# hard to detect; see DESIGN.md "Analytic cache occupancy").
+TARGET_MEDIAN_AGGREGATE_HIT = 0.22
+
+# Fraction of ISPs that outsource recursion entirely to public DNS (CPE
+# defaults / forwarders) — their own resolvers never appear at the roots,
+# one of the blind spots that keeps root-log coverage near the paper's 60%.
+OUTSOURCED_RESOLVER_FRACTION = 0.44
+
+
+@dataclass(frozen=True)
+class GdnsPop:
+    """One point of presence of the public DNS service."""
+
+    pop_id: int
+    city: City
+
+    @property
+    def name(self) -> str:
+        return f"gdns-{self.city.name.lower().replace(' ', '-')}"
+
+
+class GoogleDnsModel:
+    """PoP placement, per-prefix PoP attachment and GDNS query shares."""
+
+    def __init__(self, config: DnsConfig, atlas: WorldAtlas,
+                 registry: ASRegistry, prefix_table: PrefixTable,
+                 rng: np.random.Generator) -> None:
+        config.validate()
+        if not prefix_table.frozen:
+            raise ConfigError("freeze the prefix table first")
+        self._config = config
+        self.pops = self._place_pops(config, atlas)
+        self.pop_of_prefix = self._attach_prefixes(prefix_table, rng)
+        self.gdns_share, self.outsourced_by_asn = self._draw_shares(
+            config, registry, prefix_table, rng)
+        # Share of a prefix's DNS activity that shows up at the roots with
+        # the ISP's own resolver address: zero when recursion is
+        # outsourced, the non-GDNS remainder otherwise.
+        outsourced_mask = np.array(
+            [self.outsourced_by_asn.get(int(asn), False)
+             for asn in prefix_table.asn_array])
+        self.isp_resolver_share = np.where(
+            outsourced_mask, 0.0, 1.0 - self.gdns_share)
+
+    @staticmethod
+    def _place_pops(config: DnsConfig, atlas: WorldAtlas) -> List[GdnsPop]:
+        # PoPs go to the capitals of the largest countries, spread over
+        # regions round-robin so no region is left unserved.
+        by_region: Dict[str, List] = {}
+        for country in sorted(atlas.countries,
+                              key=lambda c: -c.internet_users_m):
+            by_region.setdefault(country.region, []).append(country)
+        pops: List[GdnsPop] = []
+        region_lists = list(by_region.values())
+        cursor = 0
+        while len(pops) < config.gdns_pop_count:
+            progressed = False
+            for countries in region_lists:
+                if len(pops) >= config.gdns_pop_count:
+                    break
+                if cursor < len(countries):
+                    city = countries[cursor].capital
+                    pops.append(GdnsPop(pop_id=len(pops), city=city))
+                    progressed = True
+            if not progressed:
+                break
+            cursor += 1
+        return pops
+
+    def _attach_prefixes(self, prefix_table: PrefixTable,
+                         rng: np.random.Generator) -> np.ndarray:
+        cities = prefix_table.cities
+        city_lats = np.array([c.lat for c in cities])
+        city_lons = np.array([c.lon for c in cities])
+        pop_lats = np.array([p.city.lat for p in self.pops])
+        pop_lons = np.array([p.city.lon for p in self.pops])
+        dist = haversine_km_matrix(city_lats, city_lons, pop_lats, pop_lons)
+        order = np.argsort(dist, axis=1)
+        nearest = order[:, 0]
+        second = order[:, min(1, order.shape[1] - 1)]
+        # ~12% of a city's prefixes are served by the second-nearest PoP
+        # (load balancing and routing artefacts).
+        city_idx = prefix_table.city_index_array
+        use_second = rng.random(len(city_idx)) < 0.12
+        chosen = np.where(use_second, second[city_idx], nearest[city_idx])
+        return chosen.astype(np.int32)
+
+    @staticmethod
+    def _draw_shares(config: DnsConfig, registry: ASRegistry,
+                     prefix_table: PrefixTable, rng: np.random.Generator
+                     ) -> "Tuple[np.ndarray, Dict[int, bool]]":
+        """Per-prefix *direct* GDNS adoption, plus per-AS outsourcing flags.
+
+        ``gdns_share`` models clients configured to query GDNS directly —
+        their queries carry a client-scoped ECS and populate probeable
+        cache entries. Adoption "varies by country (among other
+        dimensions)" (§3.1.3), so the share is a country-level draw with
+        small per-AS and per-prefix jitter — which is exactly why the
+        paper's within-country ISP comparison (Figure 2) is meaningful.
+
+        Separately, :data:`OUTSOURCED_RESOLVER_FRACTION` of networks run
+        no recursion of their own: their resolver is a forwarder into
+        public DNS. Forwarded queries carry the *forwarder's* address, so
+        they neither populate client-scoped cache entries nor surface the
+        ISP's ASN at the roots — the flag therefore only zeroes the AS's
+        root-log visibility (see ``isp_resolver_share``).
+        """
+        mean = config.gdns_query_share_mean
+        spread = config.gdns_query_share_spread
+        strength = max(2.0, mean * (1 - mean) / max(spread, 1e-3) ** 2)
+        country_share: Dict[str, float] = {}
+        share_by_asn: Dict[int, float] = {}
+        outsourced: Dict[int, bool] = {}
+        for asys in registry:
+            if asys.country_code not in country_share:
+                country_share[asys.country_code] = float(
+                    rng.beta(mean * strength, (1 - mean) * strength))
+            share = country_share[asys.country_code] + rng.normal(0.0, 0.01)
+            share_by_asn[asys.asn] = float(np.clip(share, 0.02, 0.95))
+            outsourced[asys.asn] = bool(
+                rng.random() < OUTSOURCED_RESOLVER_FRACTION)
+        shares = np.array([share_by_asn.get(int(asn), mean)
+                           for asn in prefix_table.asn_array])
+        jitter = rng.normal(0.0, 0.01, size=len(shares))
+        return np.clip(shares + jitter, 0.02, 0.95), outsourced
+
+    def pop_for_prefix(self, pid: int) -> GdnsPop:
+        return self.pops[int(self.pop_of_prefix[pid])]
+
+
+class CacheOracle:
+    """Analytic cache-occupancy model for GDNS ECS-scoped caches.
+
+    ``rate_per_day[s, p]`` is the ground-truth client query rate reaching
+    GDNS for service ``s`` from prefix ``p``. Cache entries live for
+    exactly TTL after the *insertion* query (hits do not extend them), so
+    occupancy is a renewal process alternating a busy period of length TTL
+    and an idle period of mean ``1/lambda``; the stationary probability
+    that a probe at a random instant hits is::
+
+        P(hit) = lambda * TTL / (1 + lambda * TTL)
+
+    with ``lambda = rate * observability_scale``. (A naive
+    ``1 - exp(-lambda*TTL)`` agrees in the unsaturated regime but
+    overestimates occupancy when ``lambda*TTL >> 1``; the exact
+    event-driven :class:`ResolverCache` is used in tests to pin this
+    formula down.)
+    """
+
+    def __init__(self, rate_per_day: np.ndarray, ttls: Sequence[int],
+                 observability_scale: float) -> None:
+        if rate_per_day.ndim != 2:
+            raise ConfigError("rate matrix must be 2-D (services x prefixes)")
+        if len(ttls) != rate_per_day.shape[0]:
+            raise ConfigError("one TTL per service required")
+        if observability_scale <= 0:
+            raise ConfigError("observability_scale must be positive")
+        self._rate = rate_per_day
+        self._ttls = np.asarray(ttls, dtype=float)
+        self._scale = observability_scale
+
+    @classmethod
+    def calibrated(cls, rate_per_day: np.ndarray, ttls: Sequence[int],
+                   probe_domain_sids: Sequence[int],
+                   user_prefix_ids: np.ndarray) -> "CacheOracle":
+        """Pick ``observability_scale`` so the median user prefix's
+        aggregate per-probe hit probability over the probe domains hits
+        :data:`TARGET_MEDIAN_AGGREGATE_HIT`."""
+        ttl_arr = np.asarray(ttls, dtype=float)
+        sids = np.asarray(list(probe_domain_sids), dtype=int)
+        per_day = rate_per_day[np.ix_(sids, np.asarray(user_prefix_ids))]
+        lam_ttl = (per_day / SECONDS_PER_DAY) * ttl_arr[sids, None]
+        aggregate = lam_ttl.sum(axis=0)
+        median = float(np.median(aggregate[aggregate > 0])) if (
+            aggregate > 0).any() else 0.0
+        if median <= 0:
+            scale = 1.0
+        else:
+            # Invert P = x/(1+x) at the target: x = P/(1-P).
+            target = TARGET_MEDIAN_AGGREGATE_HIT
+            scale = (target / (1.0 - target)) / median
+        return cls(rate_per_day, ttls, scale)
+
+    @property
+    def observability_scale(self) -> float:
+        return self._scale
+
+    def hit_probability(self, sid: int, pid: int) -> float:
+        """Per-probe hit probability for one (service, prefix)."""
+        lam_ttl = ((self._rate[sid, pid] / SECONDS_PER_DAY) * self._scale
+                   * self._ttls[sid])
+        return float(lam_ttl / (1.0 + lam_ttl))
+
+    def hit_probability_matrix(self, sids: Sequence[int],
+                               pids: np.ndarray) -> np.ndarray:
+        """(len(sids), len(pids)) per-probe hit probabilities."""
+        sid_arr = np.asarray(list(sids), dtype=int)
+        rates = self._rate[np.ix_(sid_arr, pids)] / SECONDS_PER_DAY
+        lam_ttl = rates * self._scale * self._ttls[sid_arr, None]
+        return lam_ttl / (1.0 + lam_ttl)
+
+    def probe(self, sid: int, pid: int, rng: np.random.Generator) -> bool:
+        """Issue one probe; Bernoulli draw from the hit probability."""
+        return bool(rng.random() < self.hit_probability(sid, pid))
+
+
+class TemporalCacheOracle(CacheOracle):
+    """Cache oracle with diurnal query-rate modulation.
+
+    The base oracle works with daily-mean rates; this variant evaluates
+    occupancy at a specific UTC instant using each prefix's local diurnal
+    multiplier. Valid under the quasi-stationary approximation TTL <<
+    diurnal timescale (seconds vs hours), which holds for every service
+    TTL in the catalogue.
+
+    This is what lets a *time-sliced* probing campaign (§3.1.3's "hourly"
+    ambition in Table 1) see more hits at a region's local evening than at
+    its local dawn.
+    """
+
+    def __init__(self, rate_per_day: np.ndarray, ttls: Sequence[int],
+                 observability_scale: float, utc_offsets: np.ndarray,
+                 curve) -> None:
+        super().__init__(rate_per_day, ttls, observability_scale)
+        if len(utc_offsets) != rate_per_day.shape[1]:
+            raise ConfigError("one UTC offset per prefix required")
+        self._offsets = np.asarray(utc_offsets, dtype=float)
+        self._curve = curve
+
+    @classmethod
+    def from_oracle(cls, oracle: CacheOracle, utc_offsets: np.ndarray,
+                    curve) -> "TemporalCacheOracle":
+        return cls(oracle._rate, list(oracle._ttls),
+                   oracle.observability_scale, utc_offsets, curve)
+
+    def _multiplier_at(self, pids: np.ndarray,
+                       t_seconds: float) -> np.ndarray:
+        local_hours = ((t_seconds / 3600.0)
+                       + self._offsets[pids]) % 24.0
+        theta = 2.0 * np.pi * local_hours / 24.0
+        c = self._curve
+        return (1.0 + c.cos1 * np.cos(theta) + c.sin1 * np.sin(theta)
+                + c.cos2 * np.cos(2 * theta) + c.sin2 * np.sin(2 * theta))
+
+    def hit_probability_matrix_at(self, sids: Sequence[int],
+                                  pids: np.ndarray,
+                                  t_seconds: float) -> np.ndarray:
+        """(services, prefixes) hit probabilities for probes at time t."""
+        pid_arr = np.asarray(pids, dtype=int)
+        sid_arr = np.asarray(list(sids), dtype=int)
+        rates = self._rate[np.ix_(sid_arr, pid_arr)] / SECONDS_PER_DAY
+        rates = rates * self._multiplier_at(pid_arr, t_seconds)[None, :]
+        lam_ttl = rates * self._scale * self._ttls[sid_arr, None]
+        return lam_ttl / (1.0 + lam_ttl)
+
+
+class ResolverCache:
+    """Exact discrete-event DNS cache with per-(scope, domain) TTL entries.
+
+    Used in tests and small simulations to validate the analytic oracle:
+    feed it real query events, then probe at chosen times.
+    """
+
+    def __init__(self) -> None:
+        self._expiry: Dict[Tuple[str, str], float] = {}
+
+    def observe_query(self, scope: str, domain: str, t: float,
+                      ttl: float) -> bool:
+        """A client query arrives at time ``t``; returns True on cache hit
+        (entry still valid), False on miss (entry (re)inserted)."""
+        key = (scope, domain)
+        hit = self._expiry.get(key, -np.inf) > t
+        if not hit:
+            self._expiry[key] = t + ttl
+        return hit
+
+    def probe(self, scope: str, domain: str, t: float) -> bool:
+        """Non-recursive probe: True iff a valid cache entry exists.
+        Probes never insert entries (RD=0 semantics)."""
+        return self._expiry.get((scope, domain), -np.inf) > t
+
+    def entry_count(self, t: float) -> int:
+        return sum(1 for expiry in self._expiry.values() if expiry > t)
+
+
+@dataclass(frozen=True)
+class EcsAnswer:
+    """Authoritative answer to an ECS query."""
+
+    service_key: str
+    site: Optional[ServingSite]     # None for stub-hosted services
+    scope_prefix_len: int           # 24 when ECS honoured, 0 otherwise
+
+
+class AuthoritativeDns:
+    """Authoritative side of DNS redirection, with ECS support flags."""
+
+    def __init__(self, catalog: ServiceCatalog,
+                 mapping: GroundTruthMapping) -> None:
+        self._catalog = catalog
+        self._mapping = mapping
+
+    def resolve_ecs(self, service_key: str, client_pid: int) -> EcsAnswer:
+        """Answer a query carrying an ECS client subnet.
+
+        Non-ECS services ignore the option (scope 0) and their answer must
+        not be attributed to the client prefix — exactly the limitation
+        §3.2.1 describes.
+        """
+        service = self._catalog.get(service_key)
+        if not service.ecs_supported:
+            return EcsAnswer(service_key=service_key, site=None,
+                             scope_prefix_len=0)
+        site = self._mapping.site_of(service, client_pid)
+        return EcsAnswer(service_key=service_key, site=site,
+                         scope_prefix_len=24)
+
+    def resolve_ecs_batch(self, service_key: str,
+                          client_pids: np.ndarray) -> np.ndarray:
+        """Vectorised ECS resolution: answer *address prefix id* per client.
+
+        Equivalent to issuing one ECS query per client prefix (the batch
+        exists purely for speed). Returns -1 where the service ignores ECS
+        or a client is unmapped. The returned prefix id is the public
+        face of the answer — callers resolve it to an owner AS through the
+        public BGP origin table, not through ground truth.
+        """
+        service = self._catalog.get(service_key)
+        pids = np.asarray(client_pids, dtype=int)
+        if not service.ecs_supported:
+            return np.full(len(pids), -1, dtype=np.int64)
+        assignment = self._mapping.assignment_for_service(service)
+        if assignment is None:
+            return np.full(len(pids), -1, dtype=np.int64)
+        sites = self._mapping.sites_of(service.host_key)
+        answer_pid = np.array([s.prefix_ids[0] for s in sites],
+                              dtype=np.int64)
+        idx = assignment.site_index[pids]
+        return np.where(idx >= 0, answer_pid[np.clip(idx, 0, None)], -1)
+
+
+@dataclass(frozen=True)
+class RootServer:
+    """One root letter: operator, log policy, and the AS hosting it.
+
+    Real root letters are anycast, but one primary hosting AS per letter
+    suffices for the path-prediction experiments of §3.3.1 (paths from
+    Atlas probes to root DNS servers).
+    """
+
+    letter: str
+    operator: str
+    logs_usable: bool
+    host_asn: int
+
+
+@dataclass(frozen=True)
+class RootLogEntry:
+    """Aggregated Chromium-probe volume from one resolver address."""
+
+    resolver_asn: int
+    resolver_address: str
+    query_count: float
+    is_public_resolver: bool
+
+
+class RootSystem:
+    """The 13 root letters and the Chromium-probe log generation."""
+
+    def __init__(self, config: DnsConfig, registry: ASRegistry,
+                 rng: np.random.Generator) -> None:
+        config.validate()
+        letters = [chr(ord("a") + i) for i in range(config.root_server_count)]
+        usable = set(rng.choice(
+            config.root_server_count,
+            size=config.roots_with_usable_logs, replace=False).tolist())
+        operators = ["research-org", "registry", "operator-coop",
+                     "university", "gov-agency"]
+        # Root letters are hosted by research networks and transit
+        # providers (ISI/UMD-style operators, §3.1.3).
+        hosts = ([a.asn for a in registry.of_type(ASType.RESEARCH)]
+                 or [a.asn for a in registry.of_type(ASType.TRANSIT)]
+                 or registry.asns)
+        self.roots = [
+            RootServer(letter=letter,
+                       operator=operators[i % len(operators)],
+                       logs_usable=(i in usable),
+                       host_asn=hosts[i % len(hosts)])
+            for i, letter in enumerate(letters)]
+
+    def usable_roots(self) -> List[RootServer]:
+        return [r for r in self.roots if r.logs_usable]
+
+    def generate_archive(self, registry: ASRegistry,
+                         prefix_table: PrefixTable,
+                         users_per_prefix: np.ndarray,
+                         isp_resolver_share: np.ndarray,
+                         gdns_operator_asn: int,
+                         config: DnsConfig,
+                         rng: np.random.Generator,
+                         probes_per_user_day: float = 6.0
+                         ) -> "RootLogArchive":
+        """Simulate one day of Chromium random-TLD probes at the roots.
+
+        Per prefix, ``users * chromium_share`` clients issue probes
+        through their configured resolver: the ``isp_resolver_share``
+        fraction surfaces at the roots with the ISP's resolver address
+        (and ASN); the remainder arrives via public DNS and is visible
+        only as the GDNS operator's ASN. Volume is split over the root
+        letters roughly evenly.
+        """
+        if len(users_per_prefix) != len(prefix_table):
+            raise ConfigError("users vector does not match prefix table")
+        if len(isp_resolver_share) != len(prefix_table):
+            raise ConfigError("resolver-share vector length mismatch")
+        volume = (users_per_prefix * config.chromium_share
+                  * probes_per_user_day)
+        isp_volume_raw = volume * isp_resolver_share
+        gdns_volume = float((volume * (1.0 - isp_resolver_share)).sum())
+        by_asn: Dict[int, float] = {}
+        for asn, vol in prefix_table.group_by_as(isp_volume_raw).items():
+            if vol > 0:
+                by_asn[asn] = vol
+        entries: List[RootLogEntry] = []
+        for asn in sorted(by_asn):
+            entries.append(RootLogEntry(
+                resolver_asn=asn,
+                resolver_address=f"resolver.as{asn}.example",
+                query_count=by_asn[asn],
+                is_public_resolver=False))
+        entries.append(RootLogEntry(
+            resolver_asn=gdns_operator_asn,
+            resolver_address="resolver.gdns.example",
+            query_count=gdns_volume,
+            is_public_resolver=True))
+        # Split each resolver's volume across root letters (Dirichlet
+        # around even shares), then Poisson-sample the daily counts.
+        n_roots = len(self.roots)
+        per_root: Dict[str, List[RootLogEntry]] = {
+            r.letter: [] for r in self.roots}
+        for entry in entries:
+            split = rng.dirichlet(np.full(n_roots, 20.0)) * entry.query_count
+            for root, share in zip(self.roots, split):
+                count = float(rng.poisson(share)) if share < 1e6 else share
+                if count <= 0:
+                    continue
+                per_root[root.letter].append(RootLogEntry(
+                    resolver_asn=entry.resolver_asn,
+                    resolver_address=entry.resolver_address,
+                    query_count=count,
+                    is_public_resolver=entry.is_public_resolver))
+        return RootLogArchive(roots=self.roots, entries_by_root=per_root)
+
+
+class RootLogArchive:
+    """What a researcher crawling root logs can access (§3.1.2).
+
+    Only roots with usable logs return entries; asking for an anonymised
+    root raises, mirroring the real-world access restriction.
+    """
+
+    def __init__(self, roots: Sequence[RootServer],
+                 entries_by_root: Dict[str, List[RootLogEntry]]) -> None:
+        self._roots = list(roots)
+        self._entries = entries_by_root
+
+    @property
+    def roots(self) -> List[RootServer]:
+        return list(self._roots)
+
+    def entries_for(self, letter: str) -> List[RootLogEntry]:
+        root = next((r for r in self._roots if r.letter == letter), None)
+        if root is None:
+            raise MeasurementError(f"unknown root letter {letter!r}")
+        if not root.logs_usable:
+            raise MeasurementError(
+                f"root {letter!r} does not publish usable logs")
+        return list(self._entries.get(letter, []))

@@ -1,0 +1,255 @@
+"""Ground-truth mapping from users to serving hosts (§3.2).
+
+For every hypergiant we compute, per client /24:
+
+* the **optimal** serving site — the off-net cache inside the client's own
+  AS when one exists, else the geographically nearest on-net site;
+* the **DNS-redirection** assignment — what the hypergiant's mapping system
+  actually does. Mapping quality grows with the client network's size:
+  hypergiants peer directly with large eyeballs and have rich measurements
+  for them, while small and remote networks are frequently mapped to a
+  suboptimal site. This reproduces the structure behind the paper's §2.1
+  observation (from [38]) that only ~31% of *routes* go to the closest site
+  while ~60% of *users* are mapped optimally;
+* the **anycast** assignment — BGP catchments from
+  :class:`repro.services.anycast.AnycastModel`;
+* the **custom-URL** assignment — optimal by construction: per-client URLs
+  allow very precise redirection, so "the vast majority of bytes served
+  from sites reached via custom URLs are likely from the optimal site"
+  (§3.2.3).
+
+The authoritative DNS layer answers ECS queries out of these assignments,
+so measurement techniques observe exactly what the mapping system decided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..net.ases import ASRegistry, ASType
+from ..net.geography import haversine_km_matrix
+from ..net.prefixes import PrefixTable
+from .anycast import AnycastModel
+from .catalog import Service, ServiceCatalog
+from .cdn import CdnDeployment, ServingSite, SiteKind
+from .hypergiants import RedirectionScheme
+
+# Mapping-quality model: P(optimal) = BASE + COEFF * (1 - quantile)^EXPONENT
+# where quantile is 0 for the biggest client AS and 1 for the smallest.
+QUALITY_BASE = 0.05
+QUALITY_COEFF = 0.90
+QUALITY_EXPONENT = 2.4
+# A suboptimal mapping lands on one of the next-nearest sites.
+SUBOPTIMAL_CANDIDATES = 5
+
+
+@dataclass
+class SchemeAssignment:
+    """Per-prefix site assignment for one (hypergiant, scheme) pair."""
+
+    site_index: np.ndarray      # (P,) index into hypergiant's site list, -1 = none
+    dist_km: np.ndarray         # (P,) distance client -> assigned site
+    optimal_index: np.ndarray   # (P,) index of the optimal site
+    optimal_dist_km: np.ndarray # (P,) distance client -> optimal site
+
+    def extra_km(self) -> np.ndarray:
+        """Distance penalty of the actual assignment over the optimum."""
+        return self.dist_km - self.optimal_dist_km
+
+    def is_optimal(self) -> np.ndarray:
+        return self.site_index == self.optimal_index
+
+
+class GroundTruthMapping:
+    """All ground-truth client->site assignments, per hypergiant/scheme."""
+
+    def __init__(self, prefix_table: PrefixTable, registry: ASRegistry,
+                 deployment: CdnDeployment, catalog: ServiceCatalog,
+                 anycast_models: Dict[str, AnycastModel],
+                 users_per_prefix: np.ndarray,
+                 rng: np.random.Generator) -> None:
+        if not prefix_table.frozen:
+            raise ConfigError("freeze the prefix table before mapping")
+        if len(users_per_prefix) != len(prefix_table):
+            raise ConfigError("users vector does not match prefix table")
+        self._prefixes = prefix_table
+        self._registry = registry
+        self._deployment = deployment
+        self._catalog = catalog
+        self._anycast = anycast_models
+        self._rng = rng
+        self._prefix_quantile = self._compute_prefix_quantiles(
+            np.asarray(users_per_prefix, dtype=float))
+        self._prefix_lat, self._prefix_lon = self._prefix_coords()
+        self._assignments: Dict[tuple, SchemeAssignment] = {}
+
+    # -- geometry helpers ------------------------------------------------------
+
+    def _prefix_coords(self) -> "tuple[np.ndarray, np.ndarray]":
+        cities = self._prefixes.cities
+        lats = np.array([c.lat for c in cities])
+        lons = np.array([c.lon for c in cities])
+        idx = self._prefixes.city_index_array
+        return lats[idx], lons[idx]
+
+    @staticmethod
+    def _compute_prefix_quantiles(users_per_prefix: np.ndarray) -> np.ndarray:
+        """Per-prefix size quantile: 0 for the highest-user /24, 1 for the
+        smallest (userless prefixes pinned at 1).
+
+        Mapping systems know their heavy client prefixes best — they peer
+        with the networks behind them and measure them constantly — so
+        mapping quality is a function of prefix weight, which is what
+        makes "31% of routes vs 60% of users optimal" [38] possible.
+        """
+        quantile = np.ones(len(users_per_prefix))
+        with_users = np.flatnonzero(users_per_prefix > 0)
+        if len(with_users):
+            order = np.argsort(-users_per_prefix[with_users], kind="stable")
+            ranks = np.empty(len(with_users))
+            ranks[order] = np.arange(len(with_users))
+            quantile[with_users] = ranks / max(1, len(with_users) - 1)
+        return quantile
+
+    # -- core computation ----------------------------------------------------
+
+    def _sites_of(self, hg_key: str) -> List[ServingSite]:
+        sites = self._deployment.sites(hg_key)
+        if not sites:
+            raise ConfigError(f"hypergiant {hg_key!r} has no sites")
+        return sites
+
+    def _distance_matrix(self, sites: Sequence[ServingSite]) -> np.ndarray:
+        lats = np.array([s.city.lat for s in sites])
+        lons = np.array([s.city.lon for s in sites])
+        return haversine_km_matrix(self._prefix_lat, self._prefix_lon,
+                                   lats, lons)
+
+    def _offnet_override(self, hg_key: str, sites: Sequence[ServingSite]
+                         ) -> Dict[int, int]:
+        """ASN -> site index of its in-AS off-net cache."""
+        overrides: Dict[int, int] = {}
+        for idx, site in enumerate(sites):
+            if site.kind is SiteKind.OFFNET:
+                overrides[site.host_asn] = idx
+        return overrides
+
+    def _optimal_assignment(self, hg_key: str) -> SchemeAssignment:
+        sites = self._sites_of(hg_key)
+        dist = self._distance_matrix(sites)
+        onnet_mask = np.array([s.kind is SiteKind.ONNET for s in sites])
+        # Optimal among on-net sites, unless the client's AS hosts an
+        # off-net cache — then that cache wins regardless of geography.
+        masked = np.where(onnet_mask[None, :], dist, np.inf)
+        if not onnet_mask.any():
+            masked = dist
+        optimal_idx = np.argmin(masked, axis=1).astype(np.int32)
+        overrides = self._offnet_override(hg_key, sites)
+        if overrides:
+            asns = self._prefixes.asn_array
+            for asn, site_idx in overrides.items():
+                optimal_idx[asns == asn] = site_idx
+        optimal_dist = dist[np.arange(len(optimal_idx)), optimal_idx]
+        return SchemeAssignment(
+            site_index=optimal_idx.copy(), dist_km=optimal_dist.copy(),
+            optimal_index=optimal_idx, optimal_dist_km=optimal_dist)
+
+    def _dns_assignment(self, hg_key: str) -> SchemeAssignment:
+        sites = self._sites_of(hg_key)
+        dist = self._distance_matrix(sites)
+        optimal = self._optimal_assignment(hg_key)
+        n_prefixes = len(self._prefixes)
+        quantiles = self._prefix_quantile
+        p_optimal = QUALITY_BASE + QUALITY_COEFF * (1.0 - quantiles) ** QUALITY_EXPONENT
+        optimal_draw = self._rng.random(n_prefixes) < p_optimal
+        assigned = optimal.optimal_index.copy()
+        # Suboptimal clients land on one of the next-nearest on-net sites.
+        onnet_mask = np.array([s.kind is SiteKind.ONNET for s in sites])
+        masked = np.where(onnet_mask[None, :], dist, np.inf)
+        if not onnet_mask.any():
+            masked = dist
+        k = min(SUBOPTIMAL_CANDIDATES + 1, masked.shape[1])
+        nearest_k = np.argsort(masked, axis=1)[:, :k]
+        sub_rows = np.flatnonzero(~optimal_draw)
+        if k > 1 and len(sub_rows):
+            pick = self._rng.integers(1, k, size=len(sub_rows))
+            assigned[sub_rows] = nearest_k[sub_rows, pick]
+        # Off-net caches always serve their own AS (the cache is *in* the
+        # request path and mapping it is trivial for the hypergiant).
+        overrides = self._offnet_override(hg_key, sites)
+        if overrides:
+            asns = self._prefixes.asn_array
+            for asn, site_idx in overrides.items():
+                assigned[asns == asn] = site_idx
+        assigned = assigned.astype(np.int32)
+        assigned_dist = dist[np.arange(n_prefixes), assigned]
+        return SchemeAssignment(
+            site_index=assigned, dist_km=assigned_dist,
+            optimal_index=optimal.optimal_index,
+            optimal_dist_km=optimal.optimal_dist_km)
+
+    def _anycast_assignment(self, hg_key: str) -> SchemeAssignment:
+        model = self._anycast.get(hg_key)
+        if model is None:
+            raise ConfigError(f"{hg_key!r} has no anycast model")
+        sites = self._sites_of(hg_key)
+        dist = self._distance_matrix(sites)
+        optimal = self._optimal_assignment(hg_key)
+        assigned = np.full(len(self._prefixes), -1, dtype=np.int32)
+        site_by_asn: Dict[int, int] = {}
+        for asn in sorted(set(int(a) for a in self._prefixes.asn_array)):
+            result = model.catchment(asn)
+            if result is not None:
+                site_by_asn[asn] = result.site.site_id
+        asns = self._prefixes.asn_array
+        for asn, site_idx in site_by_asn.items():
+            assigned[asns == asn] = site_idx
+        rows = np.arange(len(assigned))
+        safe = np.where(assigned >= 0, assigned, 0)
+        assigned_dist = dist[rows, safe]
+        assigned_dist[assigned < 0] = np.inf
+        return SchemeAssignment(
+            site_index=assigned, dist_km=assigned_dist,
+            optimal_index=optimal.optimal_index,
+            optimal_dist_km=optimal.optimal_dist_km)
+
+    # -- public API -----------------------------------------------------------
+
+    def assignment(self, hg_key: str,
+                   scheme: RedirectionScheme) -> SchemeAssignment:
+        """Per-prefix assignment for a hypergiant under a scheme (cached)."""
+        cache_key = (hg_key, scheme)
+        if cache_key not in self._assignments:
+            if scheme is RedirectionScheme.DNS:
+                result = self._dns_assignment(hg_key)
+            elif scheme is RedirectionScheme.ANYCAST:
+                result = self._anycast_assignment(hg_key)
+            else:  # CUSTOM_URL serves from the optimal site (§3.2.3)
+                result = self._optimal_assignment(hg_key)
+            self._assignments[cache_key] = result
+        return self._assignments[cache_key]
+
+    def assignment_for_service(self, service: Service) -> Optional[SchemeAssignment]:
+        """Assignment for a service; None for stub-hosted services."""
+        if service.host_key is None:
+            return None
+        return self.assignment(service.host_key, service.redirection)
+
+    def sites_of(self, hg_key: str) -> List[ServingSite]:
+        """The hypergiant's site list, index-aligned with assignments."""
+        return self._sites_of(hg_key)
+
+    def site_of(self, service: Service, pid: int) -> Optional[ServingSite]:
+        """Ground-truth serving site for a client prefix (None if the
+        service is stub-hosted or the prefix is unmapped)."""
+        assignment = self.assignment_for_service(service)
+        if assignment is None:
+            return None
+        site_idx = int(assignment.site_index[pid])
+        if site_idx < 0:
+            return None
+        return self._sites_of(service.host_key)[site_idx]

@@ -1,0 +1,97 @@
+"""TLS certificates bound to serving prefixes.
+
+"TLS certificates validate the owner of a resource. With the recent
+dramatic increase in web encryption, we used TLS scans to identify the
+global serving infrastructure of large content providers and CDNs" (§3.2.2,
+[25]). The store below is what an Internet-wide scanner can observe: for a
+given address, the certificate served on port 443 — its organisation and
+its SAN list.
+
+Off-net caches present the *hypergiant's* certificate from inside an
+eyeball AS, which is precisely the signal that lets TLS scans find off-nets
+(cert organisation != address-space owner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..net.prefixes import PrefixTable
+from .catalog import ServiceCatalog
+from .cdn import CdnDeployment, SiteKind
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """An X.509 certificate as seen by a scanner (the relevant fields)."""
+
+    organization: str
+    common_name: str
+    sans: Tuple[str, ...]
+
+    def covers_domain(self, domain: str) -> bool:
+        return domain == self.common_name or domain in self.sans
+
+
+class CertificateStore:
+    """Maps serving prefix -> certificate presented on its addresses."""
+
+    def __init__(self) -> None:
+        self._by_prefix: Dict[int, Certificate] = {}
+
+    def bind(self, pid: int, cert: Certificate) -> None:
+        if pid in self._by_prefix:
+            raise ConfigError(f"prefix {pid} already has a certificate")
+        self._by_prefix[pid] = cert
+
+    def cert_for_prefix(self, pid: int) -> Optional[Certificate]:
+        """The certificate served from this /24, or None (no TLS listener).
+
+        This is the public scan surface: anyone can connect to port 443.
+        """
+        return self._by_prefix.get(pid)
+
+    def prefixes_with_tls(self) -> List[int]:
+        return sorted(self._by_prefix)
+
+    def __len__(self) -> int:
+        return len(self._by_prefix)
+
+
+def issue_certificates(catalog: ServiceCatalog, deployment: CdnDeployment,
+                       prefix_table: PrefixTable,
+                       rng: np.random.Generator) -> CertificateStore:
+    """Issue certificates for every serving prefix.
+
+    * On-net prefixes carry the hypergiant's cert with SANs for the services
+      it hosts there (all of them for simplicity — large providers use a
+      small set of wildcard-heavy certs).
+    * Off-net caches carry the hypergiant cert with SANs for the
+      hypergiant's own cacheable services.
+    * Stub-hosted services carry a self-branded cert.
+    """
+    store = CertificateStore()
+    for key, spec in catalog.hypergiants.items():
+        hosted = catalog.services_hosted_by(key)
+        all_domains = tuple(s.domain for s in hosted)
+        own_domains = tuple(s.domain for s in hosted if s.owner_key == key)
+        for site in deployment.sites(key):
+            sans = all_domains if site.kind is SiteKind.ONNET else (
+                own_domains or all_domains[:1])
+            cert = Certificate(
+                organization=spec.cert_org,
+                common_name=f"edge.{key}.example",
+                sans=sans)
+            for pid in site.prefix_ids:
+                store.bind(pid, cert)
+    for service_key, pid in deployment.stub_hosting.items():
+        service = catalog.get(service_key)
+        store.bind(pid, Certificate(
+            organization=f"{service_key} org",
+            common_name=service.domain,
+            sans=(service.domain,)))
+    return store

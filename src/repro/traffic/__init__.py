@@ -1,0 +1,1 @@
+"""Ground-truth traffic: demand matrix, diurnal modulation, flow routing."""

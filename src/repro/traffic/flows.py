@@ -1,0 +1,137 @@
+"""Flow assignment: putting the traffic matrix onto AS-level routes.
+
+Produces the per-AS and per-link traffic volumes that (a) drive router
+IP ID counters (§3.1.3), (b) let the weighting use cases ask "how much
+traffic does this interconnect carry?" (§1's congested-interconnect
+example), and (c) provide the ground-truth route usage the map's routes
+component is validated against.
+
+Traffic for a (service, client prefix) flows between the client's AS and
+the AS hosting the assigned serving site. Off-net traffic stays inside the
+client AS. AS-level paths are taken from the valley-free simulator; we use
+the client->host path for both directions (AS paths are close enough to
+symmetric for volume accounting, and the simplification is documented).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..net.prefixes import PrefixTable
+from ..net.routing import BgpSimulator
+from ..services.catalog import ServiceCatalog
+from ..services.cdn import CdnDeployment
+from ..services.mapping import GroundTruthMapping
+from .matrix import TrafficMatrix
+
+
+@dataclass
+class FlowAssignment:
+    """Aggregated traffic volumes over the actual topology."""
+
+    volume_by_as: Dict[int, float] = field(default_factory=dict)
+    volume_by_link: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    # (client_asn, host_asn) -> bytes, for route-usage ground truth.
+    volume_by_pair: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    intra_as_volume: Dict[int, float] = field(default_factory=dict)
+    unroutable_volume: float = 0.0
+
+    def link_volume(self, a: int, b: int) -> float:
+        return self.volume_by_link.get((min(a, b), max(a, b)), 0.0)
+
+    def as_volume(self, asn: int) -> float:
+        return self.volume_by_as.get(asn, 0.0)
+
+    def top_links(self, k: int = 20) -> "list[tuple[Tuple[int, int], float]]":
+        ranked = sorted(self.volume_by_link.items(),
+                        key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]
+
+
+def _sum_by_key(keys: np.ndarray, values: np.ndarray) -> Dict[int, float]:
+    """Group-sum ``values`` by integer ``keys`` (vectorised)."""
+    unique, inverse = np.unique(keys, return_inverse=True)
+    sums = np.bincount(inverse, weights=values)
+    return {int(k): float(v) for k, v in zip(unique, sums)}
+
+
+def assign_flows(matrix: TrafficMatrix, mapping: GroundTruthMapping,
+                 deployment: CdnDeployment, bgp: BgpSimulator
+                 ) -> FlowAssignment:
+    """Aggregate the matrix onto routes. See module docstring."""
+    prefix_table = matrix.prefix_table
+    asns = prefix_table.asn_array
+    catalog = matrix.catalog
+    result = FlowAssignment()
+    pair_volume: Dict[Tuple[int, int], float] = {}
+
+    for service in catalog:
+        demand = matrix.bytes_for_service(service)
+        if float(demand.sum()) <= 0:
+            continue
+        if service.host_key is None:
+            host_pid = deployment.stub_hosting.get(service.key)
+            if host_pid is None:
+                raise ConfigError(
+                    f"stub-hosted service {service.key!r} has no prefix")
+            host_asn = prefix_table.asn_of(host_pid)
+            host_of_prefix = np.full(len(prefix_table), host_asn,
+                                     dtype=np.int64)
+        else:
+            assignment = mapping.assignment_for_service(service)
+            sites = deployment.sites(service.host_key)
+            site_hosts = np.array([s.host_asn for s in sites],
+                                  dtype=np.int64)
+            idx = assignment.site_index
+            host_of_prefix = np.where(idx >= 0, site_hosts[
+                np.clip(idx, 0, len(sites) - 1)], -1)
+        active = np.flatnonzero(demand > 0)
+        if not len(active):
+            continue
+        client = asns[active]
+        host = host_of_prefix[active]
+        volume = demand[active]
+
+        unmapped = host < 0
+        result.unroutable_volume += float(volume[unmapped].sum())
+
+        intra = (~unmapped) & (host == client)
+        if intra.any():
+            for asn, vol in _sum_by_key(client[intra], volume[intra]).items():
+                result.intra_as_volume[asn] = (
+                    result.intra_as_volume.get(asn, 0.0) + vol)
+                result.volume_by_as[asn] = (
+                    result.volume_by_as.get(asn, 0.0) + vol)
+
+        inter = (~unmapped) & (host != client)
+        if inter.any():
+            combined = (client[inter].astype(np.int64) << 32) | host[inter]
+            for key, vol in _sum_by_key(combined, volume[inter]).items():
+                pair = (int(key >> 32), int(key & 0xFFFFFFFF))
+                pair_volume[pair] = pair_volume.get(pair, 0.0) + vol
+
+    # Route each distinct (client AS, host AS) pair once.
+    by_host: Dict[int, Dict[int, float]] = {}
+    for (client_asn, host_asn), volume in pair_volume.items():
+        by_host.setdefault(host_asn, {})[client_asn] = volume
+    for host_asn in sorted(by_host):
+        routes = bgp.routes_to([host_asn])
+        for client_asn, volume in sorted(by_host[host_asn].items()):
+            route = routes.get(client_asn)
+            if route is None:
+                result.unroutable_volume += volume
+                continue
+            result.volume_by_pair[(client_asn, host_asn)] = volume
+            path = route.path
+            for asn in path:
+                result.volume_by_as[asn] = (
+                    result.volume_by_as.get(asn, 0.0) + volume)
+            for a, b in zip(path, path[1:]):
+                link = (min(a, b), max(a, b))
+                result.volume_by_link[link] = (
+                    result.volume_by_link.get(link, 0.0) + volume)
+    return result

@@ -1,0 +1,164 @@
+"""The ground-truth traffic matrix: service x prefix demand.
+
+This matrix is the privileged viewpoint the paper says researchers lack —
+the equivalent of a CDN's server logs. It exists in the simulation so that
+
+* client DNS query rates (which populate resolver caches) derive from it,
+* root-log volumes derive from it, and
+* measurement techniques can be *validated* against it (the 95%/60%/99%
+  coverage numbers of §3.1.2 are recall against exactly this kind of data).
+
+Measurement code never reads it directly; only the substrate generators
+and :mod:`repro.core.validation` do.
+
+Two aligned matrices are produced:
+
+* ``bytes_per_day[s, p]`` — demand in relative byte units (sums to 1.0
+  over the whole matrix), Zipf across services, user-proportional across
+  prefixes with per-(service, prefix) adoption masks and log-normal taste
+  dispersion;
+* ``queries_per_day[s, p]`` — DNS resolutions per day, driven by service
+  *popularity* (visits) rather than bytes, plus scanner background noise
+  on the popular domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import DnsConfig
+from ..errors import ConfigError, ValidationError
+from ..net.prefixes import PrefixKind, PrefixTable
+from ..population.users import PopulationModel
+from ..services.catalog import Service, ServiceCatalog
+
+SECONDS_PER_DAY = 86_400.0
+
+# Service-adoption probability per prefix, by catalogue tier: virtually
+# every user prefix touches the top services (OS updates, ubiquitous apps),
+# fewer touch the mid tier, and long-tail services have niche audiences.
+ADOPTION_TOP = 0.995
+ADOPTION_NAMED = 0.90
+ADOPTION_TAIL = 0.45
+TASTE_SIGMA = 0.6
+
+
+@dataclass
+class TrafficMatrix:
+    """Ground-truth demand (privileged data; see module docstring)."""
+
+    catalog: ServiceCatalog
+    prefix_table: PrefixTable
+    bytes_per_day: np.ndarray      # (S, P), sums to 1.0
+    queries_per_day: np.ndarray    # (S, P), absolute resolutions/day
+
+    def __post_init__(self) -> None:
+        shape = (len(self.catalog), len(self.prefix_table))
+        if self.bytes_per_day.shape != shape:
+            raise ConfigError(f"bytes matrix shape {self.bytes_per_day.shape}"
+                              f" != {shape}")
+        if self.queries_per_day.shape != shape:
+            raise ConfigError("queries matrix shape mismatch")
+
+    # -- byte views -----------------------------------------------------------
+
+    def bytes_for_service(self, service: Service) -> np.ndarray:
+        return self.bytes_per_day[service.sid]
+
+    def bytes_for_hypergiant(self, hg_key: str) -> np.ndarray:
+        """Per-prefix bytes served from one hypergiant's infrastructure."""
+        sids = [s.sid for s in self.catalog.services_hosted_by(hg_key)]
+        if not sids:
+            return np.zeros(len(self.prefix_table))
+        return self.bytes_per_day[sids].sum(axis=0)
+
+    def bytes_per_prefix(self) -> np.ndarray:
+        return self.bytes_per_day.sum(axis=0)
+
+    def bytes_by_as(self, hg_key: Optional[str] = None) -> Dict[int, float]:
+        vector = (self.bytes_per_prefix() if hg_key is None
+                  else self.bytes_for_hypergiant(hg_key))
+        return self.prefix_table.group_by_as(vector)
+
+    # -- query views ----------------------------------------------------------
+
+    def queries_for_service(self, service: Service) -> np.ndarray:
+        return self.queries_per_day[service.sid]
+
+    def queries_per_prefix(self, sids: Optional[Sequence[int]] = None
+                           ) -> np.ndarray:
+        if sids is None:
+            return self.queries_per_day.sum(axis=0)
+        return self.queries_per_day[list(sids)].sum(axis=0)
+
+    def coverage_of_prefix_set(self, pids: np.ndarray,
+                               hg_key: str) -> float:
+        """Fraction of a hypergiant's bytes in the given prefix set —
+        the paper's coverage metric ("prefixes representing 95% of
+        Microsoft CDN traffic")."""
+        vector = self.bytes_for_hypergiant(hg_key)
+        total = float(vector.sum())
+        if total <= 0:
+            raise ValidationError(f"{hg_key!r} serves no traffic")
+        return float(vector[np.asarray(pids, dtype=int)].sum()) / total
+
+    def coverage_of_as_set(self, asns: "set[int]", hg_key: str) -> float:
+        """Fraction of a hypergiant's bytes originating in the AS set."""
+        by_as = self.bytes_by_as(hg_key)
+        total = sum(by_as.values())
+        if total <= 0:
+            raise ValidationError(f"{hg_key!r} serves no traffic")
+        return sum(v for asn, v in by_as.items() if asn in asns) / total
+
+
+def build_traffic_matrix(catalog: ServiceCatalog,
+                         population: PopulationModel,
+                         dns_config: DnsConfig,
+                         rng: np.random.Generator) -> TrafficMatrix:
+    """Generate the ground-truth matrices. See module docstring."""
+    prefix_table = population.prefix_table
+    if not prefix_table.frozen:
+        raise ConfigError("freeze the prefix table first")
+    population.pad_to_table()
+    users = population.users_per_prefix
+    n_services = len(catalog)
+    n_prefixes = len(prefix_table)
+    bytes_m = np.zeros((n_services, n_prefixes))
+    queries_m = np.zeros((n_services, n_prefixes))
+
+    top_sids = {s.sid for s in catalog.top_by_popularity()}
+    visit_total = sum(s.visits_weight for s in catalog)
+
+    for service in catalog:
+        if service.sid in top_sids:
+            adoption = ADOPTION_TOP
+        elif not service.key.startswith("tail-"):
+            adoption = ADOPTION_NAMED
+        else:
+            adoption = ADOPTION_TAIL
+        mask = rng.random(n_prefixes) < adoption
+        taste = rng.lognormal(0.0, TASTE_SIGMA, size=n_prefixes)
+        weight = users * mask * taste
+        weight_sum = weight.sum()
+        if weight_sum > 0:
+            bytes_m[service.sid] = service.bytes_share * weight / weight_sum
+        visits_share = service.visits_weight / visit_total
+        queries_m[service.sid] = (users * mask * taste
+                                  * dns_config.queries_per_user_day
+                                  * visits_share)
+
+    # Scanner prefixes: steady automated lookups of the popular domains —
+    # DNS-visible activity with zero CDN bytes (the false-positive pool).
+    scanner = population.scanner_rate_per_prefix
+    scanner_pids = np.flatnonzero(scanner > 0)
+    if len(scanner_pids):
+        for service in catalog.top_by_popularity():
+            queries_m[service.sid, scanner_pids] += (
+                scanner[scanner_pids] * SECONDS_PER_DAY)
+
+    return TrafficMatrix(
+        catalog=catalog, prefix_table=prefix_table,
+        bytes_per_day=bytes_m, queries_per_day=queries_m)

@@ -1,0 +1,38 @@
+"""Shared fixtures: scenarios are expensive, so they are session-scoped.
+
+Tests must treat fixture objects as read-only; anything that mutates
+(e.g. graph-editing tests) builds its own throwaway structures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ScenarioConfig, build_scenario
+from repro.core.builder import MapBuilder
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    return ScenarioConfig.small()
+
+@pytest.fixture(scope="session")
+def small_scenario(small_config):
+    return build_scenario(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_builder(small_scenario):
+    builder = MapBuilder(small_scenario)
+    builder.itm = builder.build()
+    return builder
+
+
+@pytest.fixture(scope="session")
+def small_itm(small_builder):
+    return small_builder.itm
+
+
+@pytest.fixture(scope="session")
+def medium_scenario():
+    return build_scenario(ScenarioConfig.medium())

@@ -1,0 +1,72 @@
+"""Tests for §3.1.3 activity fusion."""
+
+import numpy as np
+import pytest
+
+from repro.core.activity import fuse_activity
+from repro.errors import ValidationError
+
+
+class TestFusion:
+    def test_requires_some_signal(self, small_scenario):
+        with pytest.raises(ValidationError):
+            fuse_activity(small_scenario.prefixes, None, None)
+
+    def test_normalisation(self, small_builder, small_scenario):
+        activity = fuse_activity(small_scenario.prefixes,
+                                 small_builder.artifacts.cache_result,
+                                 small_builder.artifacts.rootlog_result)
+        assert sum(activity.by_as.values()) == pytest.approx(1.0)
+        assert sum(activity.by_prefix.values()) == pytest.approx(1.0,
+                                                                 abs=1e-6)
+        assert activity.techniques == ("cache-probing", "root-logs")
+
+    def test_cache_only(self, small_builder, small_scenario):
+        activity = fuse_activity(small_scenario.prefixes,
+                                 small_builder.artifacts.cache_result,
+                                 None)
+        assert activity.techniques == ("cache-probing",)
+        assert activity.scale_factor is None
+        assert sum(activity.by_as.values()) == pytest.approx(1.0)
+
+    def test_rootlog_only(self, small_builder, small_scenario):
+        activity = fuse_activity(small_scenario.prefixes, None,
+                                 small_builder.artifacts.rootlog_result)
+        assert activity.techniques == ("root-logs",)
+        assert sum(activity.by_as.values()) == pytest.approx(1.0)
+
+    def test_fusion_extends_coverage(self, small_builder, small_scenario):
+        cache_only = fuse_activity(small_scenario.prefixes,
+                                   small_builder.artifacts.cache_result,
+                                   None)
+        fused = fuse_activity(small_scenario.prefixes,
+                              small_builder.artifacts.cache_result,
+                              small_builder.artifacts.rootlog_result)
+        assert set(cache_only.by_as) <= set(fused.by_as)
+
+    def test_scale_factor_positive(self, small_builder, small_scenario):
+        fused = fuse_activity(small_scenario.prefixes,
+                              small_builder.artifacts.cache_result,
+                              small_builder.artifacts.rootlog_result)
+        assert fused.scale_factor is not None
+        assert fused.scale_factor > 0
+
+    def test_prefix_weights_in_detected_ases(self, small_builder,
+                                             small_scenario):
+        fused = fuse_activity(small_scenario.prefixes,
+                              small_builder.artifacts.cache_result,
+                              small_builder.artifacts.rootlog_result)
+        for pid in list(fused.by_prefix)[:200]:
+            asn = small_scenario.prefixes.asn_of(pid)
+            assert asn in fused.by_as
+
+    def test_estimates_track_truth(self, small_builder, small_scenario):
+        from scipy import stats
+        fused = fuse_activity(small_scenario.prefixes,
+                              small_builder.artifacts.cache_result,
+                              small_builder.artifacts.rootlog_result)
+        truth = small_scenario.population.users_by_as()
+        common = [a for a in fused.by_as if truth.get(a, 0) > 0]
+        rho = stats.spearmanr([truth[a] for a in common],
+                              [fused.by_as[a] for a in common]).statistic
+        assert rho > 0.6

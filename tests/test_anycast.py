@@ -1,0 +1,85 @@
+"""Tests for anycast catchment formation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.ases import ASType
+from repro.net.geography import haversine_km
+from repro.services.anycast import AnycastModel
+
+
+@pytest.fixture(scope="module")
+def model(small_scenario):
+    key = next(iter(small_scenario.anycast_models))
+    return small_scenario.anycast_models[key]
+
+
+class TestCatchments:
+    def test_every_client_as_gets_a_site_or_none(self, small_scenario,
+                                                 model):
+        for asys in list(small_scenario.registry)[:80]:
+            result = model.catchment(asys.asn)
+            if result is not None:
+                assert result.site in model.sites
+
+    def test_catchment_is_cached_and_stable(self, model, small_scenario):
+        asn = small_scenario.registry.eyeballs()[0].asn
+        first = model.catchment(asn)
+        second = model.catchment(asn)
+        assert first is second
+
+    def test_direct_peer_gets_nearby_site(self, small_scenario, model):
+        """Clients peering directly with the anycast operator enter near
+        home, so the catchment site is near the entry point."""
+        graph = small_scenario.graph
+        hg_asn = None
+        for key, m in small_scenario.anycast_models.items():
+            if m is model:
+                hg_asn = small_scenario.hypergiant_asn(key)
+        assert hg_asn is not None
+        peers = graph.peers_of(hg_asn)
+        eyeball_peers = [a for a in peers
+                         if small_scenario.registry.get(a).as_type
+                         is ASType.EYEBALL][:20]
+        for asn in eyeball_peers:
+            result = model.catchment(asn)
+            assert result is not None
+            # The chosen site must be the nearest site to the entry city.
+            entry = result.entry_city
+            best = min(model.sites, key=lambda s: haversine_km(
+                entry.lat, entry.lon, s.city.lat, s.city.lon))
+            best_d = haversine_km(entry.lat, entry.lon,
+                                  best.city.lat, best.city.lon)
+            got_d = haversine_km(entry.lat, entry.lon,
+                                 result.site.city.lat,
+                                 result.site.city.lon)
+            assert got_d == pytest.approx(best_d, abs=1e-6)
+
+    def test_catchment_map_skips_unreachable(self, small_scenario, model):
+        asns = [a.asn for a in small_scenario.registry][:40]
+        catchments = model.catchment_map(asns)
+        for asn, result in catchments.items():
+            assert result.client_asn == asn
+
+    def test_operator_itself_maps_to_home_site(self, small_scenario,
+                                               model):
+        for key, m in small_scenario.anycast_models.items():
+            if m is model:
+                hg_asn = small_scenario.hypergiant_asn(key)
+        result = model.catchment(hg_asn)
+        assert result is not None
+
+    def test_rejects_empty_sites(self, small_scenario):
+        with pytest.raises(ConfigError):
+            AnycastModel("x", 1, [], small_scenario.graph,
+                         small_scenario.registry,
+                         small_scenario.topology.peeringdb,
+                         small_scenario.bgp)
+
+    def test_multiple_sites_used(self, small_scenario, model):
+        """Catchments spread over several sites, not one giant sink."""
+        asns = [a.asn for a in small_scenario.registry.eyeballs()]
+        sites = {model.catchment(a).site.site_id for a in asns
+                 if model.catchment(a) is not None}
+        assert len(sites) >= 3

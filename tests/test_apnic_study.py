@@ -1,0 +1,34 @@
+"""Tests for the APNIC validation study."""
+
+import pytest
+
+from repro.analysis.apnic_study import validate_apnic_against_truth
+from repro.errors import ValidationError
+
+
+class TestApnicStudy:
+    def test_both_estimators_scored(self, small_scenario, small_itm):
+        study = validate_apnic_against_truth(small_scenario, small_itm)
+        assert study.apnic.covered_ases == \
+            study.map_activity.covered_ases
+        assert study.apnic.covered_ases >= 5
+
+    def test_both_track_truth(self, small_scenario, small_itm):
+        study = validate_apnic_against_truth(small_scenario, small_itm)
+        assert study.apnic.spearman > 0.6
+        assert study.map_activity.spearman > 0.6
+
+    def test_error_factors_reasonable(self, small_scenario, small_itm):
+        study = validate_apnic_against_truth(small_scenario, small_itm)
+        # APNIC noise is lognormal sigma 0.35: typical factor ~1.2-1.6.
+        assert 1.0 <= study.apnic.typical_factor_off < 3.0
+        assert study.map_activity.typical_factor_off < 10.0
+
+    def test_map_orders_at_least_as_well(self, small_scenario,
+                                         small_itm):
+        """The point of the exercise: a measurement-driven map should
+        order ASes by activity no worse than the unvalidated APNIC
+        estimates (it does, decisively, in this world)."""
+        study = validate_apnic_against_truth(small_scenario, small_itm)
+        assert study.map_orders_better or \
+            study.map_activity.spearman > 0.85

@@ -1,0 +1,59 @@
+"""Tests for AS entities and the registry."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.ases import (ASRegistry, ASType, AutonomousSystem,
+                            PeeringPolicy, TrafficProfile)
+from repro.net.geography import WorldAtlas
+
+PARIS = WorldAtlas.default().city("FR", "Paris")
+
+
+def mk(asn, as_type=ASType.EYEBALL, name=None):
+    return AutonomousSystem(
+        asn=asn, name=name or f"AS-{asn}", as_type=as_type,
+        country_code="FR", home_city=PARIS,
+        peering_policy=PeeringPolicy.SELECTIVE,
+        traffic_profile=TrafficProfile.HEAVY_INBOUND)
+
+
+class TestAutonomousSystem:
+    def test_role_helpers(self):
+        assert mk(1, ASType.TIER1).is_transit_like
+        assert mk(2, ASType.TRANSIT).is_transit_like
+        assert not mk(3, ASType.EYEBALL).is_transit_like
+        assert mk(4, ASType.HYPERGIANT).is_content
+        assert not mk(5, ASType.STUB).is_content
+
+
+class TestRegistry:
+    def test_add_and_lookup(self):
+        reg = ASRegistry([mk(1), mk(2, ASType.TRANSIT)])
+        assert len(reg) == 2
+        assert 1 in reg and 3 not in reg
+        assert reg.get(2).as_type is ASType.TRANSIT
+        assert reg.maybe(3) is None
+
+    def test_duplicate_rejected(self):
+        reg = ASRegistry([mk(1)])
+        with pytest.raises(TopologyError):
+            reg.add(mk(1))
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(TopologyError):
+            ASRegistry().get(7)
+
+    def test_iteration_order_stable(self):
+        reg = ASRegistry([mk(3), mk(1), mk(2)])
+        assert [a.asn for a in reg] == [3, 1, 2]
+        assert reg.asns == [3, 1, 2]
+
+    def test_filters(self):
+        reg = ASRegistry([mk(1, ASType.EYEBALL),
+                          mk(2, ASType.HYPERGIANT),
+                          mk(3, ASType.EYEBALL)])
+        assert [a.asn for a in reg.eyeballs()] == [1, 3]
+        assert [a.asn for a in reg.hypergiants()] == [2]
+        assert [a.asn for a in reg.in_country("FR")] == [1, 2, 3]
+        assert reg.in_country("JP") == []

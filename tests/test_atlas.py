@@ -1,0 +1,87 @@
+"""Tests for the Atlas-like measurement platform."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.atlas import AtlasPlatform
+from repro.net.ases import ASType
+from repro.net.geography import haversine_km
+from repro.rand import substream
+
+
+@pytest.fixture(scope="module")
+def platform(small_scenario):
+    return AtlasPlatform(small_scenario.registry, small_scenario.bgp,
+                         small_scenario.prefixes, substream(4, "atlas"),
+                         vp_count=30)
+
+
+class TestVantagePoints:
+    def test_count_and_uniqueness(self, platform):
+        vps = platform.vantage_points
+        assert 1 <= len(vps) <= 30
+        assert len({vp.vp_id for vp in vps}) == len(vps)
+
+    def test_demographics(self, small_scenario, platform):
+        types = [small_scenario.registry.get(vp.asn).as_type
+                 for vp in platform.vantage_points]
+        assert ASType.EYEBALL in types
+
+    def test_rejects_zero_vps(self, small_scenario):
+        with pytest.raises(MeasurementError):
+            AtlasPlatform(small_scenario.registry, small_scenario.bgp,
+                          small_scenario.prefixes, substream(4, "a"),
+                          vp_count=0)
+
+
+class TestTraceroute:
+    def test_matches_bgp_truth(self, small_scenario, platform):
+        vp = platform.vantage_points[0]
+        dst = small_scenario.hypergiant_asn("googol")
+        result = platform.traceroute(vp, dst)
+        assert result.as_path == small_scenario.bgp.path(vp.asn, dst)
+        assert result.reached
+
+    def test_traceroute_all(self, small_scenario, platform):
+        dst = small_scenario.hypergiant_asn("googol")
+        results = platform.traceroute_all(dst)
+        assert len(results) == len(platform.vantage_points)
+        assert all(r.dst_asn == dst for r in results)
+
+    def test_path_endpoints(self, platform, small_scenario):
+        vp = platform.vantage_points[0]
+        dst = small_scenario.hypergiant_asn("metabook")
+        result = platform.traceroute(vp, dst)
+        if result.reached:
+            assert result.as_path[0] == vp.asn
+            assert result.as_path[-1] == dst
+
+
+class TestPing:
+    def test_rtt_scales_with_distance(self, small_scenario, platform):
+        """Median RTT to far targets exceeds median RTT to near ones."""
+        prefixes = small_scenario.prefixes
+        vp = platform.vantage_points[0]
+        near, far = [], []
+        for pid in range(0, len(prefixes), 23):
+            city = prefixes.city_of(pid)
+            distance = haversine_km(vp.city.lat, vp.city.lon,
+                                    city.lat, city.lon)
+            rtt = platform.ping_rtt_ms(vp, pid)
+            if distance < 1000:
+                near.append(rtt)
+            elif distance > 8000:
+                far.append(rtt)
+        if near and far:
+            near.sort()
+            far.sort()
+            assert far[len(far) // 2] > near[len(near) // 2]
+
+    def test_rtt_has_floor(self, platform):
+        rtts = [platform.ping_rtt_ms(platform.vantage_points[0], 0)
+                for __ in range(20)]
+        assert all(rtt >= 2.0 for rtt in rtts)
+
+    def test_ping_from_all_caps_vps(self, platform):
+        samples = platform.ping_from_all(0, max_vps=5)
+        assert len(samples) == 5

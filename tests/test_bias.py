@@ -1,0 +1,123 @@
+"""Tests for country-bias correction (§3.1.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bias import (BiasCorrection, PartnerSnapshot,
+                             correct_country_bias,
+                             estimate_country_shares)
+from repro.errors import ValidationError
+
+
+def true_country_shares(scenario):
+    """Privileged per-country traffic shares (the partner's view)."""
+    by_as = scenario.traffic.bytes_by_as()
+    total = sum(by_as.values())
+    shares = {}
+    for asn, volume in by_as.items():
+        asys = scenario.registry.maybe(asn)
+        if asys is None:
+            continue
+        shares[asys.country_code] = shares.get(asys.country_code, 0.0) \
+            + volume / total
+    return shares
+
+
+@pytest.fixture(scope="module")
+def snapshot(small_scenario):
+    return PartnerSnapshot(
+        traffic_share_by_country=true_country_shares(small_scenario))
+
+
+@pytest.fixture(scope="module")
+def correction(small_scenario, small_builder, snapshot):
+    estimate = small_builder.artifacts.activity
+    prefix_asn = {int(pid): int(small_scenario.prefixes.asn_of(int(pid)))
+                  for pid in estimate.by_prefix}
+    return correct_country_bias(estimate, small_scenario.registry,
+                                snapshot, prefix_asn=prefix_asn)
+
+
+class TestSnapshot:
+    def test_rejects_bad_shares(self):
+        with pytest.raises(ValidationError):
+            PartnerSnapshot({})
+        with pytest.raises(ValidationError):
+            PartnerSnapshot({"US": 0.2, "FR": 0.2})
+
+
+class TestCorrection:
+    def test_normalised_output(self, correction):
+        assert sum(correction.corrected.by_as.values()) == \
+            pytest.approx(1.0)
+        assert sum(correction.corrected.by_prefix.values()) == \
+            pytest.approx(1.0, abs=1e-6)
+
+    def test_marks_technique(self, correction):
+        assert "country-bias-corrected" in correction.corrected.techniques
+
+    def test_country_shares_match_partner_after_correction(
+            self, correction, small_scenario, snapshot):
+        corrected_shares = estimate_country_shares(
+            correction.corrected, small_scenario.registry)
+        for code, partner_share in \
+                snapshot.traffic_share_by_country.items():
+            got = corrected_shares.get(code, 0.0)
+            if partner_share > 0.02:
+                assert got == pytest.approx(partner_share, rel=0.25)
+
+    def test_correction_improves_country_accuracy(
+            self, correction, small_scenario, small_builder, snapshot):
+        """The headline: corrected shares are closer to truth."""
+        truth = snapshot.traffic_share_by_country
+        before = estimate_country_shares(
+            small_builder.artifacts.activity, small_scenario.registry)
+        after = estimate_country_shares(correction.corrected,
+                                        small_scenario.registry)
+
+        def total_error(shares):
+            return sum(abs(shares.get(c, 0.0) - t)
+                       for c, t in truth.items())
+
+        assert total_error(after) < total_error(before)
+
+    def test_within_country_ordering_preserved(self, correction,
+                                               small_scenario,
+                                               small_builder):
+        original = small_builder.artifacts.activity.by_as
+        corrected = correction.corrected.by_as
+        by_country = {}
+        for asn in original:
+            asys = small_scenario.registry.maybe(asn)
+            if asys is not None:
+                by_country.setdefault(asys.country_code, []).append(asn)
+        for code, asns in by_country.items():
+            if len(asns) < 2:
+                continue
+            order_before = sorted(asns, key=lambda a: -original[a])
+            order_after = sorted(asns, key=lambda a: -corrected[a])
+            assert order_before == order_after
+
+    def test_partial_snapshot_reports_uncorrectable(self, small_scenario,
+                                                    small_builder):
+        estimate = small_builder.artifacts.activity
+        partial = {"US": 1.0}
+        correction = correct_country_bias(
+            estimate, small_scenario.registry,
+            PartnerSnapshot(traffic_share_by_country=partial))
+        assert correction.uncorrectable_weight > 0
+
+    def test_factors_clamped(self, small_scenario, small_builder):
+        estimate = small_builder.artifacts.activity
+        extreme = PartnerSnapshot({"US": 0.999, "FR": 0.001})
+        correction = correct_country_bias(
+            estimate, small_scenario.registry, extreme, max_factor=5.0)
+        for factor in correction.factor_by_country.values():
+            assert 1 / 5.0 <= factor <= 5.0
+
+    def test_bad_max_factor_rejected(self, small_scenario, small_builder,
+                                     snapshot):
+        with pytest.raises(ValidationError):
+            correct_country_bias(small_builder.artifacts.activity,
+                                 small_scenario.registry, snapshot,
+                                 max_factor=1.0)

@@ -1,0 +1,65 @@
+"""Tests for the community cache efficacy study (§3.2.3)."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.cache_efficacy import (LruCache,
+                                          run_cache_efficacy_study)
+from repro.rand import substream
+
+
+class TestLruCache:
+    def test_hit_after_insert(self):
+        cache = LruCache(2)
+        assert cache.request(1) is False
+        assert cache.request(1) is True
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_eviction_order_lru(self):
+        cache = LruCache(2)
+        cache.request(1)
+        cache.request(2)
+        cache.request(1)      # 1 becomes most-recent
+        cache.request(3)      # evicts 2
+        assert cache.request(1) is True
+        assert cache.request(2) is False
+
+    def test_capacity_respected(self):
+        cache = LruCache(3)
+        for i in range(10):
+            cache.request(i)
+        assert len(cache) == 3
+
+    def test_reset_counters(self):
+        cache = LruCache(2)
+        cache.request(1)
+        cache.reset_counters()
+        assert cache.hit_rate == 0.0
+        assert cache.request(1) is True   # contents preserved
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(MeasurementError):
+            LruCache(0)
+
+
+class TestStudy:
+    def test_flash_event_boosts_hit_rate(self):
+        study = run_cache_efficacy_study(substream(5, "cache"))
+        assert 0.1 < study.normal_hit_rate < 0.9
+        assert study.flash_improves_hit_rate
+        assert study.flash_hit_rate > study.normal_hit_rate + 0.1
+
+    def test_bigger_cache_higher_hit_rate(self):
+        small = run_cache_efficacy_study(substream(6, "c"),
+                                         cache_capacity=100)
+        large = run_cache_efficacy_study(substream(6, "c"),
+                                         cache_capacity=2000)
+        assert large.normal_hit_rate > small.normal_hit_rate
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(MeasurementError):
+            run_cache_efficacy_study(substream(1, "x"),
+                                     flash_object_share=1.5)
+        with pytest.raises(MeasurementError):
+            run_cache_efficacy_study(substream(1, "x"),
+                                     catalog_size=10, cache_capacity=20)

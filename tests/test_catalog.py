@@ -1,0 +1,107 @@
+"""Tests for the service catalogue: shares, ECS calibration, top list."""
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.errors import ConfigError
+from repro.rand import substream
+from repro.services.catalog import TOP_LIST_SIZE, ServiceCatalog
+from repro.services.hypergiants import (RedirectionScheme,
+                                        default_hypergiants)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return ServiceCatalog.build(ServiceConfig(), substream(11, "catalog"))
+
+
+class TestShares:
+    def test_bytes_shares_sum_to_one(self, catalog):
+        assert sum(s.bytes_share for s in catalog) == pytest.approx(1.0)
+
+    def test_hypergiants_serve_about_ninety_percent(self, catalog):
+        assert 0.85 <= catalog.total_hypergiant_share() <= 0.97
+
+    def test_every_hypergiant_hosts_something(self, catalog):
+        for key in default_hypergiants():
+            assert catalog.services_hosted_by(key), key
+
+    def test_visits_share_normalised(self, catalog):
+        total = sum(catalog.visits_share(s) for s in catalog)
+        assert total == pytest.approx(1.0)
+
+
+class TestTopList:
+    def test_top_list_size(self, catalog):
+        assert len(catalog.top_by_popularity()) == TOP_LIST_SIZE
+
+    def test_top_list_ordering(self, catalog):
+        top = catalog.top_by_popularity()
+        weights = [s.visits_weight for s in top]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_ecs_adoption_matches_paper(self, catalog):
+        """15/20 top sites ECS = ~35% of traffic = ~91% of top-20."""
+        top = catalog.top_by_popularity(20)
+        ecs = [s for s in top if s.ecs_supported]
+        assert len(ecs) == 15
+        ecs_bytes = sum(s.bytes_share for s in ecs)
+        top_bytes = sum(s.bytes_share for s in top)
+        assert 0.30 <= ecs_bytes <= 0.40
+        assert 0.88 <= ecs_bytes / top_bytes <= 0.94
+
+    def test_video_heavy_service_outside_top20(self, catalog):
+        """StreamFlix carries the most bytes but is not a top-20 site by
+        popularity — the rank-vs-bytes split the paper relies on."""
+        top_keys = {s.key for s in catalog.top_by_popularity(20)}
+        flix = catalog.get("streamflix-vod")
+        assert flix.key not in top_keys
+        assert flix.bytes_share == max(s.bytes_share for s in catalog)
+
+
+class TestStructure:
+    def test_redirection_classes_present(self, catalog):
+        assert catalog.dns_redirected()
+        assert catalog.anycast_services()
+        assert catalog.custom_url_services()
+
+    def test_anycast_services_hosted_by_anycast_hypergiants(self, catalog):
+        hypergiants = catalog.hypergiants
+        for service in catalog.anycast_services():
+            assert service.host_key is not None
+            assert hypergiants[service.host_key].uses_anycast
+
+    def test_custom_url_services_never_ecs(self, catalog):
+        for service in catalog.custom_url_services():
+            assert not service.ecs_supported
+
+    def test_longtail_generated(self, catalog):
+        tails = [s for s in catalog if s.key.startswith("tail-")]
+        assert len(tails) == ServiceConfig().n_longtail_services
+
+    def test_stub_hosted_services_exist(self, catalog):
+        assert any(s.host_key is None for s in catalog)
+
+    def test_lookup_by_key_and_sid(self, catalog):
+        service = catalog.get("googol-video")
+        assert catalog.by_sid(service.sid) is service
+        with pytest.raises(ConfigError):
+            catalog.get("nope")
+        with pytest.raises(ConfigError):
+            catalog.by_sid(10_000)
+
+    def test_unique_domains(self, catalog):
+        domains = [s.domain for s in catalog]
+        assert len(domains) == len(set(domains))
+
+    def test_deterministic(self):
+        a = ServiceCatalog.build(ServiceConfig(), substream(5, "c"))
+        b = ServiceCatalog.build(ServiceConfig(), substream(5, "c"))
+        assert [(s.key, s.bytes_share, s.host_key) for s in a] == \
+            [(s.key, s.bytes_share, s.host_key) for s in b]
+
+    def test_no_longtail_config(self):
+        catalog = ServiceCatalog.build(
+            ServiceConfig(n_longtail_services=0), substream(5, "c"))
+        assert not [s for s in catalog if s.key.startswith("tail-")]
+        assert sum(s.bytes_share for s in catalog) == pytest.approx(1.0)

@@ -1,0 +1,109 @@
+"""Tests for CDN deployments (on-nets, off-nets, stub hosting)."""
+
+import pytest
+
+from repro.net.prefixes import PrefixKind
+from repro.services.cdn import SiteKind
+from repro.services.hypergiants import OffnetReach
+
+
+class TestDeployment:
+    def test_every_hypergiant_has_sites(self, small_scenario):
+        for key in small_scenario.catalog.hypergiants:
+            assert small_scenario.deployment.sites(key), key
+
+    def test_onnet_sites_in_hypergiant_as(self, small_scenario):
+        deployment = small_scenario.deployment
+        for key, spec in small_scenario.catalog.hypergiants.items():
+            hg_asn = small_scenario.hypergiant_asn(key)
+            for site in deployment.onnet_sites(key):
+                assert site.host_asn == hg_asn
+                for pid in site.prefix_ids:
+                    assert small_scenario.prefixes.asn_of(pid) == hg_asn
+                    assert small_scenario.prefixes.kind_of(pid) is \
+                        PrefixKind.SERVER_ONNET
+
+    def test_offnet_sites_in_eyeball_ases(self, small_scenario):
+        deployment = small_scenario.deployment
+        eyeballs = {a.asn for a in small_scenario.registry.eyeballs()}
+        for key in small_scenario.catalog.hypergiants:
+            for site in deployment.sites(key):
+                if not site.is_offnet:
+                    continue
+                assert site.host_asn in eyeballs
+                for pid in site.prefix_ids:
+                    assert small_scenario.prefixes.asn_of(pid) == \
+                        site.host_asn
+                    assert small_scenario.prefixes.kind_of(pid) is \
+                        PrefixKind.SERVER_OFFNET
+
+    def test_offnet_reach_respects_spec(self, small_scenario):
+        deployment = small_scenario.deployment
+        catalog = small_scenario.catalog
+        for key, spec in catalog.hypergiants.items():
+            count = deployment.offnet_host_count(key)
+            if spec.offnet_reach is OffnetReach.NONE:
+                assert count == 0
+            elif spec.offnet_reach is OffnetReach.MAJOR:
+                assert count > 0
+
+    def test_major_reach_exceeds_minor(self, small_scenario):
+        deployment = small_scenario.deployment
+        catalog = small_scenario.catalog
+        majors = [deployment.offnet_host_count(k)
+                  for k, s in catalog.hypergiants.items()
+                  if s.offnet_reach is OffnetReach.MAJOR]
+        minors = [deployment.offnet_host_count(k)
+                  for k, s in catalog.hypergiants.items()
+                  if s.offnet_reach is OffnetReach.MINOR]
+        assert sum(majors) / len(majors) > sum(minors) / len(minors)
+
+    def test_offnet_index_consistent(self, small_scenario):
+        deployment = small_scenario.deployment
+        for asn, by_hg in deployment.offnet_index.items():
+            for key, site in by_hg.items():
+                assert site.host_asn == asn
+                assert site.hypergiant_key == key
+                assert deployment.offnet_site_in_as(asn, key) is site
+
+    def test_site_ids_index_site_list(self, small_scenario):
+        deployment = small_scenario.deployment
+        for key in small_scenario.catalog.hypergiants:
+            sites = deployment.sites(key)
+            for idx, site in enumerate(sites):
+                assert site.site_id == idx
+
+    def test_site_of_prefix_lookup(self, small_scenario):
+        deployment = small_scenario.deployment
+        for pid, (key, site) in list(
+                deployment.site_of_prefix.items())[:100]:
+            assert pid in site.prefix_ids
+            assert site.hypergiant_key == key
+
+    def test_stub_hosting_for_unhosted_services(self, small_scenario):
+        deployment = small_scenario.deployment
+        catalog = small_scenario.catalog
+        for service in catalog:
+            if service.host_key is None:
+                assert service.key in deployment.stub_hosting
+                pid = deployment.stub_hosting[service.key]
+                assert small_scenario.prefixes.kind_of(pid) is \
+                    PrefixKind.HOSTING
+
+    def test_anycast_cdn_has_many_sites(self, small_scenario):
+        config = small_scenario.config.services
+        for key, spec in small_scenario.catalog.hypergiants.items():
+            if spec.uses_anycast:
+                onnet = small_scenario.deployment.onnet_sites(key)
+                assert len(onnet) >= min(config.anycast_site_count, 5)
+
+    def test_big_eyeballs_host_more_offnets(self, small_scenario):
+        deployment = small_scenario.deployment
+        weights = small_scenario.topology.eyeball_size_weight
+        ranked = sorted(weights, key=lambda a: -weights[a])
+        half = len(ranked) // 2
+        top_hosting = sum(1 for a in ranked[:half]
+                          if deployment.offnet_index.get(a))
+        bottom_hosting = sum(1 for a in ranked[half:]
+                             if deployment.offnet_index.get(a))
+        assert top_hosting > bottom_hosting

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_summary(self, capsys):
+        assert main(["--scale", "small", "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "Internet Traffic Map" in out
+        assert "activity share" in out
+
+    def test_table1(self, capsys):
+        assert main(["--scale", "small", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_figures(self, capsys):
+        assert main(["--scale", "small", "figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1a" in out
+        assert "Figure 1b" in out
+        assert "Figure 2" in out
+
+    def test_outage_ranking(self, capsys):
+        assert main(["--scale", "small", "outage", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("AS") >= 3
+
+    def test_outage_specific_as(self, capsys):
+        # 1000 is the first eyeball ASN in every world.
+        assert main(["--scale", "small", "outage", "--asn", "1000"]) == 0
+        assert "AS1000" in capsys.readouterr().out
+
+    def test_outage_unknown_as(self, capsys):
+        assert main(["--scale", "small", "outage",
+                     "--asn", "424242"]) == 2
+        assert "unknown ASN" in capsys.readouterr().err
+
+    def test_bad_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--scale", "small", "not-a-command"])
+
+    def test_seed_flag(self, capsys):
+        assert main(["--scale", "small", "--seed", "7",
+                     "summary"]) == 0
+
+    def test_report_written(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["--scale", "small", "report", "-o",
+                     str(out)]) == 0
+        text = out.read_text()
+        assert "# Internet Traffic Map" in text
+        assert "Headline claims" in text
+        assert "| id | claim |" in text

@@ -1,0 +1,98 @@
+"""Tests for cloud-VM vantage measurement (§3.3.2, [7])."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.cloud_vantage import (CloudVantageCampaign,
+                                         augment_public_view)
+from repro.net.relationships import Relationship
+
+
+@pytest.fixture(scope="module")
+def campaign_result(small_scenario):
+    cloud = small_scenario.hypergiant_asn("amazonia")
+    campaign = CloudVantageCampaign(small_scenario.bgp, cloud)
+    targets = [a.asn for a in small_scenario.registry.eyeballs()]
+    return cloud, campaign.run(targets)
+
+
+class TestCampaign:
+    def test_reaches_everyone(self, campaign_result):
+        __, result = campaign_result
+        assert result.reach_fraction > 0.95
+
+    def test_discovered_links_are_real(self, campaign_result,
+                                       small_scenario):
+        __, result = campaign_result
+        actual = small_scenario.graph.link_set()
+        assert result.discovered_links <= actual
+
+    def test_uncovers_clouds_own_peerings(self, campaign_result,
+                                          small_scenario):
+        """The [7] claim: VM traceroutes find most of the cloud's
+        interconnections toward user networks."""
+        cloud, result = campaign_result
+        graph = small_scenario.graph
+        eyeballs = {a.asn for a in small_scenario.registry.eyeballs()}
+        cloud_eyeball_links = {
+            (min(cloud, peer), max(cloud, peer))
+            for peer in graph.peers_of(cloud) if peer in eyeballs}
+        if cloud_eyeball_links:
+            found = cloud_eyeball_links & result.discovered_links
+            assert len(found) / len(cloud_eyeball_links) > 0.9
+
+    def test_does_not_see_other_cdns_peerings(self, campaign_result,
+                                              small_scenario):
+        """The §3.3.3 limitation: a VM in cloud A reveals nothing about
+        VM-less CDN B's eyeball peerings."""
+        cloud, result = campaign_result
+        other = small_scenario.hypergiant_asn("streamflix")
+        graph = small_scenario.graph
+        eyeballs = {a.asn for a in small_scenario.registry.eyeballs()}
+        other_links = {(min(other, p), max(other, p))
+                       for p in graph.peers_of(other) if p in eyeballs}
+        overlap = other_links & result.discovered_links
+        assert len(overlap) <= len(other_links) * 0.1
+
+    def test_empty_targets_rejected(self, small_scenario):
+        campaign = CloudVantageCampaign(
+            small_scenario.bgp,
+            small_scenario.hypergiant_asn("amazonia"))
+        with pytest.raises(MeasurementError):
+            campaign.run([])
+
+
+class TestAugmentation:
+    def test_augmented_view_gains_cloud_links(self, campaign_result,
+                                              small_scenario):
+        cloud, result = campaign_result
+        before = small_scenario.public_view
+        after = augment_public_view(before, result,
+                                    small_scenario.graph)
+        assert before.graph.link_set() < after.graph.link_set()
+        # Every added link was discovered by the campaign.
+        added = after.graph.link_set() - before.graph.link_set()
+        assert added <= result.discovered_links
+        after.graph.validate()
+
+    def test_cloud_visibility_improves(self, campaign_result,
+                                       small_scenario):
+        cloud, result = campaign_result
+        graph = small_scenario.graph
+        cloud_links = [(a, b) for a, b, rel in graph.edges()
+                       if rel is Relationship.P2P
+                       and cloud in (a, b)]
+        before = small_scenario.public_view.visibility_of_links(
+            cloud_links)
+        after_view = augment_public_view(
+            small_scenario.public_view, result, small_scenario.graph)
+        after = after_view.visibility_of_links(cloud_links)
+        assert after > before
+
+    def test_original_view_untouched(self, campaign_result,
+                                     small_scenario):
+        cloud, result = campaign_result
+        count = small_scenario.public_view.graph.edge_count()
+        augment_public_view(small_scenario.public_view, result,
+                            small_scenario.graph)
+        assert small_scenario.public_view.graph.edge_count() == count

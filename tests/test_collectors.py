@@ -1,0 +1,90 @@
+"""Tests for the public route-collector view."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.ases import ASType
+from repro.net.collectors import build_public_view, pick_vantage_asns
+from repro.net.relationships import Relationship
+from repro.rand import substream
+
+
+@pytest.fixture(scope="module")
+def view(small_scenario):
+    return small_scenario.public_view
+
+
+class TestVantageSelection:
+    def test_vantages_are_transit_or_research(self, small_scenario):
+        registry = small_scenario.registry
+        vps = pick_vantage_asns(registry, substream(1, "vp"), count=20)
+        for asn in vps:
+            assert registry.get(asn).as_type in (
+                ASType.TIER1, ASType.TRANSIT, ASType.RESEARCH)
+
+    def test_vantage_count_respected(self, small_scenario):
+        vps = pick_vantage_asns(small_scenario.registry,
+                                substream(1, "vp"), count=10)
+        assert len(vps) <= 10
+        assert len(set(vps)) == len(vps)
+
+
+class TestPublicView:
+    def test_strict_subset_of_actual(self, small_scenario, view):
+        actual = small_scenario.graph.link_set()
+        public = view.graph.link_set()
+        assert public < actual
+
+    def test_same_node_set(self, small_scenario, view):
+        assert set(view.graph.asns) == set(small_scenario.graph.asns)
+
+    def test_public_graph_consistent(self, view):
+        view.graph.validate()
+
+    def test_relationships_preserved(self, small_scenario, view):
+        # Every link in the public view keeps its true relationship.
+        for a, b, rel in list(view.graph.edges())[:200]:
+            true_rel = small_scenario.graph.relationship_of(a, b)
+            assert true_rel is rel
+
+    def test_most_c2p_links_visible(self, small_scenario, view):
+        c2p = [(a, b) for a, b, rel in small_scenario.graph.edges()
+               if rel is Relationship.C2P]
+        assert view.visibility_of_links(c2p) > 0.9
+
+    def test_hypergiant_peerings_mostly_invisible(self, small_scenario,
+                                                  view):
+        # In the small world transit density is high (most transits feed
+        # collectors), so hypergiant-transit links show; the
+        # hypergiant-EYEBALL links — the paper's blind spot — must still
+        # be almost entirely invisible.
+        hg_asns = set(small_scenario.topology.hypergiant_asns.values())
+        eyeballs = {a.asn for a in small_scenario.registry.eyeballs()}
+        hg_p2p = [(a, b) for a, b, rel in small_scenario.graph.edges()
+                  if rel is Relationship.P2P
+                  and (a in hg_asns or b in hg_asns)]
+        hg_eyeball = [(a, b) for a, b in hg_p2p
+                      if a in eyeballs or b in eyeballs]
+        assert view.visibility_of_links(hg_eyeball) < 0.15
+        assert view.visibility_of_links(hg_p2p) < 0.5
+
+    def test_missing_links_complement(self, small_scenario, view):
+        missing = view.missing_links(small_scenario.graph)
+        public = view.graph.link_set()
+        actual = small_scenario.graph.link_set()
+        assert missing == actual - public
+        assert not (missing & public)
+
+    def test_visibility_empty_input_raises(self, view):
+        with pytest.raises(ConfigError):
+            view.visibility_of_links([])
+
+    def test_deterministic(self, small_scenario):
+        v1 = build_public_view(small_scenario.graph,
+                               small_scenario.registry,
+                               substream(2, "c"))
+        v2 = build_public_view(small_scenario.graph,
+                               small_scenario.registry,
+                               substream(2, "c"))
+        assert v1.graph.link_set() == v2.graph.link_set()
+        assert v1.vantage_asns == v2.vantage_asns

@@ -1,0 +1,80 @@
+"""Tests for concentration analysis (Lorenz, Gini, top-k shares)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.concentration import (gini_coefficient, lorenz_curve,
+                                          provider_concentration,
+                                          summarize_concentration)
+from repro.errors import ValidationError
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_single_owner_near_one(self):
+        gini = gini_coefficient([0, 0, 0, 0, 100])
+        assert gini == pytest.approx(0.8)  # (n-1)/n for n=5
+
+    def test_errors(self):
+        with pytest.raises(ValidationError):
+            gini_coefficient([])
+        with pytest.raises(ValidationError):
+            gini_coefficient([-1, 2])
+        with pytest.raises(ValidationError):
+            gini_coefficient([0, 0])
+
+    @given(st.lists(st.floats(0.001, 1e6), min_size=2, max_size=100))
+    @settings(max_examples=50)
+    def test_property_bounded(self, weights):
+        gini = gini_coefficient(weights)
+        assert -1e-9 <= gini < 1.0
+
+
+class TestLorenz:
+    def test_starts_origin_ends_one_one(self):
+        curve = lorenz_curve([1, 2, 3])
+        assert curve[0] == (0.0, 0.0)
+        assert curve[-1][0] == pytest.approx(1.0)
+        assert curve[-1][1] == pytest.approx(1.0)
+
+    def test_convex_below_diagonal(self):
+        curve = lorenz_curve([1, 1, 1, 97])
+        for p, c in curve:
+            assert c <= p + 1e-9
+
+
+class TestSummary:
+    def test_top_shares(self):
+        summary = summarize_concentration([50, 30, 10, 5, 5],
+                                          top_ks=(1, 2, 5))
+        assert summary.share_of_top(1) == pytest.approx(0.5)
+        assert summary.share_of_top(2) == pytest.approx(0.8)
+        assert summary.share_of_top(5) == pytest.approx(1.0)
+        with pytest.raises(ValidationError):
+            summary.share_of_top(3)
+
+    def test_provider_concentration_matches_paper_shape(self,
+                                                        small_scenario):
+        """A handful of hypergiants dominate: top-5 providers carry the
+        bulk of all bytes [25, 40]."""
+        bytes_by_host = {}
+        for key in small_scenario.catalog.hypergiants:
+            bytes_by_host[key] = \
+                small_scenario.catalog.hypergiant_bytes_share(key)
+        bytes_by_host["stub-hosting"] = 1.0 - sum(bytes_by_host.values())
+        summary = provider_concentration(bytes_by_host)
+        assert summary.share_of_top(5) > 0.6
+        assert summary.gini > 0.3
+
+    def test_activity_concentration_from_map(self, small_itm):
+        weights = list(small_itm.users.activity_by_as.values())
+        summary = summarize_concentration(weights, top_ks=(1, 10))
+        assert summary.share_of_top(10) > summary.share_of_top(1)
+        assert 0 < summary.gini < 1
+
+    def test_empty_providers_rejected(self):
+        with pytest.raises(ValidationError):
+            provider_concentration({})

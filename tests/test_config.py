@@ -1,0 +1,72 @@
+"""Tests for scenario configuration validation and presets."""
+
+import pytest
+
+from repro.config import (DnsConfig, MeasurementConfig, PopulationConfig,
+                          ScenarioConfig, ServiceConfig, TopologyConfig)
+from repro.errors import ConfigError
+
+
+class TestPresets:
+    def test_default_valid(self):
+        ScenarioConfig.default().validate()
+
+    def test_small_valid_and_smaller(self):
+        small = ScenarioConfig.small()
+        small.validate()
+        default = ScenarioConfig.default()
+        assert small.topology.n_eyeball < default.topology.n_eyeball
+        assert small.population.target_prefixes < \
+            default.population.target_prefixes
+
+    def test_medium_between(self):
+        medium = ScenarioConfig.medium()
+        medium.validate()
+        assert ScenarioConfig.small().population.target_prefixes < \
+            medium.population.target_prefixes < \
+            ScenarioConfig.default().population.target_prefixes
+
+    def test_with_seed(self):
+        config = ScenarioConfig.small().with_seed(42)
+        assert config.seed == 42
+        assert config.topology == ScenarioConfig.small().topology
+
+
+class TestValidation:
+    def test_topology_bad_sizes(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(n_tier1=0).validate()
+        with pytest.raises(ConfigError):
+            TopologyConfig(hypergiant_eyeball_peering=1.5).validate()
+
+    def test_population_bad(self):
+        with pytest.raises(ConfigError):
+            PopulationConfig(target_prefixes=10).validate()
+        with pytest.raises(ConfigError):
+            PopulationConfig(userless_prefix_fraction=1.0).validate()
+        with pytest.raises(ConfigError):
+            PopulationConfig(apnic_noise_sigma=-1).validate()
+
+    def test_services_bad(self):
+        with pytest.raises(ConfigError):
+            ServiceConfig(n_longtail_services=-1).validate()
+        with pytest.raises(ConfigError):
+            ServiceConfig(anycast_site_count=0).validate()
+        with pytest.raises(ConfigError):
+            ServiceConfig(default_dns_ttl=0).validate()
+
+    def test_dns_bad(self):
+        with pytest.raises(ConfigError):
+            DnsConfig(gdns_query_share_mean=0.0).validate()
+        with pytest.raises(ConfigError):
+            DnsConfig(roots_with_usable_logs=20).validate()
+        with pytest.raises(ConfigError):
+            DnsConfig(chromium_share=2.0).validate()
+
+    def test_measurement_bad(self):
+        with pytest.raises(ConfigError):
+            MeasurementConfig(probe_rounds_per_day=0).validate()
+        with pytest.raises(ConfigError):
+            MeasurementConfig(ipid_ping_interval_s=0).validate()
+        with pytest.raises(ConfigError):
+            MeasurementConfig(atlas_vantage_points=0).validate()

@@ -1,0 +1,71 @@
+"""Tests for the map-consumer facade."""
+
+import pytest
+
+from repro.core.consumer import MapWeighter
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def weighter(small_itm):
+    return MapWeighter(small_itm)
+
+
+class TestAsStudies:
+    def test_basic_contrast(self, weighter, small_scenario, small_itm):
+        bgp = small_scenario.bgp
+        dst = small_scenario.hypergiant_asn("googol")
+        metric = {}
+        for asn in small_itm.users.activity_by_as:
+            route = bgp.route(asn, dst)
+            if route is not None:
+                metric[asn] = route.as_path_length
+        study = weighter.study_as_metric(metric, "path length")
+        assert study.keys_used > 0
+        # Weighting shifts toward shorter paths.
+        assert study.contrast.weighted.mean() <= \
+            study.contrast.unweighted.mean() + 1e-9
+
+    def test_summary_rows(self, weighter, small_itm):
+        metric = {asn: 1.0 for asn in small_itm.users.activity_by_as}
+        study = weighter.study_as_metric(metric)
+        rows = study.summary_rows()
+        assert rows[-1][0] == "mean"
+        assert len(rows) == 4
+
+    def test_zero_weight_handling(self, weighter):
+        metric = {999_991: 1.0, 999_992: 5.0}
+        with pytest.raises(ValidationError):
+            weighter.study_as_metric(metric)
+
+    def test_drop_zero_weight(self, weighter, small_itm):
+        known = next(iter(small_itm.users.activity_by_as))
+        metric = {known: 2.0, 999_991: 100.0}
+        study = weighter.study_as_metric(metric, drop_zero_weight=True)
+        assert study.keys_used == 1
+        assert study.keys_without_weight == 1
+
+    def test_empty_metric_rejected(self, weighter):
+        with pytest.raises(ValidationError):
+            weighter.study_as_metric({})
+
+
+class TestPrefixStudies:
+    def test_prefix_metric(self, weighter, small_itm, small_scenario):
+        pids = small_itm.users.detected_prefixes[:200]
+        metric = {int(pid): float(pid % 7) for pid in pids}
+        study = weighter.study_prefix_metric(metric)
+        assert study.covered_weight > 0
+        assert study.keys_used == len(metric)
+
+
+class TestComputedStudies:
+    def test_metric_fn_with_skips(self, weighter, small_itm):
+        asns = list(small_itm.users.activity_by_as)
+
+        def metric(asn):
+            return float(asn % 5) if asn % 2 == 0 else None
+
+        study = weighter.study_computed_metric(asns, metric, "parity")
+        assert study.keys_used <= len(asns)
+        assert study.metric_name == "parity"

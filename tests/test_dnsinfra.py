@@ -1,0 +1,282 @@
+"""Tests for the DNS ecosystem: GDNS, caches, authoritative ECS, roots.
+
+Includes the key cross-validation: the analytic cache oracle must agree
+with the exact discrete-event resolver cache when fed equivalent Poisson
+query streams.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, MeasurementError
+from repro.net.prefixes import PrefixKind
+from repro.rand import substream
+from repro.services.dnsinfra import (CacheOracle, ResolverCache)
+
+
+class TestGoogleDnsModel:
+    def test_pops_placed(self, small_scenario):
+        gdns = small_scenario.gdns
+        assert len(gdns.pops) == small_scenario.config.dns.gdns_pop_count
+
+    def test_every_prefix_attached_to_pop(self, small_scenario):
+        gdns = small_scenario.gdns
+        assert len(gdns.pop_of_prefix) == len(small_scenario.prefixes)
+        assert (gdns.pop_of_prefix >= 0).all()
+        assert (gdns.pop_of_prefix < len(gdns.pops)).all()
+
+    def test_prefixes_mostly_attach_nearby(self, small_scenario):
+        """Most prefixes use their geographically nearest PoP."""
+        from repro.net.geography import haversine_km
+        gdns = small_scenario.gdns
+        prefixes = small_scenario.prefixes
+        near = 0
+        total = 400
+        for pid in range(total):
+            city = prefixes.city_of(pid)
+            pop = gdns.pop_for_prefix(pid)
+            best = min(gdns.pops, key=lambda p: haversine_km(
+                city.lat, city.lon, p.city.lat, p.city.lon))
+            if pop.pop_id == best.pop_id:
+                near += 1
+        assert near / total > 0.7
+
+    def test_gdns_share_in_range(self, small_scenario):
+        share = small_scenario.gdns.gdns_share
+        assert (share > 0).all() and (share < 1).all()
+
+    def test_share_is_country_level(self, small_scenario):
+        """Within a country, per-AS GDNS shares cluster tightly."""
+        gdns = small_scenario.gdns
+        prefixes = small_scenario.prefixes
+        registry = small_scenario.registry
+        by_country = {}
+        for pid in range(0, len(prefixes), 7):
+            asys = registry.maybe(prefixes.asn_of(pid))
+            if asys is None:
+                continue
+            by_country.setdefault(asys.country_code, []).append(
+                gdns.gdns_share[pid])
+        spreads = [np.std(v) for v in by_country.values() if len(v) > 10]
+        assert spreads and max(spreads) < 0.08
+
+    def test_outsourced_ases_have_zero_isp_share(self, small_scenario):
+        gdns = small_scenario.gdns
+        prefixes = small_scenario.prefixes
+        for pid in range(0, len(prefixes), 11):
+            asn = prefixes.asn_of(pid)
+            if gdns.outsourced_by_asn.get(asn):
+                assert gdns.isp_resolver_share[pid] == 0.0
+            else:
+                assert gdns.isp_resolver_share[pid] == pytest.approx(
+                    1.0 - gdns.gdns_share[pid])
+
+
+class TestResolverCache:
+    def test_miss_then_hit_within_ttl(self):
+        cache = ResolverCache()
+        assert cache.observe_query("1.2.3.0/24", "a.example", 0.0, 60) \
+            is False
+        assert cache.probe("1.2.3.0/24", "a.example", 30.0) is True
+        assert cache.probe("1.2.3.0/24", "a.example", 61.0) is False
+
+    def test_probe_never_inserts(self):
+        cache = ResolverCache()
+        assert cache.probe("s", "d", 0.0) is False
+        assert cache.probe("s", "d", 0.1) is False
+
+    def test_scopes_are_independent(self):
+        cache = ResolverCache()
+        cache.observe_query("a/24", "d", 0.0, 60)
+        assert cache.probe("b/24", "d", 1.0) is False
+
+    def test_reinsert_extends(self):
+        cache = ResolverCache()
+        cache.observe_query("s", "d", 0.0, 60)
+        cache.observe_query("s", "d", 100.0, 60)
+        assert cache.probe("s", "d", 150.0) is True
+
+    def test_query_hit_does_not_extend(self):
+        cache = ResolverCache()
+        cache.observe_query("s", "d", 0.0, 60)
+        assert cache.observe_query("s", "d", 30.0, 60) is True
+        assert cache.probe("s", "d", 70.0) is False
+
+    def test_entry_count(self):
+        cache = ResolverCache()
+        cache.observe_query("s", "a", 0.0, 60)
+        cache.observe_query("s", "b", 0.0, 10)
+        assert cache.entry_count(5.0) == 2
+        assert cache.entry_count(30.0) == 1
+
+
+class TestCacheOracle:
+    def make_oracle(self, rate, ttl=60, scale=1.0):
+        rates = np.array([[rate]])
+        return CacheOracle(rates, [ttl], scale)
+
+    def test_hit_probability_formula(self):
+        oracle = self.make_oracle(rate=86_400.0)  # 1 query/second
+        expected = 60.0 / 61.0  # lambda*TTL / (1 + lambda*TTL)
+        assert oracle.hit_probability(0, 0) == pytest.approx(expected)
+
+    def test_hit_probability_saturates_below_one(self):
+        oracle = self.make_oracle(rate=86_400.0 * 1000)
+        assert 0.99 < oracle.hit_probability(0, 0) < 1.0
+
+    def test_zero_rate_never_hits(self):
+        oracle = self.make_oracle(rate=0.0)
+        assert oracle.hit_probability(0, 0) == 0.0
+        assert oracle.probe(0, 0, substream(1, "p")) is False
+
+    def test_matrix_matches_scalar(self):
+        rates = np.array([[86_400.0, 8_640.0], [0.0, 864.0]])
+        oracle = CacheOracle(rates, [60, 30], 0.5)
+        matrix = oracle.hit_probability_matrix([0, 1], np.array([0, 1]))
+        for s in range(2):
+            for p in range(2):
+                assert matrix[s, p] == pytest.approx(
+                    oracle.hit_probability(s, p))
+
+    def test_validation_errors(self):
+        with pytest.raises(ConfigError):
+            CacheOracle(np.zeros(3), [60], 1.0)          # not 2-D
+        with pytest.raises(ConfigError):
+            CacheOracle(np.zeros((2, 3)), [60], 1.0)     # ttl count
+        with pytest.raises(ConfigError):
+            CacheOracle(np.zeros((1, 1)), [60], 0.0)     # bad scale
+
+    def test_calibration_hits_target_median(self, small_scenario):
+        oracle = small_scenario.cache_oracle
+        top = small_scenario.catalog.top_by_popularity(
+            small_scenario.config.measurement.probe_top_k_domains)
+        users = small_scenario.population.prefixes_with_users()
+        matrix = oracle.hit_probability_matrix(
+            [s.sid for s in top], users)
+        # Invert P = x/(1+x) per domain, sum the lambdas, re-apply.
+        aggregate_lambda = (matrix / np.clip(1 - matrix, 1e-12, 1)
+                            ).sum(axis=0)
+        aggregate_hit = aggregate_lambda / (1 + aggregate_lambda)
+        median = float(np.median(aggregate_hit))
+        assert 0.12 <= median <= 0.35
+
+    @given(st.floats(0.001, 3.0), st.integers(10, 120))
+    @settings(max_examples=20, deadline=None)
+    def test_property_oracle_matches_event_cache(self, qps, ttl):
+        """Monte-Carlo agreement between the analytic oracle and the
+        exact event-driven cache under a Poisson query stream."""
+        rng = substream(42, "oracle-check", str(qps), str(ttl))
+        oracle = CacheOracle(np.array([[qps * 86_400.0]]), [ttl], 1.0)
+        p_analytic = oracle.hit_probability(0, 0)
+        # Simulate: probes every 3*ttl seconds after Poisson arrivals.
+        horizon = 600 * ttl
+        arrivals = []
+        t = 0.0
+        while True:
+            t += rng.exponential(1.0 / qps)
+            if t > horizon:
+                break
+            arrivals.append(t)
+        cache = ResolverCache()
+        arrival_iter = iter(arrivals)
+        pending = next(arrival_iter, None)
+        hits = 0
+        probes = 0
+        for probe_time in np.arange(3 * ttl, horizon, 3 * ttl):
+            while pending is not None and pending <= probe_time:
+                cache.observe_query("s", "d", pending, ttl)
+                pending = next(arrival_iter, None)
+            probes += 1
+            hits += cache.probe("s", "d", float(probe_time))
+        observed = hits / probes
+        se = max(0.03, 3 * np.sqrt(p_analytic * (1 - p_analytic) / probes))
+        assert abs(observed - p_analytic) <= se + 0.02
+
+
+class TestAuthoritative:
+    def test_non_ecs_service_scope_zero(self, small_scenario):
+        auth = small_scenario.authoritative
+        service = next(s for s in small_scenario.catalog
+                       if not s.ecs_supported)
+        answer = auth.resolve_ecs(service.key, 0)
+        assert answer.scope_prefix_len == 0
+        assert answer.site is None
+
+    def test_ecs_service_answers_per_prefix(self, small_scenario):
+        auth = small_scenario.authoritative
+        service = small_scenario.catalog.get("googol-video")
+        pid = int(small_scenario.population.prefixes_with_users()[0])
+        answer = auth.resolve_ecs(service.key, pid)
+        assert answer.scope_prefix_len == 24
+        assert answer.site is not None
+
+    def test_batch_matches_scalar(self, small_scenario):
+        auth = small_scenario.authoritative
+        service = small_scenario.catalog.get("googol-video")
+        pids = small_scenario.population.prefixes_with_users()[:50]
+        batch = auth.resolve_ecs_batch(service.key, pids)
+        for pid, answer_pid in zip(pids, batch):
+            scalar = auth.resolve_ecs(service.key, int(pid))
+            assert scalar.site is not None
+            assert answer_pid == scalar.site.prefix_ids[0]
+
+    def test_batch_non_ecs_all_unmapped(self, small_scenario):
+        auth = small_scenario.authoritative
+        service = next(s for s in small_scenario.catalog
+                       if not s.ecs_supported)
+        batch = auth.resolve_ecs_batch(service.key, np.arange(10))
+        assert (batch == -1).all()
+
+
+class TestRoots:
+    def test_thirteen_letters(self, small_scenario):
+        roots = small_scenario.roots.roots
+        assert len(roots) == small_scenario.config.dns.root_server_count
+        assert len({r.letter for r in roots}) == len(roots)
+
+    def test_usable_subset(self, small_scenario):
+        usable = small_scenario.roots.usable_roots()
+        assert len(usable) == \
+            small_scenario.config.dns.roots_with_usable_logs
+
+    def test_roots_hosted_in_research_ases(self, small_scenario):
+        from repro.net.ases import ASType
+        for root in small_scenario.roots.roots:
+            asys = small_scenario.registry.get(root.host_asn)
+            assert asys.as_type is ASType.RESEARCH
+
+    def test_archive_denies_anonymised_roots(self, small_scenario):
+        archive = small_scenario.root_archive
+        hidden = [r for r in archive.roots if not r.logs_usable]
+        assert hidden
+        with pytest.raises(MeasurementError):
+            archive.entries_for(hidden[0].letter)
+        with pytest.raises(MeasurementError):
+            archive.entries_for("zz")
+
+    def test_archive_entries_have_volume(self, small_scenario):
+        archive = small_scenario.root_archive
+        usable = small_scenario.roots.usable_roots()
+        entries = archive.entries_for(usable[0].letter)
+        assert entries
+        assert all(e.query_count > 0 for e in entries)
+
+    def test_public_resolver_volume_attributed_to_operator(
+            self, small_scenario):
+        archive = small_scenario.root_archive
+        usable = small_scenario.roots.usable_roots()
+        operator = small_scenario.gdns_operator_asn
+        for root in usable:
+            publics = [e for e in archive.entries_for(root.letter)
+                       if e.is_public_resolver]
+            assert all(e.resolver_asn == operator for e in publics)
+
+    def test_outsourced_ases_absent_from_logs(self, small_scenario):
+        archive = small_scenario.root_archive
+        outsourced = {asn for asn, flag in
+                      small_scenario.gdns.outsourced_by_asn.items() if flag}
+        for root in small_scenario.roots.usable_roots():
+            for entry in archive.entries_for(root.letter):
+                if not entry.is_public_resolver:
+                    assert entry.resolver_asn not in outsourced

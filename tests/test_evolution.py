@@ -1,0 +1,75 @@
+"""Tests for the longitudinal off-net growth model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.rand import substream
+from repro.services.evolution import OffnetGrowthModel
+from repro.services.hypergiants import OffnetReach
+
+
+@pytest.fixture(scope="module")
+def series(small_scenario):
+    model = OffnetGrowthModel(small_scenario, substream(51, "growth"))
+    return model.run(epochs=12)
+
+
+class TestGrowth:
+    def test_monotone_growth(self, series, small_scenario):
+        for key, spec in small_scenario.catalog.hypergiants.items():
+            assert series.is_monotone(key)
+
+    def test_no_offnet_hypergiants_stay_empty(self, series,
+                                              small_scenario):
+        for key, spec in small_scenario.catalog.hypergiants.items():
+            if spec.offnet_reach is OffnetReach.NONE:
+                assert series.counts_for(key) == [0] * 12
+
+    def test_major_programs_grow_larger(self, series, small_scenario):
+        majors = []
+        minors = []
+        for key, spec in small_scenario.catalog.hypergiants.items():
+            final = series.counts_for(key)[-1]
+            if spec.offnet_reach is OffnetReach.MAJOR:
+                majors.append(final)
+            elif spec.offnet_reach is OffnetReach.MINOR:
+                minors.append(final)
+        assert min(majors) > max(minors) * 0.8
+        assert sum(majors) / len(majors) > sum(minors) / len(minors)
+
+    def test_user_coverage_grows_faster_than_host_count(self, series,
+                                                        small_scenario):
+        """Big networks sign first, so early user coverage outpaces the
+        host count — the [25] observation."""
+        users_by_as = small_scenario.population.users_by_as()
+        key = "metabook"
+        coverage = series.user_coverage_series(key, users_by_as)
+        counts = series.counts_for(key)
+        ceiling_count = max(counts)
+        mid = len(coverage) // 2
+        if counts[mid] > 0 and ceiling_count > 0:
+            host_progress = counts[mid] / ceiling_count
+            coverage_progress = coverage[mid] / max(coverage[-1], 1e-9)
+            assert coverage_progress >= host_progress - 0.05
+
+    def test_coverage_bounded(self, series, small_scenario):
+        users_by_as = small_scenario.population.users_by_as()
+        for key in small_scenario.catalog.hypergiants:
+            for value in series.user_coverage_series(key, users_by_as):
+                assert 0.0 <= value <= 1.0
+
+    def test_deterministic(self, small_scenario):
+        a = OffnetGrowthModel(small_scenario,
+                              substream(9, "g")).run(epochs=6)
+        b = OffnetGrowthModel(small_scenario,
+                              substream(9, "g")).run(epochs=6)
+        for key in small_scenario.catalog.hypergiants:
+            assert a.counts_for(key) == b.counts_for(key)
+
+    def test_rejects_bad_params(self, small_scenario):
+        with pytest.raises(ConfigError):
+            OffnetGrowthModel(small_scenario, substream(1, "x"),
+                              adoption_rate=0.0)
+        model = OffnetGrowthModel(small_scenario, substream(1, "x"))
+        with pytest.raises(ConfigError):
+            model.run(epochs=0)

@@ -1,0 +1,41 @@
+"""Tests for the markdown report exporter."""
+
+import pytest
+
+from repro.analysis.export import build_report
+
+
+@pytest.fixture(scope="module")
+def report(small_scenario, small_builder, small_itm):
+    return build_report(small_scenario, small_itm,
+                        small_builder.artifacts)
+
+
+class TestReport:
+    def test_all_sections_present(self, report):
+        for heading in ("# Internet Traffic Map",
+                        "## Table 1", "## Figure 1a", "## Figure 1b",
+                        "## Figure 2", "## Headline claims"):
+            assert heading in report
+
+    def test_markdown_tables_well_formed(self, report):
+        lines = report.splitlines()
+        header_rows = [i for i, line in enumerate(lines)
+                       if line.startswith("|") and
+                       i + 1 < len(lines) and
+                       lines[i + 1].startswith("|---")]
+        assert len(header_rows) >= 4
+        for i in header_rows:
+            columns = lines[i].count("|")
+            assert lines[i + 1].count("|") == columns
+            if i + 2 < len(lines) and lines[i + 2].startswith("|"):
+                assert lines[i + 2].count("|") == columns
+
+    def test_claims_counted(self, report):
+        assert "claims within band" in report
+
+    def test_focus_isps_in_fig2_section(self, report):
+        assert "Orange" in report
+
+    def test_seed_recorded(self, report, small_scenario):
+        assert f"`{small_scenario.config.seed}`" in report

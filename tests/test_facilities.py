@@ -1,0 +1,77 @@
+"""Tests for facilities and the PeeringDB-like registry."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.facilities import Facility, PeeringRegistry
+from repro.net.geography import WorldAtlas
+
+ATLAS = WorldAtlas.default()
+PARIS = ATLAS.city("FR", "Paris")
+LONDON = ATLAS.city("GB", "London")
+
+
+def registry():
+    reg = PeeringRegistry([
+        Facility(0, "Paris-IX1", PARIS),
+        Facility(1, "Paris-IX2", PARIS),
+        Facility(2, "London-IX1", LONDON),
+    ])
+    reg.register(100, 0)
+    reg.register(100, 2)
+    reg.register(200, 0)
+    reg.register(300, 2)
+    return reg
+
+
+class TestRegistry:
+    def test_members_and_presence(self):
+        reg = registry()
+        assert reg.members_at(0) == {100, 200}
+        assert reg.facilities_of(100) == {0, 2}
+        assert reg.facilities_of(999) == set()
+
+    def test_common_facilities(self):
+        reg = registry()
+        assert reg.common_facilities(100, 200) == {0}
+        assert reg.common_facilities(100, 300) == {2}
+        assert reg.common_facilities(200, 300) == set()
+
+    def test_colocated(self):
+        reg = registry()
+        assert reg.colocated(100, 200)
+        assert not reg.colocated(200, 300)
+
+    def test_colocated_pairs(self):
+        reg = registry()
+        assert reg.colocated_pairs() == frozenset({(100, 200), (100, 300)})
+
+    def test_facility_cities(self):
+        reg = registry()
+        cities = reg.facility_cities(100)
+        assert PARIS in cities and LONDON in cities
+
+    def test_duplicate_facility_rejected(self):
+        with pytest.raises(TopologyError):
+            PeeringRegistry([Facility(0, "A", PARIS),
+                             Facility(0, "B", PARIS)])
+
+    def test_register_unknown_facility_rejected(self):
+        reg = registry()
+        with pytest.raises(TopologyError):
+            reg.register(100, 42)
+
+    def test_members_at_unknown_raises(self):
+        with pytest.raises(TopologyError):
+            registry().members_at(42)
+
+    def test_facility_lookup(self):
+        reg = registry()
+        assert reg.facility(2).name == "London-IX1"
+        with pytest.raises(TopologyError):
+            reg.facility(9)
+
+    def test_register_idempotent(self):
+        reg = registry()
+        reg.register(100, 0)
+        assert reg.members_at(0) == {100, 200}

@@ -1,0 +1,89 @@
+"""Tests for geolocation techniques (§3.2.2 Approach 3)."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.atlas import AtlasPlatform
+from repro.measure.geolocation import (RttGeolocator,
+                                       client_centric_geolocate)
+from repro.net.geography import WorldAtlas, haversine_km
+from repro.rand import substream
+
+ATLAS = WorldAtlas.default()
+
+
+class TestClientCentric:
+    def test_concentrated_clients_pin_the_city(self):
+        paris = ATLAS.city("FR", "Paris")
+        estimate = client_centric_geolocate(
+            [paris] * 10, ATLAS.cities)
+        assert estimate.city is paris
+        assert estimate.method == "client-centric"
+
+    def test_weighted_centroid_follows_weight(self):
+        paris = ATLAS.city("FR", "Paris")
+        tokyo = ATLAS.city("JP", "Tokyo")
+        estimate = client_centric_geolocate(
+            [paris, tokyo], ATLAS.cities, weights=[100.0, 0.001])
+        assert estimate.city is paris
+
+    def test_regional_mix_lands_in_region(self):
+        cities = [ATLAS.city("FR", "Paris"), ATLAS.city("DE", "Frankfurt"),
+                  ATLAS.city("NL", "Amsterdam"), ATLAS.city("GB", "London")]
+        estimate = client_centric_geolocate(cities, ATLAS.cities)
+        assert ATLAS.country(estimate.city.country_code).region == "EU"
+
+    def test_rejects_empty_inputs(self):
+        paris = ATLAS.city("FR", "Paris")
+        with pytest.raises(MeasurementError):
+            client_centric_geolocate([], ATLAS.cities)
+        with pytest.raises(MeasurementError):
+            client_centric_geolocate([paris], [])
+
+    def test_rejects_bad_weights(self):
+        paris = ATLAS.city("FR", "Paris")
+        with pytest.raises(MeasurementError):
+            client_centric_geolocate([paris], ATLAS.cities, weights=[-1.0])
+        with pytest.raises(MeasurementError):
+            client_centric_geolocate([paris], ATLAS.cities,
+                                     weights=[1.0, 2.0])
+
+    def test_longitude_wraparound_handled(self):
+        auckland = ATLAS.city("NZ", "Auckland")
+        # Clients straddling the antimeridian must not average to 0 lon.
+        estimate = client_centric_geolocate(
+            [auckland] * 5, ATLAS.cities)
+        assert estimate.city is auckland
+
+
+class TestRttGeolocation:
+    @pytest.fixture(scope="class")
+    def platform(self, small_scenario):
+        return AtlasPlatform(small_scenario.registry, small_scenario.bgp,
+                             small_scenario.prefixes,
+                             substream(3, "geo-atlas"), vp_count=40)
+
+    def test_locates_serving_prefixes_roughly(self, small_scenario,
+                                              platform):
+        geolocator = RttGeolocator(platform, small_scenario.atlas.cities)
+        serving = small_scenario.deployment.all_serving_prefixes()[:15]
+        errors = []
+        for pid in serving:
+            true_city = small_scenario.prefixes.city_of(pid)
+            estimate = geolocator.locate(pid)
+            errors.append(haversine_km(
+                true_city.lat, true_city.lon,
+                estimate.city.lat, estimate.city.lon))
+        errors.sort()
+        median = errors[len(errors) // 2]
+        assert median < 1500.0
+
+    def test_locate_many(self, small_scenario, platform):
+        geolocator = RttGeolocator(platform, small_scenario.atlas.cities)
+        pids = small_scenario.deployment.all_serving_prefixes()[:3]
+        results = geolocator.locate_many(pids)
+        assert [pid for pid, __ in results] == list(pids)
+
+    def test_rejects_empty_candidates(self, platform):
+        with pytest.raises(MeasurementError):
+            RttGeolocator(platform, [])

@@ -1,0 +1,67 @@
+"""End-to-end integration tests: scenario -> measurements -> map ->
+validation -> use cases, on the small world."""
+
+import numpy as np
+import pytest
+
+from repro import ScenarioConfig, build_scenario
+from repro.core.builder import MapBuilder
+from repro.core.usecases import OutageImpactAnalyzer
+from repro.core.validation import (validate_routes_component,
+                                   validate_services_component,
+                                   validate_users_component)
+from repro.services.hypergiants import GROUND_TRUTH_CDN_KEY
+
+
+class TestEndToEnd:
+    def test_full_pipeline_small_world(self, small_scenario, small_itm):
+        """The whole paper in one assertion block."""
+        # Users component recovers the CDN's client base.
+        users_val = validate_users_component(
+            small_itm.users, small_scenario, GROUND_TRUTH_CDN_KEY)
+        assert users_val.prefix_traffic_coverage > 0.85
+        assert users_val.false_positive_rate < 0.02
+        assert users_val.apnic_user_coverage > 0.9
+
+        # Services component finds the infrastructure and the mapping.
+        services_val = validate_services_component(small_itm,
+                                                   small_scenario)
+        assert services_val.org_recall == 1.0
+        assert services_val.mapping_agreement == 1.0
+
+        # Routes component records its own limits honestly.
+        routes_val = validate_routes_component(small_itm, small_scenario)
+        assert routes_val.pairs_scored > 0
+
+        # The map answers the outage question.
+        analyzer = OutageImpactAnalyzer(
+            small_itm, small_scenario.prefixes, small_scenario.graph)
+        top_asn = small_itm.users.top_ases(1)[0][0]
+        report = analyzer.assess_as_outage(top_asn)
+        assert report.activity_share > 0.0
+        assert report.affected_services
+
+    def test_map_weights_usable_for_weighted_cdfs(self, small_itm,
+                                                  small_scenario):
+        """The paper's punchline: weight a CDF by the map, and the story
+        changes versus the unweighted view."""
+        from repro.core.weighting import weighting_contrast
+        bgp = small_scenario.bgp
+        hg_asn = small_scenario.hypergiant_asn("googol")
+        lengths, weights = [], []
+        for asn, weight in small_itm.users.activity_by_as.items():
+            route = bgp.route(asn, hg_asn)
+            if route is not None:
+                lengths.append(route.as_path_length)
+                weights.append(weight)
+        contrast = weighting_contrast("path length", lengths, weights)
+        # Weighting moves mass toward shorter paths.
+        assert contrast.weighted.cdf(1) >= contrast.unweighted.cdf(1)
+
+    def test_rebuild_from_same_config_is_stable(self):
+        config = ScenarioConfig.small(seed=77)
+        itm1 = MapBuilder(build_scenario(config)).build()
+        itm2 = MapBuilder(build_scenario(config)).build()
+        assert np.array_equal(itm1.users.detected_prefixes,
+                              itm2.users.detected_prefixes)
+        assert itm1.routes.predictability == itm2.routes.predictability

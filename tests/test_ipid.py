@@ -1,0 +1,88 @@
+"""Tests for IP ID velocity measurement (§3.1.3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.ipid import (IpIdMonitor, IpIdSeries, analyze_series)
+from repro.net.routers import IPID_MODULUS
+from repro.rand import substream
+
+
+def make_monitor(loss=0.0):
+    return IpIdMonitor(interval_s=900, duration_hours=48,
+                       rng=substream(9, "ipid-test"),
+                       loss_probability=loss)
+
+
+class TestVelocitySeries:
+    def test_constant_rate_unwrapped(self):
+        times = np.arange(0, 10_000, 1000, dtype=float)
+        values = [(int(5 * t)) % IPID_MODULUS for t in times]
+        series = IpIdSeries("r", times, values)
+        __, velocity = series.velocity_series()
+        assert np.allclose(velocity, 5.0)
+
+    def test_wrap_handled(self):
+        times = np.array([0.0, 100.0])
+        values = [IPID_MODULUS - 50, 50]
+        series = IpIdSeries("r", times, values)
+        __, velocity = series.velocity_series()
+        assert velocity[0] == pytest.approx(1.0)
+
+    def test_lost_probe_breaks_pair(self):
+        times = np.array([0.0, 1.0, 2.0, 3.0])
+        values = [0, None, 20, 30]
+        series = IpIdSeries("r", times, values)
+        mid, velocity = series.velocity_series()
+        # Only the (2, 3) pair is usable.
+        assert len(velocity) == 1
+        assert velocity[0] == pytest.approx(10.0)
+
+
+class TestAnalysis:
+    def test_counting_router_is_usable_and_diurnal(self, small_scenario):
+        router = small_scenario.routers.countable()[0]
+        series = make_monitor().monitor(router)
+        analysis = analyze_series(series)
+        assert analysis.usable
+        assert analysis.looks_diurnal
+        assert analysis.mean_velocity > 0
+
+    def test_random_router_flagged(self, small_scenario):
+        random_routers = [r for r in small_scenario.routers
+                          if r.uses_random_ipid]
+        series = make_monitor().monitor(random_routers[0])
+        analysis = analyze_series(series)
+        assert not analysis.usable
+        assert not analysis.looks_diurnal
+
+    def test_velocity_tracks_volume(self, small_scenario):
+        from scipy import stats
+        routers = small_scenario.routers.countable()[:40]
+        analyses = make_monitor().campaign(routers)
+        volumes = [small_scenario.flows.as_volume(r.asn) for r in routers]
+        velocities = [a.mean_velocity for a in analyses]
+        rho = stats.spearmanr(volumes, velocities).statistic
+        assert rho > 0.6
+
+    def test_too_few_samples_rejected(self):
+        series = IpIdSeries("r", np.array([0.0, 1.0]), [1, 2])
+        with pytest.raises(MeasurementError):
+            analyze_series(series)
+
+    def test_campaign_with_loss_still_works(self, small_scenario):
+        routers = small_scenario.routers.countable()[:5]
+        monitor = IpIdMonitor(900, 48, substream(10, "loss"),
+                              loss_probability=0.3)
+        analyses = monitor.campaign(routers)
+        assert len(analyses) == 5
+        assert all(a.mean_velocity > 0 for a in analyses)
+
+    def test_invalid_campaign_params(self):
+        with pytest.raises(MeasurementError):
+            IpIdMonitor(0, 48, substream(1, "x"))
+        with pytest.raises(MeasurementError):
+            IpIdMonitor(900, 0, substream(1, "x"))
+        with pytest.raises(MeasurementError):
+            IpIdMonitor(900, 48, substream(1, "x"), loss_probability=1.5)

@@ -1,0 +1,93 @@
+"""Tests for the peering-link recommender (§3.3.3)."""
+
+import pytest
+
+from repro.core.linkrec import (PeeringRecommender, evaluate_recommender)
+from repro.errors import ValidationError
+from repro.rand import substream
+
+
+@pytest.fixture(scope="module")
+def recommender(small_scenario):
+    return PeeringRecommender(small_scenario.public_view.graph,
+                              small_scenario.registry,
+                              small_scenario.topology.peeringdb)
+
+
+@pytest.fixture(scope="module")
+def holdout(small_scenario):
+    hidden = small_scenario.graph.link_set() - \
+        small_scenario.public_view.graph.link_set()
+    colocated = small_scenario.topology.peeringdb.colocated_pairs()
+    positives = {p for p in hidden if p in colocated}
+    negatives = {p for p in colocated
+                 if small_scenario.graph.relationship_of(*p) is None}
+    return positives, negatives
+
+
+class TestScoring:
+    def test_non_colocated_pairs_score_zero(self, small_scenario,
+                                            recommender):
+        pdb = small_scenario.topology.peeringdb
+        asns = small_scenario.registry.asns
+        found = 0
+        for a in asns[:50]:
+            for b in asns[50:100]:
+                if a != b and not pdb.colocated(a, b):
+                    assert recommender.score_pair(a, b) == 0.0
+                    found += 1
+                    if found > 20:
+                        return
+
+    def test_scores_nonnegative(self, recommender, holdout):
+        positives, negatives = holdout
+        for pair in list(positives)[:50] + list(negatives)[:50]:
+            assert recommender.score_pair(*pair) >= 0.0
+
+    def test_hypergiant_eyeball_scores_high(self, small_scenario,
+                                            recommender, holdout):
+        """Hidden hypergiant-eyeball links (content-eyeball affinity)
+        should outscore typical negatives."""
+        import numpy as np
+        positives, negatives = holdout
+        hg = set(small_scenario.topology.hypergiant_asns.values())
+        hg_pos = [p for p in positives if p[0] in hg or p[1] in hg][:50]
+        neg = sorted(negatives)[:200]
+        if hg_pos and neg:
+            pos_scores = [recommender.score_pair(*p) for p in hg_pos]
+            neg_scores = [recommender.score_pair(*p) for p in neg]
+            assert np.median(pos_scores) > np.median(neg_scores)
+
+    def test_rank_candidates_sorted(self, recommender, holdout):
+        positives, negatives = holdout
+        ranked = recommender.rank_candidates(sorted(positives)[:30])
+        scores = [s.score for s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_recommend_missing_links_excludes_visible(self, small_scenario,
+                                                      recommender):
+        public = small_scenario.public_view.graph
+        for rec in recommender.recommend_missing_links(top_k=30):
+            assert public.relationship_of(*rec.pair) is None
+            assert rec.shared_facilities >= 1
+
+
+class TestEvaluation:
+    def test_auc_above_chance(self, recommender, holdout):
+        positives, negatives = holdout
+        rng = substream(1, "linkrec-test")
+        pos = sorted(positives)
+        neg = sorted(negatives - positives)
+        pos = [pos[int(i)] for i in
+               rng.choice(len(pos), size=min(100, len(pos)),
+                          replace=False)]
+        neg = [neg[int(i)] for i in
+               rng.choice(len(neg), size=min(400, len(neg)),
+                          replace=False)]
+        evaluation = evaluate_recommender(recommender, set(pos), set(neg))
+        assert evaluation.auc > 0.55
+        assert 0.0 <= evaluation.precision_at_k <= 1.0
+
+    def test_empty_holdout_rejected(self, recommender):
+        with pytest.raises(ValidationError):
+            evaluate_recommender(recommender, set(), {(1, 2)})

@@ -1,0 +1,95 @@
+"""Tests for ground-truth user->host mapping."""
+
+import numpy as np
+import pytest
+
+from repro.core.usecases import mapping_optimality_study
+from repro.services.hypergiants import RedirectionScheme
+
+
+class TestOptimalAssignment:
+    def test_custom_url_is_optimal(self, small_scenario):
+        assignment = small_scenario.mapping.assignment(
+            "streamflix", RedirectionScheme.CUSTOM_URL)
+        assert assignment.is_optimal().all()
+        assert (assignment.extra_km() == 0).all()
+
+    def test_offnet_override_wins(self, small_scenario):
+        """Prefixes of ASes hosting an off-net map to that off-net."""
+        deployment = small_scenario.deployment
+        mapping = small_scenario.mapping
+        key = "metabook"
+        assignment = mapping.assignment(key, RedirectionScheme.DNS)
+        sites = mapping.sites_of(key)
+        for asn, by_hg in list(deployment.offnet_index.items())[:20]:
+            site = by_hg.get(key)
+            if site is None:
+                continue
+            for pid in small_scenario.prefixes.prefixes_of_as(asn):
+                assert sites[int(assignment.site_index[pid])] is site
+
+    def test_dns_assignment_valid_indices(self, small_scenario):
+        mapping = small_scenario.mapping
+        assignment = mapping.assignment("googol", RedirectionScheme.DNS)
+        sites = mapping.sites_of("googol")
+        idx = assignment.site_index
+        assert (idx >= 0).all()
+        assert (idx < len(sites)).all()
+
+    def test_extra_km_nonnegative_for_dns(self, small_scenario):
+        assignment = small_scenario.mapping.assignment(
+            "amazonia", RedirectionScheme.DNS)
+        # DNS may be suboptimal but never better than optimal.
+        assert (assignment.extra_km() >= -1e-6).all()
+
+    def test_quality_gradient(self, small_scenario):
+        """High-user prefixes are mapped optimally more often."""
+        assignment = small_scenario.mapping.assignment(
+            "amazonia", RedirectionScheme.DNS)
+        users = small_scenario.population.users_per_prefix
+        with_users = np.flatnonzero(users > 0)
+        order = with_users[np.argsort(-users[with_users])]
+        quarter = len(order) // 4
+        top = assignment.is_optimal()[order[:quarter]].mean()
+        bottom = assignment.is_optimal()[order[-quarter:]].mean()
+        assert top > bottom + 0.2
+
+    def test_user_weighted_beats_route_level(self, small_scenario):
+        assignment = small_scenario.mapping.assignment(
+            "amazonia", RedirectionScheme.DNS)
+        study = mapping_optimality_study(
+            assignment, small_scenario.population.users_per_prefix)
+        assert study.user_optimal_fraction > study.route_optimal_fraction
+
+    def test_anycast_assignment_per_as(self, small_scenario):
+        """All prefixes of one AS share the anycast catchment site."""
+        key = next(iter(small_scenario.anycast_models))
+        assignment = small_scenario.mapping.assignment(
+            key, RedirectionScheme.ANYCAST)
+        asns = small_scenario.prefixes.asn_array
+        for asn in {int(a) for a in asns[:500]}:
+            pids = small_scenario.prefixes.prefixes_of_as(asn)
+            indices = {int(assignment.site_index[p]) for p in pids}
+            assert len(indices) == 1
+
+    def test_assignment_cached(self, small_scenario):
+        a1 = small_scenario.mapping.assignment("googol",
+                                               RedirectionScheme.DNS)
+        a2 = small_scenario.mapping.assignment("googol",
+                                               RedirectionScheme.DNS)
+        assert a1 is a2
+
+    def test_site_of_service(self, small_scenario):
+        catalog = small_scenario.catalog
+        mapping = small_scenario.mapping
+        service = catalog.get("googol-video")
+        pid = int(small_scenario.population.prefixes_with_users()[0])
+        site = mapping.site_of(service, pid)
+        assert site is not None
+        assert site.hypergiant_key == "googol"
+
+    def test_stub_hosted_service_has_no_assignment(self, small_scenario):
+        stub_service = next(s for s in small_scenario.catalog
+                            if s.host_key is None)
+        assert small_scenario.mapping.assignment_for_service(
+            stub_service) is None

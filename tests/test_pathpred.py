@@ -1,0 +1,118 @@
+"""Tests for path prediction over the public topology (§3.3)."""
+
+import pytest
+
+from repro.core.pathpred import (PathPredictor, evaluate_prediction)
+from repro.errors import ValidationError
+from repro.net.ases import ASType
+
+
+@pytest.fixture(scope="module")
+def predictor(small_scenario):
+    return PathPredictor(small_scenario.public_view)
+
+
+class TestPredictor:
+    def test_predicted_paths_use_public_links(self, small_scenario,
+                                              predictor):
+        public_links = small_scenario.public_view.graph.link_set()
+        eyeballs = [a.asn for a in small_scenario.registry.eyeballs()][:10]
+        dst = small_scenario.hypergiant_asn("googol")
+        for src in eyeballs:
+            path = predictor.predict(src, dst)
+            if path is None:
+                continue
+            for a, b in zip(path, path[1:]):
+                assert (min(a, b), max(a, b)) in public_links
+
+    def test_predict_many(self, small_scenario, predictor):
+        pairs = [(1000, 1001), (1001, 1002)]
+        pairs = [(a, b) for a, b in pairs
+                 if a in small_scenario.graph and b in small_scenario.graph]
+        results = predictor.predict_many(pairs)
+        assert set(results) == set(pairs)
+
+    def test_some_true_paths_not_predicted(self, small_scenario,
+                                           predictor):
+        """Hypergiant peering invisibility makes predictions wrong for a
+        noticeable share of eyeball->hypergiant paths."""
+        eyeballs = [a.asn for a in small_scenario.registry.eyeballs()]
+        dst = small_scenario.hypergiant_asn("googol")
+        wrong = 0
+        scored = 0
+        for src in eyeballs:
+            true_path = small_scenario.bgp.path(src, dst)
+            if true_path is None:
+                continue
+            scored += 1
+            if predictor.predict(src, dst) != true_path:
+                wrong += 1
+        assert scored > 0
+        assert wrong / scored > 0.2
+
+
+class TestAugmentedPrediction:
+    def test_augmenting_with_true_hidden_links_helps(self,
+                                                     small_scenario):
+        """Feeding the actually-missing links back into the predictor
+        (the ideal §3.3.3 outcome) improves path prediction."""
+        from repro.core.pathpred import evaluate_prediction
+        hidden = sorted(small_scenario.graph.link_set()
+                        - small_scenario.public_view.graph.link_set())
+        eyeballs = [a.asn for a in small_scenario.registry.eyeballs()]
+        dst = small_scenario.hypergiant_asn("googol")
+        truth = {(src, dst): small_scenario.bgp.path(src, dst)
+                 for src in eyeballs}
+        base = PathPredictor(small_scenario.public_view)
+        augmented = PathPredictor.with_augmented_links(
+            small_scenario.public_view, hidden)
+        ev_base = evaluate_prediction(base.predict_many(list(truth)),
+                                      truth)
+        ev_aug = evaluate_prediction(augmented.predict_many(list(truth)),
+                                     truth)
+        assert ev_aug.exact_fraction > ev_base.exact_fraction
+        assert augmented.augmented_link_count == len(hidden)
+
+    def test_augmentation_skips_existing_and_bad_links(self,
+                                                       small_scenario):
+        existing = next(iter(small_scenario.public_view.graph.link_set()))
+        augmented = PathPredictor.with_augmented_links(
+            small_scenario.public_view,
+            [existing, (1, 1), (10 ** 9, 10 ** 9 + 1)])
+        assert augmented.augmented_link_count == 0
+
+    def test_augmentation_does_not_mutate_original(self, small_scenario):
+        before = small_scenario.public_view.graph.edge_count()
+        hidden = sorted(small_scenario.graph.link_set()
+                        - small_scenario.public_view.graph.link_set())
+        PathPredictor.with_augmented_links(small_scenario.public_view,
+                                           hidden[:10])
+        assert small_scenario.public_view.graph.edge_count() == before
+
+
+class TestEvaluation:
+    def test_counts(self):
+        truth = {(1, 2): (1, 9, 2), (3, 2): (3, 2), (4, 2): None,
+                 (5, 2): (5, 6, 2)}
+        predictions = {(1, 2): (1, 9, 2),      # exact
+                       (3, 2): None,           # unpredictable
+                       (5, 2): (5, 7, 2)}      # wrong, same length
+        ev = evaluate_prediction(predictions, truth)
+        assert ev.attempted == 3     # (4,2) excluded: truly unreachable
+        assert ev.exact_matches == 1
+        assert ev.unpredictable == 1
+        assert ev.length_matches == 2
+        assert ev.exact_fraction == pytest.approx(1 / 3)
+        assert ev.unpredictable_fraction == pytest.approx(1 / 3)
+        assert ev.mean_length_error == pytest.approx(0.0)
+
+    def test_empty_evaluation_raises(self):
+        ev = evaluate_prediction({}, {})
+        with pytest.raises(ValidationError):
+            __ = ev.unpredictable_fraction
+
+    def test_length_error(self):
+        truth = {(1, 2): (1, 2)}
+        predictions = {(1, 2): (1, 5, 6, 2)}
+        ev = evaluate_prediction(predictions, truth)
+        assert ev.mean_length_error == pytest.approx(2.0)

@@ -1,0 +1,56 @@
+"""Performance envelope tests.
+
+Generous bounds — these catch accidental quadratic blowups, not
+millisecond regressions. All figures are several times the measured
+values on a modest laptop core.
+"""
+
+import time
+
+import pytest
+
+from repro import ScenarioConfig, build_scenario
+from repro.core.builder import MapBuilder
+
+
+class TestBuildPerformance:
+    def test_small_world_builds_fast(self):
+        start = time.perf_counter()
+        build_scenario(ScenarioConfig.small(seed=424242))
+        assert time.perf_counter() - start < 10.0
+
+    def test_small_pipeline_fast(self):
+        scenario = build_scenario(ScenarioConfig.small(seed=424243))
+        start = time.perf_counter()
+        MapBuilder(scenario).build()
+        assert time.perf_counter() - start < 20.0
+
+    def test_build_scales_subquadratically(self):
+        """Medium world has ~5x the prefixes of small; the build must
+        not cost 25x."""
+        t0 = time.perf_counter()
+        build_scenario(ScenarioConfig.small(seed=424244))
+        small_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        build_scenario(ScenarioConfig.medium(seed=424244))
+        medium_time = time.perf_counter() - t0
+        assert medium_time < max(small_time, 0.2) * 60
+
+
+class TestQueryPerformance:
+    def test_route_cache_makes_repeat_lookups_cheap(self, small_scenario):
+        dst = small_scenario.hypergiant_asn("googol")
+        src = small_scenario.registry.eyeballs()[0].asn
+        small_scenario.bgp.path(src, dst)   # warm the cache
+        start = time.perf_counter()
+        for __ in range(2000):
+            small_scenario.bgp.path(src, dst)
+        assert time.perf_counter() - start < 1.0
+
+    def test_map_weight_lookup_is_constant_time(self, small_itm):
+        asns = list(small_itm.users.activity_by_as)[:50]
+        start = time.perf_counter()
+        for __ in range(200):
+            for asn in asns:
+                small_itm.users.as_weight(asn)
+        assert time.perf_counter() - start < 1.0

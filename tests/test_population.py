@@ -1,0 +1,157 @@
+"""Tests for user populations, the diurnal curve and the APNIC estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import PopulationConfig
+from repro.errors import ConfigError
+from repro.net.ases import ASType
+from repro.net.prefixes import PrefixKind
+from repro.population.activity import SECONDS_PER_DAY, DiurnalCurve
+from repro.population.apnic import simulate_apnic
+from repro.rand import substream
+
+
+class TestDiurnalCurve:
+    def test_mean_is_one(self):
+        assert DiurnalCurve().mean_over_day() == pytest.approx(1.0,
+                                                               abs=1e-9)
+
+    def test_positive_everywhere(self):
+        curve = DiurnalCurve()
+        for h in np.linspace(0, 24, 200):
+            assert curve.value(float(h)) > 0
+
+    def test_evening_peak_morning_trough(self):
+        curve = DiurnalCurve()
+        assert 17 <= curve.peak_hour() <= 23
+        assert 2 <= curve.trough_hour() <= 7
+
+    def test_value_at_respects_utc_offset(self):
+        curve = DiurnalCurve()
+        # Same local hour in two timezones -> same multiplier.
+        assert curve.value_at(10 * 3600.0, 0) == pytest.approx(
+            curve.value_at(4 * 3600.0, 6))
+
+    def test_integral_rejects_reversed_interval(self):
+        with pytest.raises(ConfigError):
+            DiurnalCurve().integral(10.0, 5.0, 0)
+
+    def test_nonpositive_curve_rejected(self):
+        with pytest.raises(ConfigError):
+            DiurnalCurve(cos1=-1.2)
+
+    @given(st.floats(0, 5 * SECONDS_PER_DAY),
+           st.floats(0, SECONDS_PER_DAY), st.floats(-12, 14))
+    @settings(max_examples=50)
+    def test_property_integral_matches_numeric(self, t0, span, offset):
+        curve = DiurnalCurve()
+        t1 = t0 + span
+        closed = curve.integral(t0, t1, offset)
+        grid = np.linspace(t0, t1, 2001)
+        values = [curve.value_at(float(t), offset) for t in grid]
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        numeric = float(trapezoid(values, grid))
+        assert closed == pytest.approx(numeric, rel=1e-3, abs=1.0)
+
+    @given(st.floats(0, SECONDS_PER_DAY), st.floats(-12, 14))
+    @settings(max_examples=30)
+    def test_property_full_day_integral_is_one_day(self, t0, offset):
+        curve = DiurnalCurve()
+        integral = curve.integral(t0, t0 + SECONDS_PER_DAY, offset)
+        assert integral == pytest.approx(SECONDS_PER_DAY, rel=1e-9)
+
+
+class TestPopulationModel:
+    def test_users_vector_aligned(self, small_scenario):
+        pop = small_scenario.population
+        assert len(pop.users_per_prefix) == len(small_scenario.prefixes)
+
+    def test_only_access_prefixes_have_users(self, small_scenario):
+        pop = small_scenario.population
+        kinds = small_scenario.prefixes.kind_array
+        with_users = pop.users_per_prefix > 0
+        assert (kinds[with_users] == int(PrefixKind.ACCESS)).all()
+
+    def test_as_totals_match_subscribers(self, small_scenario):
+        pop = small_scenario.population
+        users_by_as = pop.users_by_as()
+        for asn, subscribers in pop.subscribers_by_as.items():
+            assert users_by_as[asn] == pytest.approx(subscribers,
+                                                     rel=1e-6)
+
+    def test_focus_isps_pinned(self, small_scenario):
+        pop = small_scenario.population
+        for asn, millions in pop.focus_subscribers_m.items():
+            assert pop.users_in_as(asn) == pytest.approx(millions * 1e6,
+                                                         rel=1e-6)
+
+    def test_country_totals_scale_with_atlas(self, small_scenario):
+        totals = small_scenario.population.users_by_country(
+            small_scenario.registry)
+        atlas = small_scenario.atlas
+        # Countries are sized by the atlas weights (focus pins distort a
+        # little, so compare the biggest vs a small one).
+        big = max(atlas.countries, key=lambda c: c.internet_users_m)
+        small = min(atlas.countries, key=lambda c: c.internet_users_m)
+        assert totals[big.code] > totals[small.code]
+
+    def test_scanner_prefixes_exist_with_rates(self, small_scenario):
+        pop = small_scenario.population
+        scanners = small_scenario.prefixes.of_kind(PrefixKind.SCANNER)
+        assert len(scanners) >= 1
+        assert (pop.scanner_rate_per_prefix[scanners] > 0).all()
+        assert (pop.users_per_prefix[scanners] == 0).all()
+
+    def test_prefixes_with_users(self, small_scenario):
+        pop = small_scenario.population
+        pids = pop.prefixes_with_users()
+        assert (pop.users_per_prefix[pids] > 0).all()
+        assert pop.total_users == pytest.approx(
+            pop.users_per_prefix[pids].sum())
+
+    def test_userless_fraction_near_config(self, small_scenario):
+        kinds = small_scenario.prefixes.kind_array
+        access = (kinds == int(PrefixKind.ACCESS)).mean()
+        # Access prefixes should be well above half of the space; exact
+        # fraction shifts with server allocations.
+        assert access > 0.6
+
+
+class TestApnic:
+    def test_estimates_cover_large_ases(self, small_scenario):
+        apnic = small_scenario.apnic
+        users_by_as = small_scenario.population.users_by_as()
+        covered = apnic.covered_asns()
+        big = [asn for asn, u in users_by_as.items() if u > 1e6]
+        hit = sum(1 for asn in big if asn in covered)
+        assert hit / len(big) > 0.9
+
+    def test_small_ases_excluded(self, small_scenario):
+        config = small_scenario.config.population
+        users_by_as = small_scenario.population.users_by_as()
+        for asn in small_scenario.apnic.covered_asns():
+            assert users_by_as.get(asn, 0) >= config.apnic_min_users_covered
+
+    def test_noise_is_bounded_but_present(self, small_scenario):
+        apnic = small_scenario.apnic
+        users_by_as = small_scenario.population.users_by_as()
+        ratios = [apnic.estimates[asn] / users_by_as[asn]
+                  for asn in apnic.covered_asns()]
+        assert any(abs(r - 1) > 0.05 for r in ratios)   # noisy
+        assert all(0.2 < r < 5.0 for r in ratios)       # not absurd
+
+    def test_users_by_country(self, small_scenario):
+        by_country = small_scenario.apnic.users_by_country(
+            small_scenario.registry)
+        assert sum(by_country.values()) == pytest.approx(
+            small_scenario.apnic.total_users)
+
+    def test_zero_noise_estimator_exact(self, small_scenario):
+        config = PopulationConfig(apnic_noise_sigma=0.0)
+        apnic = simulate_apnic(config, small_scenario.population,
+                               substream(1, "a"), dropout_fraction=0.0)
+        users_by_as = small_scenario.population.users_by_as()
+        for asn, estimate in apnic.estimates.items():
+            assert estimate == pytest.approx(users_by_as[asn])

@@ -1,0 +1,121 @@
+"""Tests for the prefix table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TopologyError
+from repro.net.geography import WorldAtlas
+from repro.net.prefixes import PrefixKind, PrefixTable
+
+ATLAS = WorldAtlas.default()
+PARIS = ATLAS.city("FR", "Paris")
+TOKYO = ATLAS.city("JP", "Tokyo")
+
+
+def small_table():
+    table = PrefixTable()
+    table.add(100, PrefixKind.ACCESS, PARIS)
+    table.add(100, PrefixKind.ACCESS, TOKYO)
+    table.add(200, PrefixKind.SERVER_ONNET, TOKYO)
+    table.add(300, PrefixKind.SCANNER, PARIS)
+    return table
+
+
+class TestConstruction:
+    def test_ids_sequential(self):
+        table = small_table()
+        assert list(table.ids()) == [0, 1, 2, 3]
+
+    def test_add_many(self):
+        table = PrefixTable()
+        pids = table.add_many(5, PrefixKind.INFRA, PARIS, 3)
+        assert pids == [0, 1, 2]
+        assert len(table) == 3
+
+    def test_scalar_accessors(self):
+        table = small_table()
+        assert table.asn_of(0) == 100
+        assert table.kind_of(2) is PrefixKind.SERVER_ONNET
+        assert table.city_of(1) is TOKYO
+
+    def test_address_rendering(self):
+        table = small_table()
+        assert table.address_of(0) == "10.0.0.0/24"
+        assert table.address_of(3) == "10.0.3.0/24"
+
+    def test_unknown_pid_raises(self):
+        table = small_table()
+        with pytest.raises(TopologyError):
+            table.asn_of(99)
+
+    def test_frozen_rejects_add(self):
+        table = small_table()
+        table.freeze()
+        with pytest.raises(TopologyError):
+            table.add(1, PrefixKind.ACCESS, PARIS)
+
+    def test_arrays_require_freeze(self):
+        table = small_table()
+        with pytest.raises(TopologyError):
+            __ = table.asn_array
+
+
+class TestFrozenViews:
+    def test_arrays_match_scalars(self):
+        table = small_table()
+        table.freeze()
+        assert table.asn_array.tolist() == [100, 100, 200, 300]
+        assert table.kind_array.tolist() == [0, 0, 1, 5]
+
+    def test_of_kind(self):
+        table = small_table()
+        table.freeze()
+        assert table.of_kind(PrefixKind.ACCESS).tolist() == [0, 1]
+        assert table.of_kind(PrefixKind.ACCESS,
+                             PrefixKind.SCANNER).tolist() == [0, 1, 3]
+
+    def test_prefixes_of_as(self):
+        table = small_table()
+        assert table.prefixes_of_as(100) == [0, 1]
+        assert table.prefixes_of_as(999) == []
+
+    def test_cities_deduplicated(self):
+        table = small_table()
+        table.freeze()
+        assert len(table.cities) == 2
+
+    def test_group_by_as(self):
+        table = small_table()
+        table.freeze()
+        sums = table.group_by_as(np.array([1.0, 2.0, 4.0, 8.0]))
+        assert sums == {100: 3.0, 200: 4.0, 300: 8.0}
+
+    def test_group_by_as_rejects_bad_length(self):
+        table = small_table()
+        table.freeze()
+        with pytest.raises(TopologyError):
+            table.group_by_as(np.ones(2))
+
+    def test_group_by_as_empty_table(self):
+        table = PrefixTable()
+        table.freeze()
+        assert table.group_by_as(np.array([])) == {}
+
+    @given(st.lists(st.tuples(st.integers(1, 5),
+                              st.floats(0, 100)), min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_property_group_by_as_matches_naive(self, rows):
+        table = PrefixTable()
+        values = []
+        for asn, value in rows:
+            table.add(asn, PrefixKind.ACCESS, PARIS)
+            values.append(value)
+        table.freeze()
+        got = table.group_by_as(np.array(values))
+        expected = {}
+        for (asn, value) in rows:
+            expected[asn] = expected.get(asn, 0.0) + value
+        assert set(got) == set(expected)
+        for asn in expected:
+            assert got[asn] == pytest.approx(expected[asn], abs=1e-9)

@@ -1,0 +1,81 @@
+"""Tests for the deterministic randomness utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rand import lognormal_factors, substream, zipf_weights
+
+
+class TestSubstream:
+    def test_same_name_same_stream(self):
+        a = substream(1, "topology")
+        b = substream(1, "topology")
+        assert a.random() == b.random()
+
+    def test_different_names_differ(self):
+        a = substream(1, "topology")
+        b = substream(1, "population")
+        assert a.random() != b.random()
+
+    def test_different_seeds_differ(self):
+        a = substream(1, "topology")
+        b = substream(2, "topology")
+        assert a.random() != b.random()
+
+    def test_nested_names(self):
+        a = substream(1, "a", "b")
+        b = substream(1, "a.b")
+        # The dot-join makes these identical by construction.
+        assert a.random() == b.random()
+
+    def test_independence_of_sibling_draws(self):
+        # Drawing from one stream must not perturb a sibling.
+        a1 = substream(9, "x")
+        __ = substream(9, "y").normal(size=100)
+        a2 = substream(9, "x")
+        assert a1.random() == a2.random()
+
+
+class TestZipfWeights:
+    def test_sums_to_one(self):
+        assert zipf_weights(10, 1.1).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(20, 0.9)
+        assert all(w[i] >= w[i + 1] for i in range(19))
+
+    def test_zero_exponent_uniform(self):
+        w = zipf_weights(5, 0.0)
+        assert np.allclose(w, 0.2)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_weights(5, -0.1)
+
+    @given(st.integers(1, 200), st.floats(0.0, 3.0))
+    def test_property_normalised_and_positive(self, n, exponent):
+        w = zipf_weights(n, exponent)
+        assert w.shape == (n,)
+        assert (w > 0).all()
+        assert w.sum() == pytest.approx(1.0)
+
+
+class TestLognormalFactors:
+    def test_zero_sigma_is_ones(self):
+        rng = substream(1, "t")
+        assert np.allclose(lognormal_factors(rng, 7, 0.0), 1.0)
+
+    def test_median_near_one(self):
+        rng = substream(1, "t")
+        factors = lognormal_factors(rng, 20_000, 0.5)
+        assert np.median(factors) == pytest.approx(1.0, rel=0.05)
+
+    def test_rejects_negative_sigma(self):
+        rng = substream(1, "t")
+        with pytest.raises(ValueError):
+            lognormal_factors(rng, 5, -1.0)

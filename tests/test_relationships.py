@@ -1,0 +1,171 @@
+"""Tests for the annotated AS graph, including hypothesis consistency."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TopologyError
+from repro.net.relationships import ASGraph, Relationship
+
+
+def tiny_graph():
+    """1 <- 2 <- 3 hierarchy plus 2~4 peering."""
+    g = ASGraph()
+    for asn in (1, 2, 3, 4):
+        g.add_as(asn)
+    g.add_c2p(2, 1)   # 2 buys from 1
+    g.add_c2p(3, 2)
+    g.add_p2p(2, 4)
+    return g
+
+
+class TestBasics:
+    def test_add_and_query(self):
+        g = tiny_graph()
+        assert g.providers_of(2) == {1}
+        assert g.customers_of(2) == {3}
+        assert g.peers_of(2) == {4}
+        assert g.neighbors_of(2) == {1, 3, 4}
+        assert g.degree(2) == 3
+
+    def test_relationship_of(self):
+        g = tiny_graph()
+        assert g.relationship_of(2, 1) is Relationship.C2P
+        assert g.relationship_of(1, 2) is Relationship.C2P
+        assert g.relationship_of(2, 4) is Relationship.P2P
+        assert g.relationship_of(1, 4) is None
+
+    def test_is_provider_of(self):
+        g = tiny_graph()
+        assert g.is_provider_of(1, 2)
+        assert not g.is_provider_of(2, 1)
+
+    def test_self_link_rejected(self):
+        g = tiny_graph()
+        with pytest.raises(TopologyError):
+            g.add_p2p(1, 1)
+
+    def test_duplicate_link_rejected(self):
+        g = tiny_graph()
+        with pytest.raises(TopologyError):
+            g.add_c2p(2, 1)
+        with pytest.raises(TopologyError):
+            g.add_p2p(1, 2)  # already c2p
+
+    def test_unknown_asn_rejected(self):
+        g = tiny_graph()
+        with pytest.raises(TopologyError):
+            g.providers_of(99)
+        with pytest.raises(TopologyError):
+            g.add_c2p(1, 99)
+
+    def test_add_as_idempotent(self):
+        g = tiny_graph()
+        g.add_as(1)
+        assert g.providers_of(2) == {1}
+
+
+class TestEdgesAndRemoval:
+    def test_edges_yields_each_once(self):
+        g = tiny_graph()
+        edges = list(g.edges())
+        assert len(edges) == 3
+        assert (2, 1, Relationship.C2P) in edges
+        assert (3, 2, Relationship.C2P) in edges
+        assert (2, 4, Relationship.P2P) in edges
+
+    def test_edge_count(self):
+        assert tiny_graph().edge_count() == 3
+
+    def test_remove_p2p(self):
+        g = tiny_graph()
+        assert g.remove_link(4, 2) is Relationship.P2P
+        assert g.relationship_of(2, 4) is None
+
+    def test_remove_c2p_either_direction(self):
+        g = tiny_graph()
+        assert g.remove_link(1, 2) is Relationship.C2P
+        assert g.relationship_of(1, 2) is None
+
+    def test_remove_missing_raises(self):
+        g = tiny_graph()
+        with pytest.raises(TopologyError):
+            g.remove_link(1, 4)
+
+    def test_link_set(self):
+        g = tiny_graph()
+        assert g.link_set() == frozenset({(1, 2), (2, 3), (2, 4)})
+
+
+class TestDerived:
+    def test_customer_cone(self):
+        g = tiny_graph()
+        assert g.customer_cone(1) == {1, 2, 3}
+        assert g.customer_cone(3) == {3}
+        assert g.customer_cone(4) == {4}
+
+    def test_transit_free(self):
+        g = tiny_graph()
+        assert set(g.transit_free()) == {1, 4}
+
+    def test_copy_is_deep(self):
+        g = tiny_graph()
+        dup = g.copy()
+        dup.remove_link(2, 4)
+        assert g.relationship_of(2, 4) is Relationship.P2P
+        assert dup.relationship_of(2, 4) is None
+
+    def test_validate_passes_on_consistent_graph(self):
+        tiny_graph().validate()
+
+
+@st.composite
+def random_graph_ops(draw):
+    """A random sequence of link insertions over a small node set."""
+    n = draw(st.integers(3, 12))
+    ops = draw(st.lists(st.tuples(
+        st.sampled_from(["c2p", "p2p"]),
+        st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=40))
+    return n, ops
+
+
+class TestHypothesisConsistency:
+    @given(random_graph_ops())
+    @settings(max_examples=60)
+    def test_property_graph_stays_consistent(self, spec):
+        n, ops = spec
+        g = ASGraph()
+        for asn in range(n):
+            g.add_as(asn)
+        for kind, a, b in ops:
+            if a == b or g.relationship_of(a, b) is not None:
+                continue
+            if kind == "c2p":
+                g.add_c2p(a, b)
+            else:
+                g.add_p2p(a, b)
+        g.validate()
+        # copy() must be equivalent.
+        assert g.copy().link_set() == g.link_set()
+        # Every reported neighbor relationship must be mutual.
+        for asn in range(n):
+            for peer in g.peers_of(asn):
+                assert asn in g.peers_of(peer)
+            for provider in g.providers_of(asn):
+                assert asn in g.customers_of(provider)
+
+    @given(random_graph_ops())
+    @settings(max_examples=40)
+    def test_property_cone_contains_self_and_customers(self, spec):
+        n, ops = spec
+        g = ASGraph()
+        for asn in range(n):
+            g.add_as(asn)
+        for kind, a, b in ops:
+            if a == b or g.relationship_of(a, b) is not None:
+                continue
+            (g.add_c2p if kind == "c2p" else g.add_p2p)(a, b)
+        for asn in range(n):
+            cone = g.customer_cone(asn)
+            assert asn in cone
+            assert g.customers_of(asn) <= cone

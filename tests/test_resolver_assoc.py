@@ -1,0 +1,106 @@
+"""Tests for the resolver-client association technique (§3.1.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.activity import fuse_activity
+from repro.errors import MeasurementError
+from repro.measure.resolver_assoc import (PUBLIC_RESOLVER,
+                                          PageMeasurementCampaign,
+                                          attribute_rootlog_volume)
+from repro.measure.rootlogs import RootLogCrawler
+from repro.rand import substream
+from repro.services.hypergiants import GROUND_TRUTH_CDN_KEY
+
+
+@pytest.fixture(scope="module")
+def association(small_scenario):
+    weights = small_scenario.traffic.queries_per_day.sum(axis=0)
+    campaign = PageMeasurementCampaign(
+        small_scenario.prefixes, small_scenario.gdns, weights,
+        substream(31, "assoc"))
+    return campaign.run(30_000)
+
+
+@pytest.fixture(scope="module")
+def crawl(small_scenario):
+    return RootLogCrawler(small_scenario.root_archive).run()
+
+
+class TestCampaign:
+    def test_weights_normalised_per_resolver(self, association):
+        for resolver, clients in association.weights.items():
+            assert sum(clients.values()) == pytest.approx(1.0)
+
+    def test_public_resolver_sampled(self, association):
+        assert PUBLIC_RESOLVER in association.weights
+        assert len(association.clients_of(PUBLIC_RESOLVER)) > 5
+
+    def test_isp_resolver_clients_in_own_as(self, association):
+        """ISP resolvers observe (mostly) their own AS's clients."""
+        for resolver, clients in association.weights.items():
+            if resolver == PUBLIC_RESOLVER:
+                continue
+            assert clients.get(resolver, 0.0) > 0.9
+
+    def test_rejects_bad_inputs(self, small_scenario):
+        with pytest.raises(MeasurementError):
+            PageMeasurementCampaign(small_scenario.prefixes,
+                                    small_scenario.gdns,
+                                    np.zeros(3), substream(1, "x"))
+        zero = np.zeros(len(small_scenario.prefixes))
+        with pytest.raises(MeasurementError):
+            PageMeasurementCampaign(small_scenario.prefixes,
+                                    small_scenario.gdns, zero,
+                                    substream(1, "x"))
+
+    def test_sample_size_positive(self, small_scenario):
+        weights = small_scenario.traffic.queries_per_day.sum(axis=0)
+        campaign = PageMeasurementCampaign(
+            small_scenario.prefixes, small_scenario.gdns, weights,
+            substream(1, "x"))
+        with pytest.raises(MeasurementError):
+            campaign.run(0)
+
+
+class TestAttribution:
+    def test_lifts_coverage(self, small_scenario, association, crawl):
+        """The §3.1.3 join: attribution recovers the networks plain
+        root-log crawling must miss."""
+        plain = small_scenario.traffic.coverage_of_as_set(
+            crawl.detected_asns(), GROUND_TRUTH_CDN_KEY)
+        attributed = attribute_rootlog_volume(crawl, association)
+        joined = small_scenario.traffic.coverage_of_as_set(
+            set(attributed), GROUND_TRUTH_CDN_KEY)
+        assert joined > plain + 0.1
+
+    def test_recovers_outsourced_ases(self, small_scenario, association,
+                                      crawl):
+        attributed = attribute_rootlog_volume(crawl, association)
+        outsourced = {asn for asn, flag in
+                      small_scenario.gdns.outsourced_by_asn.items()
+                      if flag}
+        users = small_scenario.population.users_by_as()
+        big_outsourced = {a for a in outsourced if users.get(a, 0) > 1e6}
+        if big_outsourced:
+            recovered = big_outsourced & set(attributed)
+            assert len(recovered) / len(big_outsourced) > 0.7
+
+    def test_volume_conserved(self, association, crawl):
+        attributed = attribute_rootlog_volume(crawl, association,
+                                              min_volume=0.0)
+        total_in = (sum(crawl.volume_by_as.values())
+                    + crawl.public_resolver_volume)
+        assert sum(attributed.values()) == pytest.approx(total_in,
+                                                         rel=1e-6)
+
+    def test_fusion_accepts_attribution(self, small_scenario,
+                                        small_builder, association,
+                                        crawl):
+        attributed = attribute_rootlog_volume(crawl, association)
+        estimate = fuse_activity(
+            small_scenario.prefixes,
+            small_builder.artifacts.cache_result,
+            crawl, rootlog_attribution=attributed)
+        assert "root-logs+association" in estimate.techniques
+        assert sum(estimate.by_as.values()) == pytest.approx(1.0)

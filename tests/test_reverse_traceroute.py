@@ -1,0 +1,72 @@
+"""Tests for reverse traceroute and path asymmetry."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.atlas import AtlasPlatform
+from repro.measure.reverse_traceroute import (ReverseTraceroute,
+                                              asymmetry_study)
+from repro.rand import substream
+
+
+@pytest.fixture(scope="module")
+def platform(small_scenario):
+    return AtlasPlatform(small_scenario.registry, small_scenario.bgp,
+                         small_scenario.prefixes,
+                         substream(91, "revtr"), vp_count=20)
+
+
+@pytest.fixture(scope="module")
+def pairs(small_scenario, platform):
+    tracer = ReverseTraceroute(small_scenario.bgp)
+    vp = platform.vantage_points[0]
+    remotes = [a.asn for a in small_scenario.registry][:150]
+    return tracer.measure_many(vp, remotes)
+
+
+class TestMeasurement:
+    def test_endpoints_correct(self, pairs):
+        for pair in pairs[:50]:
+            if pair.forward is not None:
+                assert pair.forward[0] == pair.vp_asn
+                assert pair.forward[-1] == pair.remote_asn
+            if pair.reverse is not None:
+                assert pair.reverse[0] == pair.remote_asn
+                assert pair.reverse[-1] == pair.vp_asn
+
+    def test_paths_match_bgp_truth(self, pairs, small_scenario):
+        for pair in pairs[:30]:
+            assert pair.forward == small_scenario.bgp.path(
+                pair.vp_asn, pair.remote_asn)
+            assert pair.reverse == small_scenario.bgp.path(
+                pair.remote_asn, pair.vp_asn)
+
+    def test_symmetry_definition(self, pairs):
+        for pair in pairs:
+            if pair.symmetric:
+                assert tuple(reversed(pair.reverse)) == pair.forward
+
+    def test_vp_itself_excluded(self, small_scenario, platform):
+        tracer = ReverseTraceroute(small_scenario.bgp)
+        vp = platform.vantage_points[0]
+        result = tracer.measure_many(vp, [vp.asn, vp.asn])
+        assert result == []
+
+    def test_empty_remotes_rejected(self, small_scenario, platform):
+        tracer = ReverseTraceroute(small_scenario.bgp)
+        with pytest.raises(MeasurementError):
+            tracer.measure_many(platform.vantage_points[0], [])
+
+
+class TestAsymmetry:
+    def test_some_paths_are_asymmetric(self, pairs):
+        """The reason the technique exists: forward probing alone
+        misses a real share of reverse paths."""
+        study = asymmetry_study(pairs)
+        assert study.pairs_measured > 50
+        assert 0.0 < study.asymmetric_fraction < 1.0
+        assert study.mean_length_difference >= 0.0
+
+    def test_study_requires_measurable_pairs(self):
+        with pytest.raises(MeasurementError):
+            asymmetry_study([])

@@ -1,0 +1,66 @@
+"""Tests for root-log crawling (§3.1.2 Approach 2)."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.rootlogs import RootLogCrawler
+from repro.services.hypergiants import GROUND_TRUTH_CDN_KEY
+
+
+@pytest.fixture(scope="module")
+def crawl(small_scenario):
+    return RootLogCrawler(small_scenario.root_archive,
+                          min_query_threshold=50.0).run()
+
+
+class TestCrawl:
+    def test_only_usable_roots_crawled(self, small_scenario, crawl):
+        assert crawl.roots_crawled == \
+            small_scenario.config.dns.roots_with_usable_logs
+        assert crawl.roots_total == \
+            small_scenario.config.dns.root_server_count
+
+    def test_public_resolver_volume_excluded(self, small_scenario, crawl):
+        operator = small_scenario.gdns_operator_asn
+        assert operator not in crawl.volume_by_as
+        assert crawl.public_resolver_volume > 0
+
+    def test_detected_asns_respect_threshold(self, crawl):
+        for asn in crawl.detected_asns():
+            assert crawl.volume_by_as[asn] >= crawl.min_query_threshold
+
+    def test_outsourced_ases_missed(self, small_scenario, crawl):
+        outsourced = {asn for asn, flag in
+                      small_scenario.gdns.outsourced_by_asn.items() if flag}
+        assert not (crawl.detected_asns() & outsourced)
+
+    def test_partial_cdn_coverage(self, small_scenario, crawl):
+        """The technique's blind spots keep coverage well below 1."""
+        coverage = small_scenario.traffic.coverage_of_as_set(
+            crawl.detected_asns(), GROUND_TRUTH_CDN_KEY)
+        assert 0.2 < coverage < 0.95
+
+    def test_relative_activity_normalised(self, crawl):
+        activity = crawl.relative_activity()
+        assert sum(activity.values()) == pytest.approx(1.0)
+
+    def test_activity_tracks_users(self, small_scenario, crawl):
+        """Visible ASes' relative activity orders by their user counts."""
+        from scipy import stats
+        users_by_as = small_scenario.population.users_by_as()
+        activity = crawl.relative_activity()
+        common = [a for a in activity if users_by_as.get(a, 0) > 0]
+        if len(common) >= 5:
+            rho = stats.spearmanr(
+                [users_by_as[a] for a in common],
+                [activity[a] for a in common]).statistic
+            assert rho > 0.7
+
+    def test_higher_threshold_detects_fewer(self, small_scenario):
+        low = RootLogCrawler(small_scenario.root_archive, 10.0).run()
+        high = RootLogCrawler(small_scenario.root_archive, 1e7).run()
+        assert high.detected_asns() <= low.detected_asns()
+
+    def test_negative_threshold_rejected(self, small_scenario):
+        with pytest.raises(MeasurementError):
+            RootLogCrawler(small_scenario.root_archive, -1.0)

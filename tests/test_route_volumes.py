@@ -1,0 +1,73 @@
+"""Tests for map-derived relative route volumes."""
+
+import pytest
+
+from repro.core.route_volumes import (estimate_route_volumes,
+                                      score_route_volume_estimate)
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def estimate(small_itm):
+    return estimate_route_volumes(small_itm)
+
+
+def org_of_asn_map(scenario):
+    return {scenario.hypergiant_asn(key): spec.cert_org
+            for key, spec in scenario.catalog.hypergiants.items()}
+
+
+class TestEstimate:
+    def test_normalised(self, estimate):
+        assert sum(estimate.volumes.values()) == pytest.approx(1.0)
+        assert 0.0 <= estimate.local_share <= 1.0
+
+    def test_providers_discovered(self, estimate, small_scenario):
+        orgs = {spec.cert_org for spec in
+                small_scenario.catalog.hypergiants.values()}
+        assert orgs <= set(estimate.providers)
+
+    def test_top_routes_from_big_clients(self, estimate, small_itm):
+        top_client = small_itm.users.top_ases(1)[0][0]
+        top_routes = estimate.top_routes(10)
+        assert any(asn == top_client for (asn, __), ___ in top_routes)
+
+    def test_volume_by_client_matches_activity_order(self, estimate,
+                                                     small_itm):
+        by_client = estimate.volume_by_client()
+        top = [asn for asn, __ in small_itm.users.top_ases(5)]
+        volumes = [by_client[a] for a in top]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_local_share_positive_with_offnets(self, estimate):
+        """Off-net caches keep a visible share of traffic local."""
+        assert estimate.local_share > 0.05
+
+
+class TestScoring:
+    def test_tracks_ground_truth(self, estimate, small_scenario):
+        """The headline: relative route volumes from public data
+        correlate strongly with the true flow assignment."""
+        rho = score_route_volume_estimate(
+            estimate, small_scenario.flows.volume_by_pair,
+            org_of_asn_map(small_scenario),
+            small_scenario.flows.intra_as_volume)
+        assert rho > 0.6
+
+    def test_rejects_insufficient_overlap(self, estimate):
+        with pytest.raises(ValidationError):
+            score_route_volume_estimate(estimate, {}, {})
+
+
+class TestErrors:
+    def test_requires_footprints(self, small_itm):
+        from repro.core.traffic_map import (InternetTrafficMap,
+                                            ServicesComponent)
+        bare_services = ServicesComponent(
+            sites_by_org={}, serving_asns_by_domain={}, user_to_host={},
+            unmapped_services=())
+        bare = InternetTrafficMap(users=small_itm.users,
+                                  services=bare_services,
+                                  routes=small_itm.routes, metadata={})
+        with pytest.raises(ValidationError):
+            estimate_route_volumes(bare)

@@ -1,0 +1,96 @@
+"""Tests for router IP ID counters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.routers import (IPID_MODULUS, RouterInterface,
+                               build_routers)
+from repro.net.geography import WorldAtlas
+from repro.population.activity import DiurnalCurve
+from repro.rand import substream
+
+PARIS = WorldAtlas.default().city("FR", "Paris")
+
+
+def counting_router(rate=2.0, offset=100):
+    return RouterInterface(
+        address="r1.example", asn=7, city=PARIS, base_rate_pps=rate,
+        counter_offset=offset, uses_random_ipid=False,
+        curve=DiurnalCurve())
+
+
+class TestCounter:
+    def test_starts_at_offset(self):
+        router = counting_router(offset=123)
+        assert router.ipid_at(0.0) == 123
+
+    def test_monotone_modulo_before_wrap(self):
+        router = counting_router(rate=1.0, offset=0)
+        values = [router.ipid_at(t) for t in range(0, 3600, 600)]
+        unwrapped = []
+        prev = values[0]
+        total = values[0]
+        for v in values[1:]:
+            total += (v - prev) % IPID_MODULUS
+            unwrapped.append(total)
+            prev = v
+        assert all(b >= a for a, b in zip(unwrapped, unwrapped[1:]))
+
+    def test_wraps_at_modulus(self):
+        router = counting_router(rate=100.0, offset=IPID_MODULUS - 10)
+        assert 0 <= router.ipid_at(10_000) < IPID_MODULUS
+
+    def test_diurnal_rate_variation(self):
+        router = counting_router(rate=1.0)
+        # Instantaneous rate differs between local night and evening.
+        night = router.expected_rate_at(3 * 3600.0)   # ~4am local (UTC+1)
+        peak = router.expected_rate_at(19.5 * 3600.0)  # ~20:30 local
+        assert peak > night * 2
+
+    def test_random_ipid_needs_rng(self):
+        router = RouterInterface(
+            address="r2", asn=7, city=PARIS, base_rate_pps=1.0,
+            counter_offset=0, uses_random_ipid=True, curve=DiurnalCurve())
+        with pytest.raises(ConfigError):
+            router.ipid_at(10.0)
+        value = router.ipid_at(10.0, rng=substream(1, "r"))
+        assert 0 <= value < IPID_MODULUS
+        assert router.expected_rate_at(10.0) == 0.0
+
+
+class TestBuildRouters:
+    def test_population_built_from_volumes(self, small_scenario):
+        routers = small_scenario.routers
+        assert len(routers) > 0
+        for router in routers:
+            assert router.base_rate_pps > 0
+
+    def test_only_volume_carrying_ases(self, small_scenario):
+        volumes = small_scenario.flows.volume_by_as
+        for router in small_scenario.routers:
+            assert volumes.get(router.asn, 0.0) > 0
+
+    def test_countable_excludes_random(self, small_scenario):
+        for router in small_scenario.routers.countable():
+            assert not router.uses_random_ipid
+
+    def test_in_as_lookup(self, small_scenario):
+        router = next(iter(small_scenario.routers))
+        assert router in small_scenario.routers.in_as(router.asn)
+
+    def test_by_address(self, small_scenario):
+        router = next(iter(small_scenario.routers))
+        assert small_scenario.routers.by_address(router.address) is router
+        assert small_scenario.routers.by_address("nope") is None
+
+    def test_rate_scales_with_volume(self, small_scenario):
+        # Median base rate of the top-volume quartile of ASes exceeds the
+        # bottom quartile's (log-normal jitter allows exceptions).
+        routers = list(small_scenario.routers.countable())
+        volumes = small_scenario.flows.volume_by_as
+        ranked = sorted(routers, key=lambda r: -volumes.get(r.asn, 0))
+        quarter = max(1, len(ranked) // 4)
+        top = np.median([r.base_rate_pps for r in ranked[:quarter]])
+        bottom = np.median([r.base_rate_pps for r in ranked[-quarter:]])
+        assert top > bottom

@@ -1,0 +1,97 @@
+"""Tests for commonly-used-route estimation."""
+
+import pytest
+
+from repro.core.routes_common import (CommonRouteEstimator,
+                                      common_route_agreement)
+from repro.errors import ValidationError
+from repro.rand import substream
+
+
+@pytest.fixture(scope="module")
+def pairs(small_scenario):
+    eyeballs = [a.asn for a in small_scenario.registry.eyeballs()][:12]
+    dst = small_scenario.hypergiant_asn("googol")
+    return [(src, dst) for src in eyeballs]
+
+
+@pytest.fixture(scope="module")
+def actual_routes(small_scenario, pairs):
+    estimator = CommonRouteEstimator(small_scenario.graph,
+                                     substream(61, "common"),
+                                     samples=8)
+    return estimator.estimate(pairs)
+
+
+class TestEstimator:
+    def test_confidence_bounds(self, actual_routes):
+        for route in actual_routes.values():
+            assert 0.0 < route.confidence <= 1.0
+            assert route.samples == 8
+            assert route.distinct_paths >= 1 or route.path is None
+
+    def test_most_routes_are_stable(self, actual_routes):
+        """Light churn leaves the flattened Internet's short routes
+        mostly unchanged — the premise of 'commonly used'."""
+        stable = [r for r in actual_routes.values() if r.is_stable]
+        assert len(stable) / len(actual_routes) > 0.6
+
+    def test_zero_churn_gives_full_confidence(self, small_scenario,
+                                              pairs):
+        estimator = CommonRouteEstimator(small_scenario.graph,
+                                         substream(62, "c"),
+                                         churn_fraction=0.0, samples=4)
+        for route in estimator.estimate(pairs).values():
+            assert route.confidence == pytest.approx(1.0)
+            assert route.distinct_paths == 1
+
+    def test_common_path_matches_unperturbed_mostly(self, small_scenario,
+                                                    actual_routes):
+        agree = 0
+        for (src, dst), route in actual_routes.items():
+            if route.path == small_scenario.bgp.path(src, dst):
+                agree += 1
+        assert agree / len(actual_routes) > 0.6
+
+    def test_deterministic(self, small_scenario, pairs):
+        a = CommonRouteEstimator(small_scenario.graph,
+                                 substream(63, "c"), samples=4)
+        b = CommonRouteEstimator(small_scenario.graph,
+                                 substream(63, "c"), samples=4)
+        ra = a.estimate(pairs)
+        rb = b.estimate(pairs)
+        assert {k: v.path for k, v in ra.items()} == \
+            {k: v.path for k, v in rb.items()}
+
+    def test_rejects_bad_params(self, small_scenario):
+        with pytest.raises(ValidationError):
+            CommonRouteEstimator(small_scenario.graph,
+                                 substream(1, "x"), churn_fraction=0.6)
+        with pytest.raises(ValidationError):
+            CommonRouteEstimator(small_scenario.graph,
+                                 substream(1, "x"), samples=0)
+        estimator = CommonRouteEstimator(small_scenario.graph,
+                                         substream(1, "x"))
+        with pytest.raises(ValidationError):
+            estimator.estimate([])
+
+
+class TestAgreement:
+    def test_public_vs_actual_agreement(self, small_scenario, pairs,
+                                        actual_routes):
+        """Predicting common routes from the public topology is
+        imperfect — hidden links again — but nonzero."""
+        public_estimator = CommonRouteEstimator(
+            small_scenario.public_view.graph, substream(64, "pub"),
+            samples=8)
+        predicted = public_estimator.estimate(pairs)
+        agreement = common_route_agreement(predicted, actual_routes)
+        assert 0.0 <= agreement < 1.0
+
+    def test_agreement_with_self_is_one(self, actual_routes):
+        assert common_route_agreement(actual_routes,
+                                      actual_routes) == 1.0
+
+    def test_agreement_requires_overlap(self, actual_routes):
+        with pytest.raises(ValidationError):
+            common_route_agreement({}, actual_routes)

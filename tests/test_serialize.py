@@ -1,0 +1,74 @@
+"""Tests for map JSON serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import (map_from_dict, map_from_json,
+                                  map_to_dict, map_to_json)
+from repro.errors import ValidationError
+
+
+class TestRoundTrip:
+    def test_users_component_roundtrip(self, small_itm, small_scenario):
+        text = map_to_json(small_itm)
+        restored = map_from_json(
+            text, atlas=small_scenario.atlas,
+            prefix_asn=small_scenario.prefixes.asn_array)
+        assert np.array_equal(restored.users.detected_prefixes,
+                              small_itm.users.detected_prefixes)
+        assert restored.users.activity_by_as == \
+            small_itm.users.activity_by_as
+        assert restored.users.techniques == small_itm.users.techniques
+
+    def test_services_component_roundtrip(self, small_itm,
+                                          small_scenario):
+        restored = map_from_json(map_to_json(small_itm),
+                                 atlas=small_scenario.atlas)
+        assert set(restored.services.sites_by_org) == \
+            set(small_itm.services.sites_by_org)
+        org = next(iter(small_itm.services.sites_by_org))
+        original = small_itm.services.sites_by_org[org]
+        loaded = restored.services.sites_by_org[org]
+        assert [(s.prefix_id, s.asn, s.is_offnet) for s in original] == \
+            [(s.prefix_id, s.asn, s.is_offnet) for s in loaded]
+        assert restored.services.user_to_host == \
+            small_itm.services.user_to_host
+
+    def test_site_cities_restored(self, small_itm, small_scenario):
+        restored = map_from_json(map_to_json(small_itm),
+                                 atlas=small_scenario.atlas)
+        for org, sites in small_itm.services.sites_by_org.items():
+            for original, loaded in zip(
+                    sites, restored.services.sites_by_org[org]):
+                if original.estimated_city is None:
+                    assert loaded.estimated_city is None
+                else:
+                    assert loaded.estimated_city.name == \
+                        original.estimated_city.name
+
+    def test_routes_component_roundtrip(self, small_itm):
+        restored = map_from_json(map_to_json(small_itm))
+        assert restored.routes.paths == small_itm.routes.paths
+        assert restored.routes.predictability == \
+            small_itm.routes.predictability
+
+    def test_queries_work_after_restore(self, small_itm, small_scenario):
+        restored = map_from_json(
+            map_to_json(small_itm),
+            prefix_asn=small_scenario.prefixes.asn_array)
+        top = restored.users.top_ases(1)[0][0]
+        assert restored.traffic_weight_for_as(top) > 0
+        assert restored.services_serving_as(top)
+
+    def test_json_is_valid_and_sorted(self, small_itm):
+        text = map_to_json(small_itm, indent=2)
+        payload = json.loads(text)
+        assert payload["format_version"] == 1
+
+    def test_unsupported_version_rejected(self, small_itm):
+        payload = map_to_dict(small_itm)
+        payload["format_version"] = 99
+        with pytest.raises(ValidationError):
+            map_from_dict(payload)

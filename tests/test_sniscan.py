@@ -1,0 +1,64 @@
+"""Tests for SNI scanning (§3.2.2 Approach 2)."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.sniscan import SniScanner
+
+
+@pytest.fixture(scope="module")
+def scanner(small_scenario):
+    return SniScanner(small_scenario.certstore, small_scenario.prefixes)
+
+
+@pytest.fixture(scope="module")
+def scan(small_scenario, scanner):
+    domains = [s.domain for s in small_scenario.catalog.services]
+    candidates = small_scenario.certstore.prefixes_with_tls()
+    return scanner.run(domains, candidates)
+
+
+class TestSniScan:
+    def test_every_service_domain_found_somewhere(self, small_scenario,
+                                                  scan):
+        # Every service is served by someone with its cert in SANs.
+        for service in small_scenario.catalog:
+            assert scan.footprint(service.domain), service.key
+
+    def test_hosted_services_on_host_infrastructure(self, small_scenario,
+                                                    scan):
+        catalog = small_scenario.catalog
+        for service in catalog.services[:20]:
+            if service.host_key is None:
+                continue
+            hg_asn = small_scenario.hypergiant_asn(service.host_key)
+            assert hg_asn in scan.asns_serving(service.domain)
+
+    def test_stub_hosted_found_in_stub_as(self, small_scenario, scan):
+        deployment = small_scenario.deployment
+        for service_key, pid in deployment.stub_hosting.items():
+            service = small_scenario.catalog.get(service_key)
+            expected_asn = small_scenario.prefixes.asn_of(pid)
+            assert expected_asn in scan.asns_serving(service.domain)
+
+    def test_endpoints_actually_cover_domain(self, small_scenario, scan):
+        store = small_scenario.certstore
+        for service in small_scenario.catalog.services[:10]:
+            for pid, __ in scan.footprint(service.domain):
+                cert = store.cert_for_prefix(pid)
+                assert cert.covers_domain(service.domain)
+
+    def test_unknown_domain_empty(self, scan):
+        assert scan.footprint("www.not-a-service.example") == []
+
+    def test_domains_found_and_missing_partition(self, scanner,
+                                                 small_scenario):
+        candidates = small_scenario.certstore.prefixes_with_tls()
+        result = scanner.run(["www.googol-video.example", "bogus.example"],
+                             candidates)
+        assert "www.googol-video.example" in result.domains_found()
+        assert "bogus.example" in result.domains_missing()
+
+    def test_empty_domains_rejected(self, scanner):
+        with pytest.raises(MeasurementError):
+            scanner.run([], [0, 1])

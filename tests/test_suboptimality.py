@@ -1,0 +1,94 @@
+"""Tests for the anycast suboptimality predictor.
+
+Evaluated on the medium world: the small one has too few inflated
+networks for a stable AUC.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import BuilderOptions, MapBuilder
+from repro.core.suboptimality import (SuboptimalityPredictor,
+                                      evaluate_risk_ranking,
+                                      true_inflation_by_as)
+from repro.errors import ValidationError
+from repro.services.hypergiants import RedirectionScheme
+
+
+@pytest.fixture(scope="module")
+def setup(medium_scenario):
+    scenario = medium_scenario
+    itm = MapBuilder(scenario, BuilderOptions(
+        use_tls_scan=False, use_sni_scan=False, use_ecs_mapping=False,
+        use_catchment_probing=False, geolocate_sites=False)).build()
+    key = next(iter(scenario.anycast_models))
+    model = scenario.anycast_models[key]
+    predictor = SuboptimalityPredictor(
+        scenario.registry, scenario.topology.peeringdb,
+        scenario.public_view.graph, scenario.hypergiant_asn(key),
+        [site.city for site in model.sites],
+        activity_by_as=itm.users.activity_by_as)
+    assignment = scenario.mapping.assignment(
+        key, RedirectionScheme.ANYCAST)
+    extra_by_asn = true_inflation_by_as(
+        scenario.registry, scenario.prefixes, assignment.extra_km())
+    return predictor, extra_by_asn
+
+
+class TestPredictor:
+    def test_risk_components(self, setup, medium_scenario):
+        predictor, __ = setup
+        asn = medium_scenario.registry.eyeballs()[0].asn
+        risk = predictor.risk_for(asn)
+        assert risk.asn == asn
+        assert risk.score >= 0.0
+        assert risk.km_to_nearest_site >= 0.0
+        assert risk.provider_count >= 0
+
+    def test_ranking_sorted(self, setup):
+        predictor, extra = setup
+        risks = predictor.rank(sorted(extra))
+        scores = [r.score for r in risks]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_low_activity_means_high_risk(self, setup):
+        predictor, extra = setup
+        risks = predictor.rank(sorted(extra))
+        quarter = len(risks) // 4
+        riskiest = [r.activity_weight for r in risks[:quarter]]
+        safest = [r.activity_weight for r in risks[-quarter:]]
+        assert np.median(riskiest) < np.median(safest)
+
+    def test_risk_predicts_true_inflation(self, setup):
+        """The §3.2.3 inference: the map's activity weights rank
+        anycast-inflation risk above chance."""
+        predictor, extra = setup
+        risks = predictor.rank(sorted(extra))
+        auc = evaluate_risk_ranking(risks, extra)
+        assert auc > 0.55
+
+    def test_empty_sites_rejected(self, medium_scenario):
+        with pytest.raises(ValidationError):
+            SuboptimalityPredictor(
+                medium_scenario.registry,
+                medium_scenario.topology.peeringdb,
+                medium_scenario.public_view.graph, 1, [],
+                activity_by_as={1: 1.0})
+
+    def test_empty_activity_rejected(self, medium_scenario):
+        key = next(iter(medium_scenario.anycast_models))
+        model = medium_scenario.anycast_models[key]
+        with pytest.raises(ValidationError):
+            SuboptimalityPredictor(
+                medium_scenario.registry,
+                medium_scenario.topology.peeringdb,
+                medium_scenario.public_view.graph,
+                medium_scenario.hypergiant_asn(key),
+                [site.city for site in model.sites],
+                activity_by_as={})
+
+    def test_evaluation_needs_both_classes(self, setup):
+        predictor, extra = setup
+        risks = predictor.rank(sorted(extra)[:3])
+        with pytest.raises(ValidationError):
+            evaluate_risk_ranking(risks, {r.asn: 9999.0 for r in risks})

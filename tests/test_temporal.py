@@ -1,0 +1,148 @@
+"""Tests for temporal traffic and time-sliced (hourly) probing."""
+
+import numpy as np
+import pytest
+
+from repro.core.activity import estimate_hourly_activity
+from repro.errors import ConfigError, MeasurementError, ValidationError
+from repro.measure.cache_probing import TimedCacheProbing
+from repro.rand import substream
+from repro.traffic.diurnal import TemporalTraffic
+
+
+@pytest.fixture(scope="module")
+def temporal(small_scenario):
+    return TemporalTraffic.build(small_scenario.traffic,
+                                 small_scenario.diurnal)
+
+
+@pytest.fixture(scope="module")
+def timed_result(small_scenario):
+    services = small_scenario.catalog.top_by_popularity(10)
+    campaign = TimedCacheProbing(
+        small_scenario.temporal_oracle, small_scenario.gdns, services,
+        small_scenario.routable_prefix_ids(),
+        probe_hours_utc=list(range(0, 24, 2)), rounds_per_slot=6,
+        rng=substream(21, "timed"))
+    return campaign.run()
+
+
+class TestTemporalTraffic:
+    def test_multiplier_matches_curve(self, small_scenario, temporal):
+        pid = int(small_scenario.user_prefix_ids()[0])
+        offset = temporal.utc_offsets[pid]
+        for t in (0.0, 6 * 3600.0, 20 * 3600.0):
+            expected = small_scenario.diurnal.value_at(t, offset)
+            got = temporal.activity_multiplier_at(t)[pid]
+            assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_daily_mean_preserved(self, temporal, small_scenario):
+        sids = [s.sid for s in small_scenario.catalog.top_by_popularity(5)]
+        series = temporal.global_rate_series(sids, step_hours=0.5)
+        base = small_scenario.traffic.queries_per_day[sids].sum() / 86400.0
+        assert series.mean() == pytest.approx(base, rel=0.02)
+
+    def test_rate_varies_with_time(self, temporal, small_scenario):
+        sids = [s.sid for s in small_scenario.catalog.top_by_popularity(5)]
+        series = temporal.global_rate_series(sids)
+        assert series.max() > series.min() * 1.1
+
+    def test_peak_hour_per_prefix(self, temporal, small_scenario):
+        pid = int(small_scenario.user_prefix_ids()[0])
+        peak_utc = temporal.peak_utc_hour_for_prefix(pid)
+        offset = temporal.utc_offsets[pid]
+        expected = (small_scenario.diurnal.peak_hour() - offset) % 24
+        assert peak_utc == pytest.approx(expected, abs=0.6)
+
+    def test_unknown_prefix_raises(self, temporal):
+        with pytest.raises(ConfigError):
+            temporal.peak_utc_hour_for_prefix(10 ** 9)
+
+
+class TestTemporalOracle:
+    def test_evening_beats_dawn(self, small_scenario):
+        """Local-evening probes hit more than local-dawn probes."""
+        oracle = small_scenario.temporal_oracle
+        prefixes = small_scenario.prefixes
+        sids = [s.sid
+                for s in small_scenario.catalog.top_by_popularity(10)]
+        pids = small_scenario.user_prefix_ids()[:300]
+        offsets = np.array([prefixes.city_of(int(p)).utc_offset
+                            for p in pids])
+        peak = small_scenario.diurnal.peak_hour()
+        trough = small_scenario.diurnal.trough_hour()
+        # Evaluate each prefix at its own local peak / trough instant.
+        gains = []
+        for pid, offset in zip(pids[:50], offsets[:50]):
+            t_peak = ((peak - offset) % 24) * 3600.0
+            t_trough = ((trough - offset) % 24) * 3600.0
+            p_peak = oracle.hit_probability_matrix_at(
+                sids, np.array([pid]), t_peak).sum()
+            p_trough = oracle.hit_probability_matrix_at(
+                sids, np.array([pid]), t_trough).sum()
+            if p_trough > 0:
+                gains.append(p_peak / p_trough)
+        assert np.median(gains) > 1.5
+
+    def test_daily_average_consistent_with_base(self, small_scenario):
+        """Averaging the temporal oracle over the day approximates the
+        base (daily-mean) oracle in the unsaturated regime."""
+        oracle = small_scenario.temporal_oracle
+        base = small_scenario.cache_oracle
+        sids = [small_scenario.catalog.top_by_popularity(1)[0].sid]
+        pids = small_scenario.user_prefix_ids()[:100]
+        hourly = np.stack([
+            oracle.hit_probability_matrix_at(sids, pids, h * 3600.0)[0]
+            for h in range(24)])
+        base_p = base.hit_probability_matrix(sids, pids)[0]
+        small = base_p < 0.2   # linear regime only
+        if small.any():
+            ratio = hourly.mean(axis=0)[small] / base_p[small]
+            assert np.median(ratio) == pytest.approx(1.0, abs=0.15)
+
+
+class TestTimedProbing:
+    def test_shapes(self, timed_result, small_scenario):
+        assert timed_result.hits_by_hour.shape == (
+            12, len(small_scenario.prefixes))
+
+    def test_hourly_estimation_recovers_peaks(self, small_scenario,
+                                              timed_result):
+        estimate = estimate_hourly_activity(
+            timed_result, small_scenario.prefixes,
+            small_scenario.registry)
+        hits = 0
+        scored = 0
+        for country in small_scenario.atlas.countries:
+            try:
+                est_peak = estimate.peak_utc_hour(country.code)
+            except ValidationError:
+                continue
+            true_peak = (small_scenario.diurnal.peak_hour()
+                         - country.capital.utc_offset) % 24
+            error = min(abs(est_peak - true_peak),
+                        24 - abs(est_peak - true_peak))
+            scored += 1
+            if error <= 3.0:
+                hits += 1
+        assert scored >= 5
+        assert hits / scored > 0.7
+
+    def test_normalised_profile(self, small_scenario, timed_result):
+        estimate = estimate_hourly_activity(
+            timed_result, small_scenario.prefixes,
+            small_scenario.registry)
+        code = next(iter(estimate.profile_by_country))
+        profile = estimate.normalised_profile(code)
+        assert profile.sum() == pytest.approx(1.0)
+
+    def test_invalid_params(self, small_scenario):
+        services = small_scenario.catalog.top_by_popularity(3)
+        with pytest.raises(MeasurementError):
+            TimedCacheProbing(small_scenario.temporal_oracle,
+                              small_scenario.gdns, services,
+                              np.arange(5), [], 4, substream(1, "x"))
+        with pytest.raises(MeasurementError):
+            TimedCacheProbing(small_scenario.temporal_oracle,
+                              small_scenario.gdns, services,
+                              np.arange(5), [0.0], 0, substream(1, "x"))

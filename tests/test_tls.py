@@ -1,0 +1,81 @@
+"""Tests for TLS certificates and the certificate store."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.prefixes import PrefixKind
+from repro.services.tls import Certificate, CertificateStore
+
+
+class TestCertificate:
+    def test_covers_common_name_and_sans(self):
+        cert = Certificate("Org", "edge.example",
+                           ("www.a.example", "www.b.example"))
+        assert cert.covers_domain("edge.example")
+        assert cert.covers_domain("www.a.example")
+        assert not cert.covers_domain("www.c.example")
+
+
+class TestStore:
+    def test_bind_and_lookup(self):
+        store = CertificateStore()
+        cert = Certificate("Org", "cn", ())
+        store.bind(3, cert)
+        assert store.cert_for_prefix(3) is cert
+        assert store.cert_for_prefix(4) is None
+        assert store.prefixes_with_tls() == [3]
+        assert len(store) == 1
+
+    def test_double_bind_rejected(self):
+        store = CertificateStore()
+        store.bind(3, Certificate("Org", "cn", ()))
+        with pytest.raises(ConfigError):
+            store.bind(3, Certificate("Other", "cn", ()))
+
+
+class TestIssuedCertificates:
+    def test_every_serving_prefix_has_cert(self, small_scenario):
+        deployment = small_scenario.deployment
+        store = small_scenario.certstore
+        for pid in deployment.all_serving_prefixes():
+            assert store.cert_for_prefix(pid) is not None
+
+    def test_offnet_certs_carry_hypergiant_org(self, small_scenario):
+        """The off-net fingerprint: hypergiant org inside a foreign AS."""
+        store = small_scenario.certstore
+        deployment = small_scenario.deployment
+        catalog = small_scenario.catalog
+        for key, spec in catalog.hypergiants.items():
+            for site in deployment.sites(key):
+                if not site.is_offnet:
+                    continue
+                for pid in site.prefix_ids:
+                    cert = store.cert_for_prefix(pid)
+                    assert cert.organization == spec.cert_org
+                    assert small_scenario.prefixes.asn_of(pid) != \
+                        small_scenario.hypergiant_asn(key)
+
+    def test_onnet_sans_cover_hosted_services(self, small_scenario):
+        store = small_scenario.certstore
+        deployment = small_scenario.deployment
+        catalog = small_scenario.catalog
+        for key in catalog.hypergiants:
+            hosted = catalog.services_hosted_by(key)
+            for site in deployment.onnet_sites(key):
+                cert = store.cert_for_prefix(site.prefix_ids[0])
+                for service in hosted:
+                    assert cert.covers_domain(service.domain)
+
+    def test_stub_hosted_services_have_certs(self, small_scenario):
+        store = small_scenario.certstore
+        for service_key, pid in \
+                small_scenario.deployment.stub_hosting.items():
+            cert = store.cert_for_prefix(pid)
+            service = small_scenario.catalog.get(service_key)
+            assert cert.covers_domain(service.domain)
+
+    def test_access_prefixes_have_no_tls(self, small_scenario):
+        store = small_scenario.certstore
+        access = small_scenario.prefixes.of_kind(PrefixKind.ACCESS)
+        for pid in access[:200]:
+            assert store.cert_for_prefix(int(pid)) is None

@@ -1,0 +1,68 @@
+"""Tests for TLS scanning (§3.2.2 Approach 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.tlsscan import TlsScanner
+
+
+@pytest.fixture(scope="module")
+def scan(small_builder):
+    return small_builder.artifacts.tls_result
+
+
+class TestScan:
+    def test_every_hypergiant_org_found(self, small_scenario, scan):
+        orgs = set(scan.organizations())
+        for spec in small_scenario.catalog.hypergiants.values():
+            assert spec.cert_org in orgs
+
+    def test_home_as_inferred_correctly(self, small_scenario, scan):
+        for key, spec in small_scenario.catalog.hypergiants.items():
+            footprint = scan.footprint_of(spec.cert_org)
+            assert footprint.home_asn == small_scenario.hypergiant_asn(key)
+
+    def test_offnets_discovered(self, small_scenario, scan):
+        """Off-net recall against ground truth deployment."""
+        deployment = small_scenario.deployment
+        for key, spec in small_scenario.catalog.hypergiants.items():
+            true_hosts = {site.host_asn for site in deployment.sites(key)
+                          if site.is_offnet}
+            if not true_hosts:
+                continue
+            footprint = scan.footprint_of(spec.cert_org)
+            assert footprint.offnet_asns == true_hosts
+
+    def test_onnet_offnet_partition(self, small_scenario, scan):
+        for org in scan.organizations():
+            footprint = scan.footprint_of(org)
+            overlap = set(footprint.onnet_prefixes) & \
+                set(footprint.offnet_prefixes)
+            assert not overlap
+            for pid in footprint.onnet_prefixes:
+                assert small_scenario.prefixes.asn_of(pid) == \
+                    footprint.home_asn
+
+    def test_observations_only_tls_prefixes(self, small_scenario, scan):
+        store = small_scenario.certstore
+        for obs in scan.observations:
+            assert store.cert_for_prefix(obs.prefix_id) is not None
+
+    def test_scan_subset_of_prefixes(self, small_scenario):
+        scanner = TlsScanner(small_scenario.certstore,
+                             small_scenario.prefixes)
+        serving = small_scenario.certstore.prefixes_with_tls()[:10]
+        result = scanner.run(np.asarray(serving))
+        assert len(result.observations) == len(serving)
+
+    def test_min_footprint_filter(self, small_scenario):
+        scanner = TlsScanner(small_scenario.certstore,
+                             small_scenario.prefixes,
+                             min_footprint_prefixes=10_000)
+        result = scanner.run()
+        assert result.footprints == {}
+
+    def test_unknown_org_raises(self, scan):
+        with pytest.raises(MeasurementError):
+            scan.footprint_of("No Such Org")

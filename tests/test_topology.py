@@ -1,0 +1,135 @@
+"""Tests for the topology generator: structure, flattening, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.config import TopologyConfig
+from repro.errors import ConfigError
+from repro.net.ases import ASType
+from repro.net.geography import WorldAtlas
+from repro.net.topology import (FOCUS_ISPS, TopologyBuild, build_topology)
+from repro.rand import substream
+
+ATLAS = WorldAtlas.default().subset(
+    ["US", "FR", "DE", "GB", "JP", "KR", "BR", "IN", "ZA", "AU"])
+CONFIG = TopologyConfig(n_tier1=4, n_transit=12, n_eyeball=40, n_stub=50,
+                        n_research=6)
+HG_NAMES = ["Googol", "MetaBook", "CloudFast"]
+
+
+@pytest.fixture(scope="module")
+def topo() -> TopologyBuild:
+    return build_topology(CONFIG, ATLAS, HG_NAMES, substream(7, "t"),
+                          open_peering_names=["CloudFast"])
+
+
+class TestStructure:
+    def test_counts(self, topo):
+        reg = topo.registry
+        assert len(reg.of_type(ASType.TIER1)) == 4
+        assert len(reg.of_type(ASType.TRANSIT)) == 12
+        # Focus ISPs can push the eyeball count above the configured
+        # minimum (every focus ISP must exist).
+        assert len(reg.of_type(ASType.EYEBALL)) >= 40
+        assert len(reg.of_type(ASType.STUB)) == 50
+        assert len(reg.of_type(ASType.RESEARCH)) == 6
+        assert len(reg.hypergiants()) == 3
+
+    def test_graph_is_consistent(self, topo):
+        topo.graph.validate()
+
+    def test_tier1_clique_and_transit_free(self, topo):
+        tier1 = [a.asn for a in topo.registry.of_type(ASType.TIER1)]
+        for i, a in enumerate(tier1):
+            assert not topo.graph.providers_of(a)
+            for b in tier1[i + 1:]:
+                assert topo.graph.relationship_of(a, b) is not None
+
+    def test_everyone_else_has_a_provider(self, topo):
+        for asys in topo.registry:
+            if asys.as_type is ASType.TIER1:
+                continue
+            assert topo.graph.providers_of(asys.asn), \
+                f"{asys} has no provider"
+
+    def test_focus_isps_exist_with_pinned_sizes(self, topo):
+        names = set(topo.focus_isp_names.values())
+        for code in ("US", "FR", "GB", "JP", "KR"):
+            for name, subscribers in FOCUS_ISPS[code]:
+                assert name in names
+        for asn, subs in topo.focus_subscribers_m.items():
+            assert topo.eyeball_size_weight[asn] == subs
+
+    def test_eyeball_weights_positive(self, topo):
+        eyeballs = topo.registry.of_type(ASType.EYEBALL)
+        assert set(topo.eyeball_size_weight) == {e.asn for e in eyeballs}
+        assert all(w > 0 for w in topo.eyeball_size_weight.values())
+
+    def test_country_presence_in_range(self, topo):
+        assert set(topo.hg_country_presence) == set(ATLAS.country_codes)
+        assert all(0.25 <= p <= 1.0
+                   for p in topo.hg_country_presence.values())
+
+
+class TestFlattening:
+    def test_hypergiants_peer_widely(self, topo):
+        for name, asn in topo.hypergiant_asns.items():
+            peers = topo.graph.peers_of(asn)
+            assert len(peers) > 10, f"{name} has too few peers"
+
+    def test_open_peering_hypergiant_peers_more(self, topo):
+        cloudfast = topo.hypergiant_asns["CloudFast"]
+        others = [topo.hypergiant_asns[n] for n in ("Googol", "MetaBook")]
+        eyeballs = {a.asn for a in topo.registry.of_type(ASType.EYEBALL)}
+        cf_eyeball_peers = len(topo.graph.peers_of(cloudfast) & eyeballs)
+        avg_other = np.mean([
+            len(topo.graph.peers_of(a) & eyeballs) for a in others])
+        assert cf_eyeball_peers > avg_other
+
+    def test_hypergiants_interconnect(self, topo):
+        asns = sorted(topo.hypergiant_asns.values())
+        for i, a in enumerate(asns):
+            for b in asns[i + 1:]:
+                assert topo.graph.relationship_of(a, b) is not None
+
+    def test_big_eyeballs_more_likely_peered_with_hypergiant(self, topo):
+        googol = topo.hypergiant_asns["Googol"]
+        weights = topo.eyeball_size_weight
+        ranked = sorted(weights, key=lambda a: -weights[a])
+        top = ranked[:len(ranked) // 4]
+        bottom = ranked[-len(ranked) // 4:]
+        peers = topo.graph.peers_of(googol)
+        top_rate = np.mean([a in peers for a in top])
+        bottom_rate = np.mean([a in peers for a in bottom])
+        assert top_rate > bottom_rate
+
+
+class TestPeeringDb:
+    def test_facilities_exist(self, topo):
+        assert len(topo.peeringdb.facilities) > 0
+
+    def test_hypergiants_have_wide_presence(self, topo):
+        for asn in topo.hypergiant_asns.values():
+            assert len(topo.peeringdb.facilities_of(asn)) >= 8
+
+    def test_colocation_implies_shared_facility(self, topo):
+        pairs = topo.peeringdb.colocated_pairs()
+        for a, b in list(pairs)[:50]:
+            assert topo.peeringdb.common_facilities(a, b)
+
+
+class TestDeterminism:
+    def test_same_seed_same_topology(self):
+        t1 = build_topology(CONFIG, ATLAS, HG_NAMES, substream(3, "x"))
+        t2 = build_topology(CONFIG, ATLAS, HG_NAMES, substream(3, "x"))
+        assert t1.graph.link_set() == t2.graph.link_set()
+        assert t1.eyeball_size_weight == t2.eyeball_size_weight
+
+    def test_different_seed_differs(self):
+        t1 = build_topology(CONFIG, ATLAS, HG_NAMES, substream(3, "x"))
+        t2 = build_topology(CONFIG, ATLAS, HG_NAMES, substream(4, "x"))
+        assert t1.graph.link_set() != t2.graph.link_set()
+
+    def test_rejects_empty_hypergiants(self):
+        with pytest.raises(ConfigError):
+            build_topology(CONFIG, ATLAS, [], substream(1, "x"))

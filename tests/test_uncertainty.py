@@ -1,0 +1,71 @@
+"""Tests for bootstrap uncertainty on activity estimates."""
+
+import numpy as np
+import pytest
+
+from repro.core.uncertainty import bootstrap_activity
+from repro.errors import ValidationError
+from repro.rand import substream
+
+
+@pytest.fixture(scope="module")
+def report(small_scenario, small_builder, small_itm):
+    top = [asn for asn, __ in small_itm.users.top_ases(15)]
+    return bootstrap_activity(
+        small_builder.artifacts.cache_result, small_scenario.prefixes,
+        replicates=150, rng=substream(81, "boot"), asns=top)
+
+
+class TestBootstrap:
+    def test_intervals_contain_points(self, report):
+        for interval in report.intervals.values():
+            assert interval.low <= interval.point <= interval.high
+            assert interval.width >= 0
+
+    def test_shares_are_fractions(self, report):
+        total = sum(i.point for i in report.intervals.values())
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_big_vs_small_as_distinguishable(self, report, small_itm):
+        top = [asn for asn, __ in small_itm.users.top_ases(15)]
+        assert report.distinguishable(top[0], top[-1])
+
+    def test_close_ases_may_be_indistinguishable(self, report,
+                                                 small_itm):
+        """At least the API answers; nearby ranks often overlap."""
+        top = [asn for asn, __ in small_itm.users.top_ases(15)]
+        __ = report.distinguishable(top[5], top[6])   # no exception
+
+    def test_narrow_intervals_for_big_ases(self, report, small_itm):
+        """Relative interval width shrinks with activity (more hits,
+        less relative noise)."""
+        top = [asn for asn, __ in small_itm.users.top_ases(15)]
+        big = report.interval(top[0])
+        small = report.interval(top[-1])
+        assert big.width / big.point < small.width / max(small.point,
+                                                         1e-9) + 1e-9
+
+    def test_unknown_as_raises(self, report):
+        with pytest.raises(ValidationError):
+            report.interval(987654)
+
+    def test_invalid_params(self, small_scenario, small_builder):
+        result = small_builder.artifacts.cache_result
+        with pytest.raises(ValidationError):
+            bootstrap_activity(result, small_scenario.prefixes,
+                               replicates=5)
+        with pytest.raises(ValidationError):
+            bootstrap_activity(result, small_scenario.prefixes,
+                               confidence=0.3)
+
+    def test_deterministic_given_rng(self, small_scenario, small_builder,
+                                     small_itm):
+        top = [asn for asn, __ in small_itm.users.top_ases(5)]
+        a = bootstrap_activity(small_builder.artifacts.cache_result,
+                               small_scenario.prefixes, replicates=50,
+                               rng=substream(7, "b"), asns=top)
+        b = bootstrap_activity(small_builder.artifacts.cache_result,
+                               small_scenario.prefixes, replicates=50,
+                               rng=substream(7, "b"), asns=top)
+        for asn in top:
+            assert a.interval(asn).low == b.interval(asn).low

@@ -1,0 +1,158 @@
+"""Tests for the §2.1 use cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.usecases import (OutageImpactAnalyzer,
+                                 iplane_short_fraction,
+                                 mapping_optimality_study,
+                                 path_length_study)
+from repro.errors import ValidationError
+from repro.net.ases import ASType
+from repro.services.hypergiants import RedirectionScheme
+
+
+class TestPathLengthStudy:
+    def test_weighted_vs_unweighted_divergence(self, small_scenario):
+        hg = "googol"
+        hg_asn = small_scenario.hypergiant_asn(hg)
+        users_by_as = small_scenario.population.users_by_as()
+        clients = [a for a, u in users_by_as.items() if u > 0]
+        offnets = {s.host_asn for s in small_scenario.deployment.sites(hg)
+                   if s.is_offnet}
+        study = path_length_study(small_scenario.graph, small_scenario.bgp,
+                                  clients, users_by_as, hg_asn, offnets)
+        assert 0.0 <= study.unweighted_short_fraction <= 1.0
+        assert study.offnet_or_adjacent_weighted >= \
+            study.weighted_short_fraction - 1e-9
+        # The flattened Internet: most user activity is near the giant.
+        assert study.offnet_or_adjacent_weighted > 0.5
+
+    def test_iplane_baseline_small(self, small_scenario):
+        stubs = [a.asn for a in
+                 small_scenario.registry.of_type(ASType.STUB)][:5]
+        fraction = iplane_short_fraction(small_scenario.bgp, stubs,
+                                         small_scenario.registry.asns)
+        assert fraction < 0.15
+
+    def test_iplane_requires_inputs(self, small_scenario):
+        with pytest.raises(ValidationError):
+            iplane_short_fraction(small_scenario.bgp, [],
+                                  small_scenario.registry.asns)
+
+    def test_study_requires_clients(self, small_scenario):
+        with pytest.raises(ValidationError):
+            path_length_study(small_scenario.graph, small_scenario.bgp,
+                              [], {}, 1)
+
+
+class TestMappingOptimality:
+    def test_custom_url_fully_optimal(self, small_scenario):
+        assignment = small_scenario.mapping.assignment(
+            "streamflix", RedirectionScheme.CUSTOM_URL)
+        study = mapping_optimality_study(
+            assignment, small_scenario.population.users_per_prefix)
+        assert study.route_optimal_fraction == pytest.approx(1.0)
+        assert study.user_optimal_fraction == pytest.approx(1.0)
+        assert study.within_500km_fraction == pytest.approx(1.0)
+
+    def test_dns_users_beat_routes(self, small_scenario):
+        assignment = small_scenario.mapping.assignment(
+            "amazonia", RedirectionScheme.DNS)
+        study = mapping_optimality_study(
+            assignment, small_scenario.population.users_per_prefix)
+        assert study.user_optimal_fraction > study.route_optimal_fraction
+        assert len(study.extra_distance_cdf) > 0
+
+    def test_requires_clients(self, small_scenario):
+        assignment = small_scenario.mapping.assignment(
+            "amazonia", RedirectionScheme.DNS)
+        with pytest.raises(ValidationError):
+            mapping_optimality_study(
+                assignment,
+                np.zeros(len(small_scenario.prefixes)),
+                client_pids=np.array([], dtype=int))
+
+
+class TestOutageImpact:
+    @pytest.fixture(scope="class")
+    def analyzer(self, small_itm, small_scenario):
+        return OutageImpactAnalyzer(small_itm, small_scenario.prefixes,
+                                    small_scenario.graph)
+
+    def test_big_eyeball_outage(self, analyzer, small_itm,
+                                small_scenario):
+        asn = small_itm.users.top_ases(1)[0][0]
+        report = analyzer.assess_as_outage(asn)
+        assert report.asn == asn
+        assert report.activity_share > 0
+        assert report.affected_prefix_count > 0
+        assert report.affected_services
+        assert "AS" in report.headline()
+
+    def test_offnet_orgs_reported(self, analyzer, small_itm,
+                                  small_scenario):
+        deployment = small_scenario.deployment
+        host = next(asn for asn, by_hg in deployment.offnet_index.items()
+                    if by_hg)
+        report = analyzer.assess_as_outage(host)
+        assert report.offnet_orgs_inside
+
+    def test_unknown_as_graceful(self, analyzer, small_scenario):
+        stub = small_scenario.registry.of_type(ASType.STUB)[0]
+        report = analyzer.assess_as_outage(stub.asn)
+        assert report.activity_share >= 0.0
+
+    def test_rank_by_impact(self, analyzer, small_itm, small_scenario):
+        asns = [a.asn for a in small_scenario.registry.eyeballs()]
+        ranked = analyzer.rank_by_impact(asns, k=5)
+        assert len(ranked) == 5
+        weights = [w for __, w in ranked]
+        assert weights == sorted(weights, reverse=True)
+        assert ranked[0][0] == small_itm.users.top_ases(1)[0][0] or \
+            ranked[0][1] <= small_itm.users.top_ases(1)[0][1]
+
+    def test_rerouted_services_fallbacks(self, analyzer, small_itm):
+        asn = small_itm.users.top_ases(1)[0][0]
+        report = analyzer.assess_as_outage(asn)
+        for service, fallback_asn in report.rerouted_service_asns.items():
+            assert fallback_asn != asn
+
+    def test_region_outage_aggregates(self, analyzer, small_scenario,
+                                      small_itm):
+        country_asns = [a.asn for a in small_scenario.registry.eyeballs()
+                        if a.country_code == "US"]
+        report = analyzer.assess_region_outage(country_asns)
+        assert report.activity_share >= max(
+            small_itm.users.as_weight(a) for a in country_asns)
+        assert report.affected_prefix_count > 0
+        assert "ASes" in report.headline()
+
+    def test_region_outage_empty_rejected(self, analyzer):
+        with pytest.raises(ValidationError):
+            analyzer.assess_region_outage([])
+
+
+class TestLinkImportance:
+    def test_concentration_over_links(self, small_scenario):
+        from repro.core.usecases import link_importance_study
+        study = link_importance_study(
+            small_scenario.flows.volume_by_link, top_ks=(10, 50))
+        # §1: a few interconnects carry far more than their "share".
+        uniform_share_10 = 10 / study.total_links
+        assert study.top_share(10) > uniform_share_10 * 3
+        assert 0 < study.volume_gini < 1
+        volumes = [v for __, v in study.top_links_by_volume]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_rejects_empty(self):
+        from repro.core.usecases import link_importance_study
+        with pytest.raises(ValidationError):
+            link_importance_study({})
+
+    def test_unknown_top_k(self, small_scenario):
+        from repro.core.usecases import link_importance_study
+        study = link_importance_study(
+            small_scenario.flows.volume_by_link, top_ks=(5,))
+        with pytest.raises(ValidationError):
+            study.top_share(7)

@@ -1,0 +1,58 @@
+"""Tests for ground-truth validation of the map."""
+
+import pytest
+
+from repro.core.validation import (apnic_user_share,
+                                   validate_routes_component,
+                                   validate_services_component,
+                                   validate_users_component)
+from repro.services.hypergiants import GROUND_TRUTH_CDN_KEY
+
+
+class TestUsersValidation:
+    def test_paper_shape(self, small_itm, small_scenario):
+        val = validate_users_component(small_itm.users, small_scenario,
+                                       GROUND_TRUTH_CDN_KEY)
+        assert val.prefix_traffic_coverage > 0.85
+        assert val.false_positive_rate < 0.02
+        assert val.as_traffic_coverage >= val.prefix_traffic_coverage - 0.05
+        assert val.apnic_user_coverage > 0.9
+        assert val.activity_spearman > 0.6
+
+    def test_works_for_other_hypergiants(self, small_itm, small_scenario):
+        val = validate_users_component(small_itm.users, small_scenario,
+                                       "googol")
+        assert val.prefix_traffic_coverage > 0.85
+
+    def test_apnic_user_share_bounds(self, small_scenario):
+        apnic = small_scenario.apnic
+        assert apnic_user_share(set(), apnic) == 0.0
+        assert apnic_user_share(apnic.covered_asns(), apnic) == \
+            pytest.approx(1.0)
+
+
+class TestServicesValidation:
+    def test_scores(self, small_itm, small_scenario):
+        val = validate_services_component(small_itm, small_scenario)
+        assert val.org_recall == pytest.approx(1.0)
+        assert val.mapping_agreement == pytest.approx(1.0)
+        assert val.geolocation_median_error_km is not None
+        assert val.geolocation_median_error_km < 2000
+        # Off-net recall perfect: certificates betray every cache.
+        for key, recall in val.offnet_recall.items():
+            assert recall == pytest.approx(1.0)
+
+    def test_offnet_recall_only_for_offnet_programs(self, small_itm,
+                                                    small_scenario):
+        val = validate_services_component(small_itm, small_scenario)
+        deployment = small_scenario.deployment
+        for key in val.offnet_recall:
+            assert deployment.offnet_host_count(key) > 0
+
+
+class TestRoutesValidation:
+    def test_scores(self, small_itm, small_scenario):
+        val = validate_routes_component(small_itm, small_scenario)
+        assert val.pairs_scored > 0
+        assert 0.0 <= val.exact_path_fraction <= 1.0
+        assert 0.0 <= val.unpredictable_fraction <= 1.0

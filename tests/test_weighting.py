@@ -1,0 +1,99 @@
+"""Tests for the weighted-CDF machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.weighting import (WeightedCDF, weighting_contrast)
+from repro.errors import ValidationError
+
+
+class TestWeightedCDF:
+    def test_unweighted_basic(self):
+        cdf = WeightedCDF([1, 2, 3, 4])
+        assert cdf.cdf(0) == 0.0
+        assert cdf.cdf(2) == 0.5
+        assert cdf.cdf(4) == 1.0
+        assert cdf.median == 2
+
+    def test_weighted_shifts_mass(self):
+        cdf = WeightedCDF([1, 2, 3], weights=[0, 0, 10])
+        assert cdf.cdf(2) == 0.0
+        assert cdf.cdf(3) == 1.0
+        assert cdf.median == 3
+
+    def test_quantiles(self):
+        cdf = WeightedCDF([10, 20, 30, 40], weights=[1, 1, 1, 1])
+        assert cdf.quantile(0.0) == 10
+        assert cdf.quantile(0.25) == 10
+        assert cdf.quantile(0.26) == 20
+        assert cdf.quantile(1.0) == 40
+
+    def test_mean(self):
+        cdf = WeightedCDF([0, 10], weights=[1, 3])
+        assert cdf.mean() == pytest.approx(7.5)
+
+    def test_points_monotone(self):
+        cdf = WeightedCDF([3, 1, 2], weights=[1, 2, 3])
+        points = cdf.points()
+        xs = [x for x, __ in points]
+        ys = [y for __, y in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_errors(self):
+        with pytest.raises(ValidationError):
+            WeightedCDF([])
+        with pytest.raises(ValidationError):
+            WeightedCDF([1, 2], weights=[1])
+        with pytest.raises(ValidationError):
+            WeightedCDF([1], weights=[-1])
+        with pytest.raises(ValidationError):
+            WeightedCDF([1, 2], weights=[0, 0])
+        with pytest.raises(ValidationError):
+            WeightedCDF([1]).quantile(1.5)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=80),
+           st.data())
+    @settings(max_examples=60)
+    def test_property_cdf_is_distribution(self, values, data):
+        weights = data.draw(st.lists(
+            st.floats(0.0, 1e3), min_size=len(values),
+            max_size=len(values)))
+        if sum(weights) <= 0:
+            weights = None
+        cdf = WeightedCDF(values, weights)
+        # CDF is monotone, bounded in [0, 1], hits 1 at the max value.
+        probes = sorted(values)
+        previous = 0.0
+        for x in probes:
+            current = cdf.cdf(x)
+            assert 0.0 <= current <= 1.0
+            assert current >= previous - 1e-12
+            previous = current
+        assert cdf.cdf(max(values)) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50))
+    @settings(max_examples=40)
+    def test_property_quantile_inverts_cdf(self, values):
+        cdf = WeightedCDF(values)
+        for q in (0.1, 0.5, 0.9):
+            v = cdf.quantile(q)
+            assert cdf.cdf(v) >= q - 1e-12
+
+
+class TestWeightingContrast:
+    def test_divergence_detects_weighting_effect(self):
+        # Metric 0 for heavy items, 10 for light items.
+        values = [0.0] * 5 + [10.0] * 5
+        weights = [100.0] * 5 + [1.0] * 5
+        contrast = weighting_contrast("metric", values, weights)
+        assert contrast.unweighted.cdf(0) == pytest.approx(0.5)
+        assert contrast.weighted.cdf(0) > 0.95
+        assert contrast.divergence_at(0) > 0.4
+
+    def test_median_shift(self):
+        contrast = weighting_contrast(
+            "m", [1, 2, 3], [1, 1, 100])
+        assert contrast.median_shift() == pytest.approx(1.0)

@@ -1,0 +1,62 @@
+"""Tests for the what-if outage engine."""
+
+import pytest
+
+from repro.core.whatif import WhatIfEngine
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def engine(small_scenario):
+    return WhatIfEngine(small_scenario)
+
+
+class TestGroundTruthOutage:
+    def test_big_eyeball_shares(self, engine, small_itm):
+        asn = small_itm.users.top_ases(1)[0][0]
+        truth = engine.ground_truth_outage(asn)
+        assert truth.true_traffic_share > 0.01
+        assert truth.true_user_share > 0.01
+        # An eyeball hosting off-nets loses local serving for services.
+        assert truth.services_losing_local_serving
+
+    def test_transit_outage_has_no_user_share(self, engine,
+                                              small_scenario):
+        from repro.net.ases import ASType
+        transit = small_scenario.registry.of_type(ASType.TRANSIT)[0]
+        truth = engine.ground_truth_outage(transit.asn)
+        assert truth.true_user_share == 0.0
+
+    def test_tier1_outage_rarely_disconnects(self, engine,
+                                             small_scenario):
+        """The flattened Internet survives single tier-1 loss: users
+        mostly reach hypergiants over direct peering."""
+        from repro.net.ases import ASType
+        tier1 = small_scenario.registry.of_type(ASType.TIER1)[0]
+        truth = engine.ground_truth_outage(tier1.asn)
+        users_by_as = small_scenario.population.users_by_as()
+        total = sum(users_by_as.values())
+        lost = sum(users_by_as.get(a, 0)
+                   for a in truth.disconnected_asns)
+        assert lost / total < 0.2
+
+    def test_unknown_asn_rejected(self, engine):
+        with pytest.raises(ValidationError):
+            engine.ground_truth_outage(987654)
+
+
+class TestComparison:
+    def test_map_tracks_truth(self, engine, small_itm, small_scenario):
+        asn = small_itm.users.top_ases(1)[0][0]
+        comparison = engine.compare_with_map(small_itm, asn)
+        # The map's activity estimate lands near the true traffic share.
+        assert comparison.activity_estimate_error < 0.05
+        # Truly-affected services are mostly predicted.
+        assert comparison.service_recall > 0.7
+
+    def test_comparison_across_top_ases(self, engine, small_itm):
+        errors = []
+        for asn, __ in small_itm.users.top_ases(5):
+            comparison = engine.compare_with_map(small_itm, asn)
+            errors.append(comparison.activity_estimate_error)
+        assert max(errors) < 0.08
