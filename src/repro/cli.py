@@ -45,6 +45,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="world size (default: small)")
     parser.add_argument("--seed", type=int, default=20211110,
                         help="scenario seed (default: 20211110)")
+    parser.add_argument("--profile", metavar="PATH", default=None,
+                        help="profile the run with cProfile and write "
+                             "cumulative-sorted stats to PATH")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("summary", help="build the map and summarise it")
     sub.add_parser("claims", help="run the headline-claim suite")
@@ -132,6 +135,28 @@ def _cmd_outage(scenario, builder, itm, asn: Optional[int],
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.profile is not None:
+        import cProfile
+        import pstats
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return _run(args)
+        finally:
+            profiler.disable()
+            try:
+                with open(args.profile, "w") as handle:
+                    stats = pstats.Stats(profiler, stream=handle)
+                    stats.sort_stats("cumulative").print_stats()
+            except OSError as exc:
+                print(f"cannot write profile to {args.profile}: {exc}",
+                      file=sys.stderr)
+            else:
+                print(f"wrote profile to {args.profile}", file=sys.stderr)
+    return _run(args)
+
+
+def _run(args: argparse.Namespace) -> int:
     scenario, builder, itm = _prepare(args)
     if args.command == "summary":
         return _cmd_summary(scenario, builder, itm)

@@ -169,6 +169,10 @@ class ScenarioConfig:
     services: ServiceConfig = field(default_factory=ServiceConfig)
     dns: DnsConfig = field(default_factory=DnsConfig)
     measurement: MeasurementConfig = field(default_factory=MeasurementConfig)
+    # Max origin sets kept in the BGP simulator's LRU route cache. Large
+    # anycast sweeps touch many origin sets; the bound keeps memory flat
+    # (see BgpSimulator.cache_stats()).
+    route_cache_entries: int = 256
 
     def validate(self) -> None:
         self.topology.validate()
@@ -176,6 +180,8 @@ class ScenarioConfig:
         self.services.validate()
         self.dns.validate()
         self.measurement.validate()
+        if self.route_cache_entries < 1:
+            raise ConfigError("route_cache_entries must be >= 1")
 
     # -- presets ----------------------------------------------------------
 

@@ -71,7 +71,17 @@ class PathPredictor:
 
     def predict_many(self, pairs: Sequence[Tuple[int, int]]
                      ) -> Dict[Tuple[int, int], Optional[Tuple[int, ...]]]:
-        return {(s, d): self.predict(s, d) for s, d in pairs}
+        """Predict many pairs, grouping by destination so each route
+        table is computed once and paths are pulled in bulk."""
+        by_dst: Dict[int, List[int]] = {}
+        for src, dst in pairs:
+            by_dst.setdefault(dst, []).append(src)
+        out: Dict[Tuple[int, int], Optional[Tuple[int, ...]]] = {}
+        for dst, srcs in by_dst.items():
+            paths = self._bgp.routes_to([dst]).paths_for(srcs)
+            for src in srcs:
+                out[(src, dst)] = paths[src]
+        return out
 
 
 @dataclass

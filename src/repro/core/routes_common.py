@@ -28,7 +28,7 @@ from ..net.relationships import ASGraph, Relationship
 from ..net.routing import BgpSimulator
 
 
-@dataclass
+@dataclass(slots=True)
 class CommonRoute:
     """The modal route for one pair, with stability evidence."""
 
@@ -100,11 +100,10 @@ class CommonRouteEstimator:
             for src, dst in pairs:
                 by_dst.setdefault(dst, []).append(src)
             for dst, sources in by_dst.items():
-                routes = bgp.routes_to([dst])
+                paths = bgp.routes_to([dst]).paths_for(sources)
                 for src in sources:
-                    route = routes.get(src)
-                    path = route.path if route is not None else None
                     tally = counts[(src, dst)]
+                    path = paths[src]
                     tally[path] = tally.get(path, 0) + 1
         results: Dict[Tuple[int, int], CommonRoute] = {}
         for pair, tally in counts.items():

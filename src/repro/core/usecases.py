@@ -64,15 +64,16 @@ def iplane_short_fraction(bgp: BgpSimulator, vp_asns: Sequence[int],
         raise ValidationError("need vantage and destination ASes")
     short = 0
     total = 0
-    for vp in vp_asns:
-        for dst in dst_asns:
+    for dst in dst_asns:
+        table = bgp.routes_to([dst])
+        for vp in vp_asns:
             if vp == dst:
                 continue
-            route = bgp.route(vp, dst)
-            if route is None:
+            length = table.length_of(vp)
+            if length is None:
                 continue
             total += 1
-            if route.as_path_length <= max_hops:
+            if length <= max_hops:
                 short += 1
     if total == 0:
         raise ValidationError("no routable pairs")
@@ -97,15 +98,15 @@ def path_length_study(graph: ASGraph, bgp: BgpSimulator,
     weights: List[float] = []
     near_mass = 0.0
     total_mass = 0.0
+    table = bgp.routes_to([target_asn])
     for asn in client_asns:
         weight = weight_by_as.get(asn, 0.0)
         if asn in offnet_host_asns:
             length = 0
         else:
-            route = bgp.route(asn, target_asn)
-            if route is None:
+            length = table.length_of(asn)
+            if length is None:
                 continue
-            length = route.as_path_length
         lengths.append(float(length))
         weights.append(weight)
         total_mass += weight

@@ -181,15 +181,21 @@ def validate_routes_component(itm: InternetTrafficMap,
     exact = 0
     unpredictable = 0
     scored = 0
+    by_dst: Dict[int, list] = {}
     for (src, dst), predicted in itm.routes.paths.items():
-        true_path = scenario.bgp.path(src, dst)
-        if true_path is None:
-            continue
-        scored += 1
-        if predicted is None:
-            unpredictable += 1
-        elif predicted == true_path:
-            exact += 1
+        by_dst.setdefault(dst, []).append((src, predicted))
+    for dst, entries in by_dst.items():
+        true_paths = scenario.bgp.routes_to([dst]).paths_for(
+            src for src, __ in entries)
+        for src, predicted in entries:
+            true_path = true_paths[src]
+            if true_path is None:
+                continue
+            scored += 1
+            if predicted is None:
+                unpredictable += 1
+            elif predicted == true_path:
+                exact += 1
     if scored == 0:
         raise ValidationError("no routable pairs to score")
     return RoutesValidation(

@@ -84,8 +84,7 @@ class WhatIfEngine:
                    if a != asn]
         reachable: Set[int] = set()
         if hg_asns:
-            routes = compute_routes(degraded, hg_asns)
-            reachable = set(routes)
+            reachable = compute_routes(degraded, hg_asns).holder_set()
         disconnected = {
             candidate for candidate in scenario.graph.asns
             if candidate != asn and candidate not in reachable

@@ -32,7 +32,7 @@ KM_PER_RTT_MS = 100.0
 RTT_FLOOR_MS = 2.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VantagePoint:
     """One measurement probe."""
 
@@ -41,7 +41,7 @@ class VantagePoint:
     city: City
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TracerouteResult:
     """AS-level traceroute output (after IP-to-AS mapping)."""
 
@@ -96,7 +96,12 @@ class AtlasPlatform:
         return TracerouteResult(vp=vp, dst_asn=dst_asn, as_path=path)
 
     def traceroute_all(self, dst_asn: int) -> List[TracerouteResult]:
-        return [self.traceroute(vp, dst_asn) for vp in self.vantage_points]
+        """Traceroute from every vantage point (one bulk path lookup)."""
+        paths = self._bgp.routes_to([dst_asn]).paths_for(
+            vp.asn for vp in self.vantage_points)
+        return [TracerouteResult(vp=vp, dst_asn=dst_asn,
+                                 as_path=paths[vp.asn])
+                for vp in self.vantage_points]
 
     def ping_rtt_ms(self, vp: VantagePoint, target_pid: int) -> float:
         """RTT to an address in a prefix. The platform resolves the true

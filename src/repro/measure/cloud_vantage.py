@@ -59,10 +59,12 @@ class CloudVantageCampaign:
             raise MeasurementError("no targets to traceroute")
         links: Set[Tuple[int, int]] = set()
         reached = 0
+        paths = self._bgp.paths_from(
+            self._cloud, [dst for dst in target_asns if dst != self._cloud])
         for dst in target_asns:
             if dst == self._cloud:
                 continue
-            path = self._bgp.path(self._cloud, dst)
+            path = paths[dst]
             if path is None:
                 continue
             reached += 1

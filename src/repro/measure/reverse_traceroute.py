@@ -22,7 +22,7 @@ from ..net.routing import BgpSimulator
 from .atlas import VantagePoint
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PathPair:
     """Forward and reverse AS paths between a vantage point and an AS."""
 
@@ -62,10 +62,16 @@ class ReverseTraceroute:
 
     def measure_many(self, vp: VantagePoint,
                      remote_asns: Sequence[int]) -> List[PathPair]:
+        """Measure many remotes: one bulk reverse-table lookup for the
+        shared VP destination, per-destination forward lookups."""
         if not remote_asns:
             raise MeasurementError("no remote ASes given")
-        return [self.measure(vp, asn) for asn in remote_asns
-                if asn != vp.asn]
+        remotes = [asn for asn in remote_asns if asn != vp.asn]
+        forward = self._bgp.paths_from(vp.asn, remotes)
+        reverse = self._bgp.routes_to([vp.asn]).paths_for(remotes)
+        return [PathPair(vp_asn=vp.asn, remote_asn=asn,
+                         forward=forward[asn], reverse=reverse[asn])
+                for asn in remotes]
 
 
 @dataclass

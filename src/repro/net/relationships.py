@@ -36,14 +36,28 @@ class ASGraph:
         self._providers: Dict[int, Set[int]] = {}
         self._customers: Dict[int, Set[int]] = {}
         self._peers: Dict[int, Set[int]] = {}
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter: bumps whenever the topology changes.
+
+        Consumers that cache graph-derived structures (routing indices,
+        route tables) key them on the epoch, so stale caches become
+        unreachable automatically after any mutation.
+        """
+        return self._epoch
 
     # -- node management -------------------------------------------------
 
     def add_as(self, asn: int) -> None:
         """Register an AS with no links (idempotent)."""
-        self._providers.setdefault(asn, set())
-        self._customers.setdefault(asn, set())
-        self._peers.setdefault(asn, set())
+        if asn in self._providers:
+            return
+        self._providers[asn] = set()
+        self._customers[asn] = set()
+        self._peers[asn] = set()
+        self._epoch += 1
 
     def __contains__(self, asn: int) -> bool:
         return asn in self._providers
@@ -66,12 +80,14 @@ class ASGraph:
         self._check_new_edge(customer, provider)
         self._providers[customer].add(provider)
         self._customers[provider].add(customer)
+        self._epoch += 1
 
     def add_p2p(self, a: int, b: int) -> None:
         """Add a settlement-free peering link."""
         self._check_new_edge(a, b)
         self._peers[a].add(b)
         self._peers[b].add(a)
+        self._epoch += 1
 
     def _check_new_edge(self, a: int, b: int) -> None:
         if a == b:
@@ -95,6 +111,7 @@ class ASGraph:
         else:
             self._providers[b].discard(a)
             self._customers[a].discard(b)
+        self._epoch += 1
         return rel
 
     # -- queries ----------------------------------------------------------
@@ -110,6 +127,16 @@ class ASGraph:
     def peers_of(self, asn: int) -> Set[int]:
         self._require(asn)
         return set(self._peers[asn])
+
+    def adjacency(self) -> Tuple[Dict[int, Set[int]], Dict[int, Set[int]],
+                                 Dict[int, Set[int]]]:
+        """Zero-copy bulk view ``(providers, customers, peers)`` by ASN.
+
+        The returned dicts are the graph's internal state — treat them as
+        strictly read-only. Intended for whole-graph consumers (the dense
+        routing index) that would otherwise pay a per-AS set copy.
+        """
+        return self._providers, self._customers, self._peers
 
     def neighbors_of(self, asn: int) -> Set[int]:
         self._require(asn)

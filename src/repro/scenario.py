@@ -134,7 +134,8 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
     traffic = build_traffic_matrix(catalog, population, config.dns,
                                    substream(seed, "traffic"))
 
-    bgp = BgpSimulator(topo.graph)
+    bgp = BgpSimulator(topo.graph,
+                       max_cache_entries=config.route_cache_entries)
     anycast_models: Dict[str, AnycastModel] = {}
     for key, spec in catalog.hypergiants.items():
         if spec.uses_anycast:

@@ -35,7 +35,7 @@ from ..net.routing import BgpSimulator
 from .cdn import ServingSite
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CatchmentResult:
     """Anycast catchment for one client AS."""
 
@@ -93,11 +93,13 @@ class AnycastModel:
                 haversine_km(client.home_city.lat, client.home_city.lon,
                              c.lat, c.lon), c.name))
         # Indirect: walk the BGP route; the penultimate AS hands traffic to
-        # the anycast operator wherever *they* interconnect.
-        route = self._bgp.route(client_asn, self._hg_asn)
-        if route is None or len(route.path) < 2:
+        # the anycast operator wherever *they* interconnect. Only the
+        # handoff AS matters, so ask the route table for it directly
+        # rather than materializing the whole path.
+        handoff_asn = self._bgp.routes_to(
+            [self._hg_asn]).penultimate_of(client_asn)
+        if handoff_asn is None:
             return None
-        handoff_asn = route.path[-2]
         handoff = self._registry.get(handoff_asn)
         common = self._pdb.common_facilities(handoff_asn, self._hg_asn)
         if common:

@@ -114,19 +114,21 @@ def assign_flows(matrix: TrafficMatrix, mapping: GroundTruthMapping,
                 pair = (int(key >> 32), int(key & 0xFFFFFFFF))
                 pair_volume[pair] = pair_volume.get(pair, 0.0) + vol
 
-    # Route each distinct (client AS, host AS) pair once.
+    # Route each distinct (client AS, host AS) pair once, pulling all
+    # paths toward one host in a single bulk call.
     by_host: Dict[int, Dict[int, float]] = {}
     for (client_asn, host_asn), volume in pair_volume.items():
         by_host.setdefault(host_asn, {})[client_asn] = volume
     for host_asn in sorted(by_host):
-        routes = bgp.routes_to([host_asn])
-        for client_asn, volume in sorted(by_host[host_asn].items()):
-            route = routes.get(client_asn)
-            if route is None:
+        clients = sorted(by_host[host_asn])
+        paths = bgp.routes_to([host_asn]).paths_for(clients)
+        for client_asn in clients:
+            volume = by_host[host_asn][client_asn]
+            path = paths[client_asn]
+            if path is None:
                 result.unroutable_volume += volume
                 continue
             result.volume_by_pair[(client_asn, host_asn)] = volume
-            path = route.path
             for asn in path:
                 result.volume_by_as[asn] = (
                     result.volume_by_as.get(asn, 0.0) + volume)

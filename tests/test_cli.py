@@ -46,6 +46,19 @@ class TestCli:
         assert main(["--scale", "small", "--seed", "7",
                      "summary"]) == 0
 
+    def test_profile_flag_writes_stats(self, tmp_path, capsys):
+        stats = tmp_path / "profile.txt"
+        assert main(["--scale", "small", "--profile", str(stats),
+                     "table1"]) == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+        assert f"wrote profile to {stats}" in captured.err
+        text = stats.read_text()
+        assert "cumulative" in text
+        assert "function calls" in text
+        # The hot routing path must appear in the profile.
+        assert "routing.py" in text
+
     def test_report_written(self, tmp_path, capsys):
         out = tmp_path / "report.md"
         assert main(["--scale", "small", "report", "-o",

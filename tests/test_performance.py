@@ -5,12 +5,14 @@ millisecond regressions. All figures are several times the measured
 values on a modest laptop core.
 """
 
+import sys
 import time
 
 import pytest
 
 from repro import ScenarioConfig, build_scenario
 from repro.core.builder import MapBuilder
+from repro.net.routing import Route, RouteKind, compute_routes
 
 
 class TestBuildPerformance:
@@ -54,3 +56,64 @@ class TestQueryPerformance:
             for asn in asns:
                 small_itm.users.as_weight(asn)
         assert time.perf_counter() - start < 1.0
+
+
+class _DictRoute:
+    """Shape of the pre-optimization Route: a plain two-field object
+    with a ``__dict__`` (memory baseline for the slotted version)."""
+
+    def __init__(self, path, kind):
+        self.path = path
+        self.kind = kind
+
+
+class TestRouteMemory:
+    def test_route_is_slotted(self):
+        route = Route(path=(1, 2, 3), kind=RouteKind.CUSTOMER)
+        assert not hasattr(route, "__dict__")
+        with pytest.raises(AttributeError):
+            route.extra = 1
+
+    def test_hot_value_objects_are_slotted(self):
+        from repro.measure.atlas import TracerouteResult, VantagePoint
+        from repro.measure.reverse_traceroute import PathPair
+        from repro.net.routing import CacheStats
+        from repro.services.anycast import CatchmentResult
+        for cls in (VantagePoint, TracerouteResult, PathPair,
+                    CatchmentResult, CacheStats):
+            assert "__slots__" in cls.__dict__, cls
+
+    def test_per_route_memory_below_dict_baseline(self):
+        """Micro-bench: a slotted lazy Route must cost less memory than
+        the pre-PR dict-backed object carrying an eager path tuple."""
+        path = tuple(range(64000, 64005))
+        baseline = _DictRoute(path, RouteKind.CUSTOMER)
+        baseline_size = (sys.getsizeof(baseline)
+                         + sys.getsizeof(baseline.__dict__))
+        slotted = Route(path=path, kind=RouteKind.CUSTOMER)
+        assert sys.getsizeof(slotted) < baseline_size
+
+
+@pytest.mark.perf_smoke
+class TestRoutingPerfSmoke:
+    """Tier-1 smoke: route computation stays fast. The ceilings are
+    generous (~50x measured) so only order-of-magnitude regressions —
+    e.g. losing the dense kernel — trip them."""
+
+    def test_single_origin_sweep_is_fast(self, small_scenario):
+        graph = small_scenario.graph
+        origins = [a.asn for a in small_scenario.registry.eyeballs()[:30]]
+        compute_routes(graph, origins[:1])  # warm the graph index
+        start = time.perf_counter()
+        for origin in origins:
+            compute_routes(graph, [origin])
+        assert time.perf_counter() - start < 5.0
+
+    def test_bulk_paths_for_is_fast(self, small_scenario):
+        dst = small_scenario.hypergiant_asn("googol")
+        sources = sorted(small_scenario.graph.asns)
+        table = small_scenario.bgp.routes_to([dst])
+        start = time.perf_counter()
+        for __ in range(50):
+            table.paths_for(sources)
+        assert time.perf_counter() - start < 5.0

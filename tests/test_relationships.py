@@ -63,6 +63,22 @@ class TestBasics:
         g.add_as(1)
         assert g.providers_of(2) == {1}
 
+    def test_epoch_bumps_on_every_mutation(self):
+        g = ASGraph()
+        epoch = g.epoch
+        g.add_as(1)
+        assert g.epoch > epoch
+        g.add_as(1)  # idempotent re-add: no change, no bump
+        assert g.epoch == epoch + 1
+        g.add_as(2)
+        g.add_as(3)
+        epoch = g.epoch
+        g.add_c2p(2, 1)
+        g.add_p2p(2, 3)
+        assert g.epoch == epoch + 2
+        g.remove_link(2, 3)
+        assert g.epoch == epoch + 3
+
 
 class TestEdgesAndRemoval:
     def test_edges_yields_each_once(self):

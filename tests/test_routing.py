@@ -7,13 +7,14 @@ or more provider->customer steps) and route preference must respect
 customer > peer > provider.
 """
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import TopologyError
 from repro.net.relationships import ASGraph, Relationship
 from repro.net.routing import (BgpSimulator, Route, RouteKind,
-                               compute_routes)
+                               _compute_routes_reference, compute_routes)
 
 
 def chain_graph():
@@ -141,15 +142,46 @@ class TestAnycast:
 
 
 class TestBgpSimulator:
-    def test_cache_and_invalidate(self):
+    def test_graph_mutation_invalidates_cache_automatically(self):
         g = chain_graph()
         sim = BgpSimulator(g)
         assert sim.path(5, 1) == (5, 4, 3, 2, 1)
         g.add_c2p(5, 1)  # now a direct link exists
-        # Cached result is stale until invalidated — documented behavior.
-        assert sim.path(5, 1) == (5, 4, 3, 2, 1)
-        sim.invalidate()
+        # The graph epoch bump makes the stale entry unreachable — no
+        # explicit invalidate() call needed.
         assert sim.path(5, 1) == (5, 1)
+
+    def test_explicit_invalidate_still_works(self):
+        g = chain_graph()
+        sim = BgpSimulator(g)
+        sim.path(5, 1)
+        sim.invalidate()
+        assert sim.cache_stats().entries == 0
+        assert sim.path(5, 1) == (5, 4, 3, 2, 1)
+
+    def test_cache_hit_and_miss_counters(self):
+        sim = BgpSimulator(chain_graph())
+        sim.path(5, 1)
+        sim.path(4, 1)     # same origin set: cache hit
+        sim.path(5, 2)     # different origin set: miss
+        stats = sim.cache_stats()
+        assert stats.misses == 2
+        assert stats.hits == 1
+        assert stats.entries == 2
+        assert stats.evictions == 0
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_cache_is_bounded_lru(self):
+        g = chain_graph()
+        sim = BgpSimulator(g, max_cache_entries=2)
+        for origin in (1, 2, 3, 4, 5):
+            sim.routes_to([origin])
+        stats = sim.cache_stats()
+        assert stats.entries == 2
+        assert stats.evictions == 3
+        # Most recently used sets are retained.
+        sim.routes_to([5])
+        assert sim.cache_stats().hits == 1
 
     def test_route_none_when_unreachable(self):
         g = ASGraph()
@@ -239,3 +271,79 @@ class TestHypothesisValleyFree:
             for provider in graph.providers_of(asn):
                 routes = compute_routes(graph, [provider])
                 assert asn in routes
+
+
+# -- dense kernel vs reference implementation ---------------------------------
+
+def random_topology(seed: int):
+    """A seeded Internet-like topology plus anycast origin sets (size 1-4).
+
+    Each AS picks 1-3 providers among lower-numbered ASes (the c2p
+    hierarchy is acyclic by construction) and random peering links are
+    sprinkled on top.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(30, 120))
+    g = ASGraph()
+    for asn in range(n):
+        g.add_as(asn)
+    for asn in range(1, n):
+        n_providers = min(asn, int(rng.integers(1, 4)))
+        for provider in rng.choice(asn, size=n_providers, replace=False):
+            g.add_c2p(asn, int(provider))
+    for __ in range(n):
+        a, b = (int(x) for x in rng.integers(0, n, size=2))
+        if a != b and g.relationship_of(a, b) is None:
+            g.add_p2p(a, b)
+    origin_sets = [sorted(int(x) for x in rng.choice(n, size=k,
+                                                     replace=False))
+                   for k in (1, 1, 2, 3, 4)]
+    return g, origin_sets
+
+
+def assert_matches_reference(graph: ASGraph, origins) -> None:
+    """The dense table must be bit-identical to the tuple-based oracle."""
+    table = compute_routes(graph, origins)
+    reference = _compute_routes_reference(graph, origins)
+    assert set(table) == set(reference)
+    assert len(table) == len(reference)
+    assert table.holder_set() == set(reference)
+    for asn, ref_route in reference.items():
+        assert table.path_of(asn) == ref_route.path
+        assert table.kind_of(asn) is ref_route.kind
+        assert table.origin_of(asn) == ref_route.origin
+        assert table.length_of(asn) == ref_route.as_path_length
+        assert table[asn] == ref_route
+
+
+class TestDenseReferenceEquivalence:
+    """The optimized kernel selects exactly the reference's routes."""
+
+    @given(random_as_graph(),
+           st.lists(st.integers(0, 13), min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_reference(self, graph, origins):
+        origins = [o for o in origins if o in graph]
+        if not origins:
+            return
+        assert_matches_reference(graph, origins)
+
+    @pytest.mark.parametrize("seed", range(24))
+    def test_seeded_topologies_match_reference(self, seed):
+        # 24 seeded topologies x 5 origin sets each, including
+        # multi-origin anycast sets of sizes 2-4.
+        graph, origin_sets = random_topology(seed)
+        for origins in origin_sets:
+            assert_matches_reference(graph, origins)
+
+    def test_bulk_paths_match_reference(self):
+        graph, origin_sets = random_topology(seed=7)
+        origins = origin_sets[-1]
+        table = compute_routes(graph, origins)
+        reference = _compute_routes_reference(graph, origins)
+        everyone = sorted(graph.asns)
+        paths = table.paths_for(everyone)
+        assert set(paths) == set(everyone)
+        for asn in everyone:
+            ref = reference.get(asn)
+            assert paths[asn] == (ref.path if ref is not None else None)
