@@ -44,6 +44,22 @@ def build_report(scenario: Scenario,
                     f"{len(scenario.catalog)} services.\n")
     sections.append("```\n" + itm.summary() + "\n```\n")
 
+    # Coverage / degraded-mode provenance (only interesting when the
+    # build ran under a fault plan or lost a technique).
+    plan = itm.metadata.get("fault_plan")
+    if plan is not None or itm.degraded_components():
+        sections.append("## Measurement coverage\n")
+        if plan is not None:
+            sections.append(f"Built under fault plan `{plan.describe()}` "
+                            f"(seed {plan.seed}).\n")
+        sections.append(_md_table(
+            ["component", "coverage", "techniques delivered", "notes"],
+            [[name,
+              f"{record.coverage:.1%}",
+              ", ".join(record.techniques_delivered) or "none",
+              "; ".join(record.notes) or "-"]
+             for name, record in sorted(itm.coverage.items())]) + "\n")
+
     # Table 1.
     sections.append("## Table 1 — component granularity and coverage\n")
     t1 = regenerate_table1(scenario, itm)
@@ -55,41 +71,51 @@ def build_report(scenario: Scenario,
           f"{r.network_desired} / {r.network_now}",
           r.coverage_now] for r in t1]) + "\n")
 
-    # Figure 1a.
-    sections.append("## Figure 1a — client prefixes per GDNS PoP\n")
-    fig1a = fig1a_prefixes_per_pop(scenario, artifacts.cache_result)
-    sections.append(_md_table(
-        ["PoP", "city", "detected prefixes"],
-        [[r.pop_name, r.pop_city, r.prefix_count]
-         for r in fig1a[:15]]) + "\n")
+    if artifacts.cache_result is None:
+        sections.append("Figures 1a/1b/2 omitted: the cache-probing "
+                        "campaign delivered nothing this build.\n")
+    else:
+        # Figure 1a.
+        sections.append("## Figure 1a — client prefixes per GDNS PoP\n")
+        fig1a = fig1a_prefixes_per_pop(scenario, artifacts.cache_result)
+        sections.append(_md_table(
+            ["PoP", "city", "detected prefixes"],
+            [[r.pop_name, r.pop_city, r.prefix_count]
+             for r in fig1a[:15]]) + "\n")
 
-    # Figure 1b.
-    sections.append("## Figure 1b — user coverage and server map\n")
-    fig1b = fig1b_coverage_and_servers(scenario, artifacts.cache_result,
-                                       artifacts.tls_result)
-    sections.append(
-        f"Global APNIC-user coverage: "
-        f"**{fig1b.global_user_coverage:.1%}** (paper: ~98%). "
-        f"MetaBook server dots: {len(fig1b.server_dots)} locations, "
-        f"{sum(1 for d in fig1b.server_dots if d.is_offnet)} off-net.\n")
+        # Figure 1b.
+        sections.append("## Figure 1b — user coverage and server map\n")
+        fig1b = fig1b_coverage_and_servers(scenario,
+                                           artifacts.cache_result,
+                                           artifacts.tls_result)
+        sections.append(
+            f"Global APNIC-user coverage: "
+            f"**{fig1b.global_user_coverage:.1%}** (paper: ~98%). "
+            f"MetaBook server dots: {len(fig1b.server_dots)} locations, "
+            f"{sum(1 for d in fig1b.server_dots if d.is_offnet)} "
+            f"off-net.\n")
 
-    # Figure 2.
-    sections.append("## Figure 2 — subscribers vs cache hits vs APNIC\n")
-    fig2 = fig2_subscribers_vs_signals(scenario, artifacts.cache_result)
-    sections.append(_md_table(
-        ["cc", "ISP", "subscribers (M)", "cache hits", "APNIC est (M)"],
-        [[r.country_code, r.isp_name, f"{r.subscribers_m:.1f}",
-          f"{r.cache_hit_count:.0f}",
-          "-" if r.apnic_estimate_m is None
-          else f"{r.apnic_estimate_m:.1f}"]
-         for r in sorted(fig2.rows, key=lambda r: (r.country_code,
-                                                   -r.subscribers_m))])
-        + "\n")
-    orderings = ", ".join(
-        f"{cc}: {'ok' if ok else 'WRONG'}"
-        for cc, ok in fig2.orderings_correct.items())
-    sections.append(f"Within-country orderings: {orderings}; "
-                    f"Pearson {fig2.hit_count_pearson:.3f}.\n")
+        # Figure 2.
+        sections.append("## Figure 2 — subscribers vs cache hits "
+                        "vs APNIC\n")
+        fig2 = fig2_subscribers_vs_signals(scenario,
+                                           artifacts.cache_result)
+        sections.append(_md_table(
+            ["cc", "ISP", "subscribers (M)", "cache hits",
+             "APNIC est (M)"],
+            [[r.country_code, r.isp_name, f"{r.subscribers_m:.1f}",
+              f"{r.cache_hit_count:.0f}",
+              "-" if r.apnic_estimate_m is None
+              else f"{r.apnic_estimate_m:.1f}"]
+             for r in sorted(fig2.rows,
+                             key=lambda r: (r.country_code,
+                                            -r.subscribers_m))])
+            + "\n")
+        orderings = ", ".join(
+            f"{cc}: {'ok' if ok else 'WRONG'}"
+            for cc, ok in fig2.orderings_correct.items())
+        sections.append(f"Within-country orderings: {orderings}; "
+                        f"Pearson {fig2.hit_count_pearson:.3f}.\n")
 
     # Claims.
     sections.append("## Headline claims\n")

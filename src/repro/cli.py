@@ -9,7 +9,10 @@ Commands:
 * ``table1``  — regenerate Table 1;
 * ``outage``  — outage-impact report for an AS (or the top-k ASes).
 
-Common flags: ``--scale {small,medium,default}`` and ``--seed N``.
+Common flags: ``--scale {small,medium,default}``, ``--seed N``, and the
+fault-injection trio ``--faults SPEC`` / ``--fault-seed N`` /
+``--fault-retries N`` (e.g. ``--faults probe_loss=0.2`` builds the map
+under 20% probe loss and reports the degraded coverage).
 """
 
 from __future__ import annotations
@@ -19,6 +22,8 @@ import sys
 from typing import List, Optional
 
 from . import ScenarioConfig, build_scenario
+from .errors import ConfigError
+from .faults import FaultPlan, RetryPolicy
 from .analysis.claims import ClaimSuite
 from .analysis.figures import (fig1a_prefixes_per_pop,
                                fig1b_coverage_and_servers,
@@ -48,6 +53,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", metavar="PATH", default=None,
                         help="profile the run with cProfile and write "
                              "cumulative-sorted stats to PATH")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="inject measurement faults: comma-separated "
+                             "kind=rate entries, e.g. "
+                             "'probe_loss=0.2,rootlog_truncation=0.5' "
+                             "('all=R' sets every kind)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the fault plan's drop schedule "
+                             "(default: 0)")
+    parser.add_argument("--fault-retries", type=int, default=None,
+                        help="retry attempts per failed operation "
+                             "(default: the scenario's "
+                             "fault_retry_attempts)")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("summary", help="build the map and summarise it")
     sub.add_parser("claims", help="run the headline-claim suite")
@@ -65,16 +82,42 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_faults(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """The fault plan the flags describe, or None for a clean build."""
+    if args.faults is None:
+        return None
+    retry = None
+    if args.fault_retries is not None:
+        retry = RetryPolicy(max_attempts=args.fault_retries)
+        retry.validate()
+    return FaultPlan.parse(args.faults, seed=args.fault_seed, retry=retry)
+
+
 def _prepare(args: argparse.Namespace):
     config = SCALES[args.scale](seed=args.seed)
+    faults = _parse_faults(args)
     scenario = build_scenario(config)
-    builder = MapBuilder(scenario)
+    builder = MapBuilder(scenario, faults=faults)
     itm = builder.build()
     return scenario, builder, itm
 
 
 def _cmd_summary(scenario, builder, itm) -> int:
     print(itm.summary())
+    plan = itm.metadata.get("fault_plan")
+    if plan is not None:
+        print()
+        print(f"fault plan: {plan.describe()} (seed {plan.seed})")
+        for name in sorted(itm.coverage):
+            record = itm.coverage[name]
+            missing = sorted(set(record.techniques_intended)
+                             - set(record.techniques_delivered))
+            line = f"  {name}: {record.coverage:.1%} coverage"
+            if missing:
+                line += f", lost {', '.join(missing)}"
+            print(line)
+            for note in record.notes:
+                print(f"    - {note}")
     print()
     rows = []
     for asn, weight in itm.users.top_ases(10):
@@ -135,6 +178,11 @@ def _cmd_outage(scenario, builder, itm, asn: Optional[int],
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    try:
+        _parse_faults(args)
+    except ConfigError as exc:
+        print(f"bad --faults flags: {exc}", file=sys.stderr)
+        return 2
     if args.profile is not None:
         import cProfile
         import pstats

@@ -148,6 +148,11 @@ class MeasurementConfig:
     ipid_campaign_hours: int = 48
     # Atlas-like vantage points (ASes hosting probes).
     atlas_vantage_points: int = 120
+    # Fault-injection retry budget (see repro.faults): attempts per failed
+    # operation and base simulated backoff between them. Used when a
+    # FaultPlan is handed to the builder without a custom policy.
+    fault_retry_attempts: int = 3
+    fault_retry_backoff_s: float = 0.5
 
     def validate(self) -> None:
         if self.probe_rounds_per_day < 1:
@@ -156,6 +161,10 @@ class MeasurementConfig:
             raise ConfigError("ipid_ping_interval_s must be >= 1")
         if self.atlas_vantage_points < 1:
             raise ConfigError("atlas_vantage_points must be >= 1")
+        if self.fault_retry_attempts < 1:
+            raise ConfigError("fault_retry_attempts must be >= 1")
+        if self.fault_retry_backoff_s < 0:
+            raise ConfigError("fault_retry_backoff_s must be >= 0")
 
 
 @dataclass(frozen=True)

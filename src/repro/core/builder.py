@@ -13,33 +13,54 @@ component, fused into a single queryable artefact:
 The builder touches only the scenario's public surfaces. Technique
 selection is configurable so ablations (probing-only vs logs-only vs
 fused) fall out naturally.
+
+Fault tolerance: handed a :class:`repro.faults.FaultPlan` (or a shared
+:class:`FaultContext`), the builder threads it through every campaign and
+*degrades instead of crashing* when one fails — falling back per the
+§3.1.3 fusion rules (probing-only activity when the root logs are
+truncated, logs-only when the resolver sweep dies, an empty users
+component when both §3.1.2 techniques are lost) — and records what
+happened in per-component :class:`ComponentCoverage` entries on the map.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import ValidationError
+from ..errors import MeasurementError, ValidationError
+from ..faults import (COLLECTOR_FEED_CAMPAIGN, FaultContext, FaultKind,
+                      FaultPlan, RetryPolicy, degraded_public_view)
 from ..measure.atlas import AtlasPlatform
-from ..measure.cache_probing import (CacheProbingCampaign,
+from ..measure.cache_probing import (CACHE_PROBING_CAMPAIGN,
+                                     CacheProbingCampaign,
                                      CacheProbingResult)
-from ..measure.catchment_probe import (CatchmentMeasurement,
+from ..measure.catchment_probe import (CATCHMENT_CAMPAIGN,
+                                       CatchmentMeasurement,
                                        VerfploeterCampaign)
-from ..measure.ecs_mapping import EcsMapper, EcsMappingResult
+from ..measure.ecs_mapping import (ECS_MAPPING_CAMPAIGN, EcsMapper,
+                                   EcsMappingResult)
 from ..measure.geolocation import client_centric_geolocate
-from ..measure.rootlogs import RootLogCrawler, RootLogCrawlResult
-from ..measure.sniscan import SniScanner
-from ..measure.tlsscan import TlsScanner, TlsScanResult
+from ..measure.rootlogs import (ROOTLOG_CAMPAIGN, RootLogCrawler,
+                                RootLogCrawlResult)
+from ..measure.sniscan import SNI_SCAN_CAMPAIGN, SniScanner
+from ..measure.tlsscan import TLS_SCAN_CAMPAIGN, TlsScanner, TlsScanResult
 from ..services.hypergiants import RedirectionScheme
 from ..rand import substream
 from ..scenario import Scenario
 from .activity import ActivityEstimate, fuse_activity
 from .pathpred import PathPredictor
-from .traffic_map import (InternetTrafficMap, MappedSite, RoutesComponent,
-                          ServicesComponent, UsersComponent)
+from .traffic_map import (ComponentCoverage, InternetTrafficMap,
+                          MappedSite, RoutesComponent, ServicesComponent,
+                          UsersComponent)
+
+# Which campaigns feed which map component (coverage aggregation).
+USERS_CAMPAIGNS = (CACHE_PROBING_CAMPAIGN, ROOTLOG_CAMPAIGN)
+SERVICES_CAMPAIGNS = (TLS_SCAN_CAMPAIGN, SNI_SCAN_CAMPAIGN,
+                      ECS_MAPPING_CAMPAIGN, CATCHMENT_CAMPAIGN)
+ROUTES_CAMPAIGNS = (COLLECTOR_FEED_CAMPAIGN,)
 
 
 @dataclass(frozen=True)
@@ -86,12 +107,44 @@ class MapBuilder:
     surfaces."""
 
     def __init__(self, scenario: Scenario,
-                 options: Optional[BuilderOptions] = None) -> None:
+                 options: Optional[BuilderOptions] = None,
+                 faults: Union[FaultPlan, FaultContext, None] = None
+                 ) -> None:
         self._scenario = scenario
         self._options = options or BuilderOptions()
         self._options.validate()
         self._rng = substream(scenario.config.seed, self._options.rng_label)
         self.artifacts = BuildArtifacts()
+        self._faults = self._resolve_faults(faults)
+        self._notes: Dict[str, List[str]] = {}
+
+    def _resolve_faults(self,
+                        faults: Union[FaultPlan, FaultContext, None]
+                        ) -> FaultContext:
+        """Normalise the faults argument to a shared context.
+
+        A bare plan with the stock retry policy picks up the scenario's
+        ``fault_retry_attempts``/``fault_retry_backoff_s`` knobs; a plan
+        carrying a custom policy, or a pre-built context, is used as-is.
+        """
+        if isinstance(faults, FaultContext):
+            return faults
+        if faults is None:
+            return FaultContext.null()
+        retry = faults.retry
+        if retry == RetryPolicy():
+            cfg = self._scenario.config.measurement
+            retry = RetryPolicy(max_attempts=cfg.fault_retry_attempts,
+                                backoff_base_s=cfg.fault_retry_backoff_s)
+        return FaultContext(faults, retry=retry)
+
+    @property
+    def fault_context(self) -> FaultContext:
+        """The build's shared fault state (a null context when clean)."""
+        return self._faults
+
+    def _note(self, component: str, message: str) -> None:
+        self._notes.setdefault(component, []).append(message)
 
     # -- users component ------------------------------------------------------
 
@@ -105,26 +158,61 @@ class MapBuilder:
             services=services,
             prefix_ids=scenario.routable_prefix_ids(),
             rounds_per_day=cfg.probe_rounds_per_day,
-            rng=substream(scenario.config.seed, "probe-campaign"))
+            rng=substream(scenario.config.seed, "probe-campaign"),
+            faults=self._faults)
         return campaign.run()
 
     def _run_rootlog_crawl(self) -> RootLogCrawlResult:
         crawler = RootLogCrawler(
             self._scenario.root_archive,
-            min_query_threshold=self._options.rootlog_min_queries)
+            min_query_threshold=self._options.rootlog_min_queries,
+            faults=self._faults)
         return crawler.run()
 
     def _build_users(self) -> UsersComponent:
         cache_result = None
         rootlog_result = None
         if self._options.use_cache_probing:
-            cache_result = self._run_cache_probing()
-            self.artifacts.cache_result = cache_result
+            try:
+                cache_result = self._run_cache_probing()
+                self.artifacts.cache_result = cache_result
+            except MeasurementError as exc:
+                self._faults.campaign(CACHE_PROBING_CAMPAIGN).mark_failed(
+                    str(exc))
+                self._note("users", f"cache probing failed ({exc}); "
+                                    "falling back to root logs (§3.1.3)")
         if self._options.use_root_logs:
-            rootlog_result = self._run_rootlog_crawl()
-            self.artifacts.rootlog_result = rootlog_result
-        activity = fuse_activity(self._scenario.prefixes, cache_result,
-                                 rootlog_result)
+            try:
+                rootlog_result = self._run_rootlog_crawl()
+                self.artifacts.rootlog_result = rootlog_result
+            except MeasurementError as exc:
+                self._faults.campaign(ROOTLOG_CAMPAIGN).mark_failed(
+                    str(exc))
+                self._note("users", f"root-log crawl failed ({exc})")
+            else:
+                if not rootlog_result.delivered_anything:
+                    # Truncated/empty feeds: keep the artifact for the
+                    # record but fuse probing-only (§3.1.3 fallback).
+                    self._faults.campaign(ROOTLOG_CAMPAIGN).mark_failed(
+                        "crawl delivered no usable per-AS volume")
+                    self._note(
+                        "users",
+                        "root logs delivered nothing usable; activity is "
+                        "probing-only (§3.1.3 fallback)")
+                    rootlog_result = None
+        try:
+            activity = fuse_activity(self._scenario.prefixes, cache_result,
+                                     rootlog_result)
+        except ValidationError as exc:
+            # Every §3.1.2 technique died: ship an honest empty component
+            # rather than abort the whole map.
+            self._note("users", f"no usable activity signal ({exc}); "
+                                "users component is empty")
+            return UsersComponent(
+                detected_prefixes=np.array([], dtype=int),
+                activity_by_prefix={},
+                activity_by_as={},
+                techniques=())
         self.artifacts.activity = activity
         detected = np.array(sorted(activity.by_prefix), dtype=int)
         return UsersComponent(
@@ -144,15 +232,31 @@ class MapBuilder:
 
         tls_result: Optional[TlsScanResult] = None
         if self._options.use_tls_scan:
-            scanner = TlsScanner(scenario.certstore, scenario.prefixes)
-            tls_result = scanner.run()
-            self.artifacts.tls_result = tls_result
+            scanner = TlsScanner(scenario.certstore, scenario.prefixes,
+                                 faults=self._faults)
+            try:
+                tls_result = scanner.run()
+                self.artifacts.tls_result = tls_result
+            except MeasurementError as exc:
+                self._faults.campaign(TLS_SCAN_CAMPAIGN).mark_failed(
+                    str(exc))
+                self._note("services", f"TLS scan failed ({exc}); no "
+                                       "sites or SNI footprints")
 
         ecs_result: Optional[EcsMappingResult] = None
         if self._options.use_ecs_mapping:
             mapper = EcsMapper(scenario.authoritative, scenario.catalog,
-                               scenario.prefixes)
-            ecs_result = mapper.run(scenario.routable_prefix_ids())
+                               scenario.prefixes, faults=self._faults)
+            try:
+                ecs_result = mapper.run(scenario.routable_prefix_ids())
+            except MeasurementError as exc:
+                self._faults.campaign(ECS_MAPPING_CAMPAIGN).mark_failed(
+                    str(exc))
+                self._note("services",
+                           f"ECS mapping failed ({exc}); user->host "
+                           "mapping limited to catchment probing")
+                unmapped.extend(s.key for s in scenario.catalog.services)
+        if ecs_result is not None:
             self.artifacts.ecs_result = ecs_result
             for key, mapping in ecs_result.per_service.items():
                 mapped = mapping.answer_pids >= 0
@@ -161,7 +265,7 @@ class MapBuilder:
                         mapping.client_pids[mapped],
                         mapping.answer_pids[mapped])}
             unmapped.extend(ecs_result.uncovered_services)
-        else:
+        elif not self._options.use_ecs_mapping:
             unmapped.extend(s.key for s in scenario.catalog.services)
 
         if self._options.use_catchment_probing:
@@ -170,11 +274,20 @@ class MapBuilder:
 
         if tls_result is not None:
             if self._options.use_sni_scan:
-                sni = SniScanner(scenario.certstore, scenario.prefixes)
+                sni = SniScanner(scenario.certstore, scenario.prefixes,
+                                 faults=self._faults)
                 domains = [s.domain for s in scenario.catalog.services]
-                sni_result = sni.run(domains, tls_result.serving_prefixes())
-                serving_by_domain = {
-                    d: sni_result.asns_serving(d) for d in domains}
+                try:
+                    sni_result = sni.run(domains,
+                                         tls_result.serving_prefixes())
+                    serving_by_domain = {
+                        d: sni_result.asns_serving(d) for d in domains}
+                except MeasurementError as exc:
+                    self._faults.campaign(SNI_SCAN_CAMPAIGN).mark_failed(
+                        str(exc))
+                    self._note("services",
+                               f"SNI scan failed ({exc}); per-domain "
+                               "footprints unavailable")
             sites_by_org = self._assemble_sites(tls_result, ecs_result)
 
         return ServicesComponent(
@@ -198,8 +311,16 @@ class MapBuilder:
         for hg_key, model in scenario.anycast_models.items():
             campaign = VerfploeterCampaign(
                 model, scenario.prefixes,
-                substream(scenario.config.seed, "builder-verf", hg_key))
-            measurement = campaign.run(targets)
+                substream(scenario.config.seed, "builder-verf", hg_key),
+                faults=self._faults)
+            try:
+                measurement = campaign.run(targets)
+            except MeasurementError as exc:
+                self._faults.campaign(CATCHMENT_CAMPAIGN).mark_failed(
+                    str(exc))
+                self._note("services", f"catchment probing of {hg_key} "
+                                       f"failed ({exc})")
+                continue
             self.artifacts.catchments[hg_key] = measurement
             site_answer = {site.site_id: site.prefix_ids[0]
                            for site in model.sites}
@@ -271,7 +392,12 @@ class MapBuilder:
                       services: ServicesComponent) -> RoutesComponent:
         """Predict routes between the most active user ASes and the
         discovered serving organisations' home ASes."""
-        predictor = PathPredictor(self._scenario.public_view)
+        view = self._scenario.public_view
+        if self._faults.active(FaultKind.STALE_COLLECTOR):
+            view = degraded_public_view(view, self._faults)
+            self._note("routes", "collector snapshot is stale; predicting "
+                                 "over the thinned topology")
+        predictor = PathPredictor(view)
         top_ases = [asn for asn, __ in users.top_ases(
             self._options.route_pairs_top_ases)]
         dst_asns: List[int] = []
@@ -290,15 +416,60 @@ class MapBuilder:
 
     # -- assembly -----------------------------------------------------------------
 
+    def _coverage_report(self, users: UsersComponent,
+                         services: ServicesComponent
+                         ) -> Dict[str, ComponentCoverage]:
+        """Fold the fault context's per-campaign counters into
+        per-component coverage/provenance records."""
+        opts = self._options
+        users_intended = tuple(
+            name for name, on in (("cache-probing", opts.use_cache_probing),
+                                  ("root-logs", opts.use_root_logs)) if on)
+        services_intended = tuple(
+            name for name, on in (
+                ("tls-scan", opts.use_tls_scan),
+                ("sni-scan", opts.use_tls_scan and opts.use_sni_scan),
+                ("ecs-mapping", opts.use_ecs_mapping),
+                ("catchment-probing", opts.use_catchment_probing)) if on)
+        services_delivered = tuple(
+            name for name, ok in (
+                ("tls-scan", self.artifacts.tls_result is not None),
+                ("sni-scan", bool(services.serving_asns_by_domain)),
+                ("ecs-mapping", self.artifacts.ecs_result is not None),
+                ("catchment-probing", bool(self.artifacts.catchments)))
+            if ok)
+        def record(component: str, campaigns: Tuple[str, ...],
+                   intended: Tuple[str, ...],
+                   delivered: Tuple[str, ...]) -> ComponentCoverage:
+            return ComponentCoverage(
+                component=component,
+                coverage=self._faults.coverage_of(campaigns),
+                techniques_intended=intended,
+                techniques_delivered=delivered,
+                notes=tuple(self._notes.get(component, ())))
+        return {
+            "users": record("users", USERS_CAMPAIGNS, users_intended,
+                            tuple(users.techniques)),
+            "services": record("services", SERVICES_CAMPAIGNS,
+                               services_intended, services_delivered),
+            "routes": record("routes", ROUTES_CAMPAIGNS,
+                             ("path-prediction",), ("path-prediction",)),
+        }
+
     def build(self) -> InternetTrafficMap:
         """Run the configured campaigns and assemble the map."""
         users = self._build_users()
         services = self._build_services(users)
         routes = self._build_routes(users, services)
+        metadata: Dict[str, object] = {
+            "seed": self._scenario.config.seed,
+            "prefix_asn": self._scenario.prefixes.asn_array,
+            "options": self._options,
+        }
+        if not self._faults.is_null:
+            metadata["fault_plan"] = self._faults.plan
+            metadata["fault_totals"] = self._faults.totals()
         return InternetTrafficMap(
             users=users, services=services, routes=routes,
-            metadata={
-                "seed": self._scenario.config.seed,
-                "prefix_asn": self._scenario.prefixes.asn_array,
-                "options": self._options,
-            })
+            metadata=metadata,
+            coverage=self._coverage_report(users, services))

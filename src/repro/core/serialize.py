@@ -20,8 +20,9 @@ import numpy as np
 
 from ..errors import ValidationError
 from ..net.geography import WorldAtlas
-from .traffic_map import (InternetTrafficMap, MappedSite, RoutesComponent,
-                          ServicesComponent, UsersComponent)
+from .traffic_map import (ComponentCoverage, InternetTrafficMap,
+                          MappedSite, RoutesComponent, ServicesComponent,
+                          UsersComponent)
 
 FORMAT_VERSION = 1
 
@@ -67,6 +68,13 @@ def map_to_dict(itm: InternetTrafficMap) -> Dict[str, Any]:
             } for (src, dst), path in itm.routes.paths.items()],
             "predictability": itm.routes.predictability,
         },
+        "coverage": {
+            name: {
+                "coverage": record.coverage,
+                "techniques_intended": list(record.techniques_intended),
+                "techniques_delivered": list(record.techniques_delivered),
+                "notes": list(record.notes),
+            } for name, record in itm.coverage.items()},
     }
 
 
@@ -136,11 +144,22 @@ def map_from_dict(payload: Dict[str, Any],
         paths=paths,
         predictability=float(routes_raw["predictability"]))
 
+    # Tolerant: artefacts written before coverage reporting lack the key.
+    coverage = {
+        name: ComponentCoverage(
+            component=name,
+            coverage=float(entry["coverage"]),
+            techniques_intended=tuple(entry["techniques_intended"]),
+            techniques_delivered=tuple(entry["techniques_delivered"]),
+            notes=tuple(entry.get("notes", ())))
+        for name, entry in payload.get("coverage", {}).items()}
+
     metadata: Dict[str, Any] = {"seed": payload.get("seed")}
     if prefix_asn is not None:
         metadata["prefix_asn"] = prefix_asn
     return InternetTrafficMap(users=users, services=services,
-                              routes=routes, metadata=metadata)
+                              routes=routes, metadata=metadata,
+                              coverage=coverage)
 
 
 def map_from_json(text: str, atlas: Optional[WorldAtlas] = None,

@@ -105,6 +105,29 @@ class RoutesComponent:
         return len(self.paths)
 
 
+@dataclass(frozen=True)
+class ComponentCoverage:
+    """Provenance and delivered coverage of one map component.
+
+    ``coverage`` is the fraction of the component's measurement units
+    that ultimately succeeded (1.0 on a clean build). A component is
+    *degraded* when some units were lost or an intended technique
+    delivered nothing — the honest labelling §4.2 asks maps to carry.
+    """
+
+    component: str
+    coverage: float
+    techniques_intended: Tuple[str, ...]
+    techniques_delivered: Tuple[str, ...]
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return (self.coverage < 1.0 or
+                set(self.techniques_delivered)
+                != set(self.techniques_intended))
+
+
 @dataclass
 class InternetTrafficMap:
     """The assembled map: the paper's proposed artefact."""
@@ -113,6 +136,8 @@ class InternetTrafficMap:
     services: ServicesComponent
     routes: RoutesComponent
     metadata: Dict[str, object] = field(default_factory=dict)
+    # Per-component provenance/coverage ("users" / "services" / "routes").
+    coverage: Dict[str, ComponentCoverage] = field(default_factory=dict)
 
     # -- cross-component queries (§2.1) -----------------------------------
 
@@ -146,6 +171,22 @@ class InternetTrafficMap:
         return sum(w for asn, w in self.users.activity_by_as.items()
                    if asn in asns)
 
+    # -- coverage / provenance --------------------------------------------
+
+    def coverage_of(self, component: str) -> ComponentCoverage:
+        """The coverage record for one component ("users", ...)."""
+        try:
+            return self.coverage[component]
+        except KeyError:
+            raise ValidationError(
+                f"map carries no coverage record for {component!r}"
+            ) from None
+
+    def degraded_components(self) -> List[str]:
+        """Components whose build lost units or techniques."""
+        return sorted(name for name, record in self.coverage.items()
+                      if record.degraded)
+
     def summary(self) -> str:
         """Human-readable one-screen description of the map."""
         lines = [
@@ -159,4 +200,15 @@ class InternetTrafficMap:
             f"  routes: {self.routes.attempted_pairs()} pairs attempted, "
             f"{self.routes.predictability:.0%} predictable",
         ]
+        degraded = self.degraded_components()
+        if degraded:
+            for name in degraded:
+                record = self.coverage[name]
+                missing = sorted(set(record.techniques_intended)
+                                 - set(record.techniques_delivered))
+                extra = (f", lost: {', '.join(missing)}" if missing else "")
+                lines.append(f"  coverage: {name} degraded to "
+                             f"{record.coverage:.0%}{extra}")
+        elif self.coverage:
+            lines.append("  coverage: all components complete")
         return "\n".join(lines)

@@ -7,6 +7,12 @@ resamples per-(domain, prefix) hit counts and rebuilds the per-AS
 activity shares, yielding confidence intervals and a
 distinguishability test for AS pairs ("is prefix1 really ~2x prefix2" —
 the §2 use-case phrasing — or is that within noise?).
+
+Beyond sampling noise there is *coverage* uncertainty: a degraded build
+(fault injection, failed campaigns) delivers a map whose components
+simply saw less of the Internet. :func:`coverage_caveats` turns the
+map's per-component coverage records into explicit caveats an analysis
+should carry alongside the confidence intervals.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import numpy as np
 from ..errors import ValidationError
 from ..measure.cache_probing import CacheProbingResult
 from ..net.prefixes import PrefixTable
+from .traffic_map import InternetTrafficMap
 
 
 @dataclass
@@ -57,6 +64,48 @@ class UncertaintyReport:
         (disjoint confidence intervals)."""
         ia, ib = self.interval(a), self.interval(b)
         return ia.low > ib.high or ib.low > ia.high
+
+
+@dataclass(frozen=True)
+class CoverageCaveat:
+    """One component's coverage shortfall, stated for the analyst."""
+
+    component: str
+    coverage: float
+    missing_techniques: Tuple[str, ...]
+    detail: str
+
+    @property
+    def severe(self) -> bool:
+        """Whether the component lost most of its input."""
+        return self.coverage < 0.5
+
+
+def coverage_caveats(itm: InternetTrafficMap) -> List[CoverageCaveat]:
+    """Caveats for every degraded component of a map (empty when clean).
+
+    Reads the per-component :class:`ComponentCoverage` records the
+    builder attaches; maps built before coverage reporting (or
+    deserialised from old artefacts) yield no caveats.
+    """
+    caveats: List[CoverageCaveat] = []
+    for name in sorted(itm.coverage):
+        record = itm.coverage[name]
+        if not record.degraded:
+            continue
+        missing = tuple(sorted(set(record.techniques_intended)
+                               - set(record.techniques_delivered)))
+        parts = [f"{name} component delivered "
+                 f"{record.coverage:.0%} of its measurement units"]
+        if missing:
+            parts.append(f"techniques lost: {', '.join(missing)}")
+        parts.extend(record.notes)
+        caveats.append(CoverageCaveat(
+            component=name,
+            coverage=record.coverage,
+            missing_techniques=missing,
+            detail="; ".join(parts)))
+    return caveats
 
 
 def bootstrap_activity(result: CacheProbingResult,

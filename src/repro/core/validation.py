@@ -166,6 +166,39 @@ def validate_services_component(itm: InternetTrafficMap,
         geolocation_median_error_km=median_err)
 
 
+def validate_coverage_report(itm: InternetTrafficMap) -> None:
+    """Internal consistency of a map's coverage/provenance records.
+
+    Needs no ground truth — it cross-checks the coverage report against
+    the components themselves, so it runs on degraded builds too. Raises
+    :class:`ValidationError` on any inconsistency.
+    """
+    for name in ("users", "services", "routes"):
+        if name not in itm.coverage:
+            raise ValidationError(f"coverage report lacks {name!r}")
+    for name, record in itm.coverage.items():
+        if record.component != name:
+            raise ValidationError(
+                f"coverage record {name!r} labelled {record.component!r}")
+        if not 0.0 <= record.coverage <= 1.0:
+            raise ValidationError(
+                f"{name} coverage {record.coverage!r} outside [0, 1]")
+        undeclared = set(record.techniques_delivered) \
+            - set(record.techniques_intended)
+        if undeclared:
+            raise ValidationError(
+                f"{name} delivered techniques never intended: "
+                f"{sorted(undeclared)}")
+    users_record = itm.coverage["users"]
+    if set(itm.users.techniques) != set(users_record.techniques_delivered):
+        raise ValidationError(
+            "users component techniques disagree with coverage report")
+    if not users_record.techniques_delivered \
+            and len(itm.users.detected_prefixes) > 0:
+        raise ValidationError(
+            "users component detected prefixes without any technique")
+
+
 @dataclass
 class RoutesValidation:
     """Scores for the routes component against true paths."""

@@ -1,0 +1,30 @@
+"""Fault injection for measurement campaigns (the degraded-input story).
+
+The subsystem has three pieces:
+
+* :class:`FaultPlan` — a deterministic, seed-driven description of what
+  goes wrong (per-kind rates + retry/backoff policy);
+* :class:`FaultContext` — the shared state one map build threads through
+  every campaign, with per-campaign attempt/drop/giveup counters;
+* :func:`degraded_public_view` — feed-side degradation (stale collector
+  snapshots) for inputs that are downloaded rather than measured.
+
+``MapBuilder(scenario, faults=FaultPlan(...))`` is the front door; see
+``docs/architecture.md`` for the fusion rules used when a campaign
+degrades or fails outright.
+"""
+
+from .context import CampaignFaultScope, FaultContext, FaultCounters
+from .degrade import COLLECTOR_FEED_CAMPAIGN, degraded_public_view
+from .plan import FaultKind, FaultPlan, RetryPolicy
+
+__all__ = [
+    "CampaignFaultScope",
+    "COLLECTOR_FEED_CAMPAIGN",
+    "FaultContext",
+    "FaultCounters",
+    "FaultKind",
+    "FaultPlan",
+    "RetryPolicy",
+    "degraded_public_view",
+]

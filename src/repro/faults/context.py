@@ -1,0 +1,265 @@
+"""Shared fault-injection state threaded through measurement campaigns.
+
+A :class:`FaultContext` is built from one :class:`FaultPlan` and handed to
+every campaign of a map build. Campaigns ask it whether individual
+operations survive (:meth:`CampaignFaultScope.survive_mask`), retrying per
+the plan's policy, and it keeps per-campaign attempt/drop/giveup counters
+that the builder later folds into the map's coverage report.
+
+Determinism: each (campaign, kind) pair draws from its own named
+substream of the plan seed, so the drop schedule is a pure function of
+the plan — independent of the campaign's own randomness, and stable when
+unrelated campaigns are added or removed (same property the scenario
+builder gets from :func:`repro.rand.substream`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..rand import substream
+from .plan import FaultKind, FaultPlan, RetryPolicy
+
+
+@dataclass
+class FaultCounters:
+    """Per-campaign bookkeeping of injected faults.
+
+    ``units`` are logical operations (a probe, a query, a feed fetch);
+    ``attempts`` counts every try including retries; ``drops`` counts
+    transient failures (whether or not a retry recovered them);
+    ``giveups`` counts units permanently lost after exhausting the retry
+    budget. ``backoff_s`` is the simulated time spent waiting between
+    retries.
+    """
+
+    units: int = 0
+    attempts: int = 0
+    drops: int = 0
+    retries: int = 0
+    giveups: int = 0
+    backoff_s: float = 0.0
+
+    @property
+    def delivered(self) -> int:
+        return self.units - self.giveups
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of units that ultimately succeeded (1.0 if idle)."""
+        if self.units <= 0:
+            return 1.0
+        return self.delivered / self.units
+
+    def merge(self, other: "FaultCounters") -> None:
+        self.units += other.units
+        self.attempts += other.attempts
+        self.drops += other.drops
+        self.retries += other.retries
+        self.giveups += other.giveups
+        self.backoff_s += other.backoff_s
+
+
+class CampaignFaultScope:
+    """One campaign's window onto the shared fault context."""
+
+    def __init__(self, name: str, context: "FaultContext") -> None:
+        self.name = name
+        self._context = context
+        self.counters = FaultCounters()
+        self.by_kind: Dict[FaultKind, FaultCounters] = {}
+        self.failed = False
+        self.failure_reason: Optional[str] = None
+
+    # -- queries ----------------------------------------------------------
+
+    def active(self, kind: FaultKind) -> bool:
+        return self._context.active(kind)
+
+    def rate_of(self, kind: FaultKind) -> float:
+        return self._context.rate_of(kind)
+
+    @property
+    def coverage(self) -> float:
+        """Delivered fraction for this campaign (0.0 once marked failed)."""
+        if self.failed:
+            return 0.0
+        return self.counters.coverage
+
+    # -- fault injection --------------------------------------------------
+
+    def survive_mask(self, kind: FaultKind, n: int) -> np.ndarray:
+        """Which of ``n`` operations ultimately succeed.
+
+        Each operation fails with the plan's rate per attempt and is
+        retried up to the policy's budget; the returned boolean mask marks
+        operations that succeeded on *some* attempt. Counters are updated
+        as a side effect. With the kind inactive, all-True is returned
+        without consuming randomness.
+        """
+        mask = np.ones(int(n), dtype=bool)
+        if n <= 0:
+            return mask
+        rate = self.rate_of(kind)
+        self._bump(kind, units=int(n))
+        if rate <= 0.0:
+            self._bump(kind, attempts=int(n))
+            return mask
+        rng = self._context.stream(self.name, kind)
+        policy = self._context.retry
+        pending = int(n)                 # operations still being tried
+        pending_idx = np.arange(int(n))
+        for attempt in range(1, policy.max_attempts + 1):
+            if pending == 0:
+                break
+            if attempt > 1:
+                self._bump(kind, retries=pending,
+                           backoff_s=pending *
+                           policy.backoff_before_attempt(attempt))
+            self._bump(kind, attempts=pending)
+            failed = rng.random(pending) < rate
+            self._bump(kind, drops=int(failed.sum()))
+            pending_idx = pending_idx[failed]
+            pending = len(pending_idx)
+        mask[pending_idx] = False        # exhausted the retry budget
+        self._bump(kind, giveups=pending)
+        return mask
+
+    def survive(self, kind: FaultKind) -> bool:
+        """Scalar convenience: does a single operation survive?"""
+        return bool(self.survive_mask(kind, 1)[0])
+
+    def thin_rounds(self, kind: FaultKind, rounds: int,
+                    shape: Tuple[int, ...]) -> np.ndarray:
+        """Per-cell surviving repetition counts for ``rounds`` probes.
+
+        Models ``rounds`` independent probe repetitions per cell (e.g. the
+        (domain, prefix) grid of a cache-probing day) without
+        materialising rounds x cells individual draws: per retry attempt
+        the still-failed count per cell is redrawn binomially.
+        """
+        total = int(np.prod(shape)) * int(rounds)
+        self._bump(kind, units=total)
+        rate = self.rate_of(kind)
+        if rate <= 0.0 or total == 0:
+            self._bump(kind, attempts=total)
+            return np.full(shape, int(rounds), dtype=np.int64)
+        rng = self._context.stream(self.name, kind)
+        policy = self._context.retry
+        pending = np.full(shape, int(rounds), dtype=np.int64)
+        for attempt in range(1, policy.max_attempts + 1):
+            in_flight = int(pending.sum())
+            if in_flight == 0:
+                break
+            if attempt > 1:
+                self._bump(kind, retries=in_flight,
+                           backoff_s=in_flight *
+                           policy.backoff_before_attempt(attempt))
+            self._bump(kind, attempts=in_flight)
+            pending = rng.binomial(pending, rate)
+            self._bump(kind, drops=int(pending.sum()))
+        giveups = int(pending.sum())
+        self._bump(kind, giveups=giveups)
+        return np.full(shape, int(rounds), dtype=np.int64) - pending
+
+    def mark_failed(self, reason: str) -> None:
+        """Record that the whole campaign delivered nothing usable."""
+        self.failed = True
+        self.failure_reason = reason
+        # A failure before any attempt still represents lost work.
+        if self.counters.units == 0:
+            self.counters.units = 1
+            self.counters.giveups = 1
+
+    # -- internals --------------------------------------------------------
+
+    def _bump(self, kind: FaultKind, **deltas) -> None:
+        """Add counter deltas to both the aggregate and per-kind tallies."""
+        per_kind = self.by_kind.setdefault(kind, FaultCounters())
+        for name, delta in deltas.items():
+            for counters in (self.counters, per_kind):
+                setattr(counters, name, getattr(counters, name) + delta)
+
+
+class FaultContext:
+    """Shared fault state for one map build.
+
+    Holds the plan, the resolved retry policy, the per-(campaign, kind)
+    random streams, and every campaign's counters.
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 retry: Optional[RetryPolicy] = None) -> None:
+        plan.validate()
+        self.plan = plan
+        self.retry = retry or plan.retry
+        self.retry.validate()
+        self._scopes: Dict[str, CampaignFaultScope] = {}
+        self._streams: Dict[Tuple[str, FaultKind], np.random.Generator] = {}
+
+    @classmethod
+    def null(cls) -> "FaultContext":
+        """An inactive context: nothing ever fails."""
+        return cls(FaultPlan.none())
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def is_null(self) -> bool:
+        return self.plan.is_null
+
+    def active(self, kind: FaultKind) -> bool:
+        return self.plan.rate_of(kind) > 0.0
+
+    def rate_of(self, kind: FaultKind) -> float:
+        return self.plan.rate_of(kind)
+
+    # -- scopes and streams -----------------------------------------------
+
+    def campaign(self, name: str) -> CampaignFaultScope:
+        """The (created-on-first-use) scope for one named campaign."""
+        scope = self._scopes.get(name)
+        if scope is None:
+            scope = CampaignFaultScope(name, self)
+            self._scopes[name] = scope
+        return scope
+
+    def scopes(self) -> Dict[str, CampaignFaultScope]:
+        return dict(self._scopes)
+
+    def stream(self, campaign: str, kind: FaultKind) -> np.random.Generator:
+        key = (campaign, kind)
+        rng = self._streams.get(key)
+        if rng is None:
+            rng = substream(self.plan.seed, "faults", campaign, kind.value)
+            self._streams[key] = rng
+        return rng
+
+    # -- reporting --------------------------------------------------------
+
+    def totals(self) -> FaultCounters:
+        total = FaultCounters()
+        for scope in self._scopes.values():
+            total.merge(scope.counters)
+        return total
+
+    def coverage_of(self, campaigns: Iterable[str]) -> float:
+        """Joint delivered fraction over a set of campaigns (1.0 if none
+        of them recorded any units)."""
+        units = 0
+        delivered = 0
+        for name in campaigns:
+            scope = self._scopes.get(name)
+            if scope is None:
+                continue
+            if scope.failed:
+                units += max(scope.counters.units, 1)
+                continue
+            units += scope.counters.units
+            delivered += scope.counters.delivered
+        if units == 0:
+            return 1.0
+        return delivered / units

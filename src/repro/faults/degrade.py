@@ -1,0 +1,50 @@
+"""Degrading public data feeds under a fault plan.
+
+Campaign-side faults (lost probes, rate limits) are injected inside the
+campaigns themselves; this module covers the *feed* faults — inputs the
+builder downloads rather than measures. Currently: stale collector
+snapshots, where the public topology view is missing links it would
+normally contain (§3.3.1's visibility problem, made worse)."""
+
+from __future__ import annotations
+
+from ..net.collectors import PublicTopologyView
+from ..net.relationships import ASGraph, Relationship
+from .context import FaultContext
+from .plan import FaultKind
+
+# Campaign name under which feed degradation is accounted.
+COLLECTOR_FEED_CAMPAIGN = "collector-feed"
+
+
+def degraded_public_view(view: PublicTopologyView,
+                         faults: FaultContext) -> PublicTopologyView:
+    """The collector view as served by a stale snapshot.
+
+    Every link of the public graph is a unit; links the stale feed lost
+    (per the plan's ``stale_collector`` rate, after retries — re-fetching
+    a collector dump can recover a missing RIB file) are removed. AS
+    membership is preserved: staleness loses *links*, not the AS registry.
+    """
+    scope = faults.campaign(COLLECTOR_FEED_CAMPAIGN)
+    if not scope.active(FaultKind.STALE_COLLECTOR):
+        return view
+    edges = sorted(view.graph.edges(),
+                   key=lambda e: (e[0], e[1], e[2].value))
+    keep = scope.survive_mask(FaultKind.STALE_COLLECTOR, len(edges))
+    stale = ASGraph()
+    for asn in view.graph.asns:
+        stale.add_as(asn)
+    visible = set()
+    for (a, b, rel), kept in zip(edges, keep):
+        if not kept:
+            continue
+        if rel is Relationship.C2P:
+            stale.add_c2p(a, b)
+        else:
+            stale.add_p2p(a, b)
+        visible.add((min(a, b), max(a, b)))
+    return PublicTopologyView(
+        graph=stale,
+        vantage_asns=view.vantage_asns,
+        visible_links=frozenset(visible))

@@ -1,0 +1,195 @@
+"""Fault plans: what can go wrong during a measurement campaign (§3, §4.2).
+
+The paper's map is assembled from *unreliable, partial* vantage points:
+open resolvers churn, root-log access is intermittent, ECS answers are
+rate-limited, collectors serve stale snapshots. A :class:`FaultPlan`
+describes one such weather system — a per-kind failure rate plus the
+retry/backoff policy campaigns apply before giving up — and is fully
+deterministic in its seed: two contexts built from the same plan inject
+bit-identical drop schedules.
+
+Fault kinds and the campaigns they bite:
+
+* ``probe_loss``          — individual probes dropped in flight (cache
+                            probing rounds, Verfploeter/ICMP catchment
+                            probes, IP-ID pings, traceroutes);
+* ``vantage_churn``       — scanning/probing vantage points disappear
+                            mid-campaign (TLS scan shards, Atlas probes);
+* ``resolver_timeout``    — the public resolver times out for a client
+                            prefix (cache probing columns, page-view
+                            sampling);
+* ``ecs_rate_limit``      — ECS queries answered with REFUSED once the
+                            authoritative rate-limits the prefix sweep;
+* ``sni_rate_limit``      — SNI scan connections rejected by rate
+                            limiting at candidate endpoints;
+* ``rootlog_truncation``  — a usable root's log feed is truncated or
+                            temporarily withdrawn;
+* ``stale_collector``     — the collector snapshot is stale: visible
+                            links missing from the downloaded feed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigError
+
+
+class FaultKind(enum.Enum):
+    """One class of measurement failure a plan can inject."""
+
+    PROBE_LOSS = "probe_loss"
+    VANTAGE_CHURN = "vantage_churn"
+    RESOLVER_TIMEOUT = "resolver_timeout"
+    ECS_RATE_LIMIT = "ecs_rate_limit"
+    SNI_RATE_LIMIT = "sni_rate_limit"
+    ROOTLOG_TRUNCATION = "rootlog_truncation"
+    STALE_COLLECTOR = "stale_collector"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often a campaign re-issues a failed operation before giving up.
+
+    Backoff is *simulated* time: the context accounts for it (so reports
+    can say how much wall-clock a degraded campaign would have burned)
+    without ever sleeping.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0:
+            raise ConfigError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+
+    def backoff_before_attempt(self, attempt: int) -> float:
+        """Simulated seconds waited before retry number ``attempt`` (the
+        first retry is attempt 2)."""
+        if attempt <= 1:
+            return 0.0
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 2)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seed-driven schedule of measurement failures.
+
+    Rates are per-operation failure probabilities in ``[0, 1]``; a rate of
+    0 means the kind never fires (and consumes no randomness, so a
+    zero-rate plan builds a map bit-identical to a no-faults build).
+    """
+
+    seed: int = 0
+    probe_loss: float = 0.0
+    vantage_churn: float = 0.0
+    resolver_timeout: float = 0.0
+    ecs_rate_limit: float = 0.0
+    sni_rate_limit: float = 0.0
+    rootlog_truncation: float = 0.0
+    stale_collector: float = 0.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def validate(self) -> None:
+        for kind in FaultKind:
+            rate = self.rate_of(kind)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(
+                    f"{kind.value} rate must be in [0, 1], got {rate!r}")
+        self.retry.validate()
+
+    def rate_of(self, kind: FaultKind) -> float:
+        return float(getattr(self, kind.value))
+
+    def rates(self) -> Dict[FaultKind, float]:
+        return {kind: self.rate_of(kind) for kind in FaultKind}
+
+    def active_kinds(self) -> Tuple[FaultKind, ...]:
+        return tuple(k for k in FaultKind if self.rate_of(k) > 0.0)
+
+    @property
+    def is_null(self) -> bool:
+        """True when no fault kind can ever fire."""
+        return not self.active_kinds()
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """Same weather, different draw."""
+        return replace(self, seed=seed)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def none(cls, seed: int = 0) -> "FaultPlan":
+        """The fair-weather plan: every rate zero."""
+        return cls(seed=seed)
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0,
+                retry: Optional[RetryPolicy] = None) -> "FaultPlan":
+        """Every fault kind at the same rate (stress/blackout plans)."""
+        plan = cls(seed=seed,
+                   **{kind.value: rate for kind in FaultKind},
+                   retry=retry or RetryPolicy())
+        plan.validate()
+        return plan
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0,
+              retry: Optional[RetryPolicy] = None) -> "FaultPlan":
+        """Parse a CLI-style plan spec.
+
+        ``spec`` is a comma-separated list of ``kind=rate`` entries, e.g.
+        ``"probe_loss=0.2,rootlog_truncation=0.5"``. The pseudo-kind
+        ``all`` sets every rate at once (later entries override it).
+
+        >>> FaultPlan.parse("probe_loss=0.2").probe_loss
+        0.2
+        """
+        values: Dict[str, float] = {}
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            name, sep, raw = token.partition("=")
+            if not sep:
+                raise ConfigError(
+                    f"bad fault spec entry {token!r}: expected kind=rate")
+            try:
+                rate = float(raw)
+            except ValueError:
+                raise ConfigError(
+                    f"bad fault rate {raw!r} for {name!r}") from None
+            name = name.strip()
+            if name == "all":
+                for kind in FaultKind:
+                    values[kind.value] = rate
+            else:
+                try:
+                    kind = FaultKind(name)
+                except ValueError:
+                    known = ", ".join(k.value for k in FaultKind)
+                    raise ConfigError(
+                        f"unknown fault kind {name!r} "
+                        f"(known: all, {known})") from None
+                values[kind.value] = rate
+        plan = cls(seed=seed, retry=retry or RetryPolicy(), **values)
+        plan.validate()
+        return plan
+
+    def describe(self) -> str:
+        """Compact human-readable form, e.g. ``probe_loss=0.20``."""
+        active = self.active_kinds()
+        if not active:
+            return "no faults"
+        return ", ".join(f"{k.value}={self.rate_of(k):.2f}"
+                         for k in active)

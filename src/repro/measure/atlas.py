@@ -21,10 +21,13 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import MeasurementError
+from ..faults import FaultContext, FaultKind
 from ..net.ases import ASRegistry, ASType
 from ..net.geography import City, haversine_km
 from ..net.prefixes import PrefixTable
 from ..net.routing import BgpSimulator
+
+ATLAS_CAMPAIGN = "atlas-platform"
 
 # RTT model: ~200 km/ms propagation one way -> RTT ms = km / 100, plus a
 # queueing/processing floor and multiplicative circuitousness noise.
@@ -55,11 +58,18 @@ class TracerouteResult:
 
 
 class AtlasPlatform:
-    """Vantage-point selection plus traceroute/ping primitives."""
+    """Vantage-point selection plus traceroute/ping primitives.
+
+    With an active :class:`FaultContext`, hosted probes churn away
+    (``vantage_churn``) — the platform keeps only the vantage points
+    that stay connected for the measurement window, as hosted-probe
+    fleets really do.
+    """
 
     def __init__(self, registry: ASRegistry, bgp: BgpSimulator,
                  prefix_table: PrefixTable,
-                 rng: np.random.Generator, vp_count: int = 120) -> None:
+                 rng: np.random.Generator, vp_count: int = 120,
+                 faults: Optional[FaultContext] = None) -> None:
         if vp_count < 1:
             raise MeasurementError("need at least one vantage point")
         self._registry = registry
@@ -67,6 +77,16 @@ class AtlasPlatform:
         self._prefixes = prefix_table
         self._rng = rng
         self.vantage_points = self._place_vps(vp_count)
+        scope = (faults.campaign(ATLAS_CAMPAIGN)
+                 if faults is not None else None)
+        if scope is not None and scope.active(FaultKind.VANTAGE_CHURN):
+            alive = scope.survive_mask(FaultKind.VANTAGE_CHURN,
+                                       len(self.vantage_points))
+            self.vantage_points = [
+                vp for vp, ok in zip(self.vantage_points, alive) if ok]
+            if not self.vantage_points:
+                raise MeasurementError(
+                    "every vantage point churned away mid-campaign")
 
     def _place_vps(self, count: int) -> List[VantagePoint]:
         """Probes live mostly in eyeballs, plus research nets and stubs —

@@ -29,10 +29,13 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..errors import MeasurementError
+from ..faults import FaultContext, FaultKind
 from ..net.prefixes import PrefixTable
 from ..services.catalog import Service
 from ..services.dnsinfra import (CacheOracle, GoogleDnsModel,
                                  TemporalCacheOracle)
+
+CACHE_PROBING_CAMPAIGN = "cache-probing"
 
 
 @dataclass
@@ -166,11 +169,20 @@ class TimedCacheProbing:
 
 
 class CacheProbingCampaign:
-    """One day of ECS probing against the GDNS cache oracle."""
+    """One day of ECS probing against the GDNS cache oracle.
+
+    With an active :class:`FaultContext` the campaign degrades the way a
+    real public-resolver sweep does: prefixes whose non-recursive queries
+    keep timing out are dropped from the result entirely
+    (``resolver_timeout``), and individual probe rounds are lost in
+    flight (``probe_loss``), thinning the per-cell trial counts. Both
+    apply the plan's retry policy before giving a unit up.
+    """
 
     def __init__(self, oracle: CacheOracle, gdns: GoogleDnsModel,
                  services: Sequence[Service], prefix_ids: np.ndarray,
-                 rounds_per_day: int, rng: np.random.Generator) -> None:
+                 rounds_per_day: int, rng: np.random.Generator,
+                 faults: Optional[FaultContext] = None) -> None:
         if rounds_per_day < 1:
             raise MeasurementError("need at least one probe round")
         if len(prefix_ids) == 0:
@@ -183,17 +195,33 @@ class CacheProbingCampaign:
         self._prefix_ids = np.asarray(prefix_ids, dtype=int)
         self._rounds = rounds_per_day
         self._rng = rng
+        self._faults = faults
 
     def run(self) -> CacheProbingResult:
         """Issue all probes (vectorised Bernoulli sampling)."""
         sids = [s.sid for s in self._services]
-        probabilities = self._oracle.hit_probability_matrix(
-            sids, self._prefix_ids)
-        hits = self._rng.binomial(self._rounds, probabilities)
+        pids = self._prefix_ids
+        scope = (self._faults.campaign(CACHE_PROBING_CAMPAIGN)
+                 if self._faults is not None else None)
+        if scope is not None and scope.active(FaultKind.RESOLVER_TIMEOUT):
+            answered = scope.survive_mask(FaultKind.RESOLVER_TIMEOUT,
+                                          len(pids))
+            pids = pids[answered]
+            if pids.size == 0:
+                raise MeasurementError(
+                    "every probed prefix timed out at the resolver")
+        probabilities = self._oracle.hit_probability_matrix(sids, pids)
+        if scope is not None and scope.active(FaultKind.PROBE_LOSS):
+            delivered = scope.thin_rounds(FaultKind.PROBE_LOSS,
+                                          self._rounds,
+                                          probabilities.shape)
+            hits = self._rng.binomial(delivered, probabilities)
+        else:
+            hits = self._rng.binomial(self._rounds, probabilities)
         return CacheProbingResult(
-            prefix_ids=self._prefix_ids,
+            prefix_ids=pids,
             service_sids=tuple(sids),
             hits=hits,
             rounds=self._rounds,
-            pop_of_prefix=self._gdns.pop_of_prefix[self._prefix_ids],
+            pop_of_prefix=self._gdns.pop_of_prefix[pids],
         )

@@ -23,9 +23,11 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..errors import MeasurementError
+from ..faults import FaultContext, FaultKind
 from ..net.prefixes import PrefixTable
 from ..services.anycast import AnycastModel
 
+CATCHMENT_CAMPAIGN = "catchment-probing"
 DEFAULT_RESPONSE_RATE = 0.62   # share of probed /24s that answer ICMP
 
 
@@ -56,17 +58,24 @@ class CatchmentMeasurement:
 
 
 class VerfploeterCampaign:
-    """Probe out from the anycast prefix; replies reveal catchments."""
+    """Probe out from the anycast prefix; replies reveal catchments.
+
+    With an active :class:`FaultContext`, outbound probes (or their
+    replies) are lost in flight (``probe_loss``) on top of ordinary
+    ICMP non-response, shrinking the measured catchments.
+    """
 
     def __init__(self, model: AnycastModel, prefix_table: PrefixTable,
                  rng: np.random.Generator,
-                 response_rate: float = DEFAULT_RESPONSE_RATE) -> None:
+                 response_rate: float = DEFAULT_RESPONSE_RATE,
+                 faults: Optional[FaultContext] = None) -> None:
         if not 0.0 < response_rate <= 1.0:
             raise MeasurementError("response_rate must be in (0, 1]")
         self._model = model
         self._prefixes = prefix_table
         self._rng = rng
         self._response_rate = response_rate
+        self._faults = faults
 
     def run(self, target_pids: np.ndarray) -> CatchmentMeasurement:
         targets = np.sort(np.asarray(target_pids, dtype=int))
@@ -74,6 +83,11 @@ class VerfploeterCampaign:
             raise MeasurementError("no targets to probe")
         sites = np.full(len(targets), -1, dtype=np.int32)
         responds = self._rng.random(len(targets)) < self._response_rate
+        scope = (self._faults.campaign(CATCHMENT_CAMPAIGN)
+                 if self._faults is not None else None)
+        if scope is not None and scope.active(FaultKind.PROBE_LOSS):
+            responds &= scope.survive_mask(FaultKind.PROBE_LOSS,
+                                           len(targets))
         # Catchments are per-AS (BGP decides per network); resolve each
         # distinct AS once.
         asns = self._prefixes.asn_array[targets]

@@ -18,11 +18,14 @@ the paper still needs the §3.3.3 recommender.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Sequence, Set, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..errors import MeasurementError
+from ..faults import FaultContext, FaultKind
 from ..net.collectors import PublicTopologyView
 from ..net.routing import BgpSimulator
+
+CLOUD_VANTAGE_CAMPAIGN = "cloud-vantage"
 
 
 @dataclass
@@ -50,17 +53,27 @@ class CloudVantageCampaign:
     *from* the cloud; everything else stays hidden.
     """
 
-    def __init__(self, bgp: BgpSimulator, cloud_asn: int) -> None:
+    def __init__(self, bgp: BgpSimulator, cloud_asn: int,
+                 faults: Optional[FaultContext] = None) -> None:
         self._bgp = bgp
         self._cloud = cloud_asn
+        self._faults = faults
 
     def run(self, target_asns: Sequence[int]) -> CloudVantageResult:
         if not target_asns:
             raise MeasurementError("no targets to traceroute")
         links: Set[Tuple[int, int]] = set()
         reached = 0
-        paths = self._bgp.paths_from(
-            self._cloud, [dst for dst in target_asns if dst != self._cloud])
+        remotes = [dst for dst in target_asns if dst != self._cloud]
+        paths = self._bgp.paths_from(self._cloud, remotes)
+        scope = (self._faults.campaign(CLOUD_VANTAGE_CAMPAIGN)
+                 if self._faults is not None else None)
+        if scope is not None and scope.active(FaultKind.PROBE_LOSS):
+            # Traceroutes whose probes are lost end-to-end reveal nothing.
+            delivered = scope.survive_mask(FaultKind.PROBE_LOSS,
+                                           len(remotes))
+            paths = {dst: (paths[dst] if ok else None)
+                     for dst, ok in zip(remotes, delivered)}
         for dst in target_asns:
             if dst == self._cloud:
                 continue

@@ -21,10 +21,13 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..errors import MeasurementError
+from ..faults import FaultContext, FaultKind
 from ..net.prefixes import PrefixTable
 from ..services.catalog import Service, ServiceCatalog
 from ..services.dnsinfra import AuthoritativeDns
 from ..services.hypergiants import RedirectionScheme
+
+ECS_MAPPING_CAMPAIGN = "ecs-mapping"
 
 
 @dataclass
@@ -66,14 +69,22 @@ class EcsMappingResult:
 
 
 class EcsMapper:
-    """Runs the ECS mapping campaign over a service catalogue."""
+    """Runs the ECS mapping campaign over a service catalogue.
+
+    With an active :class:`FaultContext`, per-prefix ECS queries are
+    rate-limited away (``ecs_rate_limit``): after the retry budget is
+    spent, the affected client prefixes simply have no answer (-1) —
+    exactly the partial coverage the paper warns rate limits cause.
+    """
 
     def __init__(self, authoritative: AuthoritativeDns,
                  catalog: ServiceCatalog,
-                 prefix_table: PrefixTable) -> None:
+                 prefix_table: PrefixTable,
+                 faults: Optional[FaultContext] = None) -> None:
         self._auth = authoritative
         self._catalog = catalog
         self._prefixes = prefix_table
+        self._faults = faults
 
     def map_service(self, service: Service,
                     client_pids: np.ndarray) -> Optional[ServiceMappingResult]:
@@ -83,6 +94,12 @@ class EcsMapper:
         if service.redirection is not RedirectionScheme.DNS:
             return None
         answers = self._auth.resolve_ecs_batch(service.key, client_pids)
+        scope = (self._faults.campaign(ECS_MAPPING_CAMPAIGN)
+                 if self._faults is not None else None)
+        if scope is not None and scope.active(FaultKind.ECS_RATE_LIMIT):
+            answered = scope.survive_mask(FaultKind.ECS_RATE_LIMIT,
+                                          len(answers))
+            answers = np.where(answered, answers, -1)
         return ServiceMappingResult(
             service_key=service.key,
             client_pids=np.asarray(client_pids, dtype=int),

@@ -23,8 +23,10 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import MeasurementError
+from ..faults import FaultContext, FaultKind
 from ..net.routers import IPID_MODULUS, RouterInterface
 
+IPID_CAMPAIGN = "ipid-monitoring"
 SECONDS_PER_DAY = 86_400.0
 
 
@@ -104,11 +106,18 @@ def analyze_series(series: IpIdSeries,
 
 
 class IpIdMonitor:
-    """Ping campaign over a set of router interfaces."""
+    """Ping campaign over a set of router interfaces.
+
+    With an active :class:`FaultContext`, injected ``probe_loss`` is
+    layered on top of the baseline ping-loss probability: pings that
+    exhaust their retries leave holes in the ID series, exactly like
+    ordinary loss does.
+    """
 
     def __init__(self, interval_s: int, duration_hours: int,
                  rng: np.random.Generator,
-                 loss_probability: float = 0.02) -> None:
+                 loss_probability: float = 0.02,
+                 faults: Optional[FaultContext] = None) -> None:
         if interval_s < 1 or duration_hours < 1:
             raise MeasurementError("invalid campaign timing")
         if not 0.0 <= loss_probability < 1.0:
@@ -117,14 +126,24 @@ class IpIdMonitor:
         self._duration = duration_hours * 3600
         self._rng = rng
         self._loss = loss_probability
+        self._faults = faults
 
     def monitor(self, router: RouterInterface,
                 start_time: float = 0.0) -> IpIdSeries:
         times = np.arange(start_time, start_time + self._duration,
                           self._interval, dtype=float)
+        scope = (self._faults.campaign(IPID_CAMPAIGN)
+                 if self._faults is not None else None)
+        if scope is not None and scope.active(FaultKind.PROBE_LOSS):
+            delivered = scope.survive_mask(FaultKind.PROBE_LOSS,
+                                           len(times))
+        else:
+            delivered = None
         values: List[Optional[int]] = []
-        for t in times:
-            if self._rng.random() < self._loss:
+        for i, t in enumerate(times):
+            if delivered is not None and not delivered[i]:
+                values.append(None)
+            elif self._rng.random() < self._loss:
                 values.append(None)
             else:
                 values.append(router.ipid_at(float(t), rng=self._rng))

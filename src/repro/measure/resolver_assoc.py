@@ -28,9 +28,12 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..errors import MeasurementError
+from ..faults import FaultContext, FaultKind
 from ..net.prefixes import PrefixTable
 from ..services.dnsinfra import GoogleDnsModel
 from .rootlogs import RootLogCrawlResult
+
+RESOLVER_ASSOC_CAMPAIGN = "resolver-association"
 
 # Resolver identity observed at the measurement authoritative: either the
 # ISP resolver of some AS, or the shared public DNS service.
@@ -68,7 +71,8 @@ class PageMeasurementCampaign:
 
     def __init__(self, prefix_table: PrefixTable, gdns: GoogleDnsModel,
                  view_weights: np.ndarray,
-                 rng: np.random.Generator) -> None:
+                 rng: np.random.Generator,
+                 faults: Optional[FaultContext] = None) -> None:
         if len(view_weights) != len(prefix_table):
             raise MeasurementError("view weights must cover every prefix")
         total = float(view_weights.sum())
@@ -78,6 +82,7 @@ class PageMeasurementCampaign:
         self._gdns = gdns
         self._probabilities = np.asarray(view_weights, dtype=float) / total
         self._rng = rng
+        self._faults = faults
 
     def run(self, sample_size: int = 50_000) -> ResolverAssociation:
         if sample_size < 1:
@@ -86,6 +91,18 @@ class PageMeasurementCampaign:
                                 p=self._probabilities)
         use_gdns = self._rng.random(sample_size) < \
             self._gdns.gdns_share[pids]
+        scope = (self._faults.campaign(RESOLVER_ASSOC_CAMPAIGN)
+                 if self._faults is not None else None)
+        if scope is not None and scope.active(FaultKind.RESOLVER_TIMEOUT):
+            # The DNS side of a sampled view timing out loses the pair:
+            # the platform never sees which resolver fetched the hostname.
+            observed = scope.survive_mask(FaultKind.RESOLVER_TIMEOUT,
+                                          sample_size)
+            if not observed.any():
+                raise MeasurementError(
+                    "every sampled page view lost its DNS side")
+            pids = pids[observed]
+            use_gdns = use_gdns[observed]
         asns = self._prefixes.asn_array[pids]
         counts: Dict[int, Dict[int, float]] = {}
         for pid, asn, via_gdns in zip(pids, asns, use_gdns):

@@ -18,8 +18,11 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import MeasurementError
+from ..faults import FaultContext, FaultKind
 from ..net.routing import BgpSimulator
 from .atlas import VantagePoint
+
+REVERSE_TRACEROUTE_CAMPAIGN = "reverse-traceroute"
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,11 +53,25 @@ class ReverseTraceroute:
     record-route probes), like the real system; usable from any Atlas VP.
     """
 
-    def __init__(self, bgp: BgpSimulator) -> None:
+    def __init__(self, bgp: BgpSimulator,
+                 faults: Optional[FaultContext] = None) -> None:
         self._bgp = bgp
+        self._faults = faults
+
+    def _scope(self):
+        if self._faults is None:
+            return None
+        return self._faults.campaign(REVERSE_TRACEROUTE_CAMPAIGN)
 
     def measure(self, vp: VantagePoint, remote_asn: int) -> PathPair:
         """Both directions between the VP's AS and a remote AS."""
+        scope = self._scope()
+        if scope is not None and scope.active(FaultKind.PROBE_LOSS) \
+                and not scope.survive(FaultKind.PROBE_LOSS):
+            # Record-route probes never came back; the pair is
+            # unmeasurable, like a filtered reverse hop in reality.
+            return PathPair(vp_asn=vp.asn, remote_asn=remote_asn,
+                            forward=None, reverse=None)
         return PathPair(
             vp_asn=vp.asn, remote_asn=remote_asn,
             forward=self._bgp.path(vp.asn, remote_asn),
@@ -69,6 +86,14 @@ class ReverseTraceroute:
         remotes = [asn for asn in remote_asns if asn != vp.asn]
         forward = self._bgp.paths_from(vp.asn, remotes)
         reverse = self._bgp.routes_to([vp.asn]).paths_for(remotes)
+        scope = self._scope()
+        if scope is not None and scope.active(FaultKind.PROBE_LOSS):
+            measured = scope.survive_mask(FaultKind.PROBE_LOSS,
+                                          len(remotes))
+            return [PathPair(vp_asn=vp.asn, remote_asn=asn,
+                             forward=forward[asn] if ok else None,
+                             reverse=reverse[asn] if ok else None)
+                    for asn, ok in zip(remotes, measured)]
         return [PathPair(vp_asn=vp.asn, remote_asn=asn,
                          forward=forward[asn], reverse=reverse[asn])
                 for asn in remotes]

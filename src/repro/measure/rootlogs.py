@@ -22,10 +22,13 @@ reproduced:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..errors import MeasurementError
+from ..faults import FaultContext, FaultKind
 from ..services.dnsinfra import RootLogArchive
+
+ROOTLOG_CAMPAIGN = "root-logs"
 
 
 @dataclass
@@ -37,6 +40,14 @@ class RootLogCrawlResult:
     roots_total: int
     public_resolver_volume: float    # visible but unattributable
     min_query_threshold: float
+    # Usable roots whose feed was truncated/withdrawn during the crawl
+    # (fault injection); 0 on a clean crawl.
+    roots_truncated: int = 0
+
+    @property
+    def delivered_anything(self) -> bool:
+        """Whether the crawl produced a usable per-AS signal at all."""
+        return self.roots_crawled > 0 and bool(self.volume_by_as)
 
     def detected_asns(self) -> "set[int]":
         """ASes whose resolvers show enough Chromium-probe volume."""
@@ -62,18 +73,30 @@ class RootLogCrawler:
     """Crawls whatever root logs are publicly usable."""
 
     def __init__(self, archive: RootLogArchive,
-                 min_query_threshold: float = 50.0) -> None:
+                 min_query_threshold: float = 50.0,
+                 faults: Optional[FaultContext] = None) -> None:
         if min_query_threshold < 0:
             raise MeasurementError("threshold must be non-negative")
         self._archive = archive
         self._threshold = min_query_threshold
+        self._faults = faults
 
     def run(self) -> RootLogCrawlResult:
         volume: Dict[int, float] = {}
         public_volume = 0.0
         crawled = 0
+        truncated = 0
+        scope = (self._faults.campaign(ROOTLOG_CAMPAIGN)
+                 if self._faults is not None else None)
         for root in self._archive.roots:
             if not root.logs_usable:
+                continue
+            if scope is not None and \
+                    scope.active(FaultKind.ROOTLOG_TRUNCATION) and \
+                    not scope.survive(FaultKind.ROOTLOG_TRUNCATION):
+                # This root's feed is truncated for the whole crawl
+                # window; re-fetches (retries) already failed.
+                truncated += 1
                 continue
             crawled += 1
             for entry in self._archive.entries_for(root.letter):
@@ -90,4 +113,5 @@ class RootLogCrawler:
             roots_total=len(self._archive.roots),
             public_resolver_volume=public_volume,
             min_query_threshold=self._threshold,
+            roots_truncated=truncated,
         )

@@ -14,11 +14,14 @@ third-party services exposed on CDN/cloud infrastructure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import MeasurementError
+from ..faults import FaultContext, FaultKind
 from ..net.prefixes import PrefixTable
 from ..services.tls import CertificateStore
+
+SNI_SCAN_CAMPAIGN = "sni-scan"
 
 
 @dataclass
@@ -43,18 +46,33 @@ class SniScanResult:
 
 
 class SniScanner:
-    """SNI scan of candidate endpoints for a set of service hostnames."""
+    """SNI scan of candidate endpoints for a set of service hostnames.
+
+    With an active :class:`FaultContext`, endpoints that keep
+    rate-limiting the scanner's handshakes (``sni_rate_limit``) drop out
+    of the scan — their certificates, and whatever service coverage they
+    would have proven, go unobserved.
+    """
 
     def __init__(self, certstore: CertificateStore,
-                 prefix_table: PrefixTable) -> None:
+                 prefix_table: PrefixTable,
+                 faults: Optional[FaultContext] = None) -> None:
         self._certstore = certstore
         self._prefixes = prefix_table
+        self._faults = faults
 
     def run(self, domains: Sequence[str],
             candidate_prefixes: Iterable[int]) -> SniScanResult:
         if not domains:
             raise MeasurementError("no SNI hostnames given")
         candidates = sorted(set(int(p) for p in candidate_prefixes))
+        scope = (self._faults.campaign(SNI_SCAN_CAMPAIGN)
+                 if self._faults is not None else None)
+        if scope is not None and scope.active(FaultKind.SNI_RATE_LIMIT):
+            reachable = scope.survive_mask(FaultKind.SNI_RATE_LIMIT,
+                                           len(candidates))
+            candidates = [pid for pid, ok in zip(candidates, reachable)
+                          if ok]
         result: Dict[str, List[Tuple[int, int]]] = {d: [] for d in domains}
         for pid in candidates:
             cert = self._certstore.cert_for_prefix(pid)

@@ -26,8 +26,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import MeasurementError
+from ..faults import FaultContext, FaultKind
 from ..net.prefixes import PrefixTable
 from ..services.tls import Certificate, CertificateStore
+
+TLS_SCAN_CAMPAIGN = "tls-scan"
 
 
 @dataclass(frozen=True)
@@ -76,14 +79,21 @@ class TlsScanResult:
 
 
 class TlsScanner:
-    """Internet-wide TLS scan over the routable prefix list."""
+    """Internet-wide TLS scan over the routable prefix list.
+
+    With an active :class:`FaultContext`, scan shards churn away
+    (``vantage_churn``): the prefixes a churned shard was responsible for
+    go unscanned, thinning every organisation's observed footprint.
+    """
 
     def __init__(self, certstore: CertificateStore,
                  prefix_table: PrefixTable,
-                 min_footprint_prefixes: int = 2) -> None:
+                 min_footprint_prefixes: int = 2,
+                 faults: Optional[FaultContext] = None) -> None:
         self._certstore = certstore
         self._prefixes = prefix_table
         self._min_footprint = min_footprint_prefixes
+        self._faults = faults
 
     def run(self, prefix_ids: Optional[np.ndarray] = None) -> TlsScanResult:
         """Scan the given prefixes (default: the whole routing table)."""
@@ -91,6 +101,13 @@ class TlsScanner:
             pids = range(len(self._prefixes))
         else:
             pids = [int(p) for p in prefix_ids]
+        scope = (self._faults.campaign(TLS_SCAN_CAMPAIGN)
+                 if self._faults is not None else None)
+        if scope is not None and scope.active(FaultKind.VANTAGE_CHURN):
+            pids = list(pids)
+            scanned = scope.survive_mask(FaultKind.VANTAGE_CHURN,
+                                         len(pids))
+            pids = [pid for pid, ok in zip(pids, scanned) if ok]
         observations: List[ScanObservation] = []
         for pid in pids:
             cert = self._certstore.cert_for_prefix(pid)

@@ -1,0 +1,173 @@
+"""Failure-matrix harness: the map must build under every fault.
+
+The matrix crosses three axes — which technique is disabled, which
+fault kind fires, and the fault plan's seed — and asserts the same
+contract everywhere: the builder never crashes, the coverage report
+stays internally consistent (:func:`validate_coverage_report`), and
+exactly the components a fault can touch report coverage below 1.0.
+"""
+
+from typing import Dict, Set
+
+import numpy as np
+import pytest
+
+from repro.core.builder import (BuilderOptions, MapBuilder,
+                                ROUTES_CAMPAIGNS, SERVICES_CAMPAIGNS,
+                                USERS_CAMPAIGNS)
+from repro.core.serialize import map_from_json, map_to_json
+from repro.core.traffic_map import InternetTrafficMap
+from repro.core.uncertainty import coverage_caveats
+from repro.core.validation import validate_coverage_report
+from repro.faults import FaultKind, FaultPlan, RetryPolicy
+
+SEEDS = (11, 23, 47)
+
+# Which map components a fault kind is allowed to touch. The builder
+# wires cache probing + root-log crawling into "users", the four scan
+# campaigns into "services" and the collector feed into "routes"; a
+# degraded component outside this set means a fault leaked across a
+# campaign boundary.
+KIND_AFFECTS: Dict[FaultKind, Set[str]] = {
+    FaultKind.PROBE_LOSS: {"users", "services"},
+    FaultKind.VANTAGE_CHURN: {"services"},
+    FaultKind.RESOLVER_TIMEOUT: {"users"},
+    FaultKind.ECS_RATE_LIMIT: {"services"},
+    FaultKind.SNI_RATE_LIMIT: {"services"},
+    FaultKind.ROOTLOG_TRUNCATION: {"users"},
+    FaultKind.STALE_COLLECTOR: {"routes"},
+}
+
+# One technique off per row; BuilderOptions.validate() requires at
+# least one users-side (§3.1.2) technique, so "both off" is not a row.
+DISABLED_OPTIONS = {
+    "no-cache-probing": BuilderOptions(use_cache_probing=False),
+    "no-root-logs": BuilderOptions(use_root_logs=False),
+    "no-tls-scan": BuilderOptions(use_tls_scan=False),
+    "no-sni-scan": BuilderOptions(use_sni_scan=False),
+    "no-ecs-mapping": BuilderOptions(use_ecs_mapping=False),
+    "no-catchment": BuilderOptions(use_catchment_probing=False),
+}
+
+# A rate high enough that every campaign with units certainly loses
+# some (the smallest campaign, the root-log crawl, has only 8 usable
+# logs: P[no loss] = 0.4^8 under one attempt), deterministic anyway
+# thanks to the seeded drop schedule.
+HARSH = dict(retry=RetryPolicy(max_attempts=1))
+RATE = 0.6
+
+
+def _check_map(itm: InternetTrafficMap) -> None:
+    """The tier-1 invariants every build — degraded or not — must hold."""
+    validate_coverage_report(itm)
+    users = itm.users
+    assert isinstance(users.detected_prefixes, np.ndarray)
+    if users.techniques:
+        assert len(users.detected_prefixes) > 0
+        assert sum(users.activity_by_prefix.values()) == pytest.approx(1.0)
+        assert sum(users.activity_by_as.values()) == pytest.approx(1.0)
+    else:
+        assert len(users.detected_prefixes) == 0
+        assert not users.activity_by_as
+    assert 0.0 <= itm.routes.predictability <= 1.0
+    for record in itm.coverage.values():
+        assert 0.0 <= record.coverage <= 1.0
+
+
+def _degraded_set(itm: InternetTrafficMap) -> Set[str]:
+    return {name for name, record in itm.coverage.items()
+            if record.coverage < 1.0}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("kind", sorted(KIND_AFFECTS, key=lambda k: k.value))
+def test_single_fault_degrades_exactly_its_components(
+        small_scenario, kind, seed):
+    plan = FaultPlan(seed=seed, **{kind.value: RATE}, **HARSH)
+    builder = MapBuilder(small_scenario, faults=plan)
+    itm = builder.build()
+
+    _check_map(itm)
+    assert _degraded_set(itm) == KIND_AFFECTS[kind]
+    for name in {"users", "services", "routes"} - KIND_AFFECTS[kind]:
+        assert itm.coverage[name].coverage == 1.0
+
+    # The reported numbers must be the campaign counters' numbers, not
+    # an estimate layered on top.
+    ctx = builder.fault_context
+    for name, campaigns in (("users", USERS_CAMPAIGNS),
+                            ("services", SERVICES_CAMPAIGNS),
+                            ("routes", ROUTES_CAMPAIGNS)):
+        assert itm.coverage[name].coverage == pytest.approx(
+            ctx.coverage_of(campaigns))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("label", sorted(DISABLED_OPTIONS))
+def test_each_technique_disabled_under_mixed_faults(
+        small_scenario, label, seed):
+    options = DISABLED_OPTIONS[label]
+    plan = FaultPlan(seed=seed, probe_loss=0.2, ecs_rate_limit=0.2,
+                     stale_collector=0.2)
+    itm = MapBuilder(small_scenario, options, faults=plan).build()
+
+    _check_map(itm)
+    # The disabled technique must not be claimed as intended, let alone
+    # delivered.
+    technique = label.replace("no-", "").replace("catchment",
+                                                 "catchment-probing")
+    for record in itm.coverage.values():
+        assert technique not in record.techniques_intended
+        assert technique not in record.techniques_delivered
+    # Mixed moderate faults with retries still leave a usable map.
+    assert itm.users.techniques
+    assert itm.services.sites_by_org or not options.use_tls_scan
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_total_blackout_never_crashes(small_scenario, seed):
+    plan = FaultPlan.uniform(1.0, seed=seed, **HARSH)
+    itm = MapBuilder(small_scenario, faults=plan).build()
+
+    _check_map(itm)
+    assert _degraded_set(itm) == {"users", "services", "routes"}
+    # Users lose every technique and the component degrades to empty
+    # rather than raising.
+    assert itm.users.techniques == ()
+    assert len(itm.users.detected_prefixes) == 0
+    assert itm.coverage["users"].coverage == 0.0
+    # The users component failed outright, so its record explains why;
+    # the scan campaigns "succeed" with empty results, which the 0.0
+    # coverage (not a note) records.
+    assert itm.coverage["users"].notes
+    # The wreck still serialises and round-trips.
+    restored = map_from_json(map_to_json(itm))
+    assert _degraded_set(restored) == {"users", "services", "routes"}
+    assert restored.coverage["users"].notes == itm.coverage["users"].notes
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_degraded_builds_surface_caveats(small_scenario, seed):
+    plan = FaultPlan(seed=seed, probe_loss=0.5, **HARSH)
+    itm = MapBuilder(small_scenario, faults=plan).build()
+    caveats = coverage_caveats(itm)
+    assert {c.component for c in caveats} == _degraded_set(itm)
+    for caveat in caveats:
+        assert caveat.coverage == itm.coverage[caveat.component].coverage
+
+
+def test_clean_build_reports_full_coverage(small_itm):
+    validate_coverage_report(small_itm)
+    assert _degraded_set(small_itm) == set()
+    assert small_itm.degraded_components() == []
+    assert coverage_caveats(small_itm) == []
+    assert "fault_plan" not in small_itm.metadata
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_same_plan_same_degraded_map(small_scenario, seed):
+    plan = FaultPlan(seed=seed, probe_loss=0.4, sni_rate_limit=0.4,
+                     **HARSH)
+    first = map_to_json(MapBuilder(small_scenario, faults=plan).build())
+    second = map_to_json(MapBuilder(small_scenario, faults=plan).build())
+    assert first == second

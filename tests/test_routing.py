@@ -183,6 +183,49 @@ class TestBgpSimulator:
         sim.routes_to([5])
         assert sim.cache_stats().hits == 1
 
+    def test_cache_stats_consistent_across_invalidate_and_epoch_bumps(self):
+        """Counters survive invalidate() and epoch bumps coherently:
+        lookups always equal hits + misses, entries stay bounded, and
+        neither reset path manufactures phantom hits or evictions."""
+        g = chain_graph()
+        sim = BgpSimulator(g, max_cache_entries=2)
+        lookups = 0
+        for origin in (1, 2, 1, 3, 1):    # misses 1,2 / hit 1 / miss 3 ...
+            sim.routes_to([origin])
+            lookups += 1
+        before = sim.cache_stats()
+        assert before.hits + before.misses == lookups
+        assert before.entries <= before.max_entries == 2
+        assert before.evictions == 1      # {1,2} + 3 pushed one set out
+
+        # Explicit invalidate: entries drop, cumulative counters persist.
+        sim.invalidate()
+        after_inv = sim.cache_stats()
+        assert after_inv.entries == 0
+        assert (after_inv.hits, after_inv.misses, after_inv.evictions) == \
+            (before.hits, before.misses, before.evictions)
+
+        # Re-warm: the cold lookup is a miss, not a hit.
+        sim.routes_to([1])
+        lookups += 1
+        assert sim.cache_stats().misses == before.misses + 1
+
+        # Epoch bump (graph edit): stale entries never count as hits,
+        # and the implicit clear does not count as evictions.
+        g.add_c2p(5, 1)
+        sim.routes_to([1])
+        lookups += 1
+        after_bump = sim.cache_stats()
+        assert after_bump.misses == before.misses + 2
+        assert after_bump.hits == before.hits
+        assert after_bump.evictions == before.evictions
+        assert after_bump.entries == 1
+        assert after_bump.hits + after_bump.misses == lookups
+
+        # Repeating the lookup on the new epoch hits again.
+        sim.routes_to([1])
+        assert sim.cache_stats().hits == before.hits + 1
+
     def test_route_none_when_unreachable(self):
         g = ASGraph()
         g.add_as(1)
