@@ -11,7 +11,8 @@ import pytest
 
 from repro import ScenarioConfig, build_scenario
 from repro.analysis.claims import ClaimSuite
-from repro.core.builder import MapBuilder
+from repro.core.builder import BuilderOptions, MapBuilder
+from repro.obs import Recorder
 
 
 @pytest.fixture(scope="session")
@@ -22,9 +23,17 @@ def scenario():
 
 @pytest.fixture(scope="session")
 def builder(scenario):
-    b = MapBuilder(scenario)
-    b.itm = b.build()
+    b = MapBuilder(scenario,
+                   options=BuilderOptions(run_auxiliary_campaigns=True),
+                   recorder=Recorder())
+    b.build()
     return b
+
+
+@pytest.fixture(scope="session")
+def manifest(builder):
+    """The instrumented build's provenance record."""
+    return builder.manifest(command="benchmarks", scale="default")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,40 @@
+"""Manifest assertions over the paper-scale instrumented build.
+
+The session ``builder`` fixture runs with a live recorder and the
+auxiliary campaigns enabled, so the manifest here is the same artefact
+``python -m repro --metrics out.json`` writes — these checks pin the
+stage coverage and counter invariants at paper scale, where the small
+unit-test worlds might mask a missing span.
+"""
+
+from __future__ import annotations
+
+from repro.obs import KNOWN_CAMPAIGNS, validate_manifest
+
+
+def test_manifest_validates_at_scale(manifest):
+    validate_manifest(manifest.to_dict())
+
+
+def test_manifest_covers_every_campaign(manifest):
+    missing = [name for name in KNOWN_CAMPAIGNS
+               if manifest.stage(f"measure.{name}") is None]
+    assert not missing, f"campaigns without a span: {missing}"
+    assert set(manifest.campaigns_ran()) >= set(KNOWN_CAMPAIGNS)
+
+
+def test_manifest_has_build_stage_tree(manifest):
+    build = manifest.stage("build")
+    assert build is not None and build.wall_s > 0
+    for stage in ("users", "services", "routes", "aux", "assemble",
+                  "fusion"):
+        timing = manifest.stage(stage)
+        assert timing is not None, f"missing stage {stage!r}"
+        assert timing.wall_s <= build.wall_s
+
+
+def test_route_cache_counters_consistent(manifest):
+    cache = manifest.route_cache
+    assert cache is not None
+    assert cache["entries"] <= cache["max_entries"]
+    assert cache["hits"] + cache["misses"] > 0

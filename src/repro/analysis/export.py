@@ -12,6 +12,7 @@ from typing import List, Optional
 
 from ..core.builder import BuildArtifacts, MapBuilder
 from ..core.traffic_map import InternetTrafficMap
+from ..obs.manifest import RunManifest
 from ..scenario import Scenario
 from .claims import ClaimSuite
 from .figures import (fig1a_prefixes_per_pop, fig1b_coverage_and_servers,
@@ -29,8 +30,14 @@ def _md_table(headers: List[str], rows: List[List[str]]) -> str:
 
 def build_report(scenario: Scenario,
                  itm: Optional[InternetTrafficMap] = None,
-                 artifacts: Optional[BuildArtifacts] = None) -> str:
-    """Render the full reproduction report as markdown text."""
+                 artifacts: Optional[BuildArtifacts] = None,
+                 manifest: Optional[RunManifest] = None) -> str:
+    """Render the full reproduction report as markdown text.
+
+    ``manifest`` (a :class:`repro.obs.RunManifest` from an instrumented
+    build) adds a "Run report" section with stage timings and
+    per-campaign delivery counters.
+    """
     if itm is None or artifacts is None:
         builder = MapBuilder(scenario)
         itm = builder.build()
@@ -128,4 +135,9 @@ def build_report(scenario: Scenario,
           "pass" if r.passed else "FAIL"] for r in results]) + "\n")
     passed = sum(1 for r in results if r.passed)
     sections.append(f"**{passed}/{len(results)} claims within band.**\n")
+
+    if manifest is not None:
+        from .report import render_run_report
+        sections.append("## Run report\n")
+        sections.append("```\n" + render_run_report(manifest) + "\n```\n")
     return "\n".join(sections)

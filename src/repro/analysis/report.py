@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+from ..obs.manifest import RunManifest
 from .claims import ClaimResult
 from .figures import Fig1aRow, Fig1bData, Fig2Data
 from .tables import Table1Row
@@ -112,4 +113,46 @@ def render_claims(results: List[ClaimResult]) -> str:
     lines.extend(result.render() for result in results)
     passed = sum(1 for r in results if r.passed)
     lines.append(f"{passed}/{len(results)} claims within band")
+    return "\n".join(lines)
+
+
+def render_run_report(manifest: RunManifest) -> str:
+    """Run-provenance section for an instrumented build.
+
+    Renders the manifest a :class:`repro.obs.Recorder` collected: the
+    stage timing tree (indented by span depth), the per-campaign
+    delivery table, and the route-cache totals.
+    """
+    lines = [f"Run report — seed {manifest.seed}, "
+             f"config {manifest.config_hash}"]
+    if manifest.fault_plan is not None:
+        lines.append(f"fault plan: {manifest.fault_plan.get('describe')} "
+                     f"(digest {manifest.fault_plan.get('digest')})")
+    if manifest.stages:
+        lines.append("")
+        lines.append("Stage timings (wall seconds, nested):")
+        for stage in manifest.stages:
+            depth = stage.path.count(".") - stage.name.count(".")
+            lines.append(f"  {'  ' * depth}{stage.name:32s} "
+                         f"{stage.wall_s:8.3f}s  x{stage.calls}")
+    ran = [(name, manifest.campaign(name))
+           for name in sorted(manifest.campaigns_ran())]
+    if ran:
+        lines.append("")
+        lines.append(render_table(
+            ["campaign", "units", "delivered", "drops", "retries",
+             "giveups", "coverage", "wall s"],
+            [(name, rec.units, rec.delivered, rec.drops, rec.retries,
+              rec.giveups, f"{rec.coverage:.1%}",
+              "-" if rec.wall_s is None else f"{rec.wall_s:.3f}")
+             for name, rec in ran]))
+    cache = manifest.route_cache
+    if cache:
+        lines.append("")
+        lines.append(
+            f"route cache: {cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses "
+            f"(hit rate {cache.get('hit_rate', 0.0):.1%}), "
+            f"{cache.get('entries', 0)}/{cache.get('max_entries', 0)} "
+            f"entries, {cache.get('evictions', 0)} evictions")
     return "\n".join(lines)

@@ -9,10 +9,17 @@ Commands:
 * ``table1``  — regenerate Table 1;
 * ``outage``  — outage-impact report for an AS (or the top-k ASes).
 
-Common flags: ``--scale {small,medium,default}``, ``--seed N``, and the
+The command defaults to ``summary``, so ``python -m repro`` alone (or
+with only flags) builds and summarises a map.
+
+Common flags: ``--scale {small,medium,default}``, ``--seed N``, the
 fault-injection trio ``--faults SPEC`` / ``--fault-seed N`` /
 ``--fault-retries N`` (e.g. ``--faults probe_loss=0.2`` builds the map
-under 20% probe loss and reports the degraded coverage).
+under 20% probe loss and reports the degraded coverage), and the
+observability pair ``--metrics PATH`` (write a :class:`repro.obs`
+run-manifest JSON) / ``--trace`` (live span log on stderr). Either
+observability flag attaches a recorder and also runs the auxiliary
+campaigns, so the manifest covers all eleven measurement campaigns.
 """
 
 from __future__ import annotations
@@ -31,8 +38,9 @@ from .analysis.figures import (fig1a_prefixes_per_pop,
 from .analysis.report import (render_claims, render_fig1a, render_fig1b,
                               render_fig2, render_table, render_table1)
 from .analysis.tables import regenerate_table1
-from .core.builder import MapBuilder
+from .core.builder import BuilderOptions, MapBuilder
 from .core.usecases import OutageImpactAnalyzer
+from .obs import NULL_RECORDER, Recorder
 
 SCALES = {
     "small": ScenarioConfig.small,
@@ -65,7 +73,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="retry attempts per failed operation "
                              "(default: the scenario's "
                              "fault_retry_attempts)")
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="record an instrumented build and write the "
+                             "run manifest (spans, counters, per-campaign "
+                             "provenance) as JSON to PATH")
+    parser.add_argument("--trace", action="store_true",
+                        help="stream a live indented span log to stderr "
+                             "while the build runs")
+    sub = parser.add_subparsers(dest="command")
     sub.add_parser("summary", help="build the map and summarise it")
     sub.add_parser("claims", help="run the headline-claim suite")
     sub.add_parser("figures", help="regenerate Figures 1a/1b/2")
@@ -93,11 +108,24 @@ def _parse_faults(args: argparse.Namespace) -> Optional[FaultPlan]:
     return FaultPlan.parse(args.faults, seed=args.fault_seed, retry=retry)
 
 
-def _prepare(args: argparse.Namespace):
+def _make_recorder(args: argparse.Namespace) -> Recorder:
+    """A live recorder when any observability flag is set, else null."""
+    if args.metrics is None and not args.trace:
+        return NULL_RECORDER
+    return Recorder(trace=sys.stderr if args.trace else None)
+
+
+def _prepare(args: argparse.Namespace, recorder: Recorder):
     config = SCALES[args.scale](seed=args.seed)
     faults = _parse_faults(args)
     scenario = build_scenario(config)
-    builder = MapBuilder(scenario, faults=faults)
+    # Instrumented runs also exercise the auxiliary campaigns so the
+    # manifest covers every measurement campaign, not just the six the
+    # map components consume. The serialized map is identical either way.
+    options = (BuilderOptions(run_auxiliary_campaigns=True)
+               if recorder.enabled else None)
+    builder = MapBuilder(scenario, options=options, faults=faults,
+                         recorder=recorder)
     itm = builder.build()
     return scenario, builder, itm
 
@@ -178,6 +206,8 @@ def _cmd_outage(scenario, builder, itm, asn: Optional[int],
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.command is None:
+        args.command = "summary"
     try:
         _parse_faults(args)
     except ConfigError as exc:
@@ -204,26 +234,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     return _run(args)
 
 
+def _write_manifest(args: argparse.Namespace, builder: MapBuilder) -> None:
+    manifest = builder.manifest(command=args.command, scale=args.scale)
+    try:
+        manifest.save(args.metrics)
+    except OSError as exc:
+        print(f"cannot write metrics to {args.metrics}: {exc}",
+              file=sys.stderr)
+    else:
+        print(f"wrote metrics manifest to {args.metrics}",
+              file=sys.stderr)
+
+
 def _run(args: argparse.Namespace) -> int:
-    scenario, builder, itm = _prepare(args)
-    if args.command == "summary":
-        return _cmd_summary(scenario, builder, itm)
-    if args.command == "claims":
-        return _cmd_claims(scenario, builder, itm)
-    if args.command == "figures":
-        return _cmd_figures(scenario, builder, itm)
-    if args.command == "table1":
-        return _cmd_table1(scenario, builder, itm)
-    if args.command == "outage":
-        return _cmd_outage(scenario, builder, itm, args.asn, args.top)
-    if args.command == "report":
-        from .analysis.export import build_report
-        text = build_report(scenario, itm, builder.artifacts)
-        with open(args.output, "w") as handle:
-            handle.write(text)
-        print(f"wrote {args.output} ({len(text)} chars)")
-        return 0
-    raise AssertionError(f"unhandled command {args.command!r}")
+    recorder = _make_recorder(args)
+    scenario, builder, itm = _prepare(args, recorder)
+    try:
+        if args.command == "summary":
+            return _cmd_summary(scenario, builder, itm)
+        if args.command == "claims":
+            return _cmd_claims(scenario, builder, itm)
+        if args.command == "figures":
+            return _cmd_figures(scenario, builder, itm)
+        if args.command == "table1":
+            return _cmd_table1(scenario, builder, itm)
+        if args.command == "outage":
+            return _cmd_outage(scenario, builder, itm, args.asn, args.top)
+        if args.command == "report":
+            from .analysis.export import build_report
+            manifest = (builder.manifest(command="report",
+                                         scale=args.scale)
+                        if recorder.enabled else None)
+            text = build_report(scenario, itm, builder.artifacts,
+                                manifest=manifest)
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.output} ({len(text)} chars)")
+            return 0
+        raise AssertionError(f"unhandled command {args.command!r}")
+    finally:
+        if args.metrics is not None:
+            _write_manifest(args, builder)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,11 +16,25 @@ fused) fall out naturally.
 
 Fault tolerance: handed a :class:`repro.faults.FaultPlan` (or a shared
 :class:`FaultContext`), the builder threads it through every campaign and
-*degrades instead of crashing* when one fails — falling back per the
-§3.1.3 fusion rules (probing-only activity when the root logs are
-truncated, logs-only when the resolver sweep dies, an empty users
-component when both §3.1.2 techniques are lost) — and records what
-happened in per-component :class:`ComponentCoverage` entries on the map.
+*degrades instead of crashing* when one fails. The exact fallback order:
+
+1. users — cache probing and the root-log crawl each run independently;
+   if one dies (or the crawl delivers nothing usable, e.g. under
+   ``rootlog_truncation``), :func:`repro.core.activity.fuse_activity`
+   fuses whatever survived (probing-only or logs-only). Only when *both*
+   §3.1.2 techniques are lost does the map ship an honest empty users
+   component.
+2. services — TLS-scan loss removes sites *and* the SNI scan (which
+   needs the TLS footprints); ECS loss narrows ``user_to_host`` to what
+   catchment probing recovers; each anycast operator's Verfploeter
+   campaign fails independently.
+3. routes — under ``stale_collector`` the predictor runs over the
+   thinned snapshot from :func:`repro.faults.degraded_public_view`
+   (never the fresh one), lowering predictability instead of aborting.
+
+What happened is recorded in per-component :class:`ComponentCoverage`
+entries on the map, and — when a :class:`repro.obs.Recorder` is attached
+— in per-campaign counters and span timings for the run manifest.
 """
 
 from __future__ import annotations
@@ -33,20 +47,31 @@ import numpy as np
 from ..errors import MeasurementError, ValidationError
 from ..faults import (COLLECTOR_FEED_CAMPAIGN, FaultContext, FaultKind,
                       FaultPlan, RetryPolicy, degraded_public_view)
-from ..measure.atlas import AtlasPlatform
+from ..measure.atlas import ATLAS_CAMPAIGN, AtlasPlatform, TracerouteResult
 from ..measure.cache_probing import (CACHE_PROBING_CAMPAIGN,
                                      CacheProbingCampaign,
                                      CacheProbingResult)
 from ..measure.catchment_probe import (CATCHMENT_CAMPAIGN,
                                        CatchmentMeasurement,
                                        VerfploeterCampaign)
+from ..measure.cloud_vantage import (CLOUD_VANTAGE_CAMPAIGN,
+                                     CloudVantageCampaign,
+                                     CloudVantageResult)
 from ..measure.ecs_mapping import (ECS_MAPPING_CAMPAIGN, EcsMapper,
                                    EcsMappingResult)
 from ..measure.geolocation import client_centric_geolocate
+from ..measure.ipid import IPID_CAMPAIGN, IpIdAnalysis, IpIdMonitor
+from ..measure.resolver_assoc import (RESOLVER_ASSOC_CAMPAIGN,
+                                      PageMeasurementCampaign,
+                                      ResolverAssociation)
+from ..measure.reverse_traceroute import (REVERSE_TRACEROUTE_CAMPAIGN,
+                                          PathPair, ReverseTraceroute)
 from ..measure.rootlogs import (ROOTLOG_CAMPAIGN, RootLogCrawler,
                                 RootLogCrawlResult)
 from ..measure.sniscan import SNI_SCAN_CAMPAIGN, SniScanner
 from ..measure.tlsscan import TLS_SCAN_CAMPAIGN, TlsScanner, TlsScanResult
+from ..obs.manifest import RunManifest, collect_manifest
+from ..obs.recorder import Recorder, resolve_recorder
 from ..services.hypergiants import RedirectionScheme
 from ..rand import substream
 from ..scenario import Scenario
@@ -82,6 +107,18 @@ class BuilderOptions:
     route_pairs_top_ases: int = 150
     rootlog_min_queries: float = 50.0
     rng_label: str = "itm-builder"
+    # Auxiliary §3.1.3/§3.3.2 campaigns (Atlas traceroutes, reverse
+    # traceroute, cloud-vantage, IP ID monitoring, resolver association).
+    # They validate and enrich the map but feed none of its three
+    # components, so they are off by default; ``--metrics``/``--trace``
+    # runs enable them so the manifest covers every campaign. Their
+    # results land in :class:`BuildArtifacts`, never in the map itself —
+    # the serialized map is bit-identical either way.
+    run_auxiliary_campaigns: bool = False
+    aux_ipid_routers: int = 40
+    aux_assoc_sample: int = 20_000
+    aux_reverse_pairs: int = 40
+    aux_cloud_targets: int = 60
 
     def validate(self) -> None:
         if not (self.use_cache_probing or self.use_root_logs):
@@ -100,6 +137,12 @@ class BuildArtifacts:
     activity: Optional[ActivityEstimate] = None
     catchments: Dict[str, CatchmentMeasurement] = field(
         default_factory=dict)
+    # Auxiliary-campaign outputs (run_auxiliary_campaigns=True only).
+    atlas_traceroutes: Optional[List[TracerouteResult]] = None
+    reverse_pairs: Optional[List[PathPair]] = None
+    cloud_links: Optional[CloudVantageResult] = None
+    ipid_analyses: Optional[List[IpIdAnalysis]] = None
+    resolver_association: Optional[ResolverAssociation] = None
 
 
 class MapBuilder:
@@ -108,7 +151,8 @@ class MapBuilder:
 
     def __init__(self, scenario: Scenario,
                  options: Optional[BuilderOptions] = None,
-                 faults: Union[FaultPlan, FaultContext, None] = None
+                 faults: Union[FaultPlan, FaultContext, None] = None,
+                 recorder: Optional[Recorder] = None
                  ) -> None:
         self._scenario = scenario
         self._options = options or BuilderOptions()
@@ -117,6 +161,19 @@ class MapBuilder:
         self.artifacts = BuildArtifacts()
         self._faults = self._resolve_faults(faults)
         self._notes: Dict[str, List[str]] = {}
+        self._recorder = resolve_recorder(recorder)
+        self.itm: Optional[InternetTrafficMap] = None
+        if self._recorder.enabled:
+            # Mirror fault counters and ground-truth route-cache activity
+            # into the recorder. Attach only when live, so a plain
+            # builder never detaches another builder's recorder.
+            self._faults.attach_recorder(self._recorder)
+            self._scenario.bgp.attach_recorder(self._recorder)
+
+    @property
+    def recorder(self) -> Recorder:
+        """The build's recorder (the shared null recorder by default)."""
+        return self._recorder
 
     def _resolve_faults(self,
                         faults: Union[FaultPlan, FaultContext, None]
@@ -159,14 +216,14 @@ class MapBuilder:
             prefix_ids=scenario.routable_prefix_ids(),
             rounds_per_day=cfg.probe_rounds_per_day,
             rng=substream(scenario.config.seed, "probe-campaign"),
-            faults=self._faults)
+            faults=self._faults, recorder=self._recorder)
         return campaign.run()
 
     def _run_rootlog_crawl(self) -> RootLogCrawlResult:
         crawler = RootLogCrawler(
             self._scenario.root_archive,
             min_query_threshold=self._options.rootlog_min_queries,
-            faults=self._faults)
+            faults=self._faults, recorder=self._recorder)
         return crawler.run()
 
     def _build_users(self) -> UsersComponent:
@@ -201,8 +258,9 @@ class MapBuilder:
                         "probing-only (§3.1.3 fallback)")
                     rootlog_result = None
         try:
-            activity = fuse_activity(self._scenario.prefixes, cache_result,
-                                     rootlog_result)
+            with self._recorder.span("fusion"):
+                activity = fuse_activity(self._scenario.prefixes,
+                                         cache_result, rootlog_result)
         except ValidationError as exc:
             # Every §3.1.2 technique died: ship an honest empty component
             # rather than abort the whole map.
@@ -233,7 +291,8 @@ class MapBuilder:
         tls_result: Optional[TlsScanResult] = None
         if self._options.use_tls_scan:
             scanner = TlsScanner(scenario.certstore, scenario.prefixes,
-                                 faults=self._faults)
+                                 faults=self._faults,
+                                 recorder=self._recorder)
             try:
                 tls_result = scanner.run()
                 self.artifacts.tls_result = tls_result
@@ -246,7 +305,8 @@ class MapBuilder:
         ecs_result: Optional[EcsMappingResult] = None
         if self._options.use_ecs_mapping:
             mapper = EcsMapper(scenario.authoritative, scenario.catalog,
-                               scenario.prefixes, faults=self._faults)
+                               scenario.prefixes, faults=self._faults,
+                               recorder=self._recorder)
             try:
                 ecs_result = mapper.run(scenario.routable_prefix_ids())
             except MeasurementError as exc:
@@ -275,7 +335,8 @@ class MapBuilder:
         if tls_result is not None:
             if self._options.use_sni_scan:
                 sni = SniScanner(scenario.certstore, scenario.prefixes,
-                                 faults=self._faults)
+                                 faults=self._faults,
+                                 recorder=self._recorder)
                 domains = [s.domain for s in scenario.catalog.services]
                 try:
                     sni_result = sni.run(domains,
@@ -312,7 +373,7 @@ class MapBuilder:
             campaign = VerfploeterCampaign(
                 model, scenario.prefixes,
                 substream(scenario.config.seed, "builder-verf", hg_key),
-                faults=self._faults)
+                faults=self._faults, recorder=self._recorder)
             try:
                 measurement = campaign.run(targets)
             except MeasurementError as exc:
@@ -397,7 +458,7 @@ class MapBuilder:
             view = degraded_public_view(view, self._faults)
             self._note("routes", "collector snapshot is stale; predicting "
                                  "over the thinned topology")
-        predictor = PathPredictor(view)
+        predictor = PathPredictor(view, recorder=self._recorder)
         top_ases = [asn for asn, __ in users.top_ases(
             self._options.route_pairs_top_ases)]
         dst_asns: List[int] = []
@@ -456,20 +517,128 @@ class MapBuilder:
                              ("path-prediction",), ("path-prediction",)),
         }
 
+    # -- auxiliary campaigns ------------------------------------------------------
+
+    def _run_auxiliary_campaigns(self) -> None:
+        """Run the §3.1.3/§3.3.2 campaigns that enrich but never feed the
+        map: Atlas traceroutes, reverse traceroute, cloud-vantage
+        traceroutes, IP ID monitoring and resolver association.
+
+        Every campaign draws from its own seed substream and writes only
+        to :attr:`artifacts` and the recorder, so enabling this phase
+        cannot perturb the serialized map. Failures degrade like the
+        primary campaigns: mark the scope failed, note it, move on.
+        """
+        scenario = self._scenario
+        cfg = scenario.config.measurement
+        seed = scenario.config.seed
+        opts = self._options
+        eyeball_asns = [a.asn for a in scenario.registry.eyeballs()]
+
+        platform: Optional[AtlasPlatform] = None
+        try:
+            platform = AtlasPlatform(
+                scenario.registry, scenario.bgp, scenario.prefixes,
+                substream(seed, "builder-atlas"),
+                vp_count=cfg.atlas_vantage_points,
+                faults=self._faults, recorder=self._recorder)
+            self.artifacts.atlas_traceroutes = platform.traceroute_all(
+                scenario.gdns_operator_asn)
+        except MeasurementError as exc:
+            self._faults.campaign(ATLAS_CAMPAIGN).mark_failed(str(exc))
+            self._note("aux", f"atlas platform failed ({exc})")
+
+        if platform is not None and platform.vantage_points:
+            revtr = ReverseTraceroute(scenario.bgp, faults=self._faults,
+                                      recorder=self._recorder)
+            try:
+                self.artifacts.reverse_pairs = revtr.measure_many(
+                    platform.vantage_points[0],
+                    eyeball_asns[:opts.aux_reverse_pairs])
+            except MeasurementError as exc:
+                self._faults.campaign(
+                    REVERSE_TRACEROUTE_CAMPAIGN).mark_failed(str(exc))
+                self._note("aux", f"reverse traceroute failed ({exc})")
+
+        cloud = CloudVantageCampaign(
+            scenario.bgp, scenario.gdns_operator_asn,
+            faults=self._faults, recorder=self._recorder)
+        try:
+            self.artifacts.cloud_links = cloud.run(
+                eyeball_asns[:opts.aux_cloud_targets])
+        except MeasurementError as exc:
+            self._faults.campaign(CLOUD_VANTAGE_CAMPAIGN).mark_failed(
+                str(exc))
+            self._note("aux", f"cloud-vantage campaign failed ({exc})")
+
+        monitor = IpIdMonitor(
+            interval_s=cfg.ipid_ping_interval_s,
+            duration_hours=cfg.ipid_campaign_hours,
+            rng=substream(seed, "builder-ipid"),
+            faults=self._faults, recorder=self._recorder)
+        try:
+            self.artifacts.ipid_analyses = monitor.campaign(
+                scenario.routers.countable()[:opts.aux_ipid_routers])
+        except MeasurementError as exc:
+            self._faults.campaign(IPID_CAMPAIGN).mark_failed(str(exc))
+            self._note("aux", f"IP ID monitoring failed ({exc})")
+
+        try:
+            assoc = PageMeasurementCampaign(
+                scenario.prefixes, scenario.gdns,
+                scenario.traffic.queries_per_day.sum(axis=0),
+                substream(seed, "builder-assoc"),
+                faults=self._faults, recorder=self._recorder)
+            self.artifacts.resolver_association = assoc.run(
+                opts.aux_assoc_sample)
+        except MeasurementError as exc:
+            self._faults.campaign(RESOLVER_ASSOC_CAMPAIGN).mark_failed(
+                str(exc))
+            self._note("aux", f"resolver association failed ({exc})")
+
     def build(self) -> InternetTrafficMap:
         """Run the configured campaigns and assemble the map."""
-        users = self._build_users()
-        services = self._build_services(users)
-        routes = self._build_routes(users, services)
-        metadata: Dict[str, object] = {
-            "seed": self._scenario.config.seed,
-            "prefix_asn": self._scenario.prefixes.asn_array,
-            "options": self._options,
-        }
-        if not self._faults.is_null:
-            metadata["fault_plan"] = self._faults.plan
-            metadata["fault_totals"] = self._faults.totals()
-        return InternetTrafficMap(
-            users=users, services=services, routes=routes,
-            metadata=metadata,
-            coverage=self._coverage_report(users, services))
+        rec = self._recorder
+        with rec.span("build"):
+            with rec.span("users"):
+                users = self._build_users()
+            with rec.span("services"):
+                services = self._build_services(users)
+            with rec.span("routes"):
+                routes = self._build_routes(users, services)
+            if self._options.run_auxiliary_campaigns:
+                with rec.span("aux"):
+                    self._run_auxiliary_campaigns()
+            with rec.span("assemble"):
+                metadata: Dict[str, object] = {
+                    "seed": self._scenario.config.seed,
+                    "prefix_asn": self._scenario.prefixes.asn_array,
+                    "options": self._options,
+                }
+                if not self._faults.is_null:
+                    metadata["fault_plan"] = self._faults.plan
+                    metadata["fault_totals"] = self._faults.totals()
+                itm = InternetTrafficMap(
+                    users=users, services=services, routes=routes,
+                    metadata=metadata,
+                    coverage=self._coverage_report(users, services))
+        if rec.enabled:
+            stats = self._scenario.bgp.cache_stats()
+            rec.gauge("routing.cache.entries", stats.entries)
+            rec.gauge("routing.cache.max_entries", stats.max_entries)
+            rec.gauge("routing.cache.hit_rate", stats.hit_rate)
+        self.itm = itm
+        return itm
+
+    def manifest(self, command: Optional[str] = None,
+                 scale: Optional[str] = None) -> RunManifest:
+        """Snapshot this build's provenance as a :class:`RunManifest`.
+
+        Callable any time after :meth:`build` (earlier snapshots are
+        valid too — they just carry fewer stages).
+        """
+        return collect_manifest(
+            self._recorder, self._scenario.config,
+            faults=self._faults,
+            cache_stats=self._scenario.bgp.cache_stats(),
+            itm=self.itm, command=command, scale=scale)

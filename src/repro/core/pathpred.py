@@ -33,9 +33,10 @@ class PathPredictor:
     algorithm?" Use :meth:`with_augmented_links`.
     """
 
-    def __init__(self, public_view: PublicTopologyView) -> None:
+    def __init__(self, public_view: PublicTopologyView,
+                 recorder=None) -> None:
         self._view = public_view
-        self._bgp = BgpSimulator(public_view.graph)
+        self._bgp = BgpSimulator(public_view.graph, recorder=recorder)
 
     @classmethod
     def with_augmented_links(cls, public_view: PublicTopologyView,

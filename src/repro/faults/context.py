@@ -20,6 +20,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..rand import substream
 from .plan import FaultKind, FaultPlan, RetryPolicy
 
@@ -173,15 +174,23 @@ class CampaignFaultScope:
         if self.counters.units == 0:
             self.counters.units = 1
             self.counters.giveups = 1
+        self._context.recorder.count(f"faults.{self.name}.failures")
 
     # -- internals --------------------------------------------------------
 
     def _bump(self, kind: FaultKind, **deltas) -> None:
-        """Add counter deltas to both the aggregate and per-kind tallies."""
+        """Add counter deltas to both the aggregate and per-kind tallies.
+
+        With a recorder attached to the context, every delta is mirrored
+        onto ``faults.<campaign>.<counter>`` recorder counters as well.
+        """
         per_kind = self.by_kind.setdefault(kind, FaultCounters())
+        recorder = self._context.recorder
         for name, delta in deltas.items():
             for counters in (self.counters, per_kind):
                 setattr(counters, name, getattr(counters, name) + delta)
+            if recorder.enabled:
+                recorder.count(f"faults.{self.name}.{name}", delta)
 
 
 class FaultContext:
@@ -197,8 +206,17 @@ class FaultContext:
         self.plan = plan
         self.retry = retry or plan.retry
         self.retry.validate()
+        self.recorder: Recorder = NULL_RECORDER
         self._scopes: Dict[str, CampaignFaultScope] = {}
         self._streams: Dict[Tuple[str, FaultKind], np.random.Generator] = {}
+
+    def attach_recorder(self, recorder: Recorder) -> None:
+        """Mirror all subsequent counter updates onto a recorder.
+
+        Observation only — the recorder never influences which units
+        survive, so attaching one cannot change a build's output.
+        """
+        self.recorder = recorder
 
     @classmethod
     def null(cls) -> "FaultContext":

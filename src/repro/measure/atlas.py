@@ -26,6 +26,7 @@ from ..net.ases import ASRegistry, ASType
 from ..net.geography import City, haversine_km
 from ..net.prefixes import PrefixTable
 from ..net.routing import BgpSimulator
+from ..obs.recorder import Recorder, resolve_recorder
 
 ATLAS_CAMPAIGN = "atlas-platform"
 
@@ -69,24 +70,30 @@ class AtlasPlatform:
     def __init__(self, registry: ASRegistry, bgp: BgpSimulator,
                  prefix_table: PrefixTable,
                  rng: np.random.Generator, vp_count: int = 120,
-                 faults: Optional[FaultContext] = None) -> None:
+                 faults: Optional[FaultContext] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         if vp_count < 1:
             raise MeasurementError("need at least one vantage point")
         self._registry = registry
         self._bgp = bgp
         self._prefixes = prefix_table
         self._rng = rng
-        self.vantage_points = self._place_vps(vp_count)
-        scope = (faults.campaign(ATLAS_CAMPAIGN)
-                 if faults is not None else None)
-        if scope is not None and scope.active(FaultKind.VANTAGE_CHURN):
-            alive = scope.survive_mask(FaultKind.VANTAGE_CHURN,
-                                       len(self.vantage_points))
-            self.vantage_points = [
-                vp for vp, ok in zip(self.vantage_points, alive) if ok]
-            if not self.vantage_points:
-                raise MeasurementError(
-                    "every vantage point churned away mid-campaign")
+        self._recorder = resolve_recorder(recorder)
+        with self._recorder.span(f"measure.{ATLAS_CAMPAIGN}"):
+            self.vantage_points = self._place_vps(vp_count)
+            scope = (faults.campaign(ATLAS_CAMPAIGN)
+                     if faults is not None else None)
+            if scope is not None and scope.active(FaultKind.VANTAGE_CHURN):
+                alive = scope.survive_mask(FaultKind.VANTAGE_CHURN,
+                                           len(self.vantage_points))
+                self.vantage_points = [
+                    vp for vp, ok in zip(self.vantage_points, alive) if ok]
+                if not self.vantage_points:
+                    raise MeasurementError(
+                        "every vantage point churned away mid-campaign")
+            self._recorder.count(
+                f"measure.{ATLAS_CAMPAIGN}.vantage_points",
+                len(self.vantage_points))
 
     def _place_vps(self, count: int) -> List[VantagePoint]:
         """Probes live mostly in eyeballs, plus research nets and stubs —
@@ -117,11 +124,18 @@ class AtlasPlatform:
 
     def traceroute_all(self, dst_asn: int) -> List[TracerouteResult]:
         """Traceroute from every vantage point (one bulk path lookup)."""
-        paths = self._bgp.routes_to([dst_asn]).paths_for(
-            vp.asn for vp in self.vantage_points)
-        return [TracerouteResult(vp=vp, dst_asn=dst_asn,
-                                 as_path=paths[vp.asn])
-                for vp in self.vantage_points]
+        with self._recorder.span(f"measure.{ATLAS_CAMPAIGN}"):
+            paths = self._bgp.routes_to([dst_asn]).paths_for(
+                vp.asn for vp in self.vantage_points)
+            results = [TracerouteResult(vp=vp, dst_asn=dst_asn,
+                                        as_path=paths[vp.asn])
+                       for vp in self.vantage_points]
+        rec = self._recorder
+        rec.count(f"measure.{ATLAS_CAMPAIGN}.traceroutes_sent",
+                  len(results))
+        rec.count(f"measure.{ATLAS_CAMPAIGN}.traceroutes_reached",
+                  sum(1 for r in results if r.reached))
+        return results
 
     def ping_rtt_ms(self, vp: VantagePoint, target_pid: int) -> float:
         """RTT to an address in a prefix. The platform resolves the true

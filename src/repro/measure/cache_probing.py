@@ -31,6 +31,7 @@ import numpy as np
 from ..errors import MeasurementError
 from ..faults import FaultContext, FaultKind
 from ..net.prefixes import PrefixTable
+from ..obs.recorder import Recorder, resolve_recorder
 from ..services.catalog import Service
 from ..services.dnsinfra import (CacheOracle, GoogleDnsModel,
                                  TemporalCacheOracle)
@@ -182,7 +183,8 @@ class CacheProbingCampaign:
     def __init__(self, oracle: CacheOracle, gdns: GoogleDnsModel,
                  services: Sequence[Service], prefix_ids: np.ndarray,
                  rounds_per_day: int, rng: np.random.Generator,
-                 faults: Optional[FaultContext] = None) -> None:
+                 faults: Optional[FaultContext] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         if rounds_per_day < 1:
             raise MeasurementError("need at least one probe round")
         if len(prefix_ids) == 0:
@@ -196,9 +198,15 @@ class CacheProbingCampaign:
         self._rounds = rounds_per_day
         self._rng = rng
         self._faults = faults
+        self._recorder = resolve_recorder(recorder)
 
     def run(self) -> CacheProbingResult:
         """Issue all probes (vectorised Bernoulli sampling)."""
+        with self._recorder.span(f"measure.{CACHE_PROBING_CAMPAIGN}"):
+            return self._run()
+
+    def _run(self) -> CacheProbingResult:
+        rec = self._recorder
         sids = [s.sid for s in self._services]
         pids = self._prefix_ids
         scope = (self._faults.campaign(CACHE_PROBING_CAMPAIGN)
@@ -210,14 +218,27 @@ class CacheProbingCampaign:
             if pids.size == 0:
                 raise MeasurementError(
                     "every probed prefix timed out at the resolver")
+        rec.count(f"measure.{CACHE_PROBING_CAMPAIGN}.prefixes_probed",
+                  len(pids))
         probabilities = self._oracle.hit_probability_matrix(sids, pids)
+        probes_sent = self._rounds * int(np.prod(probabilities.shape))
+        rec.count(f"measure.{CACHE_PROBING_CAMPAIGN}.probes_sent",
+                  probes_sent)
         if scope is not None and scope.active(FaultKind.PROBE_LOSS):
             delivered = scope.thin_rounds(FaultKind.PROBE_LOSS,
                                           self._rounds,
                                           probabilities.shape)
+            delivered_total = int(delivered.sum())
             hits = self._rng.binomial(delivered, probabilities)
         else:
+            delivered_total = probes_sent
             hits = self._rng.binomial(self._rounds, probabilities)
+        rec.count(f"measure.{CACHE_PROBING_CAMPAIGN}.probes_delivered",
+                  delivered_total)
+        rec.count(f"measure.{CACHE_PROBING_CAMPAIGN}.probes_dropped",
+                  probes_sent - delivered_total)
+        rec.count(f"measure.{CACHE_PROBING_CAMPAIGN}.cache_hits",
+                  int(hits.sum()))
         return CacheProbingResult(
             prefix_ids=pids,
             service_sids=tuple(sids),

@@ -25,6 +25,7 @@ import numpy as np
 from ..errors import MeasurementError
 from ..faults import FaultContext, FaultKind
 from ..net.prefixes import PrefixTable
+from ..obs.recorder import Recorder, resolve_recorder
 from ..services.anycast import AnycastModel
 
 CATCHMENT_CAMPAIGN = "catchment-probing"
@@ -68,7 +69,8 @@ class VerfploeterCampaign:
     def __init__(self, model: AnycastModel, prefix_table: PrefixTable,
                  rng: np.random.Generator,
                  response_rate: float = DEFAULT_RESPONSE_RATE,
-                 faults: Optional[FaultContext] = None) -> None:
+                 faults: Optional[FaultContext] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         if not 0.0 < response_rate <= 1.0:
             raise MeasurementError("response_rate must be in (0, 1]")
         self._model = model
@@ -76,8 +78,13 @@ class VerfploeterCampaign:
         self._rng = rng
         self._response_rate = response_rate
         self._faults = faults
+        self._recorder = resolve_recorder(recorder)
 
     def run(self, target_pids: np.ndarray) -> CatchmentMeasurement:
+        with self._recorder.span(f"measure.{CATCHMENT_CAMPAIGN}"):
+            return self._run(target_pids)
+
+    def _run(self, target_pids: np.ndarray) -> CatchmentMeasurement:
         targets = np.sort(np.asarray(target_pids, dtype=int))
         if len(targets) == 0:
             raise MeasurementError("no targets to probe")
@@ -102,6 +109,11 @@ class VerfploeterCampaign:
             site = site_by_asn.get(int(asn))
             if site is not None:
                 sites[i] = site
+        rec = self._recorder
+        rec.count(f"measure.{CATCHMENT_CAMPAIGN}.probes_sent",
+                  len(targets))
+        rec.count(f"measure.{CATCHMENT_CAMPAIGN}.replies_received",
+                  int(responds.sum()))
         return CatchmentMeasurement(
             prefix_ids=targets, site_of_prefix=sites,
             site_count=len(self._model.sites))

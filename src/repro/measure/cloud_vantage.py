@@ -24,6 +24,7 @@ from ..errors import MeasurementError
 from ..faults import FaultContext, FaultKind
 from ..net.collectors import PublicTopologyView
 from ..net.routing import BgpSimulator
+from ..obs.recorder import Recorder, resolve_recorder
 
 CLOUD_VANTAGE_CAMPAIGN = "cloud-vantage"
 
@@ -54,12 +55,18 @@ class CloudVantageCampaign:
     """
 
     def __init__(self, bgp: BgpSimulator, cloud_asn: int,
-                 faults: Optional[FaultContext] = None) -> None:
+                 faults: Optional[FaultContext] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         self._bgp = bgp
         self._cloud = cloud_asn
         self._faults = faults
+        self._recorder = resolve_recorder(recorder)
 
     def run(self, target_asns: Sequence[int]) -> CloudVantageResult:
+        with self._recorder.span(f"measure.{CLOUD_VANTAGE_CAMPAIGN}"):
+            return self._run(target_asns)
+
+    def _run(self, target_asns: Sequence[int]) -> CloudVantageResult:
         if not target_asns:
             raise MeasurementError("no targets to traceroute")
         links: Set[Tuple[int, int]] = set()
@@ -83,6 +90,13 @@ class CloudVantageCampaign:
             reached += 1
             for a, b in zip(path, path[1:]):
                 links.add((min(a, b), max(a, b)))
+        rec = self._recorder
+        rec.count(f"measure.{CLOUD_VANTAGE_CAMPAIGN}.traceroutes_sent",
+                  len(remotes))
+        rec.count(f"measure.{CLOUD_VANTAGE_CAMPAIGN}.targets_reached",
+                  reached)
+        rec.count(f"measure.{CLOUD_VANTAGE_CAMPAIGN}.links_discovered",
+                  len(links))
         return CloudVantageResult(
             cloud_asn=self._cloud,
             discovered_links=frozenset(links),

@@ -23,6 +23,7 @@ import numpy as np
 from ..errors import MeasurementError
 from ..faults import FaultContext, FaultKind
 from ..net.prefixes import PrefixTable
+from ..obs.recorder import Recorder, resolve_recorder
 from ..services.catalog import Service, ServiceCatalog
 from ..services.dnsinfra import AuthoritativeDns
 from ..services.hypergiants import RedirectionScheme
@@ -80,11 +81,13 @@ class EcsMapper:
     def __init__(self, authoritative: AuthoritativeDns,
                  catalog: ServiceCatalog,
                  prefix_table: PrefixTable,
-                 faults: Optional[FaultContext] = None) -> None:
+                 faults: Optional[FaultContext] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         self._auth = authoritative
         self._catalog = catalog
         self._prefixes = prefix_table
         self._faults = faults
+        self._recorder = resolve_recorder(recorder)
 
     def map_service(self, service: Service,
                     client_pids: np.ndarray) -> Optional[ServiceMappingResult]:
@@ -93,6 +96,9 @@ class EcsMapper:
             return None
         if service.redirection is not RedirectionScheme.DNS:
             return None
+        self._recorder.count(
+            f"measure.{ECS_MAPPING_CAMPAIGN}.queries_sent",
+            len(client_pids))
         answers = self._auth.resolve_ecs_batch(service.key, client_pids)
         scope = (self._faults.campaign(ECS_MAPPING_CAMPAIGN)
                  if self._faults is not None else None)
@@ -107,6 +113,11 @@ class EcsMapper:
 
     def run(self, client_pids: np.ndarray,
             services: Optional[List[Service]] = None) -> EcsMappingResult:
+        with self._recorder.span(f"measure.{ECS_MAPPING_CAMPAIGN}"):
+            return self._run(client_pids, services)
+
+    def _run(self, client_pids: np.ndarray,
+             services: Optional[List[Service]]) -> EcsMappingResult:
         targets = services if services is not None else \
             self._catalog.services
         per_service: Dict[str, ServiceMappingResult] = {}
@@ -117,5 +128,10 @@ class EcsMapper:
                 uncovered.append(service.key)
             else:
                 per_service[service.key] = result
+        rec = self._recorder
+        rec.count(f"measure.{ECS_MAPPING_CAMPAIGN}.services_mapped",
+                  len(per_service))
+        rec.count(f"measure.{ECS_MAPPING_CAMPAIGN}.services_uncovered",
+                  len(uncovered))
         return EcsMappingResult(per_service=per_service,
                                 uncovered_services=uncovered)

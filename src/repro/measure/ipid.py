@@ -25,6 +25,7 @@ import numpy as np
 from ..errors import MeasurementError
 from ..faults import FaultContext, FaultKind
 from ..net.routers import IPID_MODULUS, RouterInterface
+from ..obs.recorder import Recorder, resolve_recorder
 
 IPID_CAMPAIGN = "ipid-monitoring"
 SECONDS_PER_DAY = 86_400.0
@@ -117,7 +118,8 @@ class IpIdMonitor:
     def __init__(self, interval_s: int, duration_hours: int,
                  rng: np.random.Generator,
                  loss_probability: float = 0.02,
-                 faults: Optional[FaultContext] = None) -> None:
+                 faults: Optional[FaultContext] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         if interval_s < 1 or duration_hours < 1:
             raise MeasurementError("invalid campaign timing")
         if not 0.0 <= loss_probability < 1.0:
@@ -127,6 +129,7 @@ class IpIdMonitor:
         self._rng = rng
         self._loss = loss_probability
         self._faults = faults
+        self._recorder = resolve_recorder(recorder)
 
     def monitor(self, router: RouterInterface,
                 start_time: float = 0.0) -> IpIdSeries:
@@ -147,14 +150,22 @@ class IpIdMonitor:
                 values.append(None)
             else:
                 values.append(router.ipid_at(float(t), rng=self._rng))
+        rec = self._recorder
+        rec.count(f"measure.{IPID_CAMPAIGN}.pings_sent", len(times))
+        rec.count(f"measure.{IPID_CAMPAIGN}.pings_lost",
+                  sum(1 for v in values if v is None))
         return IpIdSeries(address=router.address, times=times,
                           values=values)
 
     def campaign(self, routers: Sequence[RouterInterface],
                  start_time: float = 0.0) -> List[IpIdAnalysis]:
         """Monitor many interfaces and analyse each."""
-        analyses: List[IpIdAnalysis] = []
-        for router in routers:
-            series = self.monitor(router, start_time=start_time)
-            analyses.append(analyze_series(series))
-        return analyses
+        with self._recorder.span(f"measure.{IPID_CAMPAIGN}"):
+            analyses: List[IpIdAnalysis] = []
+            for router in routers:
+                series = self.monitor(router, start_time=start_time)
+                analyses.append(analyze_series(series))
+            self._recorder.count(
+                f"measure.{IPID_CAMPAIGN}.interfaces_monitored",
+                len(routers))
+            return analyses

@@ -30,6 +30,7 @@ import numpy as np
 from ..errors import MeasurementError
 from ..faults import FaultContext, FaultKind
 from ..net.prefixes import PrefixTable
+from ..obs.recorder import Recorder, resolve_recorder
 from ..services.dnsinfra import GoogleDnsModel
 from .rootlogs import RootLogCrawlResult
 
@@ -72,7 +73,8 @@ class PageMeasurementCampaign:
     def __init__(self, prefix_table: PrefixTable, gdns: GoogleDnsModel,
                  view_weights: np.ndarray,
                  rng: np.random.Generator,
-                 faults: Optional[FaultContext] = None) -> None:
+                 faults: Optional[FaultContext] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         if len(view_weights) != len(prefix_table):
             raise MeasurementError("view weights must cover every prefix")
         total = float(view_weights.sum())
@@ -83,8 +85,13 @@ class PageMeasurementCampaign:
         self._probabilities = np.asarray(view_weights, dtype=float) / total
         self._rng = rng
         self._faults = faults
+        self._recorder = resolve_recorder(recorder)
 
     def run(self, sample_size: int = 50_000) -> ResolverAssociation:
+        with self._recorder.span(f"measure.{RESOLVER_ASSOC_CAMPAIGN}"):
+            return self._run(sample_size)
+
+    def _run(self, sample_size: int) -> ResolverAssociation:
         if sample_size < 1:
             raise MeasurementError("sample_size must be positive")
         pids = self._rng.choice(len(self._prefixes), size=sample_size,
@@ -103,6 +110,11 @@ class PageMeasurementCampaign:
                     "every sampled page view lost its DNS side")
             pids = pids[observed]
             use_gdns = use_gdns[observed]
+        rec = self._recorder
+        rec.count(f"measure.{RESOLVER_ASSOC_CAMPAIGN}.views_sampled",
+                  sample_size)
+        rec.count(f"measure.{RESOLVER_ASSOC_CAMPAIGN}.pairs_observed",
+                  len(pids))
         asns = self._prefixes.asn_array[pids]
         counts: Dict[int, Dict[int, float]] = {}
         for pid, asn, via_gdns in zip(pids, asns, use_gdns):

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..errors import MeasurementError
 from ..faults import FaultContext, FaultKind
 from ..net.routing import BgpSimulator
+from ..obs.recorder import Recorder, resolve_recorder
 from .atlas import VantagePoint
 
 REVERSE_TRACEROUTE_CAMPAIGN = "reverse-traceroute"
@@ -54,9 +55,11 @@ class ReverseTraceroute:
     """
 
     def __init__(self, bgp: BgpSimulator,
-                 faults: Optional[FaultContext] = None) -> None:
+                 faults: Optional[FaultContext] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         self._bgp = bgp
         self._faults = faults
+        self._recorder = resolve_recorder(recorder)
 
     def _scope(self):
         if self._faults is None:
@@ -83,20 +86,30 @@ class ReverseTraceroute:
         shared VP destination, per-destination forward lookups."""
         if not remote_asns:
             raise MeasurementError("no remote ASes given")
-        remotes = [asn for asn in remote_asns if asn != vp.asn]
-        forward = self._bgp.paths_from(vp.asn, remotes)
-        reverse = self._bgp.routes_to([vp.asn]).paths_for(remotes)
-        scope = self._scope()
-        if scope is not None and scope.active(FaultKind.PROBE_LOSS):
-            measured = scope.survive_mask(FaultKind.PROBE_LOSS,
-                                          len(remotes))
-            return [PathPair(vp_asn=vp.asn, remote_asn=asn,
-                             forward=forward[asn] if ok else None,
-                             reverse=reverse[asn] if ok else None)
-                    for asn, ok in zip(remotes, measured)]
-        return [PathPair(vp_asn=vp.asn, remote_asn=asn,
-                         forward=forward[asn], reverse=reverse[asn])
-                for asn in remotes]
+        with self._recorder.span(
+                f"measure.{REVERSE_TRACEROUTE_CAMPAIGN}"):
+            remotes = [asn for asn in remote_asns if asn != vp.asn]
+            forward = self._bgp.paths_from(vp.asn, remotes)
+            reverse = self._bgp.routes_to([vp.asn]).paths_for(remotes)
+            scope = self._scope()
+            if scope is not None and scope.active(FaultKind.PROBE_LOSS):
+                measured = scope.survive_mask(FaultKind.PROBE_LOSS,
+                                              len(remotes))
+                pairs = [PathPair(vp_asn=vp.asn, remote_asn=asn,
+                                  forward=forward[asn] if ok else None,
+                                  reverse=reverse[asn] if ok else None)
+                         for asn, ok in zip(remotes, measured)]
+            else:
+                pairs = [PathPair(vp_asn=vp.asn, remote_asn=asn,
+                                  forward=forward[asn],
+                                  reverse=reverse[asn])
+                         for asn in remotes]
+            rec = self._recorder
+            rec.count(f"measure.{REVERSE_TRACEROUTE_CAMPAIGN}."
+                      "pairs_measured", len(pairs))
+            rec.count(f"measure.{REVERSE_TRACEROUTE_CAMPAIGN}.pairs_lost",
+                      sum(1 for p in pairs if not p.measurable))
+            return pairs
 
 
 @dataclass

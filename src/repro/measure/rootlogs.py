@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 from ..errors import MeasurementError
 from ..faults import FaultContext, FaultKind
+from ..obs.recorder import Recorder, resolve_recorder
 from ..services.dnsinfra import RootLogArchive
 
 ROOTLOG_CAMPAIGN = "root-logs"
@@ -74,14 +75,20 @@ class RootLogCrawler:
 
     def __init__(self, archive: RootLogArchive,
                  min_query_threshold: float = 50.0,
-                 faults: Optional[FaultContext] = None) -> None:
+                 faults: Optional[FaultContext] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         if min_query_threshold < 0:
             raise MeasurementError("threshold must be non-negative")
         self._archive = archive
         self._threshold = min_query_threshold
         self._faults = faults
+        self._recorder = resolve_recorder(recorder)
 
     def run(self) -> RootLogCrawlResult:
+        with self._recorder.span(f"measure.{ROOTLOG_CAMPAIGN}"):
+            return self._run()
+
+    def _run(self) -> RootLogCrawlResult:
         volume: Dict[int, float] = {}
         public_volume = 0.0
         crawled = 0
@@ -107,6 +114,11 @@ class RootLogCrawler:
                     continue
                 volume[entry.resolver_asn] = (
                     volume.get(entry.resolver_asn, 0.0) + entry.query_count)
+        rec = self._recorder
+        rec.count(f"measure.{ROOTLOG_CAMPAIGN}.roots_crawled", crawled)
+        rec.count(f"measure.{ROOTLOG_CAMPAIGN}.roots_truncated", truncated)
+        rec.count(f"measure.{ROOTLOG_CAMPAIGN}.resolver_ases_seen",
+                  len(volume))
         return RootLogCrawlResult(
             volume_by_as=volume,
             roots_crawled=crawled,

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..errors import MeasurementError
 from ..faults import FaultContext, FaultKind
 from ..net.prefixes import PrefixTable
+from ..obs.recorder import Recorder, resolve_recorder
 from ..services.tls import CertificateStore
 
 SNI_SCAN_CAMPAIGN = "sni-scan"
@@ -56,13 +57,20 @@ class SniScanner:
 
     def __init__(self, certstore: CertificateStore,
                  prefix_table: PrefixTable,
-                 faults: Optional[FaultContext] = None) -> None:
+                 faults: Optional[FaultContext] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         self._certstore = certstore
         self._prefixes = prefix_table
         self._faults = faults
+        self._recorder = resolve_recorder(recorder)
 
     def run(self, domains: Sequence[str],
             candidate_prefixes: Iterable[int]) -> SniScanResult:
+        with self._recorder.span(f"measure.{SNI_SCAN_CAMPAIGN}"):
+            return self._run(domains, candidate_prefixes)
+
+    def _run(self, domains: Sequence[str],
+             candidate_prefixes: Iterable[int]) -> SniScanResult:
         if not domains:
             raise MeasurementError("no SNI hostnames given")
         candidates = sorted(set(int(p) for p in candidate_prefixes))
@@ -82,4 +90,9 @@ class SniScanner:
             for domain in domains:
                 if cert.covers_domain(domain):
                     result[domain].append((pid, asn))
+        rec = self._recorder
+        rec.count(f"measure.{SNI_SCAN_CAMPAIGN}.endpoints_scanned",
+                  len(candidates))
+        rec.count(f"measure.{SNI_SCAN_CAMPAIGN}.footprints_matched",
+                  sum(len(eps) for eps in result.values()))
         return SniScanResult(endpoints_by_domain=result)

@@ -28,6 +28,7 @@ import numpy as np
 from ..errors import MeasurementError
 from ..faults import FaultContext, FaultKind
 from ..net.prefixes import PrefixTable
+from ..obs.recorder import Recorder, resolve_recorder
 from ..services.tls import Certificate, CertificateStore
 
 TLS_SCAN_CAMPAIGN = "tls-scan"
@@ -89,14 +90,20 @@ class TlsScanner:
     def __init__(self, certstore: CertificateStore,
                  prefix_table: PrefixTable,
                  min_footprint_prefixes: int = 2,
-                 faults: Optional[FaultContext] = None) -> None:
+                 faults: Optional[FaultContext] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         self._certstore = certstore
         self._prefixes = prefix_table
         self._min_footprint = min_footprint_prefixes
         self._faults = faults
+        self._recorder = resolve_recorder(recorder)
 
     def run(self, prefix_ids: Optional[np.ndarray] = None) -> TlsScanResult:
         """Scan the given prefixes (default: the whole routing table)."""
+        with self._recorder.span(f"measure.{TLS_SCAN_CAMPAIGN}"):
+            return self._run(prefix_ids)
+
+    def _run(self, prefix_ids: Optional[np.ndarray]) -> TlsScanResult:
         if prefix_ids is None:
             pids = range(len(self._prefixes))
         else:
@@ -108,6 +115,8 @@ class TlsScanner:
             scanned = scope.survive_mask(FaultKind.VANTAGE_CHURN,
                                          len(pids))
             pids = [pid for pid, ok in zip(pids, scanned) if ok]
+        self._recorder.count(
+            f"measure.{TLS_SCAN_CAMPAIGN}.prefixes_scanned", len(pids))
         observations: List[ScanObservation] = []
         for pid in pids:
             cert = self._certstore.cert_for_prefix(pid)
@@ -117,9 +126,15 @@ class TlsScanner:
                 prefix_id=pid,
                 origin_asn=self._prefixes.asn_of(pid),
                 certificate=cert))
+        footprints = self._derive_footprints(observations)
+        rec = self._recorder
+        rec.count(f"measure.{TLS_SCAN_CAMPAIGN}.certs_observed",
+                  len(observations))
+        rec.count(f"measure.{TLS_SCAN_CAMPAIGN}.orgs_identified",
+                  len(footprints))
         return TlsScanResult(
             observations=observations,
-            footprints=self._derive_footprints(observations))
+            footprints=footprints)
 
     def _derive_footprints(self, observations: List[ScanObservation]
                            ) -> Dict[str, OrgFootprint]:

@@ -49,6 +49,7 @@ from weakref import WeakKeyDictionary
 import numpy as np
 
 from ..errors import TopologyError
+from ..obs.recorder import resolve_recorder as _resolve_recorder
 from .relationships import ASGraph
 
 
@@ -497,7 +498,16 @@ def compute_routes(graph: ASGraph, origins: Sequence[int]) -> RouteTable:
 
     Unreachable ASes are absent from the result. With multiple origins
     the announcement is anycast: each AS reaches exactly one winning
-    origin. Returns a dict-like :class:`RouteTable`; route selection is
+    origin.
+
+    Returns a :class:`RouteTable` — a lazy mapping view over dense
+    parent/origin arrays, not a plain dict of :class:`Route` objects.
+    It supports the read-only mapping protocol (``table[asn]``,
+    ``.get``, ``in``, ``len``, iteration) plus cheap accessors that skip
+    :class:`Route` construction: ``path_of(asn)`` / ``origin_of(asn)`` /
+    ``length_of(asn)`` per AS, ``paths_for(asns)`` for bulk path dicts,
+    and ``holders()`` / ``holder_set()`` for the reachable set. Paths
+    are materialized only when asked for. Route selection is
     bit-identical to :func:`_compute_routes_reference`.
     """
     if not origins:
@@ -631,7 +641,8 @@ class BgpSimulator:
     having to remember to :meth:`invalidate`.
     """
 
-    def __init__(self, graph: ASGraph, max_cache_entries: int = 256) -> None:
+    def __init__(self, graph: ASGraph, max_cache_entries: int = 256,
+                 recorder=None) -> None:
         if max_cache_entries < 1:
             raise TopologyError("max_cache_entries must be >= 1")
         self._graph = graph
@@ -641,6 +652,12 @@ class BgpSimulator:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._recorder = _resolve_recorder(recorder)
+
+    def attach_recorder(self, recorder) -> None:
+        """Mirror cache hit/miss/eviction and route-computation counters
+        onto a :class:`repro.obs.Recorder` (observation only)."""
+        self._recorder = _resolve_recorder(recorder)
 
     @property
     def graph(self) -> ASGraph:
@@ -671,14 +688,19 @@ class BgpSimulator:
         table = self._cache.get(key)
         if table is not None:
             self._hits += 1
+            self._recorder.count("routing.cache.hits")
             self._cache.move_to_end(key)
             return table
         self._misses += 1
         table = compute_routes(self._graph, sorted(key))
+        self._recorder.count("routing.cache.misses")
+        self._recorder.count("routing.routes_computed")
+        self._recorder.count("routing.ases_visited", len(table))
         self._cache[key] = table
         while len(self._cache) > self._max_entries:
             self._cache.popitem(last=False)
             self._evictions += 1
+            self._recorder.count("routing.cache.evictions")
         return table
 
     def route(self, src: int, dst: int) -> Optional[Route]:

@@ -1,0 +1,33 @@
+"""Observability: span timers, counters and per-run manifests.
+
+Zero-dependency instrumentation for the map pipeline. A
+:class:`Recorder` threads through :class:`repro.core.builder.MapBuilder`,
+every ``repro.measure`` campaign, :class:`repro.net.routing.BgpSimulator`
+and :class:`repro.faults.FaultContext`; the collected spans/counters fold
+into a :class:`RunManifest` JSON document (CLI ``--metrics out.json``,
+live span log via ``--trace``). The :data:`NULL_RECORDER` default makes
+all of it free — and bit-identical — when unused. See
+``docs/observability.md``.
+"""
+
+from .manifest import (FORMAT_VERSION, KNOWN_CAMPAIGNS, CampaignRecord,
+                       RunManifest, collect_manifest, config_digest,
+                       fault_plan_digest, validate_manifest)
+from .recorder import (NULL_RECORDER, NullRecorder, Recorder, StageTiming,
+                       resolve_recorder)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "KNOWN_CAMPAIGNS",
+    "CampaignRecord",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "RunManifest",
+    "StageTiming",
+    "collect_manifest",
+    "config_digest",
+    "fault_plan_digest",
+    "resolve_recorder",
+    "validate_manifest",
+]

@@ -1,0 +1,380 @@
+"""Per-run manifests: what a build did, machine-readable.
+
+A :class:`RunManifest` is the provenance record written next to a map
+(``python -m repro --metrics out.json``): which config (by hash) and seed
+produced it, under which fault plan, how long each stage took, what every
+campaign sent/dropped/retried, how the route cache behaved, and what
+coverage each map component ended up with. It is plain JSON — no
+dependencies beyond the standard library — so dashboards, CI checks and
+benchmark harnesses can consume it without importing the package.
+
+Schema (``format_version`` 1), field by field, is documented in
+``docs/observability.md``; :func:`validate_manifest` enforces it and the
+counter invariants (e.g. per campaign ``units == delivered + giveups``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ValidationError
+from .recorder import Recorder, StageTiming
+
+FORMAT_VERSION = 1
+
+# The eleven measurement campaigns of repro.measure, by their canonical
+# names. Kept as literals (not imports) so the manifest layer stays
+# import-light and cycle-free; tests/test_obs.py cross-checks these
+# against the *_CAMPAIGN constants in the campaign modules.
+KNOWN_CAMPAIGNS = (
+    "cache-probing",
+    "root-logs",
+    "tls-scan",
+    "sni-scan",
+    "ecs-mapping",
+    "catchment-probing",
+    "atlas-platform",
+    "cloud-vantage",
+    "ipid-monitoring",
+    "resolver-association",
+    "reverse-traceroute",
+)
+
+_CAMPAIGN_COUNTER_FIELDS = ("units", "attempts", "drops", "retries",
+                            "giveups", "delivered")
+
+
+@dataclass
+class CampaignRecord:
+    """One campaign's row in the manifest.
+
+    Counter semantics match :class:`repro.faults.FaultCounters`:
+    ``delivered = units - giveups`` and ``coverage = delivered / units``
+    (1.0 when no units were at risk). ``wall_s`` is None when the
+    campaign never opened a span this run.
+    """
+
+    ran: bool = False
+    failed: bool = False
+    failure_reason: Optional[str] = None
+    units: int = 0
+    attempts: int = 0
+    drops: int = 0
+    retries: int = 0
+    giveups: int = 0
+    delivered: int = 0
+    backoff_s: float = 0.0
+    coverage: float = 1.0
+    wall_s: Optional[float] = None
+
+
+@dataclass
+class RunManifest:
+    """The serializable provenance record of one instrumented run."""
+
+    seed: int
+    config_hash: str
+    format_version: int = FORMAT_VERSION
+    created_unix: float = 0.0
+    command: Optional[str] = None
+    scale: Optional[str] = None
+    fault_plan: Optional[Dict[str, object]] = None
+    stages: List[StageTiming] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    campaigns: Dict[str, CampaignRecord] = field(default_factory=dict)
+    route_cache: Optional[Dict[str, float]] = None
+    coverage: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    # -- lookups ----------------------------------------------------------
+
+    def stage(self, name: str) -> Optional[StageTiming]:
+        """A stage by span label or full dotted path (None if absent)."""
+        for timing in self.stages:
+            if timing.name == name or timing.path == name:
+                return timing
+        return None
+
+    def campaign(self, name: str) -> CampaignRecord:
+        try:
+            return self.campaigns[name]
+        except KeyError:
+            raise ValidationError(
+                f"manifest has no campaign {name!r}") from None
+
+    def campaigns_ran(self) -> List[str]:
+        return sorted(n for n, rec in self.campaigns.items() if rec.ran)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = dataclasses.asdict(self)
+        payload["stages"] = [dataclasses.asdict(s) for s in self.stages]
+        payload["campaigns"] = {
+            name: dataclasses.asdict(rec)
+            for name, rec in self.campaigns.items()}
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunManifest":
+        validate_manifest(payload)
+        stages = [StageTiming(path=s["path"], name=s["name"],
+                              calls=int(s["calls"]),
+                              wall_s=float(s["wall_s"]))
+                  for s in payload["stages"]]
+        campaigns = {
+            name: CampaignRecord(**rec)
+            for name, rec in payload["campaigns"].items()}
+        return cls(
+            seed=int(payload["seed"]),
+            config_hash=str(payload["config_hash"]),
+            format_version=int(payload["format_version"]),
+            created_unix=float(payload.get("created_unix", 0.0)),
+            command=payload.get("command"),
+            scale=payload.get("scale"),
+            fault_plan=payload.get("fault_plan"),
+            stages=stages,
+            counters=dict(payload.get("counters", {})),
+            gauges=dict(payload.get("gauges", {})),
+            campaigns=campaigns,
+            route_cache=payload.get("route_cache"),
+            coverage=dict(payload.get("coverage", {})))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "RunManifest":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+
+# ---------------------------------------------------------------------------
+# Digests
+# ---------------------------------------------------------------------------
+
+def config_digest(config) -> str:
+    """Stable hash of a :class:`ScenarioConfig` (sub-configs included).
+
+    Two runs share a ``config_hash`` iff every knob matched, which is
+    what makes manifests comparable across machines and sessions.
+    """
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True,
+                         default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def fault_plan_digest(plan) -> str:
+    """Stable hash of a :class:`FaultPlan` (rates, seed and retry)."""
+    payload = json.dumps(dataclasses.asdict(plan), sort_keys=True,
+                         default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Collection
+# ---------------------------------------------------------------------------
+
+def collect_manifest(recorder: Recorder, config, *, faults=None,
+                     cache_stats=None, itm=None,
+                     command: Optional[str] = None,
+                     scale: Optional[str] = None) -> RunManifest:
+    """Fold a run's recorder, fault context and map into one manifest.
+
+    ``faults`` is an optional :class:`repro.faults.FaultContext`;
+    ``cache_stats`` an optional :class:`repro.net.routing.CacheStats`;
+    ``itm`` an optional built :class:`InternetTrafficMap` (its coverage
+    report becomes the manifest's ``coverage`` section). All three are
+    duck-typed so this module imports nothing above ``repro.errors``.
+    """
+    manifest = RunManifest(
+        seed=int(config.seed),
+        config_hash=config_digest(config),
+        created_unix=time.time(),
+        command=command,
+        scale=scale,
+        stages=recorder.spans(),
+        counters=dict(recorder.counters),
+        gauges=dict(recorder.gauges))
+
+    scopes = {}
+    if faults is not None:
+        scopes = faults.scopes()
+        if not faults.is_null:
+            plan = faults.plan
+            manifest.fault_plan = {
+                "describe": plan.describe(),
+                "seed": int(plan.seed),
+                "digest": fault_plan_digest(plan),
+                "retry_attempts": int(faults.retry.max_attempts),
+                "backoff_base_s": float(faults.retry.backoff_base_s),
+            }
+
+    for name in list(KNOWN_CAMPAIGNS) + sorted(
+            set(scopes) - set(KNOWN_CAMPAIGNS)):
+        stage = recorder.stage(f"measure.{name}")
+        scope = scopes.get(name)
+        record = CampaignRecord(
+            ran=stage is not None,
+            wall_s=None if stage is None else stage.wall_s)
+        if scope is not None:
+            counters = scope.counters
+            record.ran = record.ran or counters.units > 0 or scope.failed
+            record.failed = scope.failed
+            record.failure_reason = scope.failure_reason
+            record.units = counters.units
+            record.attempts = counters.attempts
+            record.drops = counters.drops
+            record.retries = counters.retries
+            record.giveups = counters.giveups
+            record.delivered = counters.delivered
+            record.backoff_s = counters.backoff_s
+            record.coverage = scope.coverage
+        manifest.campaigns[name] = record
+
+    if cache_stats is not None:
+        manifest.route_cache = {
+            "entries": int(cache_stats.entries),
+            "max_entries": int(cache_stats.max_entries),
+            "hits": int(cache_stats.hits),
+            "misses": int(cache_stats.misses),
+            "evictions": int(cache_stats.evictions),
+            "hit_rate": float(cache_stats.hit_rate),
+        }
+
+    if itm is not None:
+        for component, cov in itm.coverage.items():
+            manifest.coverage[component] = {
+                "coverage": float(cov.coverage),
+                "techniques_intended": list(cov.techniques_intended),
+                "techniques_delivered": list(cov.techniques_delivered),
+                "notes": list(cov.notes),
+            }
+    return manifest
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+def _check(errors: List[str], condition: bool, message: str) -> None:
+    if not condition:
+        errors.append(message)
+
+
+def validate_manifest(payload: Dict[str, object]) -> None:
+    """Check a manifest dict against the format-1 schema.
+
+    Raises :class:`ValidationError` listing every violation found:
+    missing/ill-typed fields, malformed stage entries, and broken
+    counter invariants (``units == delivered + giveups``,
+    ``drops >= retries`` accounting, coverages outside ``[0, 1]``).
+    """
+    errors: List[str] = []
+    _check(errors, isinstance(payload, dict), "manifest must be an object")
+    if errors:
+        raise ValidationError("; ".join(errors))
+
+    _check(errors, payload.get("format_version") == FORMAT_VERSION,
+           f"format_version must be {FORMAT_VERSION}")
+    _check(errors, isinstance(payload.get("seed"), int),
+           "seed must be an integer")
+    config_hash = payload.get("config_hash")
+    _check(errors, isinstance(config_hash, str) and len(config_hash) >= 8,
+           "config_hash must be a hex string")
+
+    stages = payload.get("stages")
+    if not isinstance(stages, list):
+        errors.append("stages must be a list")
+    else:
+        for i, stage in enumerate(stages):
+            if not isinstance(stage, dict):
+                errors.append(f"stages[{i}] must be an object")
+                continue
+            _check(errors, isinstance(stage.get("path"), str)
+                   and isinstance(stage.get("name"), str),
+                   f"stages[{i}] needs string path/name")
+            _check(errors, isinstance(stage.get("calls"), int)
+                   and stage.get("calls", 0) >= 1,
+                   f"stages[{i}].calls must be a positive integer")
+            wall = stage.get("wall_s")
+            _check(errors, isinstance(wall, (int, float)) and wall >= 0,
+                   f"stages[{i}].wall_s must be a non-negative number")
+
+    for section in ("counters", "gauges"):
+        values = payload.get(section, {})
+        if not isinstance(values, dict):
+            errors.append(f"{section} must be an object")
+            continue
+        for key, value in values.items():
+            _check(errors, isinstance(key, str)
+                   and isinstance(value, (int, float)),
+                   f"{section}[{key!r}] must map a string to a number")
+
+    campaigns = payload.get("campaigns")
+    if not isinstance(campaigns, dict):
+        errors.append("campaigns must be an object")
+        campaigns = {}
+    for name, record in campaigns.items():
+        if not isinstance(record, dict):
+            errors.append(f"campaigns[{name!r}] must be an object")
+            continue
+        for field_name in _CAMPAIGN_COUNTER_FIELDS:
+            value = record.get(field_name)
+            _check(errors, isinstance(value, int) and value >= 0,
+                   f"campaigns[{name!r}].{field_name} must be a "
+                   f"non-negative integer")
+        if all(isinstance(record.get(f), int)
+               for f in _CAMPAIGN_COUNTER_FIELDS):
+            _check(errors,
+                   record["units"] == record["delivered"]
+                   + record["giveups"],
+                   f"campaigns[{name!r}]: units != delivered + giveups")
+        coverage = record.get("coverage")
+        _check(errors, isinstance(coverage, (int, float))
+               and 0.0 <= coverage <= 1.0,
+               f"campaigns[{name!r}].coverage must be in [0, 1]")
+        backoff = record.get("backoff_s", 0.0)
+        _check(errors, isinstance(backoff, (int, float)) and backoff >= 0,
+               f"campaigns[{name!r}].backoff_s must be non-negative")
+
+    route_cache = payload.get("route_cache")
+    if route_cache is not None:
+        if not isinstance(route_cache, dict):
+            errors.append("route_cache must be an object or null")
+        else:
+            for key in ("entries", "max_entries", "hits", "misses",
+                        "evictions"):
+                _check(errors, isinstance(route_cache.get(key), int)
+                       and route_cache.get(key, -1) >= 0,
+                       f"route_cache.{key} must be a non-negative integer")
+
+    coverage = payload.get("coverage", {})
+    if not isinstance(coverage, dict):
+        errors.append("coverage must be an object")
+    else:
+        for component, record in coverage.items():
+            if not isinstance(record, dict):
+                errors.append(f"coverage[{component!r}] must be an object")
+                continue
+            value = record.get("coverage")
+            _check(errors, isinstance(value, (int, float))
+                   and 0.0 <= value <= 1.0,
+                   f"coverage[{component!r}].coverage must be in [0, 1]")
+
+    if errors:
+        raise ValidationError("invalid manifest: " + "; ".join(errors))

@@ -67,3 +67,42 @@ class TestCli:
         assert "# Internet Traffic Map" in text
         assert "Headline claims" in text
         assert "| id | claim |" in text
+
+    def test_command_defaults_to_summary(self, capsys):
+        assert main(["--scale", "small"]) == 0
+        assert "Internet Traffic Map" in capsys.readouterr().out
+
+    def test_metrics_flag_writes_valid_manifest(self, tmp_path, capsys):
+        from repro.obs import (KNOWN_CAMPAIGNS, RunManifest,
+                               validate_manifest)
+        path = tmp_path / "metrics.json"
+        assert main(["--scale", "small", "--metrics", str(path),
+                     "summary"]) == 0
+        captured = capsys.readouterr()
+        assert f"wrote metrics manifest to {path}" in captured.err
+        manifest = RunManifest.load(str(path))
+        validate_manifest(manifest.to_dict())
+        assert manifest.command == "summary"
+        assert manifest.scale == "small"
+        # An instrumented CLI run covers every measurement campaign.
+        for name in KNOWN_CAMPAIGNS:
+            assert manifest.stage(f"measure.{name}") is not None, name
+        assert manifest.stage("build") is not None
+
+    def test_metrics_with_faults_records_plan(self, tmp_path, capsys):
+        from repro.obs import RunManifest
+        path = tmp_path / "metrics.json"
+        assert main(["--scale", "small", "--faults", "probe_loss=0.2",
+                     "--metrics", str(path), "summary"]) == 0
+        manifest = RunManifest.load(str(path))
+        assert manifest.fault_plan is not None
+        assert "probe_loss" in manifest.fault_plan["describe"]
+        record = manifest.campaign("cache-probing")
+        assert record.units == record.delivered + record.giveups
+
+    def test_trace_flag_streams_span_log(self, capsys):
+        assert main(["--scale", "small", "--trace", "table1"]) == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+        assert "[trace] > build" in captured.err
+        assert "measure.cache-probing" in captured.err

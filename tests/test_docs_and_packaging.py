@@ -1,14 +1,19 @@
 """Repository hygiene: docs exist, public modules are documented,
-examples are importable, the package exports what the README promises."""
+examples are importable, intra-repo doc links resolve, the package
+exports what the README promises."""
 
 import ast
 import importlib
 import pathlib
+import re
 
 import pytest
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
+
+# Markdown inline links: [text](target), ignoring images and footnotes.
+_MD_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
 
 
 def all_modules():
@@ -22,8 +27,30 @@ class TestDocumentation:
     def test_required_docs_exist(self):
         for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                      "docs/architecture.md", "docs/techniques.md",
-                     "docs/calibration.md"):
+                     "docs/calibration.md", "docs/observability.md",
+                     "docs/tutorial.md"):
             assert (REPO / name).is_file(), name
+
+    def test_intra_repo_doc_links_resolve(self):
+        """Every relative markdown link in README/docs points at a real
+        file (external URLs and pure #anchors are skipped)."""
+        sources = [REPO / "README.md", REPO / "DESIGN.md",
+                   REPO / "EXPERIMENTS.md"]
+        sources += sorted((REPO / "docs").glob("*.md"))
+        broken = []
+        for source in sources:
+            for target in _MD_LINK.findall(source.read_text()):
+                if target.startswith(("http://", "https://", "mailto:",
+                                      "#")):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (source.parent / path).resolve()
+                if not resolved.exists():
+                    broken.append(
+                        f"{source.relative_to(REPO)} -> {target}")
+        assert not broken, f"broken doc links: {broken}"
 
     def test_design_has_experiment_index(self):
         text = (REPO / "DESIGN.md").read_text()
