@@ -1,0 +1,65 @@
+"""Crash/resume at paper scale: bit-identity and recovered wall-time.
+
+The small-world tests in ``tests/test_ckpt.py`` lock the checkpoint
+contract; this benchmark exercises it where it matters — the paper-scale
+world — and reports how much of a fresh build a crash-then-resume run
+gets back from snapshots (the numbers quoted in ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.ckpt import run_supervised
+from repro.core.builder import BuilderOptions, checkpoint_stages
+from repro.core.serialize import map_to_json
+from repro.faults import FaultPlan
+
+OPTS = BuilderOptions(run_auxiliary_campaigns=True)
+
+
+def test_crash_resume_bit_identical_at_scale(scenario, builder,
+                                             tmp_path_factory):
+    # The session fixture's uninterrupted build is the reference.
+    fresh_json = map_to_json(builder.itm)
+
+    ckpt = tmp_path_factory.mktemp("ckpt-scale")
+    start = time.perf_counter()
+    report = run_supervised(scenario, ckpt, options=OPTS,
+                            faults=FaultPlan.none().with_crash_at(
+                                "services"))
+    wall = time.perf_counter() - start
+
+    assert report.completed and report.crashes == 1
+    assert map_to_json(report.itm) == fresh_json
+
+    stages = checkpoint_stages(OPTS)
+    final = report.runs[-1]
+    assert final.stages_reused == stages.index("services") + 1
+    assert final.stages_reused + final.stages_recomputed == len(stages)
+    print(f"\ncrash@services + resume: {wall:.2f}s total, final run "
+          f"reused {final.stages_reused}/{len(stages)} stages")
+
+
+def test_clean_resume_reuses_every_stage_at_scale(scenario, builder,
+                                                  tmp_path_factory):
+    from repro.core.builder import MapBuilder
+
+    ckpt = tmp_path_factory.mktemp("ckpt-clean")
+    t0 = time.perf_counter()
+    MapBuilder(scenario, options=OPTS, checkpoint_dir=ckpt).build()
+    fresh_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    resumed = MapBuilder(scenario, options=OPTS, checkpoint_dir=ckpt,
+                         resume=True)
+    itm = resumed.build()
+    resume_wall = time.perf_counter() - t0
+
+    lineage = resumed.ckpt_lineage
+    assert lineage.stages_reused == list(checkpoint_stages(OPTS))
+    assert not lineage.quarantined
+    assert map_to_json(itm) == map_to_json(builder.itm)
+    assert resume_wall < fresh_wall
+    print(f"\nfresh+checkpoint {fresh_wall:.2f}s, full resume "
+          f"{resume_wall:.2f}s ({fresh_wall / resume_wall:.1f}x faster)")

@@ -1,0 +1,25 @@
+"""Crash-recoverable builds: stage checkpoints, verified resume.
+
+Each :class:`repro.core.builder.MapBuilder` stage can snapshot its
+output to a :class:`CheckpointStore` (content-addressed, atomically
+written); a build started with ``resume=True`` loads verified snapshots
+instead of recomputing, quarantines anything corrupt or incompatible,
+and — the subsystem's hard guarantee — produces a map bit-identical to
+a fresh uninterrupted build. :func:`run_supervised` wraps the
+build/crash/resume loop; see ``docs/checkpointing.md``.
+"""
+
+from .store import (CKPT_FORMAT_VERSION, CheckpointError,
+                    CheckpointLineage, CheckpointStore, LoadedSnapshot)
+from .supervisor import SupervisedRun, SupervisionReport, run_supervised
+
+__all__ = [
+    "CKPT_FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointLineage",
+    "CheckpointStore",
+    "LoadedSnapshot",
+    "SupervisedRun",
+    "SupervisionReport",
+    "run_supervised",
+]

@@ -1,0 +1,280 @@
+"""Content-addressed stage snapshots with atomic writes and quarantine.
+
+A :class:`CheckpointStore` owns one ``--checkpoint-dir``. Each builder
+stage saves its output as a JSON snapshot whose *body* (payload +
+fault-scope states + builder notes) is digested with SHA-256; the digest
+rides in the envelope and — truncated — in the filename, so a snapshot
+is content-addressed and self-verifying. Writes are atomic (temp file in
+the same directory, then ``os.replace``) so a crash mid-save can never
+leave a half-written snapshot where a resume would trust it.
+
+On load the store verifies, in order: the file parses, the envelope
+schema version and stage name match, the config / fault-plan / options
+digests match the current build, and the recomputed body digest equals
+the recorded one. Any failure *quarantines* the snapshot (moves it to
+``quarantine/`` and records the reason in the lineage) and reports a
+miss, so the builder recomputes the stage instead of trusting bad data —
+a wrong map is strictly worse than a slow one.
+
+Layout under the checkpoint dir::
+
+    snapshots/<stage>.<digest12>.json   one per stage, newest wins
+    quarantine/<n>-<original name>      failed verification, kept for
+                                        post-mortems
+
+Determinism note: nothing here depends on wall-clock or randomness; the
+envelope records ``created_unix`` for humans only, and it is excluded
+from the digest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+from ..obs.recorder import NULL_RECORDER, Recorder
+
+#: Snapshot envelope schema version; bump on incompatible layout change.
+CKPT_FORMAT_VERSION = 1
+
+#: Hex digits of the body digest carried in the snapshot filename.
+_NAME_DIGEST_LEN = 12
+
+
+class CheckpointError(ReproError):
+    """A checkpoint operation failed unrecoverably (I/O, bad root)."""
+
+
+@dataclass
+class LoadedSnapshot:
+    """A verified snapshot, ready for the builder to apply.
+
+    ``payload`` is still in its serialized (plain-JSON) form — the
+    builder decodes it with :func:`repro.core.serialize.
+    stage_payload_from_dict`; ``scopes`` / ``notes`` are the absolute
+    post-stage fault-scope states and note lists the stage recorded.
+    """
+
+    stage: str
+    payload: object
+    scopes: Dict[str, Dict]
+    notes: Dict[str, List[str]]
+
+
+@dataclass
+class CheckpointLineage:
+    """What a checkpointed build reused, recomputed and quarantined.
+
+    Feeds the :class:`repro.obs.RunManifest` ``checkpoint`` section;
+    ``validate_manifest`` holds ``len(stages_reused) +
+    len(stages_recomputed) == stages_total``.
+    """
+
+    checkpoint_dir: str
+    resumed: bool
+    stages_total: int = 0
+    stages_reused: List[str] = field(default_factory=list)
+    stages_recomputed: List[str] = field(default_factory=list)
+    quarantined: List[Dict[str, str]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (the manifest section verbatim)."""
+        return dataclasses.asdict(self)
+
+
+class CheckpointStore:
+    """Atomic, verified stage snapshots under one checkpoint directory.
+
+    The three digests pin snapshot compatibility: a snapshot satisfies a
+    resume only if the scenario config, the fault plan (crash schedule
+    excluded — see :func:`repro.obs.manifest.fault_plan_digest`) and the
+    builder options all match the run that wrote it.
+    """
+
+    def __init__(self, root, *, config_digest: str,
+                 fault_plan_digest: str, options_digest: str,
+                 recorder: Optional[Recorder] = None) -> None:
+        self.root = Path(root)
+        self.snapshot_dir = self.root / "snapshots"
+        self.quarantine_dir = self.root / "quarantine"
+        self.config_digest = config_digest
+        self.fault_plan_digest = fault_plan_digest
+        self.options_digest = options_digest
+        self._recorder = recorder or NULL_RECORDER
+        try:
+            self.snapshot_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create checkpoint dir {self.root}: {exc}") \
+                from None
+
+    # -- digests ----------------------------------------------------------
+
+    @staticmethod
+    def _body_bytes(body: Dict[str, object]) -> bytes:
+        # Compact, order-preserving: dict insertion order is meaningful
+        # (see repro.core.serialize) so the body is NOT key-sorted. The
+        # digest therefore covers the exact order a resume will see.
+        return json.dumps(body, separators=(",", ":")).encode()
+
+    @classmethod
+    def body_digest(cls, body: Dict[str, object]) -> str:
+        """SHA-256 hex digest of a snapshot body."""
+        return hashlib.sha256(cls._body_bytes(body)).hexdigest()
+
+    # -- paths ------------------------------------------------------------
+
+    def snapshot_paths(self, stage: str) -> List[Path]:
+        """Existing snapshot files for a stage (normally zero or one)."""
+        return sorted(self.snapshot_dir.glob(f"{stage}.*.json"))
+
+    # -- save -------------------------------------------------------------
+
+    def save(self, stage: str, payload: object,
+             scopes: Dict[str, Dict],
+             notes: Dict[str, List[str]]) -> Path:
+        """Atomically persist one stage's snapshot; returns its path.
+
+        Any older snapshot of the same stage is removed after the new
+        one is durably in place, so a reader never sees zero snapshots
+        where one existed.
+        """
+        rec = self._recorder
+        with rec.span("ckpt.save"):
+            body = {"payload": payload, "scopes": scopes, "notes": notes}
+            digest = self.body_digest(body)
+            envelope = {
+                "format_version": CKPT_FORMAT_VERSION,
+                "stage": stage,
+                "config_digest": self.config_digest,
+                "fault_plan_digest": self.fault_plan_digest,
+                "options_digest": self.options_digest,
+                "payload_sha256": digest,
+                "created_unix": time.time(),
+                "body": body,
+            }
+            final = self.snapshot_dir / (
+                f"{stage}.{digest[:_NAME_DIGEST_LEN]}.json")
+            tmp = self.snapshot_dir / f".{final.name}.tmp"
+            try:
+                with open(tmp, "w") as handle:
+                    json.dump(envelope, handle, indent=2)
+                    handle.write("\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, final)
+            except OSError as exc:
+                raise CheckpointError(
+                    f"cannot write snapshot for stage {stage!r}: {exc}") \
+                    from None
+            for stale in self.snapshot_paths(stage):
+                if stale != final:
+                    stale.unlink(missing_ok=True)
+            rec.count("ckpt.saves")
+        return final
+
+    # -- load -------------------------------------------------------------
+
+    def load(self, stage: str,
+             lineage: Optional[CheckpointLineage] = None
+             ) -> Optional[LoadedSnapshot]:
+        """Verified snapshot for a stage, or None (miss / quarantined).
+
+        A missing snapshot is a plain miss. A snapshot that fails
+        verification is moved to ``quarantine/`` (reason recorded on
+        ``lineage``) and also reported as a miss, so the caller
+        recomputes.
+        """
+        rec = self._recorder
+        paths = self.snapshot_paths(stage)
+        if not paths:
+            rec.count("ckpt.misses")
+            return None
+        # Newest (and normally only) candidate last; older leftovers are
+        # quarantined rather than silently ignored.
+        for path in paths[:-1]:
+            self._quarantine(path, stage, "superseded duplicate snapshot",
+                             lineage)
+        path = paths[-1]
+        with rec.span("ckpt.verify"):
+            rec.count("ckpt.verifies")
+            reason = None
+            envelope = None
+            try:
+                with open(path) as handle:
+                    envelope = json.load(handle)
+            except (OSError, json.JSONDecodeError) as exc:
+                reason = f"unreadable snapshot: {exc}"
+            if reason is None:
+                reason = self._verify(stage, envelope)
+        if reason is not None:
+            self._quarantine(path, stage, reason, lineage)
+            rec.count("ckpt.misses")
+            return None
+        with rec.span("ckpt.load"):
+            rec.count("ckpt.loads")
+            body = envelope["body"]
+            return LoadedSnapshot(
+                stage=stage,
+                payload=body["payload"],
+                scopes=body.get("scopes", {}),
+                notes=body.get("notes", {}))
+
+    def _verify(self, stage: str, envelope: object) -> Optional[str]:
+        """Reason the envelope is unusable, or None when it checks out."""
+        if not isinstance(envelope, dict):
+            return "snapshot is not a JSON object"
+        if envelope.get("format_version") != CKPT_FORMAT_VERSION:
+            return (f"schema version "
+                    f"{envelope.get('format_version')!r} != "
+                    f"{CKPT_FORMAT_VERSION}")
+        if envelope.get("stage") != stage:
+            return f"stage mismatch: {envelope.get('stage')!r}"
+        for key, want in (("config_digest", self.config_digest),
+                          ("fault_plan_digest", self.fault_plan_digest),
+                          ("options_digest", self.options_digest)):
+            if envelope.get(key) != want:
+                return (f"{key} mismatch: snapshot "
+                        f"{envelope.get(key)!r} != current {want!r}")
+        body = envelope.get("body")
+        if not isinstance(body, dict) or "payload" not in body:
+            return "snapshot body is missing"
+        if self.body_digest(body) != envelope.get("payload_sha256"):
+            return "payload digest mismatch (corrupt snapshot)"
+        return None
+
+    # -- quarantine -------------------------------------------------------
+
+    def _quarantine(self, path: Path, stage: str, reason: str,
+                    lineage: Optional[CheckpointLineage]) -> None:
+        """Move a bad snapshot aside and record why."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_dir / path.name
+        n = 0
+        while target.exists():
+            n += 1
+            target = self.quarantine_dir / f"{n}-{path.name}"
+        try:
+            os.replace(path, target)
+        except OSError:
+            # Losing the post-mortem copy is acceptable; trusting the
+            # snapshot is not. Best effort removal instead.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            target = path
+        self._recorder.count("ckpt.quarantined")
+        if lineage is not None:
+            lineage.quarantined.append({
+                "stage": stage,
+                "reason": reason,
+                "path": str(target),
+            })

@@ -1,0 +1,111 @@
+"""Crash supervision: re-run a checkpointed build until it completes.
+
+The paper's map is meant to be rebuilt continuously from long-running
+campaigns (§3.1-§3.3); a production builder therefore needs the same
+checkpoint/restart discipline as a training job. :func:`run_supervised`
+is that restart loop in miniature: construct a :class:`MapBuilder`
+against a checkpoint directory, build, and — when the build dies with a
+:class:`repro.faults.SimulatedCrash` — construct a fresh builder and
+resume from the snapshots the dead run left behind. Because a crash
+fires only after its stage's snapshot is durably on disk, every run
+makes at least one stage of progress, so the loop terminates.
+
+The resulting map is bit-identical to an uninterrupted build (the
+``repro.ckpt`` hard guarantee, regression-locked in
+``tests/test_ckpt.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..faults import SimulatedCrash
+from ..obs.recorder import Recorder
+from .store import CheckpointError
+
+
+@dataclass
+class SupervisedRun:
+    """One builder run under supervision."""
+
+    attempt: int
+    crashed_at: Optional[str]          # None = completed
+    stages_reused: int = 0
+    stages_recomputed: int = 0
+
+
+@dataclass
+class SupervisionReport:
+    """What the supervisor did to get a map out the other side.
+
+    ``builder`` is the final (successful) builder — its
+    ``ckpt_lineage`` and ``manifest()`` describe the completing run.
+    """
+
+    runs: List[SupervisedRun] = field(default_factory=list)
+    itm: object = None
+    builder: object = None
+
+    @property
+    def completed(self) -> bool:
+        return self.itm is not None
+
+    @property
+    def crashes(self) -> int:
+        return sum(1 for run in self.runs if run.crashed_at is not None)
+
+
+def run_supervised(scenario, checkpoint_dir, *, options=None, faults=None,
+                   recorder_factory: Optional[
+                       Callable[[], Recorder]] = None,
+                   max_runs: Optional[int] = None) -> SupervisionReport:
+    """Build a map, restarting from checkpoints after simulated crashes.
+
+    ``faults`` may arm ``crash_at``; the first run then dies at that
+    stage boundary and the next run resumes past it. ``recorder_factory``
+    (not a shared recorder) is called once per run, because spans cannot
+    restart across builder lifetimes. ``max_runs`` defaults to
+    stage-count + 2 — enough for a crash at every boundary plus the
+    clean final pass — and exceeding it raises :class:`CheckpointError`,
+    which can only mean resume is not making progress.
+    """
+    # Imported here, not at module top: repro.core.builder is this
+    # package's consumer (it loads repro.ckpt.store), so a top-level
+    # import would be circular.
+    from ..core.builder import MapBuilder
+
+    report = SupervisionReport()
+    attempt = 0
+    while True:
+        attempt += 1
+        recorder = recorder_factory() if recorder_factory else None
+        builder = MapBuilder(scenario, options=options, faults=faults,
+                             recorder=recorder,
+                             checkpoint_dir=checkpoint_dir, resume=True)
+        if max_runs is None:
+            max_runs = len(builder.stages()) + 2
+        try:
+            itm = builder.build()
+        except SimulatedCrash as crash:
+            lineage = builder.ckpt_lineage
+            report.runs.append(SupervisedRun(
+                attempt=attempt,
+                crashed_at=crash.stage,
+                stages_reused=len(lineage.stages_reused),
+                stages_recomputed=len(lineage.stages_recomputed)))
+            if attempt >= max_runs:
+                raise CheckpointError(
+                    f"supervisor gave up after {attempt} runs "
+                    f"(last crash at {crash.stage!r}): resume is not "
+                    "making progress") from None
+            continue
+        lineage = builder.ckpt_lineage
+        report.runs.append(SupervisedRun(
+            attempt=attempt,
+            crashed_at=None,
+            stages_reused=len(lineage.stages_reused),
+            stages_recomputed=len(lineage.stages_recomputed)))
+        report.itm = itm
+        report.builder = builder
+        return report

@@ -20,6 +20,14 @@ observability pair ``--metrics PATH`` (write a :class:`repro.obs`
 run-manifest JSON) / ``--trace`` (live span log on stderr). Either
 observability flag attaches a recorder and also runs the auxiliary
 campaigns, so the manifest covers all eleven measurement campaigns.
+``--map-json PATH`` writes the serialized map next to whatever the
+command prints.
+
+Crash recovery (see ``docs/checkpointing.md``): ``--checkpoint-dir D``
+snapshots every builder stage into ``D``; ``--resume`` loads the valid
+snapshots instead of recomputing; ``--crash-at STAGE`` arms a simulated
+crash at that stage boundary (exit code 3). The resumed map is
+bit-identical to an uninterrupted build.
 """
 
 from __future__ import annotations
@@ -29,8 +37,8 @@ import sys
 from typing import List, Optional
 
 from . import ScenarioConfig, build_scenario
-from .errors import ConfigError
-from .faults import FaultPlan, RetryPolicy
+from .errors import ConfigError, ValidationError
+from .faults import FaultPlan, RetryPolicy, SimulatedCrash
 from .analysis.claims import ClaimSuite
 from .analysis.figures import (fig1a_prefixes_per_pop,
                                fig1b_coverage_and_servers,
@@ -49,10 +57,22 @@ SCALES = {
 }
 
 
+def _package_version() -> str:
+    """The installed distribution's version, else the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+        return version("repro")
+    except (ImportError, PackageNotFoundError):
+        from . import __version__
+        return __version__
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Internet Traffic Map reproduction (HotNets 2021)")
+    parser.add_argument("-V", "--version", action="version",
+                        version=f"%(prog)s {_package_version()}")
     parser.add_argument("--scale", choices=sorted(SCALES),
                         default="small",
                         help="world size (default: small)")
@@ -80,6 +100,19 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", action="store_true",
                         help="stream a live indented span log to stderr "
                              "while the build runs")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="snapshot every builder stage into DIR "
+                             "(atomic, content-addressed; see "
+                             "docs/checkpointing.md)")
+    parser.add_argument("--resume", action="store_true",
+                        help="load verified snapshots from "
+                             "--checkpoint-dir instead of recomputing "
+                             "(bit-identical to an uninterrupted build)")
+    parser.add_argument("--crash-at", metavar="STAGE", default=None,
+                        help="simulate a crash at this stage boundary "
+                             "(e.g. 'services'; exit code 3)")
+    parser.add_argument("--map-json", metavar="PATH", default=None,
+                        help="also write the serialized map JSON to PATH")
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("summary", help="build the map and summarise it")
     sub.add_parser("claims", help="run the headline-claim suite")
@@ -99,13 +132,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _parse_faults(args: argparse.Namespace) -> Optional[FaultPlan]:
     """The fault plan the flags describe, or None for a clean build."""
-    if args.faults is None:
+    if args.faults is None and args.crash_at is None:
         return None
     retry = None
     if args.fault_retries is not None:
         retry = RetryPolicy(max_attempts=args.fault_retries)
         retry.validate()
-    return FaultPlan.parse(args.faults, seed=args.fault_seed, retry=retry)
+    if args.faults is not None:
+        plan = FaultPlan.parse(args.faults, seed=args.fault_seed,
+                               retry=retry)
+    else:
+        plan = FaultPlan(seed=args.fault_seed,
+                         retry=retry or RetryPolicy())
+    if args.crash_at is not None:
+        plan = plan.with_crash_at(args.crash_at)
+    return plan
 
 
 def _make_recorder(args: argparse.Namespace) -> Recorder:
@@ -125,8 +166,16 @@ def _prepare(args: argparse.Namespace, recorder: Recorder):
     options = (BuilderOptions(run_auxiliary_campaigns=True)
                if recorder.enabled else None)
     builder = MapBuilder(scenario, options=options, faults=faults,
-                         recorder=recorder)
+                         recorder=recorder,
+                         checkpoint_dir=args.checkpoint_dir,
+                         resume=args.resume)
     itm = builder.build()
+    if args.map_json is not None:
+        from .core.serialize import map_to_json
+        with open(args.map_json, "w") as handle:
+            handle.write(map_to_json(itm, indent=2))
+            handle.write("\n")
+        print(f"wrote map JSON to {args.map_json}", file=sys.stderr)
     return scenario, builder, itm
 
 
@@ -208,6 +257,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command is None:
         args.command = "summary"
+    if args.resume and args.checkpoint_dir is None:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     try:
         _parse_faults(args)
     except ConfigError as exc:
@@ -248,7 +300,17 @@ def _write_manifest(args: argparse.Namespace, builder: MapBuilder) -> None:
 
 def _run(args: argparse.Namespace) -> int:
     recorder = _make_recorder(args)
-    scenario, builder, itm = _prepare(args, recorder)
+    try:
+        scenario, builder, itm = _prepare(args, recorder)
+    except SimulatedCrash as crash:
+        print(f"build died: {crash}", file=sys.stderr)
+        if args.checkpoint_dir is not None:
+            print(f"resume with: repro --checkpoint-dir "
+                  f"{args.checkpoint_dir} --resume", file=sys.stderr)
+        return 3
+    except ValidationError as exc:
+        print(f"bad build flags: {exc}", file=sys.stderr)
+        return 2
     try:
         if args.command == "summary":
             return _cmd_summary(scenario, builder, itm)

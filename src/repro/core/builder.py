@@ -35,6 +35,18 @@ Fault tolerance: handed a :class:`repro.faults.FaultPlan` (or a shared
 What happened is recorded in per-component :class:`ComponentCoverage`
 entries on the map, and — when a :class:`repro.obs.Recorder` is attached
 — in per-campaign counters and span timings for the run manifest.
+
+Crash recovery: constructed with a ``checkpoint_dir``, the builder
+snapshots each stage's output (see :data:`PRIMARY_STAGES` /
+:data:`AUX_STAGES`) through a :class:`repro.ckpt.CheckpointStore`;
+``resume=True`` loads verified snapshots instead of recomputing. Every
+stage is a pure function of (config, fault plan, options) — all
+randomness flows through named substreams — so any mix of loaded and
+recomputed stages yields a map bit-identical to an uninterrupted build.
+A fault plan with ``crash_at=<stage>`` raises
+:class:`repro.faults.SimulatedCrash` at that stage boundary *after* the
+snapshot is durable, and never after a snapshot load, so a supervised
+resume always makes progress (``repro.ckpt.run_supervised``).
 """
 
 from __future__ import annotations
@@ -46,7 +58,8 @@ import numpy as np
 
 from ..errors import MeasurementError, ValidationError
 from ..faults import (COLLECTOR_FEED_CAMPAIGN, FaultContext, FaultKind,
-                      FaultPlan, RetryPolicy, degraded_public_view)
+                      FaultPlan, RetryPolicy, SimulatedCrash,
+                      degraded_public_view)
 from ..measure.atlas import ATLAS_CAMPAIGN, AtlasPlatform, TracerouteResult
 from ..measure.cache_probing import (CACHE_PROBING_CAMPAIGN,
                                      CacheProbingCampaign,
@@ -70,13 +83,15 @@ from ..measure.rootlogs import (ROOTLOG_CAMPAIGN, RootLogCrawler,
                                 RootLogCrawlResult)
 from ..measure.sniscan import SNI_SCAN_CAMPAIGN, SniScanner
 from ..measure.tlsscan import TLS_SCAN_CAMPAIGN, TlsScanner, TlsScanResult
-from ..obs.manifest import RunManifest, collect_manifest
+from ..obs.manifest import (RunManifest, collect_manifest, config_digest,
+                            fault_plan_digest, options_digest)
 from ..obs.recorder import Recorder, resolve_recorder
 from ..services.hypergiants import RedirectionScheme
 from ..rand import substream
 from ..scenario import Scenario
 from .activity import ActivityEstimate, fuse_activity
 from .pathpred import PathPredictor
+from .serialize import stage_payload_from_dict, stage_payload_to_dict
 from .traffic_map import (ComponentCoverage, InternetTrafficMap,
                           MappedSite, RoutesComponent, ServicesComponent,
                           UsersComponent)
@@ -86,6 +101,22 @@ USERS_CAMPAIGNS = (CACHE_PROBING_CAMPAIGN, ROOTLOG_CAMPAIGN)
 SERVICES_CAMPAIGNS = (TLS_SCAN_CAMPAIGN, SNI_SCAN_CAMPAIGN,
                       ECS_MAPPING_CAMPAIGN, CATCHMENT_CAMPAIGN)
 ROUTES_CAMPAIGNS = (COLLECTOR_FEED_CAMPAIGN,)
+
+# Checkpoint stage boundaries, in execution order. Each name doubles as
+# the ``crash_at`` target of a fault plan and the key of a
+# repro.ckpt snapshot; repro.core.serialize registers a payload codec
+# per stage under the same name.
+PRIMARY_STAGES = ("cache-probing", "root-logs", "users", "services",
+                  "routes")
+AUX_STAGES = ("aux-atlas", "aux-reverse-traceroute", "aux-cloud-vantage",
+              "aux-ipid", "aux-resolver-assoc")
+
+
+def checkpoint_stages(options: "BuilderOptions") -> Tuple[str, ...]:
+    """The stage boundaries a build with these options passes through."""
+    if options.run_auxiliary_campaigns:
+        return PRIMARY_STAGES + AUX_STAGES
+    return PRIMARY_STAGES
 
 
 @dataclass(frozen=True)
@@ -152,7 +183,9 @@ class MapBuilder:
     def __init__(self, scenario: Scenario,
                  options: Optional[BuilderOptions] = None,
                  faults: Union[FaultPlan, FaultContext, None] = None,
-                 recorder: Optional[Recorder] = None
+                 recorder: Optional[Recorder] = None,
+                 checkpoint_dir=None,
+                 resume: bool = False
                  ) -> None:
         self._scenario = scenario
         self._options = options or BuilderOptions()
@@ -169,6 +202,32 @@ class MapBuilder:
             # builder never detaches another builder's recorder.
             self._faults.attach_recorder(self._recorder)
             self._scenario.bgp.attach_recorder(self._recorder)
+        crash_at = self._faults.plan.crash_at
+        if crash_at is not None and crash_at not in self.stages():
+            raise ValidationError(
+                f"crash_at={crash_at!r} is not a stage of this build "
+                f"(stages: {', '.join(self.stages())})")
+        self._resume = bool(resume)
+        self._ckpt_store = None
+        self.ckpt_lineage = None
+        if checkpoint_dir is not None:
+            # Imported lazily: repro.ckpt.supervisor imports this module.
+            from ..ckpt.store import CheckpointLineage, CheckpointStore
+            self._ckpt_store = CheckpointStore(
+                checkpoint_dir,
+                config_digest=config_digest(scenario.config),
+                fault_plan_digest=fault_plan_digest(self._faults.plan),
+                options_digest=options_digest(self._options),
+                recorder=self._recorder)
+            self.ckpt_lineage = CheckpointLineage(
+                checkpoint_dir=str(checkpoint_dir), resumed=self._resume)
+        elif resume:
+            raise ValidationError(
+                "resume=True needs a checkpoint_dir to resume from")
+
+    def stages(self) -> Tuple[str, ...]:
+        """This build's checkpoint stage boundaries, in order."""
+        return checkpoint_stages(self._options)
 
     @property
     def recorder(self) -> Recorder:
@@ -203,6 +262,56 @@ class MapBuilder:
     def _note(self, component: str, message: str) -> None:
         self._notes.setdefault(component, []).append(message)
 
+    # -- checkpointing --------------------------------------------------------
+
+    def _checkpointed(self, stage: str, compute,
+                      campaigns: Tuple[str, ...] = (),
+                      note_components: Tuple[str, ...] = ()):
+        """Run one stage through the checkpoint protocol.
+
+        With a store and ``resume=True``, a verified snapshot short-
+        circuits ``compute()``: the payload is decoded and the stage's
+        side effects — fault-scope counters of the ``campaigns`` it
+        touched, note lists of the ``note_components`` it wrote — are
+        restored *absolutely* (each snapshot carries the cumulative
+        state at its boundary, so restores are idempotent in stage
+        order, whatever mix of loads and recomputes precedes them).
+
+        An armed crash fires only after a fresh compute (and after its
+        snapshot is durable), never after a load — that asymmetry is
+        what makes supervised resume terminate.
+        """
+        lineage = self.ckpt_lineage
+        if lineage is not None:
+            lineage.stages_total += 1
+        store = self._ckpt_store
+        if store is not None and self._resume:
+            snapshot = store.load(stage, lineage)
+            if snapshot is not None:
+                value = stage_payload_from_dict(
+                    stage, snapshot.payload, atlas=self._scenario.atlas)
+                self._faults.restore_scopes(snapshot.scopes)
+                for component, notes in snapshot.notes.items():
+                    self._notes[component] = list(notes)
+                lineage.stages_reused.append(stage)
+                return value
+        value = compute()
+        if store is not None:
+            store.save(stage, stage_payload_to_dict(stage, value),
+                       scopes=self._faults.export_scopes(campaigns),
+                       notes={c: list(self._notes.get(c, []))
+                              for c in note_components})
+        if lineage is not None:
+            lineage.stages_recomputed.append(stage)
+        self._crash_if_armed(stage)
+        return value
+
+    def _crash_if_armed(self, stage: str) -> None:
+        """Die at this stage boundary if the fault plan says so."""
+        if self._faults.plan.crash_at == stage:
+            self._recorder.count("faults.crashes")
+            raise SimulatedCrash(stage)
+
     # -- users component ------------------------------------------------------
 
     def _run_cache_probing(self) -> CacheProbingResult:
@@ -226,37 +335,52 @@ class MapBuilder:
             faults=self._faults, recorder=self._recorder)
         return crawler.run()
 
-    def _build_users(self) -> UsersComponent:
-        cache_result = None
-        rootlog_result = None
-        if self._options.use_cache_probing:
-            try:
-                cache_result = self._run_cache_probing()
-                self.artifacts.cache_result = cache_result
-            except MeasurementError as exc:
-                self._faults.campaign(CACHE_PROBING_CAMPAIGN).mark_failed(
-                    str(exc))
-                self._note("users", f"cache probing failed ({exc}); "
-                                    "falling back to root logs (§3.1.3)")
-        if self._options.use_root_logs:
-            try:
-                rootlog_result = self._run_rootlog_crawl()
-                self.artifacts.rootlog_result = rootlog_result
-            except MeasurementError as exc:
-                self._faults.campaign(ROOTLOG_CAMPAIGN).mark_failed(
-                    str(exc))
-                self._note("users", f"root-log crawl failed ({exc})")
-            else:
-                if not rootlog_result.delivered_anything:
-                    # Truncated/empty feeds: keep the artifact for the
-                    # record but fuse probing-only (§3.1.3 fallback).
-                    self._faults.campaign(ROOTLOG_CAMPAIGN).mark_failed(
-                        "crawl delivered no usable per-AS volume")
-                    self._note(
-                        "users",
-                        "root logs delivered nothing usable; activity is "
-                        "probing-only (§3.1.3 fallback)")
-                    rootlog_result = None
+    def _stage_cache_probing(self) -> Optional[CacheProbingResult]:
+        """Stage ``cache-probing``: §3.1.2-1, or None (disabled/failed)."""
+        if not self._options.use_cache_probing:
+            return None
+        try:
+            return self._run_cache_probing()
+        except MeasurementError as exc:
+            self._faults.campaign(CACHE_PROBING_CAMPAIGN).mark_failed(
+                str(exc))
+            self._note("users", f"cache probing failed ({exc}); "
+                                "falling back to root logs (§3.1.3)")
+            return None
+
+    def _stage_rootlogs(self) -> Optional[RootLogCrawlResult]:
+        """Stage ``root-logs``: §3.1.2-2.
+
+        Returns the raw crawl result even when it delivered nothing
+        usable (the artifact is kept for the record; fusion ignores it —
+        see :meth:`_stage_users`), or None when disabled or failed.
+        """
+        if not self._options.use_root_logs:
+            return None
+        try:
+            result = self._run_rootlog_crawl()
+        except MeasurementError as exc:
+            self._faults.campaign(ROOTLOG_CAMPAIGN).mark_failed(str(exc))
+            self._note("users", f"root-log crawl failed ({exc})")
+            return None
+        if not result.delivered_anything:
+            # Truncated/empty feeds: keep the artifact for the record
+            # but fuse probing-only (§3.1.3 fallback).
+            self._faults.campaign(ROOTLOG_CAMPAIGN).mark_failed(
+                "crawl delivered no usable per-AS volume")
+            self._note(
+                "users",
+                "root logs delivered nothing usable; activity is "
+                "probing-only (§3.1.3 fallback)")
+        return result
+
+    def _stage_users(self, cache_result: Optional[CacheProbingResult],
+                     rootlog_result: Optional[RootLogCrawlResult]
+                     ) -> Dict[str, object]:
+        """Stage ``users``: fuse §3.1.2 signals into the component."""
+        if rootlog_result is not None \
+                and not rootlog_result.delivered_anything:
+            rootlog_result = None
         try:
             with self._recorder.span("fusion"):
                 activity = fuse_activity(self._scenario.prefixes,
@@ -266,22 +390,58 @@ class MapBuilder:
             # rather than abort the whole map.
             self._note("users", f"no usable activity signal ({exc}); "
                                 "users component is empty")
-            return UsersComponent(
-                detected_prefixes=np.array([], dtype=int),
-                activity_by_prefix={},
-                activity_by_as={},
-                techniques=())
-        self.artifacts.activity = activity
+            return {"component": UsersComponent(
+                        detected_prefixes=np.array([], dtype=int),
+                        activity_by_prefix={},
+                        activity_by_as={},
+                        techniques=()),
+                    "activity": None}
         detected = np.array(sorted(activity.by_prefix), dtype=int)
-        return UsersComponent(
-            detected_prefixes=detected,
-            activity_by_prefix=activity.by_prefix,
-            activity_by_as=activity.by_as,
-            techniques=activity.techniques)
+        return {"component": UsersComponent(
+                    detected_prefixes=detected,
+                    activity_by_prefix=activity.by_prefix,
+                    activity_by_as=activity.by_as,
+                    techniques=activity.techniques),
+                "activity": activity}
+
+    def _build_users(self) -> UsersComponent:
+        cache_result = self._checkpointed(
+            "cache-probing", self._stage_cache_probing,
+            (CACHE_PROBING_CAMPAIGN,), ("users",))
+        if cache_result is not None:
+            self.artifacts.cache_result = cache_result
+        rootlog_result = self._checkpointed(
+            "root-logs", self._stage_rootlogs,
+            (ROOTLOG_CAMPAIGN,), ("users",))
+        if rootlog_result is not None:
+            self.artifacts.rootlog_result = rootlog_result
+        bundle = self._checkpointed(
+            "users",
+            lambda: self._stage_users(cache_result, rootlog_result),
+            (), ("users",))
+        if bundle["activity"] is not None:
+            self.artifacts.activity = bundle["activity"]
+        return bundle["component"]
 
     # -- services component ------------------------------------------------------
 
     def _build_services(self, users: UsersComponent) -> ServicesComponent:
+        bundle = self._checkpointed(
+            "services", lambda: self._stage_services(users),
+            SERVICES_CAMPAIGNS, ("services",))
+        self.artifacts.tls_result = bundle["tls"]
+        self.artifacts.ecs_result = bundle["ecs"]
+        self.artifacts.catchments = dict(bundle["catchments"])
+        return bundle["component"]
+
+    def _stage_services(self, users: UsersComponent) -> Dict[str, object]:
+        """Stage ``services``: §3.2 scans, mapping and assembly.
+
+        Returns the component together with the raw TLS / ECS /
+        catchment artifacts — the snapshot must carry them because the
+        routes stage (TLS footprints) and downstream reporting read them
+        from :attr:`artifacts`.
+        """
         scenario = self._scenario
         sites_by_org: Dict[str, List[MappedSite]] = {}
         serving_by_domain: Dict[str, "set[int]"] = {}
@@ -351,11 +511,14 @@ class MapBuilder:
                                "footprints unavailable")
             sites_by_org = self._assemble_sites(tls_result, ecs_result)
 
-        return ServicesComponent(
+        component = ServicesComponent(
             sites_by_org=sites_by_org,
             serving_asns_by_domain=serving_by_domain,
             user_to_host=user_to_host,
             unmapped_services=tuple(sorted(set(unmapped))))
+        return {"component": component, "tls": tls_result,
+                "ecs": ecs_result,
+                "catchments": dict(self.artifacts.catchments)}
 
     def _map_anycast_services(self,
                               user_to_host: Dict[str, Dict[int, int]]
@@ -519,6 +682,103 @@ class MapBuilder:
 
     # -- auxiliary campaigns ------------------------------------------------------
 
+    def _eyeball_asns(self) -> List[int]:
+        return [a.asn for a in self._scenario.registry.eyeballs()]
+
+    def _stage_aux_atlas(self) -> Optional[Dict[str, object]]:
+        """Stage ``aux-atlas``: bring up the platform, traceroute out.
+
+        None when the platform itself failed; otherwise the vantage
+        points (which the reverse-traceroute stage needs) plus the
+        traceroutes (None when only the measurement campaign failed).
+        """
+        scenario = self._scenario
+        cfg = scenario.config.measurement
+        try:
+            platform = AtlasPlatform(
+                scenario.registry, scenario.bgp, scenario.prefixes,
+                substream(scenario.config.seed, "builder-atlas"),
+                vp_count=cfg.atlas_vantage_points,
+                faults=self._faults, recorder=self._recorder)
+        except MeasurementError as exc:
+            self._faults.campaign(ATLAS_CAMPAIGN).mark_failed(str(exc))
+            self._note("aux", f"atlas platform failed ({exc})")
+            return None
+        traceroutes: Optional[List[TracerouteResult]] = None
+        try:
+            traceroutes = platform.traceroute_all(
+                scenario.gdns_operator_asn)
+        except MeasurementError as exc:
+            self._faults.campaign(ATLAS_CAMPAIGN).mark_failed(str(exc))
+            self._note("aux", f"atlas platform failed ({exc})")
+        return {"vantage_points": list(platform.vantage_points),
+                "traceroutes": traceroutes}
+
+    def _stage_aux_revtr(self, vantage_points) -> Optional[List[PathPair]]:
+        """Stage ``aux-reverse-traceroute`` (needs an Atlas vantage)."""
+        if not vantage_points:
+            return None
+        revtr = ReverseTraceroute(self._scenario.bgp, faults=self._faults,
+                                  recorder=self._recorder)
+        try:
+            return revtr.measure_many(
+                vantage_points[0],
+                self._eyeball_asns()[:self._options.aux_reverse_pairs])
+        except MeasurementError as exc:
+            self._faults.campaign(
+                REVERSE_TRACEROUTE_CAMPAIGN).mark_failed(str(exc))
+            self._note("aux", f"reverse traceroute failed ({exc})")
+            return None
+
+    def _stage_aux_cloud(self) -> Optional[CloudVantageResult]:
+        """Stage ``aux-cloud-vantage``: traceroutes out of the cloud."""
+        scenario = self._scenario
+        cloud = CloudVantageCampaign(
+            scenario.bgp, scenario.gdns_operator_asn,
+            faults=self._faults, recorder=self._recorder)
+        try:
+            return cloud.run(
+                self._eyeball_asns()[:self._options.aux_cloud_targets])
+        except MeasurementError as exc:
+            self._faults.campaign(CLOUD_VANTAGE_CAMPAIGN).mark_failed(
+                str(exc))
+            self._note("aux", f"cloud-vantage campaign failed ({exc})")
+            return None
+
+    def _stage_aux_ipid(self) -> Optional[List[IpIdAnalysis]]:
+        """Stage ``aux-ipid``: router IP-ID velocity monitoring."""
+        scenario = self._scenario
+        cfg = scenario.config.measurement
+        monitor = IpIdMonitor(
+            interval_s=cfg.ipid_ping_interval_s,
+            duration_hours=cfg.ipid_campaign_hours,
+            rng=substream(scenario.config.seed, "builder-ipid"),
+            faults=self._faults, recorder=self._recorder)
+        try:
+            return monitor.campaign(
+                scenario.routers.countable()
+                [:self._options.aux_ipid_routers])
+        except MeasurementError as exc:
+            self._faults.campaign(IPID_CAMPAIGN).mark_failed(str(exc))
+            self._note("aux", f"IP ID monitoring failed ({exc})")
+            return None
+
+    def _stage_aux_assoc(self) -> Optional[ResolverAssociation]:
+        """Stage ``aux-resolver-assoc``: page-view sampling."""
+        scenario = self._scenario
+        try:
+            assoc = PageMeasurementCampaign(
+                scenario.prefixes, scenario.gdns,
+                scenario.traffic.queries_per_day.sum(axis=0),
+                substream(scenario.config.seed, "builder-assoc"),
+                faults=self._faults, recorder=self._recorder)
+            return assoc.run(self._options.aux_assoc_sample)
+        except MeasurementError as exc:
+            self._faults.campaign(RESOLVER_ASSOC_CAMPAIGN).mark_failed(
+                str(exc))
+            self._note("aux", f"resolver association failed ({exc})")
+            return None
+
     def _run_auxiliary_campaigns(self) -> None:
         """Run the §3.1.3/§3.3.2 campaigns that enrich but never feed the
         map: Atlas traceroutes, reverse traceroute, cloud-vantage
@@ -528,73 +788,28 @@ class MapBuilder:
         to :attr:`artifacts` and the recorder, so enabling this phase
         cannot perturb the serialized map. Failures degrade like the
         primary campaigns: mark the scope failed, note it, move on.
+        Each campaign is its own checkpoint stage.
         """
-        scenario = self._scenario
-        cfg = scenario.config.measurement
-        seed = scenario.config.seed
-        opts = self._options
-        eyeball_asns = [a.asn for a in scenario.registry.eyeballs()]
-
-        platform: Optional[AtlasPlatform] = None
-        try:
-            platform = AtlasPlatform(
-                scenario.registry, scenario.bgp, scenario.prefixes,
-                substream(seed, "builder-atlas"),
-                vp_count=cfg.atlas_vantage_points,
-                faults=self._faults, recorder=self._recorder)
-            self.artifacts.atlas_traceroutes = platform.traceroute_all(
-                scenario.gdns_operator_asn)
-        except MeasurementError as exc:
-            self._faults.campaign(ATLAS_CAMPAIGN).mark_failed(str(exc))
-            self._note("aux", f"atlas platform failed ({exc})")
-
-        if platform is not None and platform.vantage_points:
-            revtr = ReverseTraceroute(scenario.bgp, faults=self._faults,
-                                      recorder=self._recorder)
-            try:
-                self.artifacts.reverse_pairs = revtr.measure_many(
-                    platform.vantage_points[0],
-                    eyeball_asns[:opts.aux_reverse_pairs])
-            except MeasurementError as exc:
-                self._faults.campaign(
-                    REVERSE_TRACEROUTE_CAMPAIGN).mark_failed(str(exc))
-                self._note("aux", f"reverse traceroute failed ({exc})")
-
-        cloud = CloudVantageCampaign(
-            scenario.bgp, scenario.gdns_operator_asn,
-            faults=self._faults, recorder=self._recorder)
-        try:
-            self.artifacts.cloud_links = cloud.run(
-                eyeball_asns[:opts.aux_cloud_targets])
-        except MeasurementError as exc:
-            self._faults.campaign(CLOUD_VANTAGE_CAMPAIGN).mark_failed(
-                str(exc))
-            self._note("aux", f"cloud-vantage campaign failed ({exc})")
-
-        monitor = IpIdMonitor(
-            interval_s=cfg.ipid_ping_interval_s,
-            duration_hours=cfg.ipid_campaign_hours,
-            rng=substream(seed, "builder-ipid"),
-            faults=self._faults, recorder=self._recorder)
-        try:
-            self.artifacts.ipid_analyses = monitor.campaign(
-                scenario.routers.countable()[:opts.aux_ipid_routers])
-        except MeasurementError as exc:
-            self._faults.campaign(IPID_CAMPAIGN).mark_failed(str(exc))
-            self._note("aux", f"IP ID monitoring failed ({exc})")
-
-        try:
-            assoc = PageMeasurementCampaign(
-                scenario.prefixes, scenario.gdns,
-                scenario.traffic.queries_per_day.sum(axis=0),
-                substream(seed, "builder-assoc"),
-                faults=self._faults, recorder=self._recorder)
-            self.artifacts.resolver_association = assoc.run(
-                opts.aux_assoc_sample)
-        except MeasurementError as exc:
-            self._faults.campaign(RESOLVER_ASSOC_CAMPAIGN).mark_failed(
-                str(exc))
-            self._note("aux", f"resolver association failed ({exc})")
+        atlas_bundle = self._checkpointed(
+            "aux-atlas", self._stage_aux_atlas,
+            (ATLAS_CAMPAIGN,), ("aux",))
+        vantage_points = []
+        if atlas_bundle is not None:
+            self.artifacts.atlas_traceroutes = atlas_bundle["traceroutes"]
+            vantage_points = atlas_bundle["vantage_points"]
+        self.artifacts.reverse_pairs = self._checkpointed(
+            "aux-reverse-traceroute",
+            lambda: self._stage_aux_revtr(vantage_points),
+            (REVERSE_TRACEROUTE_CAMPAIGN,), ("aux",))
+        self.artifacts.cloud_links = self._checkpointed(
+            "aux-cloud-vantage", self._stage_aux_cloud,
+            (CLOUD_VANTAGE_CAMPAIGN,), ("aux",))
+        self.artifacts.ipid_analyses = self._checkpointed(
+            "aux-ipid", self._stage_aux_ipid,
+            (IPID_CAMPAIGN,), ("aux",))
+        self.artifacts.resolver_association = self._checkpointed(
+            "aux-resolver-assoc", self._stage_aux_assoc,
+            (RESOLVER_ASSOC_CAMPAIGN,), ("aux",))
 
     def build(self) -> InternetTrafficMap:
         """Run the configured campaigns and assemble the map."""
@@ -605,7 +820,9 @@ class MapBuilder:
             with rec.span("services"):
                 services = self._build_services(users)
             with rec.span("routes"):
-                routes = self._build_routes(users, services)
+                routes = self._checkpointed(
+                    "routes", lambda: self._build_routes(users, services),
+                    ROUTES_CAMPAIGNS, ("routes",))
             if self._options.run_auxiliary_campaigns:
                 with rec.span("aux"):
                     self._run_auxiliary_campaigns()
@@ -641,4 +858,5 @@ class MapBuilder:
             self._recorder, self._scenario.config,
             faults=self._faults,
             cache_stats=self._scenario.bgp.cache_stats(),
-            itm=self.itm, command=command, scale=scale)
+            itm=self.itm, checkpoint=self.ckpt_lineage,
+            command=command, scale=scale)

@@ -16,7 +16,8 @@ degrades or fails outright.
 
 from .context import CampaignFaultScope, FaultContext, FaultCounters
 from .degrade import COLLECTOR_FEED_CAMPAIGN, degraded_public_view
-from .plan import FaultKind, FaultPlan, RetryPolicy
+from .plan import (RATE_KINDS, FaultKind, FaultPlan, RetryPolicy,
+                   SimulatedCrash)
 
 __all__ = [
     "CampaignFaultScope",
@@ -25,6 +26,8 @@ __all__ = [
     "FaultCounters",
     "FaultKind",
     "FaultPlan",
+    "RATE_KINDS",
     "RetryPolicy",
+    "SimulatedCrash",
     "degraded_public_view",
 ]

@@ -15,6 +15,7 @@ builder gets from :func:`repro.rand.substream`).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -176,6 +177,47 @@ class CampaignFaultScope:
             self.counters.giveups = 1
         self._context.recorder.count(f"faults.{self.name}.failures")
 
+    # -- checkpoint support -----------------------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of this scope's counters/failure.
+
+        Together with :meth:`restore_state` this is what lets
+        ``repro.ckpt`` skip a campaign on resume while keeping the
+        coverage report (and ``FaultContext.totals()``) bit-identical to
+        an uninterrupted build.
+        """
+        return {
+            "counters": dataclasses.asdict(self.counters),
+            "by_kind": {kind.value: dataclasses.asdict(c)
+                        for kind, c in self.by_kind.items()},
+            "failed": self.failed,
+            "failure_reason": self.failure_reason,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Overwrite this scope with an :meth:`export_state` snapshot.
+
+        Counter *deltas* relative to the current state are mirrored onto
+        an attached recorder, so a resumed instrumented run still
+        reports the ``faults.<campaign>.*`` counter namespace.
+        """
+        new = FaultCounters(**state["counters"])
+        recorder = self._context.recorder
+        if recorder.enabled:
+            for name in ("units", "attempts", "drops", "retries",
+                         "giveups", "backoff_s"):
+                delta = getattr(new, name) - getattr(self.counters, name)
+                if delta:
+                    recorder.count(f"faults.{self.name}.{name}", delta)
+            if state["failed"] and not self.failed:
+                recorder.count(f"faults.{self.name}.failures")
+        self.counters = new
+        self.by_kind = {FaultKind(kind): FaultCounters(**c)
+                        for kind, c in state["by_kind"].items()}
+        self.failed = bool(state["failed"])
+        self.failure_reason = state["failure_reason"]
+
     # -- internals --------------------------------------------------------
 
     def _bump(self, kind: FaultKind, **deltas) -> None:
@@ -247,6 +289,17 @@ class FaultContext:
 
     def scopes(self) -> Dict[str, CampaignFaultScope]:
         return dict(self._scopes)
+
+    def export_scopes(self, names: Iterable[str]) -> Dict[str, Dict]:
+        """Exported state of the named campaigns that have a scope."""
+        return {name: self._scopes[name].export_state()
+                for name in names if name in self._scopes}
+
+    def restore_scopes(self, states: Dict[str, Dict]) -> None:
+        """Restore campaign scopes from :meth:`export_scopes` output,
+        creating scopes that do not exist yet."""
+        for name, state in states.items():
+            self.campaign(name).restore_state(state)
 
     def stream(self, campaign: str, kind: FaultKind) -> np.random.Generator:
         key = (campaign, kind)

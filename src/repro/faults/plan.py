@@ -25,7 +25,15 @@ Fault kinds and the campaigns they bite:
 * ``rootlog_truncation``  — a usable root's log feed is truncated or
                             temporarily withdrawn;
 * ``stale_collector``     — the collector snapshot is stale: visible
-                            links missing from the downloaded feed.
+                            links missing from the downloaded feed;
+* ``crash``               — the build *process itself* dies at a stage
+                            boundary. Unlike the rate-based kinds above,
+                            a crash is targeted: ``FaultPlan.crash_at``
+                            names the builder stage after which a
+                            :class:`SimulatedCrash` is raised. Pair it
+                            with ``repro.ckpt`` checkpointing so the
+                            next run can resume instead of starting
+                            over.
 """
 
 from __future__ import annotations
@@ -34,7 +42,7 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
-from ..errors import ConfigError
+from ..errors import ConfigError, ReproError
 
 
 class FaultKind(enum.Enum):
@@ -47,9 +55,36 @@ class FaultKind(enum.Enum):
     SNI_RATE_LIMIT = "sni_rate_limit"
     ROOTLOG_TRUNCATION = "rootlog_truncation"
     STALE_COLLECTOR = "stale_collector"
+    # Process death at a stage boundary. Targeted (``crash_at`` names the
+    # stage), not rate-based: RATE_KINDS below excludes it.
+    CRASH = "crash"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+# The kinds a per-operation failure *rate* makes sense for — every kind
+# except the targeted CRASH. ``FaultPlan.uniform`` and ``rates()`` cover
+# exactly this set.
+RATE_KINDS: Tuple[FaultKind, ...] = tuple(
+    k for k in FaultKind if k is not FaultKind.CRASH)
+
+
+class SimulatedCrash(ReproError):
+    """The build died at a stage boundary (``FaultPlan.crash_at``).
+
+    Raised by :meth:`repro.core.builder.MapBuilder.build` right after the
+    named stage completes (and, when checkpointing, after its snapshot is
+    durably on disk) — the worst-case interruption point. A resumed build
+    reuses the stage's snapshot instead of recomputing it, so the crash
+    does not re-fire; without checkpoints the crash reproduces every run,
+    which is exactly the pain the ``repro.ckpt`` subsystem exists to fix.
+    """
+
+    def __init__(self, stage: str) -> None:
+        self.stage = stage
+        super().__init__(
+            f"simulated crash at stage boundary after {stage!r}")
 
 
 @dataclass(frozen=True)
@@ -98,21 +133,37 @@ class FaultPlan:
     sni_rate_limit: float = 0.0
     rootlog_truncation: float = 0.0
     stale_collector: float = 0.0
+    # Stage boundary after which the build dies with SimulatedCrash
+    # (None = never). Stage names are the builder's checkpoint stages,
+    # e.g. "users" or "services"; see repro.ckpt.
+    crash_at: Optional[str] = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def validate(self) -> None:
-        for kind in FaultKind:
+        for kind in RATE_KINDS:
             rate = self.rate_of(kind)
             if not 0.0 <= rate <= 1.0:
                 raise ConfigError(
                     f"{kind.value} rate must be in [0, 1], got {rate!r}")
+        if self.crash_at is not None and (
+                not isinstance(self.crash_at, str) or not self.crash_at):
+            raise ConfigError(
+                f"crash_at must be a stage name, got {self.crash_at!r}")
         self.retry.validate()
 
     def rate_of(self, kind: FaultKind) -> float:
+        """Per-operation failure probability of a kind.
+
+        CRASH is targeted rather than rate-based: its "rate" is 1.0 when
+        a ``crash_at`` stage is armed and 0.0 otherwise.
+        """
+        if kind is FaultKind.CRASH:
+            return 1.0 if self.crash_at is not None else 0.0
         return float(getattr(self, kind.value))
 
     def rates(self) -> Dict[FaultKind, float]:
-        return {kind: self.rate_of(kind) for kind in FaultKind}
+        """Per-kind rates for the rate-based kinds (CRASH excluded)."""
+        return {kind: self.rate_of(kind) for kind in RATE_KINDS}
 
     def active_kinds(self) -> Tuple[FaultKind, ...]:
         return tuple(k for k in FaultKind if self.rate_of(k) > 0.0)
@@ -126,6 +177,10 @@ class FaultPlan:
         """Same weather, different draw."""
         return replace(self, seed=seed)
 
+    def with_crash_at(self, stage: Optional[str]) -> "FaultPlan":
+        """Same weather, armed to die after ``stage`` (None disarms)."""
+        return replace(self, crash_at=stage)
+
     # -- construction -----------------------------------------------------
 
     @classmethod
@@ -136,9 +191,13 @@ class FaultPlan:
     @classmethod
     def uniform(cls, rate: float, seed: int = 0,
                 retry: Optional[RetryPolicy] = None) -> "FaultPlan":
-        """Every fault kind at the same rate (stress/blackout plans)."""
+        """Every rate-based fault kind at the same rate (stress plans).
+
+        CRASH is excluded — it is armed per stage via ``crash_at``, not
+        by a rate.
+        """
         plan = cls(seed=seed,
-                   **{kind.value: rate for kind in FaultKind},
+                   **{kind.value: rate for kind in RATE_KINDS},
                    retry=retry or RetryPolicy())
         plan.validate()
         return plan
@@ -150,12 +209,14 @@ class FaultPlan:
 
         ``spec`` is a comma-separated list of ``kind=rate`` entries, e.g.
         ``"probe_loss=0.2,rootlog_truncation=0.5"``. The pseudo-kind
-        ``all`` sets every rate at once (later entries override it).
+        ``all`` sets every rate-based kind at once (later entries
+        override it); ``crash_at=<stage>`` arms a targeted crash at a
+        builder stage boundary instead of a rate.
 
         >>> FaultPlan.parse("probe_loss=0.2").probe_loss
         0.2
         """
-        values: Dict[str, float] = {}
+        values: Dict[str, object] = {}
         for token in spec.split(","):
             token = token.strip()
             if not token:
@@ -164,23 +225,29 @@ class FaultPlan:
             if not sep:
                 raise ConfigError(
                     f"bad fault spec entry {token!r}: expected kind=rate")
+            name = name.strip()
+            if name == "crash_at":
+                values["crash_at"] = raw.strip()
+                continue
+            if name == FaultKind.CRASH.value:
+                raise ConfigError(
+                    "crash takes a stage name: use crash_at=<stage>")
             try:
                 rate = float(raw)
             except ValueError:
                 raise ConfigError(
                     f"bad fault rate {raw!r} for {name!r}") from None
-            name = name.strip()
             if name == "all":
-                for kind in FaultKind:
+                for kind in RATE_KINDS:
                     values[kind.value] = rate
             else:
                 try:
                     kind = FaultKind(name)
                 except ValueError:
-                    known = ", ".join(k.value for k in FaultKind)
+                    known = ", ".join(k.value for k in RATE_KINDS)
                     raise ConfigError(
                         f"unknown fault kind {name!r} "
-                        f"(known: all, {known})") from None
+                        f"(known: all, crash_at, {known})") from None
                 values[kind.value] = rate
         plan = cls(seed=seed, retry=retry or RetryPolicy(), **values)
         plan.validate()
@@ -188,8 +255,10 @@ class FaultPlan:
 
     def describe(self) -> str:
         """Compact human-readable form, e.g. ``probe_loss=0.20``."""
-        active = self.active_kinds()
-        if not active:
+        parts = [f"{k.value}={self.rate_of(k):.2f}"
+                 for k in self.active_kinds() if k is not FaultKind.CRASH]
+        if self.crash_at is not None:
+            parts.append(f"crash_at={self.crash_at}")
+        if not parts:
             return "no faults"
-        return ", ".join(f"{k.value}={self.rate_of(k):.2f}"
-                         for k in active)
+        return ", ".join(parts)

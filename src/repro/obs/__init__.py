@@ -10,9 +10,11 @@ all of it free — and bit-identical — when unused. See
 ``docs/observability.md``.
 """
 
-from .manifest import (FORMAT_VERSION, KNOWN_CAMPAIGNS, CampaignRecord,
+from .manifest import (FORMAT_VERSION, KNOWN_CAMPAIGNS,
+                       SUPPORTED_FORMAT_VERSIONS, CampaignRecord,
                        RunManifest, collect_manifest, config_digest,
-                       fault_plan_digest, validate_manifest)
+                       fault_plan_digest, options_digest,
+                       validate_manifest)
 from .recorder import (NULL_RECORDER, NullRecorder, Recorder, StageTiming,
                        resolve_recorder)
 
@@ -26,8 +28,10 @@ __all__ = [
     "RunManifest",
     "StageTiming",
     "collect_manifest",
+    "SUPPORTED_FORMAT_VERSIONS",
     "config_digest",
     "fault_plan_digest",
+    "options_digest",
     "resolve_recorder",
     "validate_manifest",
 ]

@@ -8,9 +8,12 @@ coverage each map component ended up with. It is plain JSON — no
 dependencies beyond the standard library — so dashboards, CI checks and
 benchmark harnesses can consume it without importing the package.
 
-Schema (``format_version`` 1), field by field, is documented in
+Schema (``format_version`` 2), field by field, is documented in
 ``docs/observability.md``; :func:`validate_manifest` enforces it and the
-counter invariants (e.g. per campaign ``units == delivered + giveups``).
+counter invariants (e.g. per campaign ``units == delivered + giveups``,
+and for checkpointed runs ``reused + recomputed == total`` stages).
+Format 1 manifests (pre-checkpointing) are still accepted; the optional
+``checkpoint`` lineage section is format-2 only.
 """
 
 from __future__ import annotations
@@ -25,7 +28,11 @@ from typing import Dict, List, Optional
 from ..errors import ValidationError
 from .recorder import Recorder, StageTiming
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+# Format 1 predates the checkpoint-lineage section; those manifests are
+# still readable. Writers always emit FORMAT_VERSION.
+SUPPORTED_FORMAT_VERSIONS = (1, FORMAT_VERSION)
 
 # The eleven measurement campaigns of repro.measure, by their canonical
 # names. Kept as literals (not imports) so the manifest layer stays
@@ -90,6 +97,10 @@ class RunManifest:
     campaigns: Dict[str, CampaignRecord] = field(default_factory=dict)
     route_cache: Optional[Dict[str, float]] = None
     coverage: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    # Checkpoint lineage (format 2+, checkpointed runs only): where the
+    # run resumed from, which stages were reused vs recomputed, and any
+    # snapshots that failed verification and were quarantined.
+    checkpoint: Optional[Dict[str, object]] = None
 
     # -- lookups ----------------------------------------------------------
 
@@ -151,7 +162,8 @@ class RunManifest:
             gauges=dict(payload.get("gauges", {})),
             campaigns=campaigns,
             route_cache=payload.get("route_cache"),
-            coverage=dict(payload.get("coverage", {})))
+            coverage=dict(payload.get("coverage", {})),
+            checkpoint=payload.get("checkpoint"))
 
     @classmethod
     def from_json(cls, text: str) -> "RunManifest":
@@ -179,8 +191,27 @@ def config_digest(config) -> str:
 
 
 def fault_plan_digest(plan) -> str:
-    """Stable hash of a :class:`FaultPlan` (rates, seed and retry)."""
-    payload = json.dumps(dataclasses.asdict(plan), sort_keys=True,
+    """Stable hash of a :class:`FaultPlan` (rates, seed and retry).
+
+    ``crash_at`` is deliberately *excluded*: a crash schedule changes
+    where a build dies, never what any completed stage computed, so a
+    supervisor re-run (crash armed) may reuse snapshots written by —
+    and comparable with — an uninterrupted build of the same weather.
+    """
+    fields = dataclasses.asdict(plan)
+    fields.pop("crash_at", None)
+    payload = json.dumps(fields, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def options_digest(options) -> str:
+    """Stable hash of a :class:`repro.core.builder.BuilderOptions`.
+
+    Joins ``config_digest``/``fault_plan_digest`` in checkpoint snapshot
+    envelopes: a snapshot written under different technique selections or
+    budgets must not satisfy a resume.
+    """
+    payload = json.dumps(dataclasses.asdict(options), sort_keys=True,
                          default=str)
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
@@ -190,7 +221,7 @@ def fault_plan_digest(plan) -> str:
 # ---------------------------------------------------------------------------
 
 def collect_manifest(recorder: Recorder, config, *, faults=None,
-                     cache_stats=None, itm=None,
+                     cache_stats=None, itm=None, checkpoint=None,
                      command: Optional[str] = None,
                      scale: Optional[str] = None) -> RunManifest:
     """Fold a run's recorder, fault context and map into one manifest.
@@ -198,8 +229,10 @@ def collect_manifest(recorder: Recorder, config, *, faults=None,
     ``faults`` is an optional :class:`repro.faults.FaultContext`;
     ``cache_stats`` an optional :class:`repro.net.routing.CacheStats`;
     ``itm`` an optional built :class:`InternetTrafficMap` (its coverage
-    report becomes the manifest's ``coverage`` section). All three are
-    duck-typed so this module imports nothing above ``repro.errors``.
+    report becomes the manifest's ``coverage`` section); ``checkpoint``
+    an optional :class:`repro.ckpt.CheckpointLineage` (or its dict form)
+    for checkpointed builds. All are duck-typed so this module imports
+    nothing above ``repro.errors``.
     """
     manifest = RunManifest(
         seed=int(config.seed),
@@ -264,6 +297,10 @@ def collect_manifest(recorder: Recorder, config, *, faults=None,
                 "techniques_delivered": list(cov.techniques_delivered),
                 "notes": list(cov.notes),
             }
+
+    if checkpoint is not None:
+        manifest.checkpoint = (checkpoint if isinstance(checkpoint, dict)
+                               else checkpoint.to_dict())
     return manifest
 
 
@@ -276,21 +313,66 @@ def _check(errors: List[str], condition: bool, message: str) -> None:
         errors.append(message)
 
 
+def _validate_checkpoint(errors: List[str],
+                         section: Dict[str, object]) -> None:
+    """Schema + invariants of the checkpoint-lineage section."""
+    if not isinstance(section, dict):
+        errors.append("checkpoint must be an object or null")
+        return
+    _check(errors, isinstance(section.get("checkpoint_dir"), str),
+           "checkpoint.checkpoint_dir must be a string")
+    _check(errors, isinstance(section.get("resumed"), bool),
+           "checkpoint.resumed must be a boolean")
+    total = section.get("stages_total")
+    _check(errors, isinstance(total, int) and total >= 0,
+           "checkpoint.stages_total must be a non-negative integer")
+    lists: Dict[str, List[object]] = {}
+    for key in ("stages_reused", "stages_recomputed"):
+        value = section.get(key)
+        if not isinstance(value, list) or not all(
+                isinstance(s, str) for s in value):
+            errors.append(f"checkpoint.{key} must be a list of stage "
+                          "names")
+            continue
+        lists[key] = value
+    if len(lists) == 2 and isinstance(total, int):
+        reused, recomputed = (lists["stages_reused"],
+                              lists["stages_recomputed"])
+        _check(errors, len(reused) + len(recomputed) == total,
+               "checkpoint: reused + recomputed != stages_total "
+               f"({len(reused)} + {len(recomputed)} != {total})")
+        _check(errors, not set(reused) & set(recomputed),
+               "checkpoint: a stage cannot be both reused and recomputed")
+    quarantined = section.get("quarantined", [])
+    if not isinstance(quarantined, list):
+        errors.append("checkpoint.quarantined must be a list")
+        return
+    for i, entry in enumerate(quarantined):
+        if not isinstance(entry, dict):
+            errors.append(f"checkpoint.quarantined[{i}] must be an object")
+            continue
+        _check(errors, isinstance(entry.get("stage"), str)
+               and isinstance(entry.get("reason"), str),
+               f"checkpoint.quarantined[{i}] needs string stage/reason")
+
+
 def validate_manifest(payload: Dict[str, object]) -> None:
-    """Check a manifest dict against the format-1 schema.
+    """Check a manifest dict against the format-1/2 schema.
 
     Raises :class:`ValidationError` listing every violation found:
-    missing/ill-typed fields, malformed stage entries, and broken
-    counter invariants (``units == delivered + giveups``,
-    ``drops >= retries`` accounting, coverages outside ``[0, 1]``).
+    missing/ill-typed fields, malformed stage entries, broken counter
+    invariants (``units == delivered + giveups``, coverages outside
+    ``[0, 1]``), and — for format 2 — an inconsistent checkpoint-lineage
+    section (``reused + recomputed != stages_total``).
     """
     errors: List[str] = []
     _check(errors, isinstance(payload, dict), "manifest must be an object")
     if errors:
         raise ValidationError("; ".join(errors))
 
-    _check(errors, payload.get("format_version") == FORMAT_VERSION,
-           f"format_version must be {FORMAT_VERSION}")
+    version = payload.get("format_version")
+    _check(errors, version in SUPPORTED_FORMAT_VERSIONS,
+           f"format_version must be one of {SUPPORTED_FORMAT_VERSIONS}")
     _check(errors, isinstance(payload.get("seed"), int),
            "seed must be an integer")
     config_hash = payload.get("config_hash")
@@ -375,6 +457,13 @@ def validate_manifest(payload: Dict[str, object]) -> None:
             _check(errors, isinstance(value, (int, float))
                    and 0.0 <= value <= 1.0,
                    f"coverage[{component!r}].coverage must be in [0, 1]")
+
+    checkpoint = payload.get("checkpoint")
+    if checkpoint is not None:
+        _check(errors, version == FORMAT_VERSION,
+               "checkpoint lineage requires format_version "
+               f"{FORMAT_VERSION}")
+        _validate_checkpoint(errors, checkpoint)
 
     if errors:
         raise ValidationError("invalid manifest: " + "; ".join(errors))

@@ -106,3 +106,57 @@ class TestCli:
         assert "Table 1" in captured.out
         assert "[trace] > build" in captured.err
         assert "measure.cache-probing" in captured.err
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+        from repro.cli import _package_version
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert _package_version() in out
+        assert "repro" in out
+        # metadata fallback keeps -V working from a source checkout
+        assert _package_version() == __version__ or _package_version()
+
+    def test_short_flag_spelling(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["-V"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestCheckpointFlags:
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["--scale", "small", "--resume", "summary"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_crash_exits_3_with_resume_hint(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        code = main(["--scale", "small", "--checkpoint-dir", str(ckpt),
+                     "--crash-at", "users", "summary"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "simulated crash" in err
+        assert "--resume" in err
+        assert list((ckpt / "snapshots").glob("users.*.json"))
+
+    def test_crash_resume_map_matches_fresh(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        fresh = tmp_path / "fresh.json"
+        resumed = tmp_path / "resumed.json"
+        assert main(["--scale", "small", "--map-json", str(fresh),
+                     "summary"]) == 0
+        assert main(["--scale", "small", "--checkpoint-dir", str(ckpt),
+                     "--crash-at", "services", "summary"]) == 3
+        assert main(["--scale", "small", "--checkpoint-dir", str(ckpt),
+                     "--resume", "--map-json", str(resumed),
+                     "summary"]) == 0
+        assert resumed.read_text() == fresh.read_text()
+
+    def test_bad_crash_stage_exits_2(self, capsys):
+        assert main(["--scale", "small", "--crash-at", "nope",
+                     "summary"]) == 2
+        assert "not a stage" in capsys.readouterr().err

@@ -16,9 +16,10 @@ from hypothesis import given, settings, strategies as st
 from repro.core.builder import MapBuilder
 from repro.core.serialize import map_to_json
 from repro.errors import ConfigError
-from repro.faults import (FaultContext, FaultKind, FaultPlan, RetryPolicy)
+from repro.faults import (RATE_KINDS, FaultContext, FaultKind, FaultPlan,
+                          RetryPolicy)
 
-KINDS = sorted(FaultKind, key=lambda k: k.value)
+KINDS = sorted(RATE_KINDS, key=lambda k: k.value)
 
 rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
 seeds = st.integers(min_value=0, max_value=2**32 - 1)
@@ -31,10 +32,24 @@ class TestPlan:
         assert plan.active_kinds() == ()
         assert plan.describe() == "no faults"
 
-    def test_uniform_plan_activates_every_kind(self):
+    def test_uniform_plan_activates_every_rate_kind(self):
         plan = FaultPlan.uniform(0.5, seed=3)
-        assert set(plan.active_kinds()) == set(FaultKind)
+        # CRASH is targeted (crash_at), not rate-based: uniform skips it.
+        assert set(plan.active_kinds()) == set(RATE_KINDS)
+        assert FaultKind.CRASH not in plan.active_kinds()
         assert all(rate == 0.5 for rate in plan.rates().values())
+
+    def test_crash_at_arms_the_crash_kind(self):
+        plan = FaultPlan.none().with_crash_at("services")
+        assert plan.rate_of(FaultKind.CRASH) == 1.0
+        assert FaultKind.CRASH in plan.active_kinds()
+        assert "crash_at=services" in plan.describe()
+        parsed = FaultPlan.parse("probe_loss=0.1,crash_at=users")
+        assert parsed.crash_at == "users"
+        with pytest.raises(ConfigError):
+            FaultPlan.parse("crash=0.5")
+        with pytest.raises(ConfigError):
+            FaultPlan(crash_at="").validate()
 
     def test_parse_round_trip(self):
         plan = FaultPlan.parse("probe_loss=0.2,rootlog_truncation=0.5")

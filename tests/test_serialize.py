@@ -5,9 +5,11 @@ import json
 import numpy as np
 import pytest
 
+from repro.core.builder import BuilderOptions, MapBuilder
 from repro.core.serialize import (map_from_dict, map_from_json,
                                   map_to_dict, map_to_json)
 from repro.errors import ValidationError
+from repro.faults import FaultPlan
 
 
 class TestRoundTrip:
@@ -72,3 +74,80 @@ class TestRoundTrip:
         payload["format_version"] = 99
         with pytest.raises(ValidationError):
             map_from_dict(payload)
+
+
+class TestMalformedPayloads:
+    """Decoding errors name the offending key, not a bare KeyError."""
+
+    def test_missing_component_named(self, small_itm):
+        payload = map_to_dict(small_itm)
+        del payload["users"]
+        with pytest.raises(ValidationError,
+                           match="missing required key 'users'"):
+            map_from_dict(payload)
+
+    def test_missing_nested_key_named(self, small_itm):
+        payload = map_to_dict(small_itm)
+        del payload["users"]["activity_by_prefix"]
+        with pytest.raises(
+                ValidationError,
+                match="users.*missing required key 'activity_by_prefix'"):
+            map_from_dict(payload)
+
+    def test_wrong_type_names_key_and_expectation(self, small_itm):
+        payload = map_to_dict(small_itm)
+        payload["users"]["activity_by_prefix"] = 7
+        with pytest.raises(ValidationError,
+                           match="activity_by_prefix must be an object, "
+                                 "got int"):
+            map_from_dict(payload)
+
+    def test_bool_rejected_where_number_expected(self, small_itm):
+        payload = map_to_dict(small_itm)
+        org = next(iter(payload["services"]["sites_by_org"]))
+        payload["services"]["sites_by_org"][org][0]["prefix_id"] = True
+        with pytest.raises(ValidationError,
+                           match="prefix_id must be an integer, got bool"):
+            map_from_dict(payload)
+
+    def test_bad_city_pair_rejected(self, small_itm):
+        payload = map_to_dict(small_itm)
+        org = next(iter(payload["services"]["sites_by_org"]))
+        payload["services"]["sites_by_org"][org][0]["city"] = ["lonely"]
+        with pytest.raises(ValidationError, match="country_code"):
+            map_from_dict(payload)
+
+    def test_invalid_json_text_wrapped(self):
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            map_from_json("{broken")
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ValidationError, match="must be an object"):
+            map_from_dict([1, 2, 3])
+
+
+class TestDegradedMapRoundTrip:
+    """Degraded builds (missing techniques, total fault weather) still
+    serialize and restore losslessly — the serializer must not assume a
+    fully populated map."""
+
+    def _assert_roundtrip(self, scenario, itm):
+        text = map_to_json(itm)
+        restored = map_from_json(text, atlas=scenario.atlas)
+        assert map_to_json(restored) == text
+
+    def test_probing_only_map(self, small_scenario):
+        itm = MapBuilder(small_scenario, options=BuilderOptions(
+            use_root_logs=False)).build()
+        self._assert_roundtrip(small_scenario, itm)
+
+    def test_logs_only_map(self, small_scenario):
+        itm = MapBuilder(small_scenario, options=BuilderOptions(
+            use_cache_probing=False)).build()
+        self._assert_roundtrip(small_scenario, itm)
+
+    def test_total_fault_weather_map(self, small_scenario):
+        itm = MapBuilder(small_scenario,
+                         faults=FaultPlan.uniform(1.0, seed=3)).build()
+        assert itm.users.detected_prefixes.size == 0
+        self._assert_roundtrip(small_scenario, itm)
