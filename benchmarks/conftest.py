@@ -23,8 +23,12 @@ def scenario():
 
 @pytest.fixture(scope="session")
 def builder(scenario):
+    # profile_memory is on so the bench manifest carries the per-stage
+    # peak-memory gauges (and so the profiling overhead is part of what
+    # test_bench_history locks against the plain build wall time).
     b = MapBuilder(scenario,
-                   options=BuilderOptions(run_auxiliary_campaigns=True),
+                   options=BuilderOptions(run_auxiliary_campaigns=True,
+                                          profile_memory=True),
                    recorder=Recorder())
     b.build()
     return b

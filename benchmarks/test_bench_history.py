@@ -1,0 +1,78 @@
+"""Cross-run diffing and memory profiling at paper scale.
+
+Two locks over the session ``builder``/``manifest`` fixtures (which run
+with ``profile_memory`` on):
+
+* the manifest differ is cheap relative to what it watches — a full
+  classification of the paper-scale manifest must cost under 5% of the
+  build wall time it describes, so ``repro compare`` never becomes the
+  bottleneck of a CI gate;
+* the peak-memory gauges are present and internally consistent at
+  scale (the build's traced peak bounds every child stage's peak).
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+
+from repro.obs import (STATUS_OK, STATUS_REGRESSION, RunHistory,
+                       RunManifest, diff_manifests, validate_manifest)
+
+
+def test_self_diff_clean_at_scale(manifest):
+    diff = diff_manifests(manifest, manifest)
+    assert diff.status == STATUS_OK
+    assert diff.findings == []
+
+
+def test_diff_classification_overhead_under_5pct(manifest):
+    build_wall = manifest.stage("build").wall_s
+    payload = copy.deepcopy(manifest.to_dict())
+    for stage in payload["stages"]:
+        stage["wall_s"] *= 1.5
+    payload["route_cache"]["hit_rate"] *= 0.8
+    perturbed = RunManifest.from_dict(payload)
+    start = time.perf_counter()
+    rounds = 5
+    for _ in range(rounds):
+        diff = diff_manifests(manifest, perturbed)
+    wall = (time.perf_counter() - start) / rounds
+    assert diff.status == STATUS_REGRESSION
+    assert wall < 0.05 * build_wall, (
+        f"one diff classification took {wall:.3f}s against a "
+        f"{build_wall:.3f}s build (>{5}% overhead)")
+
+
+def test_seeded_regression_detected_at_scale(manifest):
+    payload = copy.deepcopy(manifest.to_dict())
+    component = next(iter(payload["coverage"]))
+    payload["coverage"][component]["coverage"] = max(
+        0.0, payload["coverage"][component]["coverage"] - 0.10)
+    diff = diff_manifests(manifest, RunManifest.from_dict(payload))
+    assert diff.status == STATUS_REGRESSION
+    assert any(f.metric == component for f in diff.regressions())
+
+
+def test_memory_gauges_present_at_scale(manifest):
+    validate_manifest(manifest.to_dict())
+    gauges = manifest.gauges
+    build_peak = gauges["mem.build.peak_bytes"]
+    assert build_peak > 0
+    # Every pipeline stage traced a peak, bounded by the build's own.
+    for stage in ("users", "services", "routes", "aux"):
+        peak = gauges[f"mem.build.{stage}.peak_bytes"]
+        assert 0 <= peak <= build_peak, stage
+    # The dense route cache reports its resident footprint.
+    assert gauges["mem.routing.cache.resident_bytes"] > 0
+
+
+def test_history_append_and_diff_round_trip_at_scale(manifest,
+                                                     tmp_path):
+    history = RunHistory(tmp_path / "bench-history.jsonl")
+    history.record(manifest, label="bench")
+    entry = history.latest()
+    loaded = entry.load_manifest()
+    diff = diff_manifests(manifest, loaded)
+    assert diff.status == STATUS_OK
+    assert diff.findings == []

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+from ..obs.diff import ManifestDiff
 from ..obs.manifest import RunManifest
 from .claims import ClaimResult
 from .figures import Fig1aRow, Fig1bData, Fig2Data
@@ -121,7 +122,9 @@ def render_run_report(manifest: RunManifest) -> str:
 
     Renders the manifest a :class:`repro.obs.Recorder` collected: the
     stage timing tree (indented by span depth), the per-campaign
-    delivery table, and the route-cache totals.
+    delivery table, the route-cache totals, per-component coverage with
+    its degradation notes, the checkpoint lineage of resumed builds, and
+    the peak-memory gauges of memory-profiled builds.
     """
     lines = [f"Run report — seed {manifest.seed}, "
              f"config {manifest.config_hash}"]
@@ -155,4 +158,78 @@ def render_run_report(manifest: RunManifest) -> str:
             f"(hit rate {cache.get('hit_rate', 0.0):.1%}), "
             f"{cache.get('entries', 0)}/{cache.get('max_entries', 0)} "
             f"entries, {cache.get('evictions', 0)} evictions")
+    if manifest.coverage:
+        lines.append("")
+        lines.append("Component coverage:")
+        for component in sorted(manifest.coverage):
+            record = manifest.coverage[component]
+            value = float(record.get("coverage", 1.0))
+            lost = (set(record.get("techniques_intended", ()))
+                    - set(record.get("techniques_delivered", ())))
+            line = f"  {component}: {value:.1%}"
+            if lost:
+                line += f", lost {', '.join(sorted(lost))}"
+            lines.append(line)
+            for note in record.get("notes", ()):
+                lines.append(f"    - {note}")
+    ckpt = manifest.checkpoint
+    if ckpt:
+        lines.append("")
+        reused = ckpt.get("stages_reused", [])
+        recomputed = ckpt.get("stages_recomputed", [])
+        verb = "resumed from" if ckpt.get("resumed") else "checkpointed to"
+        lines.append(f"Checkpoints: {verb} {ckpt.get('checkpoint_dir')}")
+        lines.append(
+            f"  reused {len(reused)}/{ckpt.get('stages_total')} stages"
+            + (f" ({', '.join(reused)})" if reused else "")
+            + f"; recomputed {len(recomputed)}"
+            + (f" ({', '.join(recomputed)})" if recomputed else ""))
+        for entry in ckpt.get("quarantined", []):
+            lines.append(f"  quarantined {entry.get('stage')}: "
+                         f"{entry.get('reason')}")
+    peaks = sorted(
+        ((name[len("mem."):-len(".peak_bytes")], value)
+         for name, value in manifest.gauges.items()
+         if name.startswith("mem.") and name.endswith(".peak_bytes")),
+        key=lambda item: -item[1])
+    if peaks:
+        lines.append("")
+        lines.append("Peak traced memory by span (profile_memory):")
+        for span, value in peaks[:10]:
+            lines.append(f"  {span:40s} {value / 2**20:8.1f} MiB")
+    return "\n".join(lines)
+
+
+def render_diff_report(diff: ManifestDiff) -> str:
+    """Markdown-ish rendering of a :class:`repro.obs.ManifestDiff`.
+
+    Printed by ``python -m repro compare`` and suitable for embedding
+    in CI logs: an overall verdict line, then one table per finding
+    category (categories without findings are omitted).
+    """
+    lines = [f"Manifest diff — status: {diff.status.upper()} "
+             f"({len(diff.regressions())} regression(s), "
+             f"{len(diff.warnings())} warning(s), "
+             f"{len(diff.findings)} finding(s))"]
+    lines.append(f"config {diff.config_hash}")
+    if diff.ignored_categories:
+        lines.append("ignored categories: "
+                     + ", ".join(diff.ignored_categories))
+    if diff.incomparable_reasons:
+        lines.append("FORCED comparison despite: "
+                     + "; ".join(diff.incomparable_reasons))
+    if not diff.findings:
+        lines.append("")
+        lines.append("No drift: every classified metric is within "
+                     "thresholds.")
+        return "\n".join(lines)
+    for category, findings in diff.by_category().items():
+        lines.append("")
+        lines.append(f"{category}:")
+        lines.append(render_table(
+            ["status", "metric", "old", "new", "detail"],
+            [(f.status, f.metric,
+              "-" if f.old is None else f"{f.old:g}",
+              "-" if f.new is None else f"{f.new:g}",
+              f.detail) for f in findings]))
     return "\n".join(lines)

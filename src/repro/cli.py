@@ -1,40 +1,64 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands:
+Build commands (default: ``summary``):
 
 * ``summary`` — build a world, run the measurement pipeline, print the
   map summary and its top activity weights;
 * ``claims``  — run the headline-claim suite (paper vs measured);
 * ``figures`` — regenerate Figures 1a, 1b and 2 as ASCII;
 * ``table1``  — regenerate Table 1;
-* ``outage``  — outage-impact report for an AS (or the top-k ASes).
+* ``outage``  — outage-impact report for an AS (or the top-k ASes);
+* ``report``  — write the full markdown report.
 
-The command defaults to ``summary``, so ``python -m repro`` alone (or
-with only flags) builds and summarises a map.
+Cross-run observability commands (no world is built; see
+``docs/observability.md``):
+
+* ``history record MANIFEST`` — validate a run manifest and append it
+  to the JSONL run-history registry (``--history``, default
+  ``run-history.jsonl``);
+* ``history list`` / ``history show REF`` — inspect the registry
+  (``REF`` is a listing index, ``last``, or ``@N``);
+* ``compare OLD NEW`` — classify the drift between two comparable
+  manifests (paths, ``-`` for stdin, or ``@N``/``last`` history refs)
+  into ok/warn/regression findings. Exits 4 when a regression is found;
+  ``--gate`` escalates warnings to gate too; ``--ignore CATEGORY``
+  drops a finding category (e.g. ``wall`` for cross-machine runs).
 
 Common flags: ``--scale {small,medium,default}``, ``--seed N``, the
 fault-injection trio ``--faults SPEC`` / ``--fault-seed N`` /
 ``--fault-retries N`` (e.g. ``--faults probe_loss=0.2`` builds the map
 under 20% probe loss and reports the degraded coverage), and the
-observability pair ``--metrics PATH`` (write a :class:`repro.obs`
-run-manifest JSON) / ``--trace`` (live span log on stderr). Either
-observability flag attaches a recorder and also runs the auxiliary
-campaigns, so the manifest covers all eleven measurement campaigns.
-``--map-json PATH`` writes the serialized map next to whatever the
-command prints.
+observability flags ``--metrics PATH`` (write a :class:`repro.obs`
+run-manifest JSON; ``-`` writes it to stdout and moves the command's
+output to stderr so runs pipe straight into ``repro compare``),
+``--trace`` (live span log on stderr), ``--profile-memory`` (per-span
+tracemalloc gauges) and ``--history PATH`` (append the run's manifest
+to a history registry). Any observability flag attaches a recorder and
+also runs the auxiliary campaigns, so the manifest covers all eleven
+measurement campaigns. ``--map-json PATH`` writes the serialized map
+next to whatever the command prints.
 
 Crash recovery (see ``docs/checkpointing.md``): ``--checkpoint-dir D``
 snapshots every builder stage into ``D``; ``--resume`` loads the valid
 snapshots instead of recomputing; ``--crash-at STAGE`` arms a simulated
 crash at that stage boundary (exit code 3). The resumed map is
 bit-identical to an uninterrupted build.
+
+Exit codes: 0 success; 1 command-specific failure (e.g. failed claims);
+2 bad flags or unreadable inputs; 3 simulated crash; 4 regression found
+by ``compare``; 5 a manifest failed schema validation (nothing invalid
+is ever persisted).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
+import os
 import sys
-from typing import List, Optional
+import time
+from typing import List, Optional, TextIO
 
 from . import ScenarioConfig, build_scenario
 from .errors import ConfigError, ValidationError
@@ -43,12 +67,22 @@ from .analysis.claims import ClaimSuite
 from .analysis.figures import (fig1a_prefixes_per_pop,
                                fig1b_coverage_and_servers,
                                fig2_subscribers_vs_signals)
-from .analysis.report import (render_claims, render_fig1a, render_fig1b,
-                              render_fig2, render_table, render_table1)
+from .analysis.report import (render_claims, render_diff_report,
+                              render_fig1a, render_fig1b, render_fig2,
+                              render_run_report, render_table,
+                              render_table1)
 from .analysis.tables import regenerate_table1
 from .core.builder import BuilderOptions, MapBuilder
 from .core.usecases import OutageImpactAnalyzer
-from .obs import NULL_RECORDER, Recorder
+from .obs import (DEFAULT_HISTORY_PATH, DIFF_CATEGORIES, NULL_RECORDER,
+                  STATUS_REGRESSION, STATUS_WARN, Recorder, RunHistory,
+                  RunManifest, diff_manifests, options_digest,
+                  validate_manifest)
+
+#: ``repro compare`` found a regression (or, with --gate, a warning).
+EXIT_REGRESSION = 4
+#: A manifest failed schema validation and was not persisted.
+EXIT_INVALID_MANIFEST = 5
 
 SCALES = {
     "small": ScenarioConfig.small,
@@ -96,10 +130,21 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics", metavar="PATH", default=None,
                         help="record an instrumented build and write the "
                              "run manifest (spans, counters, per-campaign "
-                             "provenance) as JSON to PATH")
+                             "provenance) as JSON to PATH ('-' writes it "
+                             "to stdout and moves the command's output "
+                             "to stderr)")
     parser.add_argument("--trace", action="store_true",
                         help="stream a live indented span log to stderr "
                              "while the build runs")
+    parser.add_argument("--profile-memory", action="store_true",
+                        help="record per-span tracemalloc gauges "
+                             "(mem.<span>.peak_bytes / .current_bytes) "
+                             "in the manifest; the built map stays "
+                             "bit-identical")
+    parser.add_argument("--history", metavar="PATH", default=None,
+                        help="append the run's validated manifest to this "
+                             "JSONL run-history registry (inspect with "
+                             "'repro history')")
     parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
                         help="snapshot every builder stage into DIR "
                              "(atomic, content-addressed; see "
@@ -127,6 +172,48 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="write the full markdown report")
     report.add_argument("-o", "--output", default="itm-report.md",
                         help="output path (default itm-report.md)")
+    history = sub.add_parser(
+        "history", help="inspect or append to a run-history registry")
+    history_sub = history.add_subparsers(dest="history_command",
+                                         required=True)
+    record = history_sub.add_parser(
+        "record", help="validate a manifest file and append it")
+    record.add_argument("manifest", help="run-manifest JSON to append")
+    record.add_argument("--label", default=None,
+                        help="free-form label stored with the entry")
+    record.add_argument("--require-comparable", action="store_true",
+                        help="refuse a manifest whose digests make it "
+                             "incomparable with the latest entry")
+    listing = history_sub.add_parser("list", help="list recorded runs")
+    show = history_sub.add_parser("show", help="print one recorded run")
+    show.add_argument("ref", help="entry to show: N, @N or 'last' "
+                                  "(negative N counts from the end)")
+    show.add_argument("--report", action="store_true",
+                      help="render the run report instead of raw JSON")
+    compare = sub.add_parser(
+        "compare", help="classify drift between two run manifests")
+    compare.add_argument("old", help="baseline manifest: a JSON path, "
+                                     "'-' (stdin), @N or 'last'")
+    compare.add_argument("new", help="candidate manifest: a JSON path, "
+                                     "'-' (stdin), @N or 'last'")
+    compare.add_argument("--gate", action="store_true",
+                         help="exit 4 on warnings too, not only "
+                              "regressions")
+    compare.add_argument("--force", action="store_true",
+                         help="diff even when the digests say the runs "
+                              "are incomparable")
+    compare.add_argument("--ignore", action="append", default=None,
+                         metavar="CATEGORY", choices=DIFF_CATEGORIES,
+                         help="drop a finding category (repeatable); "
+                              "one of: " + ", ".join(DIFF_CATEGORIES))
+    compare.add_argument("--json", action="store_true",
+                         help="print the structured diff as JSON "
+                              "instead of the report")
+    for cmd in (record, listing, show, compare):
+        cmd.add_argument("--history", dest="history_file",
+                         default=DEFAULT_HISTORY_PATH, metavar="PATH",
+                         help="registry path (default: "
+                              f"{DEFAULT_HISTORY_PATH})")
     return parser
 
 
@@ -151,7 +238,8 @@ def _parse_faults(args: argparse.Namespace) -> Optional[FaultPlan]:
 
 def _make_recorder(args: argparse.Namespace) -> Recorder:
     """A live recorder when any observability flag is set, else null."""
-    if args.metrics is None and not args.trace:
+    if args.metrics is None and not args.trace \
+            and not args.profile_memory and args.history is None:
         return NULL_RECORDER
     return Recorder(trace=sys.stderr if args.trace else None)
 
@@ -163,7 +251,8 @@ def _prepare(args: argparse.Namespace, recorder: Recorder):
     # Instrumented runs also exercise the auxiliary campaigns so the
     # manifest covers every measurement campaign, not just the six the
     # map components consume. The serialized map is identical either way.
-    options = (BuilderOptions(run_auxiliary_campaigns=True)
+    options = (BuilderOptions(run_auxiliary_campaigns=True,
+                              profile_memory=args.profile_memory)
                if recorder.enabled else None)
     builder = MapBuilder(scenario, options=options, faults=faults,
                          recorder=recorder,
@@ -254,6 +343,20 @@ def _cmd_outage(scenario, builder, itm, asn: Optional[int],
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # A downstream consumer (e.g. ``| head``) closed stdout early.
+        # Point the fd at devnull so the interpreter's shutdown flush
+        # does not raise a second time. Exit non-zero: the command's
+        # real exit code (possibly a gate failure) was lost with the
+        # pipe, so success must not be claimed.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
+
+
+def _main(argv: Optional[List[str]]) -> int:
+    """:func:`main` minus the broken-pipe guard."""
     args = _build_parser().parse_args(argv)
     if args.command is None:
         args.command = "summary"
@@ -286,19 +389,178 @@ def main(argv: Optional[List[str]] = None) -> int:
     return _run(args)
 
 
-def _write_manifest(args: argparse.Namespace, builder: MapBuilder) -> None:
+def _persist_observability(args: argparse.Namespace, builder: MapBuilder,
+                           manifest_stream: Optional[TextIO]) -> int:
+    """Validate the run's manifest, then write/record it as requested.
+
+    Runs :func:`repro.obs.validate_manifest` first; an invalid manifest
+    is never persisted anywhere — not to ``--metrics``, not to the
+    ``--history`` registry — and the run exits :data:`EXIT_INVALID_MANIFEST`
+    instead. ``manifest_stream`` is the real stdout captured before
+    ``--metrics -`` redirected the command's own output to stderr.
+    """
     manifest = builder.manifest(command=args.command, scale=args.scale)
     try:
-        manifest.save(args.metrics)
-    except OSError as exc:
-        print(f"cannot write metrics to {args.metrics}: {exc}",
+        validate_manifest(manifest.to_dict())
+    except ValidationError as exc:
+        print(f"invalid run manifest (not persisted): {exc}",
               file=sys.stderr)
+        return EXIT_INVALID_MANIFEST
+    if args.metrics == "-":
+        stream = manifest_stream or sys.stdout
+        stream.write(manifest.to_json())
+        stream.write("\n")
+        print("wrote metrics manifest to stdout", file=sys.stderr)
+    elif args.metrics is not None:
+        try:
+            manifest.save(args.metrics)
+        except OSError as exc:
+            print(f"cannot write metrics to {args.metrics}: {exc}",
+                  file=sys.stderr)
+        else:
+            print(f"wrote metrics manifest to {args.metrics}",
+                  file=sys.stderr)
+    if args.history is not None:
+        try:
+            entry = RunHistory(args.history).record(
+                manifest, options_digest=options_digest(builder.options))
+        except ValidationError as exc:
+            print(f"cannot append to history {args.history}: {exc}",
+                  file=sys.stderr)
+            return EXIT_INVALID_MANIFEST
+        print(f"recorded run @{entry.index} in {args.history}",
+              file=sys.stderr)
+    return 0
+
+
+def _load_manifest_ref(ref: str, history_path: str) -> RunManifest:
+    """Resolve a manifest reference for ``compare``/``history show``.
+
+    ``ref`` is a JSON file path, ``-`` (read stdin), ``last`` (newest
+    history entry) or ``@N`` (history entry by listing index; negative N
+    counts from the end). Raises OSError for unreadable files,
+    json.JSONDecodeError for unparseable JSON, ValidationError for
+    schema violations or missing history entries, and ValueError for a
+    malformed ``@N``.
+    """
+    if ref == "-":
+        return RunManifest.from_json(sys.stdin.read())
+    if ref == "last":
+        ref = "@-1"
+    if ref.startswith("@"):
+        return RunHistory(history_path).get(int(ref[1:])).load_manifest()
+    return RunManifest.load(ref)
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """``repro compare OLD NEW``: classify drift, gate on regressions."""
+    if args.old == "-" and args.new == "-":
+        print("only one of OLD/NEW can read stdin ('-')", file=sys.stderr)
+        return 2
+    manifests = []
+    for ref in (args.old, args.new):
+        try:
+            manifests.append(_load_manifest_ref(ref, args.history_file))
+        except OSError as exc:
+            print(f"cannot read {ref}: {exc}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"{ref}: not valid JSON: {exc}", file=sys.stderr)
+            return EXIT_INVALID_MANIFEST
+        except (ValidationError, ValueError) as exc:
+            print(f"{ref}: {exc}", file=sys.stderr)
+            return EXIT_INVALID_MANIFEST
+    old, new = manifests
+    try:
+        diff = diff_manifests(old, new, force=args.force,
+                              ignore=tuple(args.ignore or ()))
+    except ValidationError as exc:
+        print(f"cannot compare: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
     else:
-        print(f"wrote metrics manifest to {args.metrics}",
-              file=sys.stderr)
+        print(render_diff_report(diff))
+    gating = {STATUS_REGRESSION, STATUS_WARN} if args.gate \
+        else {STATUS_REGRESSION}
+    return EXIT_REGRESSION if diff.status in gating else 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    """``repro history record/list/show`` against a JSONL registry."""
+    history = RunHistory(args.history_file)
+    if args.history_command == "record":
+        try:
+            with open(args.manifest) as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            print(f"cannot read {args.manifest}: {exc}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"{args.manifest}: not valid JSON: {exc}",
+                  file=sys.stderr)
+            return EXIT_INVALID_MANIFEST
+        try:
+            entry = history.record(
+                payload, label=args.label,
+                require_same_key=args.require_comparable)
+        except ValidationError as exc:
+            print(f"not recorded: {exc}", file=sys.stderr)
+            return EXIT_INVALID_MANIFEST
+        print(f"recorded run @{entry.index} ({entry.key.describe()}) "
+              f"in {history.path}")
+        return 0
+    if args.history_command == "list":
+        entries, bad = history.scan()
+        if bad:
+            print(f"skipped {len(bad)} unreadable line(s): "
+                  f"{', '.join(map(str, bad))}", file=sys.stderr)
+        if not entries:
+            print(f"history {history.path} is empty")
+            return 0
+        rows = []
+        for entry in entries:
+            stamp = time.strftime("%Y-%m-%d %H:%M:%S",
+                                  time.gmtime(entry.recorded_unix))
+            rows.append((f"@{entry.index}", stamp,
+                         entry.manifest.get("command") or "-",
+                         entry.manifest.get("scale") or "-",
+                         entry.key.describe(), entry.label or "-"))
+        print(render_table(
+            ["ref", "recorded (UTC)", "command", "scale",
+             "config/fault/options", "label"], rows))
+        return 0
+    assert args.history_command == "show"
+    ref = args.ref
+    if not ref.startswith("@") and ref != "last":
+        ref = "@" + ref
+    try:
+        manifest = _load_manifest_ref(ref, args.history_file)
+    except (ValidationError, ValueError) as exc:
+        print(f"{args.ref}: {exc}", file=sys.stderr)
+        return 2
+    print(render_run_report(manifest) if args.report
+          else manifest.to_json())
+    return 0
 
 
 def _run(args: argparse.Namespace) -> int:
+    if args.command == "history":
+        return _cmd_history(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.metrics == "-":
+        # The manifest owns stdout: the command's own output moves to
+        # stderr so `repro --metrics - summary | repro compare - BASE`
+        # pipes a clean JSON document.
+        stream = sys.stdout
+        with contextlib.redirect_stdout(sys.stderr):
+            return _run_build(args, manifest_stream=stream)
+    return _run_build(args)
+
+
+def _run_build(args: argparse.Namespace,
+               manifest_stream: Optional[TextIO] = None) -> int:
     recorder = _make_recorder(args)
     try:
         scenario, builder, itm = _prepare(args, recorder)
@@ -311,18 +573,19 @@ def _run(args: argparse.Namespace) -> int:
     except ValidationError as exc:
         print(f"bad build flags: {exc}", file=sys.stderr)
         return 2
+    obs_code = 0
     try:
         if args.command == "summary":
-            return _cmd_summary(scenario, builder, itm)
-        if args.command == "claims":
-            return _cmd_claims(scenario, builder, itm)
-        if args.command == "figures":
-            return _cmd_figures(scenario, builder, itm)
-        if args.command == "table1":
-            return _cmd_table1(scenario, builder, itm)
-        if args.command == "outage":
-            return _cmd_outage(scenario, builder, itm, args.asn, args.top)
-        if args.command == "report":
+            code = _cmd_summary(scenario, builder, itm)
+        elif args.command == "claims":
+            code = _cmd_claims(scenario, builder, itm)
+        elif args.command == "figures":
+            code = _cmd_figures(scenario, builder, itm)
+        elif args.command == "table1":
+            code = _cmd_table1(scenario, builder, itm)
+        elif args.command == "outage":
+            code = _cmd_outage(scenario, builder, itm, args.asn, args.top)
+        elif args.command == "report":
             from .analysis.export import build_report
             manifest = (builder.manifest(command="report",
                                          scale=args.scale)
@@ -332,11 +595,18 @@ def _run(args: argparse.Namespace) -> int:
             with open(args.output, "w") as handle:
                 handle.write(text)
             print(f"wrote {args.output} ({len(text)} chars)")
-            return 0
-        raise AssertionError(f"unhandled command {args.command!r}")
+            code = 0
+        else:
+            raise AssertionError(f"unhandled command {args.command!r}")
     finally:
-        if args.metrics is not None:
-            _write_manifest(args, builder)
+        # The manifest is written/recorded even when the command itself
+        # fails (a failing claims run is exactly the run worth keeping);
+        # an invalid manifest turns an otherwise-clean exit into
+        # EXIT_INVALID_MANIFEST.
+        if args.metrics is not None or args.history is not None:
+            obs_code = _persist_observability(args, builder,
+                                              manifest_stream)
+    return code if code != 0 else obs_code
 
 
 if __name__ == "__main__":  # pragma: no cover

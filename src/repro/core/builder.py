@@ -150,6 +150,13 @@ class BuilderOptions:
     aux_assoc_sample: int = 20_000
     aux_reverse_pairs: int = 40
     aux_cloud_targets: int = 60
+    # Per-stage tracemalloc profiling (``mem.<span>.peak_bytes`` /
+    # ``current_bytes`` gauges in the manifest). Opt-in because tracing
+    # allocations costs wall time; it observes without steering, so the
+    # map stays bit-identical (regression-locked in tests/test_obs.py)
+    # and repro.obs.manifest.options_digest excludes this knob — profiled
+    # and plain builds share checkpoints and compare in the run history.
+    profile_memory: bool = False
 
     def validate(self) -> None:
         if not (self.use_cache_probing or self.use_root_logs):
@@ -233,6 +240,11 @@ class MapBuilder:
     def recorder(self) -> Recorder:
         """The build's recorder (the shared null recorder by default)."""
         return self._recorder
+
+    @property
+    def options(self) -> BuilderOptions:
+        """The build's resolved options (for digests and reporting)."""
+        return self._options
 
     def _resolve_faults(self,
                         faults: Union[FaultPlan, FaultContext, None]
@@ -814,6 +826,19 @@ class MapBuilder:
     def build(self) -> InternetTrafficMap:
         """Run the configured campaigns and assemble the map."""
         rec = self._recorder
+        if self._options.profile_memory:
+            # Profiling brackets the build: started here, stopped in the
+            # finally below so tracemalloc's tracing cost never outlives
+            # the build it measured (even when a stage crashes).
+            rec.start_memory_profiling()
+        try:
+            return self._build_profiled(rec)
+        finally:
+            if self._options.profile_memory:
+                rec.stop_memory_profiling()
+
+    def _build_profiled(self, rec) -> InternetTrafficMap:
+        """The build pipeline proper (wrapped by :meth:`build`)."""
         with rec.span("build"):
             with rec.span("users"):
                 users = self._build_users()
@@ -844,6 +869,9 @@ class MapBuilder:
             rec.gauge("routing.cache.entries", stats.entries)
             rec.gauge("routing.cache.max_entries", stats.max_entries)
             rec.gauge("routing.cache.hit_rate", stats.hit_rate)
+            if rec.memory_profiling:
+                rec.gauge("mem.routing.cache.resident_bytes",
+                          self._scenario.bgp.cache_memory_bytes())
         self.itm = itm
         return itm
 

@@ -391,6 +391,18 @@ class RouteTable:
             memo[k] = suffix
         return suffix
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of this table's dense arrays (memo excluded).
+
+        The memoized path tuples are deliberately left out: they are a
+        demand-paged cache whose size tracks the caller's access
+        pattern, not the table itself.
+        """
+        return int(self._kind.nbytes + self._path_len.nbytes
+                   + self._parent.nbytes + self._origin.nbytes
+                   + self._holder_idxs.nbytes)
+
     # -- dict-like interface ----------------------------------------------
 
     def __len__(self) -> int:
@@ -677,6 +689,14 @@ class BgpSimulator:
                           max_entries=self._max_entries,
                           hits=self._hits, misses=self._misses,
                           evictions=self._evictions)
+
+    def cache_memory_bytes(self) -> int:
+        """Resident bytes of all cached route tables' dense arrays.
+
+        Feeds the ``mem.routing.cache.resident_bytes`` gauge of
+        memory-profiled builds (``BuilderOptions.profile_memory``).
+        """
+        return sum(table.nbytes for table in self._cache.values())
 
     def routes_to(self, origins: Iterable[int]) -> RouteTable:
         """Best routes from every AS toward the origin set (cached)."""

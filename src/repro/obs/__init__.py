@@ -1,15 +1,24 @@
-"""Observability: span timers, counters and per-run manifests.
+"""Observability: span timers, manifests, run history and diffing.
 
 Zero-dependency instrumentation for the map pipeline. A
 :class:`Recorder` threads through :class:`repro.core.builder.MapBuilder`,
 every ``repro.measure`` campaign, :class:`repro.net.routing.BgpSimulator`
 and :class:`repro.faults.FaultContext`; the collected spans/counters fold
 into a :class:`RunManifest` JSON document (CLI ``--metrics out.json``,
-live span log via ``--trace``). The :data:`NULL_RECORDER` default makes
-all of it free — and bit-identical — when unused. See
-``docs/observability.md``.
+live span log via ``--trace``, per-span tracemalloc gauges via
+``BuilderOptions.profile_memory``). Manifests accumulate across builds
+in an append-only :class:`RunHistory` JSONL registry, and
+:func:`diff_manifests` classifies the drift between two comparable runs
+into ``ok``/``warn``/``regression`` findings (CLI ``repro history`` /
+``repro compare``). The :data:`NULL_RECORDER` default makes all of it
+free — and bit-identical — when unused. See ``docs/observability.md``.
 """
 
+from .diff import (DIFF_CATEGORIES, STATUS_OK, STATUS_REGRESSION,
+                   STATUS_WARN, DiffFinding, DiffThresholds, ManifestDiff,
+                   comparability_errors, diff_manifests)
+from .history import (DEFAULT_HISTORY_PATH, HISTORY_SCHEMA_VERSION,
+                      HistoryEntry, RunHistory, RunKey, run_key_of)
 from .manifest import (FORMAT_VERSION, KNOWN_CAMPAIGNS,
                        SUPPORTED_FORMAT_VERSIONS, CampaignRecord,
                        RunManifest, collect_manifest, config_digest,
@@ -19,19 +28,34 @@ from .recorder import (NULL_RECORDER, NullRecorder, Recorder, StageTiming,
                        resolve_recorder)
 
 __all__ = [
+    "DEFAULT_HISTORY_PATH",
+    "DIFF_CATEGORIES",
     "FORMAT_VERSION",
+    "HISTORY_SCHEMA_VERSION",
     "KNOWN_CAMPAIGNS",
     "CampaignRecord",
+    "DiffFinding",
+    "DiffThresholds",
+    "HistoryEntry",
+    "ManifestDiff",
     "NULL_RECORDER",
     "NullRecorder",
     "Recorder",
+    "RunHistory",
+    "RunKey",
     "RunManifest",
+    "STATUS_OK",
+    "STATUS_REGRESSION",
+    "STATUS_WARN",
     "StageTiming",
-    "collect_manifest",
     "SUPPORTED_FORMAT_VERSIONS",
+    "collect_manifest",
+    "comparability_errors",
     "config_digest",
+    "diff_manifests",
     "fault_plan_digest",
     "options_digest",
     "resolve_recorder",
+    "run_key_of",
     "validate_manifest",
 ]

@@ -210,9 +210,16 @@ def options_digest(options) -> str:
     Joins ``config_digest``/``fault_plan_digest`` in checkpoint snapshot
     envelopes: a snapshot written under different technique selections or
     budgets must not satisfy a resume.
+
+    ``profile_memory`` is deliberately *excluded* (mirroring how
+    ``crash_at`` is excluded from :func:`fault_plan_digest`): memory
+    profiling observes allocations without changing any stage's output,
+    so profiled and unprofiled builds of the same options may share
+    snapshots and are comparable in the run-history registry.
     """
-    payload = json.dumps(dataclasses.asdict(options), sort_keys=True,
-                         default=str)
+    fields = dataclasses.asdict(options)
+    fields.pop("profile_memory", None)
+    payload = json.dumps(fields, sort_keys=True, default=str)
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 

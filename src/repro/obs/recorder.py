@@ -16,16 +16,26 @@ kinds of signal while a build runs:
 * **gauges** — last-write-wins point-in-time values
   (``routing.cache.entries``).
 
+With memory profiling enabled (:meth:`Recorder.start_memory_profiling`,
+normally reached through ``BuilderOptions.profile_memory``), every span
+additionally records two gauges from :mod:`tracemalloc`:
+``mem.<path>.peak_bytes`` (the high-water mark of traced allocations
+while the span — children included — was open; the max over re-entries)
+and ``mem.<path>.current_bytes`` (traced bytes still live when the span
+closed, last write wins).
+
 The default everywhere is the :data:`NULL_RECORDER` singleton, whose
 methods do nothing and allocate nothing: instrumentation observes and
 never steers — it must not touch any random stream or branch, so an
 instrumented build's map is bit-identical to an uninstrumented one
-(``tests/test_obs.py`` regression-locks this against ``map_to_json``).
+(``tests/test_obs.py`` regression-locks this against ``map_to_json``;
+memory profiling is covered by the same lock).
 """
 
 from __future__ import annotations
 
 import time
+import tracemalloc
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, TextIO
@@ -59,7 +69,8 @@ class Recorder:
 
     enabled = True
 
-    def __init__(self, trace: Optional[TextIO] = None) -> None:
+    def __init__(self, trace: Optional[TextIO] = None,
+                 profile_memory: bool = False) -> None:
         self._stack: List[str] = []
         # path -> [label, calls, wall_s]; insertion-ordered, which gives
         # manifests a stable "first entered" stage order.
@@ -67,6 +78,47 @@ class Recorder:
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self._trace = trace
+        # Per open span: the peak traced bytes seen so far *inside* it,
+        # folded upward as children close (see span()).
+        self._mem_peaks: List[int] = []
+        self._profile_memory = False
+        self._started_tracemalloc = False
+        if profile_memory:
+            self.start_memory_profiling()
+
+    # -- memory profiling -------------------------------------------------
+
+    @property
+    def memory_profiling(self) -> bool:
+        """Whether spans currently record tracemalloc gauges."""
+        return self._profile_memory
+
+    def start_memory_profiling(self) -> None:
+        """Record per-span tracemalloc peak/current gauges from now on.
+
+        Starts :mod:`tracemalloc` if it is not already tracing (and
+        remembers having done so, so :meth:`stop_memory_profiling` only
+        stops what it started). Purely observational — tracemalloc sees
+        allocations but never changes them — so the bit-identity
+        guarantee of instrumented builds is unaffected; the cost is the
+        tracing overhead, which is why this is opt-in
+        (``BuilderOptions.profile_memory``).
+        """
+        if self._profile_memory:
+            return
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        self._profile_memory = True
+
+    def stop_memory_profiling(self) -> None:
+        """Stop recording memory gauges (and tracemalloc, if we own it)."""
+        if not self._profile_memory:
+            return
+        self._profile_memory = False
+        if self._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._started_tracemalloc = False
 
     # -- spans ------------------------------------------------------------
 
@@ -78,6 +130,17 @@ class Recorder:
         if self._trace is not None:
             indent = "  " * (len(self._stack) - 1)
             print(f"[trace] {indent}> {name}", file=self._trace)
+        # Memory participation is decided at entry so a profiler toggled
+        # mid-span cannot unbalance the peak stack.
+        profiling = self._profile_memory and tracemalloc.is_tracing()
+        if profiling:
+            _, peak_before = tracemalloc.get_traced_memory()
+            if self._mem_peaks:
+                # Credit the parent with its peak so far, then restart
+                # the high-water mark for this span.
+                self._mem_peaks[-1] = max(self._mem_peaks[-1], peak_before)
+            tracemalloc.reset_peak()
+            self._mem_peaks.append(0)
         started = time.perf_counter()
         try:
             yield
@@ -90,6 +153,19 @@ class Recorder:
             else:
                 entry[1] += 1
                 entry[2] += elapsed
+            if profiling:
+                current, peak_now = tracemalloc.get_traced_memory()
+                span_peak = max(self._mem_peaks.pop(), peak_now)
+                # A span's gauge is the max over its re-entries; current
+                # bytes are genuinely last-write-wins.
+                key = f"mem.{path}.peak_bytes"
+                self.gauges[key] = max(self.gauges.get(key, 0), span_peak)
+                self.gauges[f"mem.{path}.current_bytes"] = current
+                tracemalloc.reset_peak()
+                if self._mem_peaks:
+                    # The child's peak is also part of the parent's.
+                    self._mem_peaks[-1] = max(self._mem_peaks[-1],
+                                              span_peak)
             if self._trace is not None:
                 indent = "  " * len(self._stack)
                 print(f"[trace] {indent}< {name} ({elapsed * 1e3:.1f} ms)",
@@ -147,6 +223,17 @@ class NullRecorder(Recorder):
 
     def gauge(self, name: str, value: float) -> None:
         pass
+
+    def start_memory_profiling(self) -> None:
+        # Never starts tracemalloc: the null recorder observes nothing.
+        pass
+
+    def stop_memory_profiling(self) -> None:
+        pass
+
+    @property
+    def memory_profiling(self) -> bool:  # type: ignore[override]
+        return False
 
     @property
     def counters(self) -> Dict[str, float]:  # type: ignore[override]

@@ -6,8 +6,9 @@ from repro.analysis.claims import ClaimResult, ClaimSuite
 from repro.analysis.figures import (fig1a_prefixes_per_pop,
                                     fig1b_coverage_and_servers,
                                     fig2_subscribers_vs_signals)
-from repro.analysis.report import (render_claims, render_fig1a,
-                                   render_fig1b, render_fig2,
+from repro.analysis.report import (render_claims, render_diff_report,
+                                   render_fig1a, render_fig1b,
+                                   render_fig2, render_run_report,
                                    render_table, render_table1)
 from repro.analysis.tables import regenerate_table1
 
@@ -126,3 +127,100 @@ class TestReport:
         results = suite.c7_ecs_adoption()
         text = render_claims(results)
         assert "claims within band" in text
+
+
+class TestRunReport:
+    @pytest.fixture()
+    def lineage_manifest(self):
+        """A format-2 manifest: checkpoint lineage + degraded coverage."""
+        from repro.obs import RunManifest
+        return RunManifest.from_dict({
+            "format_version": 2,
+            "seed": 7,
+            "config_hash": "deadbeefdeadbeef",
+            "created_unix": 100.0,
+            "command": "summary",
+            "scale": "small",
+            "fault_plan": {"describe": "probe_loss=0.2", "seed": 0,
+                           "digest": "abcdabcdabcdabcd",
+                           "retry_attempts": 3, "backoff_s": 0.0},
+            "stages": [
+                {"path": "build", "name": "build", "calls": 1,
+                 "wall_s": 2.0},
+                {"path": "build.users", "name": "users", "calls": 1,
+                 "wall_s": 1.0},
+            ],
+            "counters": {},
+            "gauges": {"mem.build.peak_bytes": float(64 << 20),
+                       "mem.build.current_bytes": float(8 << 20)},
+            "campaigns": {"cache-probing": {
+                "ran": True, "failed": False, "failure_reason": None,
+                "units": 100, "attempts": 120, "drops": 20,
+                "retries": 20, "giveups": 5, "delivered": 95,
+                "backoff_s": 0.1, "coverage": 0.95, "wall_s": 0.4}},
+            "route_cache": {"entries": 10, "max_entries": 64,
+                            "hits": 90, "misses": 10, "evictions": 0,
+                            "hit_rate": 0.9},
+            "coverage": {"users": {
+                "coverage": 0.95,
+                "techniques_intended": ["cache-probing", "root-logs"],
+                "techniques_delivered": ["cache-probing"],
+                "notes": ["root-logs campaign failed"]}},
+            "checkpoint": {
+                "checkpoint_dir": "/tmp/ckpt", "resumed": True,
+                "stages_total": 3,
+                "stages_reused": ["users", "services"],
+                "stages_recomputed": ["routes"],
+                "quarantined": [{"stage": "routes",
+                                 "reason": "digest mismatch"}]},
+        })
+
+    def test_render_run_report_covers_format_2_sections(
+            self, lineage_manifest):
+        text = render_run_report(lineage_manifest)
+        assert "seed 7" in text and "deadbeefdeadbeef" in text
+        assert "probe_loss=0.2" in text
+        # Degraded coverage: the lost technique and its note surface.
+        assert "users: 95.0%" in text
+        assert "lost root-logs" in text
+        assert "root-logs campaign failed" in text
+        # Checkpoint lineage: reuse counts and the quarantined snapshot.
+        assert "resumed from /tmp/ckpt" in text
+        assert "reused 2/3 stages (users, services)" in text
+        assert "recomputed 1 (routes)" in text
+        assert "quarantined routes: digest mismatch" in text
+        # Memory profiling section renders peaks in MiB.
+        assert "Peak traced memory" in text
+        assert "64.0 MiB" in text
+
+    def test_render_run_report_omits_absent_sections(self, small_config,
+                                                     small_builder):
+        from repro.obs import collect_manifest
+        manifest = collect_manifest(small_builder.recorder, small_config)
+        text = render_run_report(manifest)
+        assert "Checkpoints:" not in text
+        assert "Peak traced memory" not in text
+
+    def test_render_diff_report_sections(self, lineage_manifest):
+        import copy
+        from repro.obs import RunManifest, diff_manifests
+        payload = copy.deepcopy(lineage_manifest.to_dict())
+        for stage in payload["stages"]:
+            if stage["path"] == "build":
+                stage["wall_s"] *= 3.0
+        payload["coverage"]["users"]["coverage"] = 0.80
+        diff = diff_manifests(lineage_manifest,
+                              RunManifest.from_dict(payload))
+        text = render_diff_report(diff)
+        assert "status: REGRESSION" in text
+        assert "wall:" in text and "coverage:" in text
+        assert "build" in text
+
+    def test_render_diff_report_clean(self, lineage_manifest):
+        from repro.obs import diff_manifests
+        diff = diff_manifests(lineage_manifest, lineage_manifest,
+                              ignore=("checkpoint",))
+        text = render_diff_report(diff)
+        assert "status: OK" in text
+        assert "No drift" in text
+        assert "ignored categories: checkpoint" in text

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import io
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import EXIT_INVALID_MANIFEST, EXIT_REGRESSION, main
 
 
 class TestCli:
@@ -106,6 +109,205 @@ class TestCli:
         assert "Table 1" in captured.out
         assert "[trace] > build" in captured.err
         assert "measure.cache-probing" in captured.err
+
+
+@pytest.fixture(scope="module")
+def metrics_path(tmp_path_factory):
+    """A real small-build manifest, written once per module."""
+    path = tmp_path_factory.mktemp("manifests") / "metrics.json"
+    assert main(["--scale", "small", "--metrics", str(path),
+                 "summary"]) == 0
+    return path
+
+
+class TestMetricsStdout:
+    def test_metrics_dash_pipes_clean_json(self, capsys):
+        assert main(["--scale", "small", "--metrics", "-",
+                     "summary"]) == 0
+        captured = capsys.readouterr()
+        # stdout is exactly one JSON document: the validated manifest.
+        manifest = json.loads(captured.out)
+        assert manifest["command"] == "summary"
+        # The command's own output moved to stderr.
+        assert "activity share" in captured.err
+        assert "wrote metrics manifest to stdout" in captured.err
+        assert "activity share" not in captured.out
+
+    def test_invalid_manifest_exits_5_and_persists_nothing(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.errors import ValidationError
+
+        def reject(payload):
+            raise ValidationError("synthetic schema violation")
+
+        monkeypatch.setattr("repro.cli.validate_manifest", reject)
+        path = tmp_path / "metrics.json"
+        history = tmp_path / "h.jsonl"
+        assert main(["--scale", "small", "--metrics", str(path),
+                     "--history", str(history),
+                     "summary"]) == EXIT_INVALID_MANIFEST
+        assert not path.exists()
+        assert not history.exists()
+        assert "not persisted" in capsys.readouterr().err
+
+
+class TestProfileMemoryFlag:
+    def test_profile_memory_adds_gauges_and_keeps_map_identical(
+            self, tmp_path, capsys):
+        plain_map = tmp_path / "plain.json"
+        profiled_map = tmp_path / "profiled.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(["--scale", "small", "--map-json", str(plain_map),
+                     "summary"]) == 0
+        assert main(["--scale", "small", "--profile-memory",
+                     "--metrics", str(metrics),
+                     "--map-json", str(profiled_map), "summary"]) == 0
+        assert profiled_map.read_text() == plain_map.read_text()
+        manifest = json.loads(metrics.read_text())
+        assert manifest["gauges"]["mem.build.peak_bytes"] > 0
+
+
+class TestHistoryCli:
+    def test_record_list_show_round_trip(self, metrics_path, tmp_path,
+                                         capsys):
+        history = tmp_path / "h.jsonl"
+        assert main(["history", "record", str(metrics_path),
+                     "--history", str(history),
+                     "--label", "baseline"]) == 0
+        assert "recorded run @0" in capsys.readouterr().out
+        assert main(["history", "list", "--history", str(history)]) == 0
+        listing = capsys.readouterr().out
+        assert "@0" in listing and "baseline" in listing
+        assert main(["history", "show", "last",
+                     "--history", str(history)]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["command"] == "summary"
+        assert main(["history", "show", "@0", "--report",
+                     "--history", str(history)]) == 0
+        assert "Run report" in capsys.readouterr().out
+
+    def test_record_invalid_manifest_exits_5(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"seed\": \"nope\"}\n")
+        history = tmp_path / "h.jsonl"
+        assert main(["history", "record", str(bad), "--history",
+                     str(history)]) == EXIT_INVALID_MANIFEST
+        assert not history.exists()
+        assert "not recorded" in capsys.readouterr().err
+
+    def test_record_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["history", "record", str(tmp_path / "absent.json"),
+                     "--history", str(tmp_path / "h.jsonl")]) == 2
+
+    def test_build_history_flag_appends_entry(self, tmp_path, capsys):
+        from repro.obs import RunHistory
+        history = tmp_path / "h.jsonl"
+        assert main(["--scale", "small", "--history", str(history),
+                     "summary"]) == 0
+        assert f"recorded run @0 in {history}" in capsys.readouterr().err
+        (entry,) = RunHistory(history).entries()
+        assert entry.manifest["command"] == "summary"
+        # In-process appends know the builder's options digest.
+        assert entry.key.options is not None
+
+    def test_show_out_of_range_exits_2(self, tmp_path, capsys):
+        history = tmp_path / "h.jsonl"
+        assert main(["history", "show", "@3",
+                     "--history", str(history)]) == 2
+
+
+class TestCompareCli:
+    def test_self_compare_exits_zero(self, metrics_path, capsys):
+        assert main(["compare", str(metrics_path),
+                     str(metrics_path), "--gate"]) == 0
+        assert "status: OK" in capsys.readouterr().out
+
+    def test_seeded_regression_exits_4(self, metrics_path, tmp_path,
+                                       capsys):
+        payload = json.loads(metrics_path.read_text())
+        payload["coverage"]["users"]["coverage"] -= 0.10
+        for stage in payload["stages"]:
+            if stage["path"] == "build":
+                stage["wall_s"] *= 3.0
+        regressed = tmp_path / "regressed.json"
+        regressed.write_text(json.dumps(payload))
+        assert main(["compare", str(metrics_path),
+                     str(regressed)]) == EXIT_REGRESSION
+        out = capsys.readouterr().out
+        assert "status: REGRESSION" in out
+        assert "coverage" in out
+
+    def test_gate_escalates_warnings(self, metrics_path, tmp_path,
+                                     capsys):
+        payload = json.loads(metrics_path.read_text())
+        payload["coverage"]["users"]["coverage"] -= 0.01   # warn-sized
+        warned = tmp_path / "warned.json"
+        warned.write_text(json.dumps(payload))
+        assert main(["compare", str(metrics_path), str(warned)]) == 0
+        assert main(["compare", str(metrics_path), str(warned),
+                     "--gate"]) == EXIT_REGRESSION
+
+    def test_incomparable_exits_2_unless_forced(self, metrics_path,
+                                                tmp_path, capsys):
+        payload = json.loads(metrics_path.read_text())
+        payload["config_hash"] = "feedfacefeedface"
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps(payload))
+        assert main(["compare", str(metrics_path), str(other)]) == 2
+        assert "not comparable" in capsys.readouterr().err
+        assert main(["compare", str(metrics_path), str(other),
+                     "--force", "--ignore", "wall"]) == 0
+        assert "FORCED" in capsys.readouterr().out
+
+    def test_ignore_wall_drops_timing_findings(self, metrics_path,
+                                               tmp_path, capsys):
+        payload = json.loads(metrics_path.read_text())
+        for stage in payload["stages"]:
+            stage["wall_s"] *= 10.0
+        slower = tmp_path / "slower.json"
+        slower.write_text(json.dumps(payload))
+        assert main(["compare", str(metrics_path), str(slower),
+                     "--ignore", "wall", "--gate"]) == 0
+
+    def test_json_output_is_structured(self, metrics_path, capsys):
+        assert main(["compare", str(metrics_path), str(metrics_path),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "ok"
+        assert payload["findings"] == []
+
+    def test_stdin_manifest(self, metrics_path, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO(metrics_path.read_text()))
+        assert main(["compare", "-", str(metrics_path),
+                     "--gate"]) == 0
+
+    def test_double_stdin_rejected(self, capsys):
+        assert main(["compare", "-", "-"]) == 2
+
+    def test_unreadable_manifest_exits_2(self, tmp_path, capsys):
+        assert main(["compare", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json")]) == 2
+
+    def test_garbage_manifest_exits_5(self, tmp_path, metrics_path,
+                                      capsys):
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("not json")
+        assert main(["compare", str(metrics_path),
+                     str(garbage)]) == EXIT_INVALID_MANIFEST
+
+    def test_history_refs_resolve(self, metrics_path, tmp_path, capsys):
+        history = tmp_path / "h.jsonl"
+        assert main(["history", "record", str(metrics_path),
+                     "--history", str(history)]) == 0
+        capsys.readouterr()
+        assert main(["compare", "@0", "last",
+                     "--history", str(history)]) == 0
+
+    def test_unknown_ignore_category_rejected(self, metrics_path):
+        with pytest.raises(SystemExit):
+            main(["compare", str(metrics_path), str(metrics_path),
+                  "--ignore", "vibes"])
 
 
 class TestVersionFlag:

@@ -114,6 +114,80 @@ def test_resolve_recorder_passthrough():
 
 
 # ---------------------------------------------------------------------------
+# Memory profiling
+# ---------------------------------------------------------------------------
+
+
+def test_memory_profiling_records_peak_and_current_gauges():
+    import tracemalloc
+    assert not tracemalloc.is_tracing()
+    rec = Recorder(profile_memory=True)
+    try:
+        assert rec.memory_profiling
+        assert tracemalloc.is_tracing()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                blob = bytearray(512 * 1024)
+            del blob
+        for path in ("outer", "outer.inner"):
+            assert rec.gauges[f"mem.{path}.peak_bytes"] >= 0
+            assert f"mem.{path}.current_bytes" in rec.gauges
+        # A child's allocations are part of the parent's high-water mark.
+        assert rec.gauges["mem.outer.peak_bytes"] >= \
+            rec.gauges["mem.outer.inner.peak_bytes"] >= 512 * 1024
+    finally:
+        rec.stop_memory_profiling()
+    # The recorder owns tracemalloc: stopping profiling stops tracing.
+    assert not tracemalloc.is_tracing()
+    assert not rec.memory_profiling
+
+
+def test_memory_profiling_peak_keeps_max_over_reentries():
+    rec = Recorder(profile_memory=True)
+    try:
+        with rec.span("stage"):
+            blob = bytearray(1024 * 1024)
+            del blob
+        first = rec.gauges["mem.stage.peak_bytes"]
+        with rec.span("stage"):
+            pass
+        # The tiny second call must not shrink the recorded peak.
+        assert rec.gauges["mem.stage.peak_bytes"] == first
+    finally:
+        rec.stop_memory_profiling()
+
+
+def test_memory_profiling_off_adds_no_gauges():
+    rec = Recorder()
+    with rec.span("stage"):
+        pass
+    assert not any(name.startswith("mem.") for name in rec.gauges)
+
+
+def test_null_recorder_memory_profiling_is_inert():
+    import tracemalloc
+    assert not tracemalloc.is_tracing()
+    NULL_RECORDER.start_memory_profiling()
+    # The null recorder never starts tracemalloc nor flips any state.
+    assert not tracemalloc.is_tracing()
+    assert not NULL_RECORDER.memory_profiling
+    NULL_RECORDER.stop_memory_profiling()
+
+
+def test_null_recorder_writes_never_mutate_shared_state():
+    # NULL_RECORDER is a module-level singleton shared by every
+    # uninstrumented builder; a leaked write would cross-contaminate
+    # unrelated builds. The views it returns must be throwaways.
+    NULL_RECORDER.counters["poison"] = 1.0
+    NULL_RECORDER.gauges["poison"] = 1.0
+    NULL_RECORDER.count("poison", 5)
+    NULL_RECORDER.gauge("poison", 5)
+    assert NULL_RECORDER.counters == {}
+    assert NULL_RECORDER.gauges == {}
+    assert NULL_RECORDER.spans() == []
+
+
+# ---------------------------------------------------------------------------
 # Manifest schema
 # ---------------------------------------------------------------------------
 
@@ -215,6 +289,69 @@ def test_manifest_covers_all_campaigns(instrumented):
         assert manifest.stage(stage) is not None, stage
     assert manifest.route_cache is not None
     assert set(manifest.coverage) == {"users", "services", "routes"}
+
+
+@pytest.fixture(scope="module")
+def profiled(small_config):
+    """A fresh instrumented build with memory profiling on."""
+    scenario = build_scenario(small_config)
+    builder = MapBuilder(
+        scenario, options=BuilderOptions(run_auxiliary_campaigns=True,
+                                         profile_memory=True),
+        recorder=Recorder())
+    builder.build()
+    return builder
+
+
+def test_profiled_map_bit_identical(small_builder, profiled):
+    # Regression lock: tracemalloc observes allocations, it must never
+    # steer the build — a profiled map serializes byte-for-byte equal.
+    assert map_to_json(profiled.itm) == map_to_json(small_builder.itm)
+
+
+def test_profiled_build_stops_tracemalloc(profiled):
+    import tracemalloc
+    assert not tracemalloc.is_tracing()
+    assert not profiled.recorder.memory_profiling
+
+
+def test_profiled_manifest_carries_memory_gauges(profiled):
+    manifest = profiled.manifest(command="summary", scale="small")
+    validate_manifest(manifest.to_dict())
+    gauges = manifest.gauges
+    assert gauges["mem.build.peak_bytes"] > 0
+    # Every campaign span gets its own peak, nested under the pipeline.
+    for name in KNOWN_CAMPAIGNS:
+        matches = [g for g in gauges
+                   if g.endswith(f"measure.{name}.peak_bytes")]
+        assert matches, name
+    # The build's peak bounds every child stage's peak from above.
+    build_peak = gauges["mem.build.peak_bytes"]
+    for name, value in gauges.items():
+        if name.startswith("mem.build.") and \
+                name.endswith(".peak_bytes"):
+            assert value <= build_peak, name
+    # Peaks bound the matching end-of-span residency.
+    for name, value in gauges.items():
+        if name.startswith("mem.") and name.endswith(".peak_bytes"):
+            current = gauges.get(name.replace(".peak_bytes",
+                                              ".current_bytes"))
+            assert current is not None and current <= value, name
+    # The BGP route cache reports its resident footprint too.
+    assert gauges["mem.routing.cache.resident_bytes"] > 0
+
+
+def test_options_digest_ignores_profile_memory():
+    from repro.obs import options_digest
+    assert options_digest(BuilderOptions(profile_memory=True)) == \
+        options_digest(BuilderOptions())
+    assert options_digest(BuilderOptions(use_root_logs=False)) != \
+        options_digest(BuilderOptions())
+
+
+def test_plain_manifest_has_no_memory_gauges(instrumented):
+    gauges = instrumented.manifest().gauges
+    assert not any(name.startswith("mem.") for name in gauges)
 
 
 def test_probe_counters_consistent_under_faults(small_config):
