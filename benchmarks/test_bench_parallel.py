@@ -1,0 +1,86 @@
+"""Parallel campaign execution at 10x substrate scale.
+
+Two acceptance gates for the ``repro.par`` layer:
+
+* with 4 workers the measurement-campaign phase of a scale10 build runs
+  at least 2x faster than serial (skipped on boxes with fewer than 4
+  cores — the 1-core CI runner measures nothing but scheduler noise);
+* a serial scale10 build stays within the committed memory baseline
+  (``benchmarks/baselines/scale10-summary.json``), classified by the
+  same :func:`repro.obs.diff_manifests` thresholds the CLI gate uses.
+
+Regenerate the baseline after an intentional change with::
+
+    python -m repro --scale scale10 --profile-memory \
+        --metrics benchmarks/baselines/scale10-summary.json summary
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import ScenarioConfig, build_scenario
+from repro.core.builder import BuilderOptions, MapBuilder
+from repro.obs import (Recorder, RunManifest, STATUS_REGRESSION,
+                       diff_manifests)
+
+SCALE10_BASELINE = Path(__file__).parent / "baselines" / \
+    "scale10-summary.json"
+
+# Aux budgets scaled up so the five stage-parallel campaigns carry
+# enough work for the pool to amortise its fork cost.
+_HEAVY_AUX = dict(aux_ipid_routers=400, aux_assoc_sample=200_000,
+                  aux_reverse_pairs=400, aux_cloud_targets=600)
+
+
+@pytest.fixture(scope="module")
+def scale10_scenario():
+    return build_scenario(ScenarioConfig.scale10())
+
+
+def _timed_build(scenario, workers: int) -> float:
+    options = BuilderOptions(run_auxiliary_campaigns=True,
+                             workers=workers, **_HEAVY_AUX)
+    start = time.perf_counter()
+    MapBuilder(scenario, options=options).build()
+    return time.perf_counter() - start
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup needs >= 4 physical cores")
+def test_parallel_build_2x_faster_at_scale10(scale10_scenario):
+    """Acceptance gate: >= 2x end-to-end speedup with 4 workers."""
+    serial = _timed_build(scale10_scenario, workers=1)
+    parallel = _timed_build(scale10_scenario, workers=4)
+    assert serial / parallel >= 2.0, (
+        f"4 workers only {serial / parallel:.2f}x faster "
+        f"({serial:.1f}s -> {parallel:.1f}s)")
+
+
+def test_scale10_serial_build_within_memory_baseline(scale10_scenario):
+    """Acceptance gate: scale10 peak memory holds the committed line.
+
+    Wall findings are ignored (cross-machine); the ``memory`` category
+    — ``mem.*.peak_bytes`` growth beyond the diff thresholds — and the
+    seed-deterministic counters must classify clean.
+    """
+    baseline = RunManifest.from_json(SCALE10_BASELINE.read_text())
+    recorder = Recorder()
+    builder = MapBuilder(
+        scale10_scenario,
+        options=BuilderOptions(run_auxiliary_campaigns=True,
+                               profile_memory=True),
+        recorder=recorder)
+    builder.build()
+    manifest = builder.manifest(command="summary", scale="scale10")
+    diff = diff_manifests(baseline, manifest, ignore=("wall",))
+    regressions = [f for f in diff.findings
+                   if f.status == STATUS_REGRESSION]
+    assert not regressions, (
+        "scale10 regressed vs committed baseline:\n" +
+        "\n".join(f"  {f.category} {f.metric}: {f.detail}"
+                  for f in regressions))

@@ -24,8 +24,10 @@ Cross-run observability commands (no world is built; see
   ``--gate`` escalates warnings to gate too; ``--ignore CATEGORY``
   drops a finding category (e.g. ``wall`` for cross-machine runs).
 
-Common flags: ``--scale {small,medium,default}``, ``--seed N``, the
-fault-injection trio ``--faults SPEC`` / ``--fault-seed N`` /
+Common flags: ``--scale {small,medium,default,scale10,scale50}``,
+``--seed N``, ``--workers N`` (parallel campaign execution across N
+worker processes — the built map is bit-identical for any N; see
+``docs/parallelism.md``), the fault-injection trio ``--faults SPEC`` / ``--fault-seed N`` /
 ``--fault-retries N`` (e.g. ``--faults probe_loss=0.2`` builds the map
 under 20% probe loss and reports the degraded coverage), and the
 observability flags ``--metrics PATH`` (write a :class:`repro.obs`
@@ -88,6 +90,8 @@ SCALES = {
     "small": ScenarioConfig.small,
     "medium": ScenarioConfig.medium,
     "default": ScenarioConfig.default,
+    "scale10": ScenarioConfig.scale10,
+    "scale50": ScenarioConfig.scale50,
 }
 
 
@@ -112,6 +116,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="world size (default: small)")
     parser.add_argument("--seed", type=int, default=20211110,
                         help="scenario seed (default: 20211110)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for campaign execution; "
+                             "any N yields a bit-identical map "
+                             "(default: 1, serial)")
     parser.add_argument("--profile", metavar="PATH", default=None,
                         help="profile the run with cProfile and write "
                              "cumulative-sorted stats to PATH")
@@ -250,10 +258,16 @@ def _prepare(args: argparse.Namespace, recorder: Recorder):
     scenario = build_scenario(config)
     # Instrumented runs also exercise the auxiliary campaigns so the
     # manifest covers every measurement campaign, not just the six the
-    # map components consume. The serialized map is identical either way.
-    options = (BuilderOptions(run_auxiliary_campaigns=True,
-                              profile_memory=args.profile_memory)
-               if recorder.enabled else None)
+    # map components consume. The serialized map is identical either way
+    # (and identical for any --workers count).
+    if recorder.enabled:
+        options = BuilderOptions(run_auxiliary_campaigns=True,
+                                 profile_memory=args.profile_memory,
+                                 workers=args.workers)
+    elif args.workers != 1:
+        options = BuilderOptions(workers=args.workers)
+    else:
+        options = None
     builder = MapBuilder(scenario, options=options, faults=faults,
                          recorder=recorder,
                          checkpoint_dir=args.checkpoint_dir,

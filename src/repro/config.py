@@ -45,6 +45,12 @@ class TopologyConfig:
     facilities_per_major_city: int = 2
     # Mean number of facilities an eyeball/transit AS joins.
     facility_join_mean: float = 2.5
+    # Structural extras for scaled worlds (both default off so historic
+    # presets keep their exact wiring): chain each region's transit ASes
+    # into a lateral p2p ring, and hang upstream-less countries off their
+    # region's transit subtree instead of the global pool.
+    transit_region_ring: bool = False
+    regional_subtrees: bool = False
 
     def validate(self) -> None:
         for name in ("n_tier1", "n_transit", "n_eyeball", "n_stub", "n_research"):
@@ -234,6 +240,43 @@ class ScenarioConfig:
             dns=DnsConfig(gdns_pop_count=14),
             measurement=MeasurementConfig(
                 probe_rounds_per_day=12, atlas_vantage_points=60),
+        )
+
+    @classmethod
+    def scale10(cls, seed: int = 20211110) -> "ScenarioConfig":
+        """10x substrate (~12k ASes, ~150k routable /24s, full atlas).
+
+        Prefix count grows sub-linearly with the AS count so the dense
+        services-by-prefixes matrices stay within a laptop's memory; the
+        region rings / subtrees keep the bigger hierarchy geographic.
+        """
+        return cls(
+            seed=seed,
+            topology=TopologyConfig(
+                n_tier1=14, n_transit=800, n_eyeball=4_200, n_stub=6_200,
+                n_research=38, transit_region_ring=True,
+                regional_subtrees=True),
+            population=PopulationConfig(target_prefixes=150_000),
+            services=ServiceConfig(n_longtail_services=120,
+                                   anycast_site_count=36),
+            dns=DnsConfig(gdns_pop_count=32),
+            measurement=MeasurementConfig(atlas_vantage_points=360),
+        )
+
+    @classmethod
+    def scale50(cls, seed: int = 20211110) -> "ScenarioConfig":
+        """50x substrate (~57k ASes) approaching the real ~75k-AS Internet."""
+        return cls(
+            seed=seed,
+            topology=TopologyConfig(
+                n_tier1=16, n_transit=4_000, n_eyeball=21_000,
+                n_stub=31_000, n_research=60, transit_region_ring=True,
+                regional_subtrees=True),
+            population=PopulationConfig(target_prefixes=300_000),
+            services=ServiceConfig(n_longtail_services=160,
+                                   anycast_site_count=48),
+            dns=DnsConfig(gdns_pop_count=40),
+            measurement=MeasurementConfig(atlas_vantage_points=600),
         )
 
     def with_seed(self, seed: int) -> "ScenarioConfig":

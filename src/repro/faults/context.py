@@ -195,6 +195,22 @@ class CampaignFaultScope:
             "failure_reason": self.failure_reason,
         }
 
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold one shard's exported scope into this (parent) scope.
+
+        The parallel executor hands each shard an isolated
+        :meth:`FaultContext.shard_context` clone; the worker returns the
+        shard scope's :meth:`export_state` and the parent merges the
+        snapshots back *in shard order*, so counters (and their recorder
+        mirror) are identical no matter how shards were scheduled. The
+        aggregate tally is reconstructed through :meth:`_bump`, keeping
+        the aggregate == sum-over-kinds invariant.
+        """
+        for kind_value, counters in state["by_kind"].items():
+            self._bump(FaultKind(kind_value), **counters)
+        if state["failed"] and not self.failed:
+            self.mark_failed(str(state["failure_reason"]))
+
     def restore_state(self, state: Dict[str, object]) -> None:
         """Overwrite this scope with an :meth:`export_state` snapshot.
 
@@ -251,6 +267,9 @@ class FaultContext:
         self.recorder: Recorder = NULL_RECORDER
         self._scopes: Dict[str, CampaignFaultScope] = {}
         self._streams: Dict[Tuple[str, FaultKind], np.random.Generator] = {}
+        # Set on shard_context() clones: appended to every stream name so
+        # each shard's drop schedule is its own pure function of the plan.
+        self._shard: Optional[str] = None
 
     def attach_recorder(self, recorder: Recorder) -> None:
         """Mirror all subsequent counter updates onto a recorder.
@@ -301,11 +320,29 @@ class FaultContext:
         for name, state in states.items():
             self.campaign(name).restore_state(state)
 
+    def shard_context(self, label: str) -> "FaultContext":
+        """An isolated clone whose streams carry a shard label.
+
+        Sharded campaigns give every shard its own context so fault draws
+        bind to the shard (``substream(seed, "faults", campaign, kind,
+        "shard", label)``), not to execution order — the precondition for
+        parallel builds matching serial ones bit-for-bit. The clone has no
+        recorder attached: its counters travel back to the parent scope
+        via :meth:`CampaignFaultScope.merge_state`, which does the
+        mirroring exactly once.
+        """
+        clone = FaultContext(self.plan, self.retry)
+        clone._shard = str(label)
+        return clone
+
     def stream(self, campaign: str, kind: FaultKind) -> np.random.Generator:
         key = (campaign, kind)
         rng = self._streams.get(key)
         if rng is None:
-            rng = substream(self.plan.seed, "faults", campaign, kind.value)
+            names = (campaign, kind.value)
+            if self._shard is not None:
+                names += ("shard", self._shard)
+            rng = substream(self.plan.seed, "faults", *names)
             self._streams[key] = rng
         return rng
 

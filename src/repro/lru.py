@@ -1,0 +1,138 @@
+"""One bounded-LRU implementation for every cache in the repo.
+
+Two measurement paths independently grew the same idea: the
+:class:`~repro.net.routing.BgpSimulator` route cache (bounding memory of
+long anycast sweeps) and the community edge-cache simulator of §3.2.3
+(:mod:`repro.measure.cache_efficacy`). Both are "keep the most recently
+used N entries, count hits/misses/evictions" — so both now wrap
+:class:`BoundedLru`, and both report the same :class:`CacheStats` shape
+through their ``cache_stats()`` methods.
+
+The helper is purely a container: it never draws randomness and its
+optional recorder mirroring is observation-only, so wrapping a campaign's
+cache in it cannot change what the campaign computes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, Iterator, Optional, TypeVar
+
+from .obs.recorder import Recorder, resolve_recorder
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+#: Sentinel distinguishing "key absent" from a cached ``None`` value.
+_MISS = object()
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """Counter snapshot of one bounded LRU cache."""
+
+    entries: int
+    max_entries: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over all lookups (0.0 when the cache is cold)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BoundedLru(Generic[K, V]):
+    """Fixed-capacity mapping with LRU eviction and lookup counters.
+
+    ``get`` counts a hit or a miss and refreshes recency; ``put`` inserts
+    (or refreshes) and evicts the least recently used entries beyond
+    ``max_entries``. With a ``counter_prefix`` the same three events are
+    also mirrored onto a :class:`repro.obs.Recorder` as
+    ``<prefix>.hits`` / ``<prefix>.misses`` / ``<prefix>.evictions``.
+    """
+
+    def __init__(self, max_entries: int,
+                 recorder: Optional[Recorder] = None,
+                 counter_prefix: Optional[str] = None) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self._max_entries = int(max_entries)
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._recorder = resolve_recorder(recorder)
+        self._prefix = counter_prefix
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    def attach_recorder(self, recorder: Optional[Recorder]) -> None:
+        """Mirror counters onto ``recorder`` from now on (observation
+        only; requires a ``counter_prefix``)."""
+        self._recorder = resolve_recorder(recorder)
+
+    def _count(self, event: str) -> None:
+        if self._prefix is not None:
+            self._recorder.count(f"{self._prefix}.{event}")
+
+    # -- mapping operations ------------------------------------------------
+
+    def get(self, key: K, default: object = None) -> object:
+        """Look ``key`` up, counting a hit (and refreshing recency) or a
+        miss; returns ``default`` on miss."""
+        value = self._entries.get(key, _MISS)
+        if value is not _MISS:
+            self._hits += 1
+            self._count("hits")
+            self._entries.move_to_end(key)
+            return value
+        self._misses += 1
+        self._count("misses")
+        return default
+
+    def put(self, key: K, value: V) -> None:
+        """Insert (or refresh) an entry, evicting beyond capacity."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+            self._count("evictions")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        # Pure peek: membership tests never touch the counters or the
+        # recency order.
+        return key in self._entries
+
+    def values(self) -> Iterator[V]:
+        """Cached values in recency order (oldest first); pure peek."""
+        return iter(self._entries.values())
+
+    def clear(self) -> None:
+        """Drop every entry. Counters survive (an invalidated cache's
+        history is still history); use :meth:`reset_counters` for those.
+        Dropped entries are not evictions — nothing was displaced."""
+        self._entries.clear()
+
+    # -- counters ----------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def cache_stats(self) -> CacheStats:
+        """Current counter snapshot."""
+        return CacheStats(entries=len(self._entries),
+                          max_entries=self._max_entries,
+                          hits=self._hits, misses=self._misses,
+                          evictions=self._evictions)

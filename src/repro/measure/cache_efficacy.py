@@ -15,50 +15,59 @@ even under load, supporting the paper's §3.2.3 intuition.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from ..errors import MeasurementError
+from ..lru import BoundedLru, CacheStats
 from ..rand import zipf_weights
+
+_SENTINEL = object()
 
 
 class LruCache:
-    """Fixed-capacity LRU cache over opaque object ids."""
+    """Fixed-capacity LRU cache over opaque object ids.
+
+    A request-oriented face over the repo-wide :class:`repro.lru.BoundedLru`
+    (the same implementation behind the ``BgpSimulator`` route cache): one
+    ``request`` is a lookup that installs the object on miss.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise MeasurementError("capacity must be >= 1")
-        self._capacity = capacity
-        self._entries: "OrderedDict[int, None]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        self._lru: "BoundedLru[int, None]" = BoundedLru(capacity)
 
     def request(self, object_id: int) -> bool:
         """Serve one request; returns True on cache hit."""
-        if object_id in self._entries:
-            self._entries.move_to_end(object_id)
-            self.hits += 1
+        if self._lru.get(object_id, _SENTINEL) is not _SENTINEL:
             return True
-        self.misses += 1
-        self._entries[object_id] = None
-        if len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+        self._lru.put(object_id, None)
         return False
 
     @property
+    def hits(self) -> int:
+        return self._lru.cache_stats().hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.cache_stats().misses
+
+    @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return self._lru.cache_stats().hit_rate
+
+    def cache_stats(self) -> CacheStats:
+        """Counter snapshot, same shape as the route cache's."""
+        return self._lru.cache_stats()
 
     def reset_counters(self) -> None:
-        self.hits = 0
-        self.misses = 0
+        self._lru.reset_counters()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._lru)
 
 
 @dataclass

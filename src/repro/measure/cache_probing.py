@@ -24,7 +24,7 @@ Outputs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,11 +32,17 @@ from ..errors import MeasurementError
 from ..faults import FaultContext, FaultKind
 from ..net.prefixes import PrefixTable
 from ..obs.recorder import Recorder, resolve_recorder
+from ..par import CampaignExecutor, ShardPlan, ShardStreams
 from ..services.catalog import Service
 from ..services.dnsinfra import (CacheOracle, GoogleDnsModel,
                                  TemporalCacheOracle)
 
 CACHE_PROBING_CAMPAIGN = "cache-probing"
+
+# Prefixes per shard on the sharded execution path. Part of the
+# determinism contract: randomness binds to shards, so changing this
+# constant changes campaign output (see docs/parallelism.md).
+CACHE_PROBE_SHARD_SIZE = 8_192
 
 
 @dataclass
@@ -169,6 +175,37 @@ class TimedCacheProbing:
             probes_per_slot=self._rounds * len(sids))
 
 
+def _probe_shard(campaign: "CacheProbingCampaign",
+                 shard: int) -> Tuple[np.ndarray, np.ndarray, int, int,
+                                      Optional[Dict]]:
+    """One prefix block of the probing sweep (runs in-process or in a
+    pool worker). Pure function of (campaign inputs, shard index)."""
+    lo, hi = campaign._shard_plan.bounds(shard)
+    pids = campaign._prefix_ids[lo:hi]
+    rng = campaign._streams.stream(shard)
+    scope = None
+    if campaign._faults is not None:
+        ctx = campaign._faults.shard_context(ShardStreams.label(shard))
+        scope = ctx.campaign(CACHE_PROBING_CAMPAIGN)
+    if scope is not None and scope.active(FaultKind.RESOLVER_TIMEOUT):
+        answered = scope.survive_mask(FaultKind.RESOLVER_TIMEOUT, len(pids))
+        pids = pids[answered]
+    probabilities = campaign._oracle.hit_probability_matrix(
+        campaign._sids, pids)
+    probes_sent = campaign._rounds * int(np.prod(probabilities.shape))
+    if scope is not None and scope.active(FaultKind.PROBE_LOSS):
+        delivered = scope.thin_rounds(FaultKind.PROBE_LOSS,
+                                      campaign._rounds,
+                                      probabilities.shape)
+        delivered_total = int(delivered.sum())
+        hits = rng.binomial(delivered, probabilities)
+    else:
+        delivered_total = probes_sent
+        hits = rng.binomial(campaign._rounds, probabilities)
+    state = scope.export_state() if scope is not None else None
+    return pids, hits, probes_sent, delivered_total, state
+
+
 class CacheProbingCampaign:
     """One day of ECS probing against the GDNS cache oracle.
 
@@ -178,32 +215,91 @@ class CacheProbingCampaign:
     (``resolver_timeout``), and individual probe rounds are lost in
     flight (``probe_loss``), thinning the per-cell trial counts. Both
     apply the plan's retry policy before giving a unit up.
+
+    Execution paths: with ``streams`` the sweep is decomposed into
+    fixed-size prefix shards, each drawing from its own substream — the
+    builder's path, bit-identical for any worker count of the optional
+    ``executor``. Without ``streams`` the legacy single-stream sweep runs
+    off ``rng``.
     """
 
     def __init__(self, oracle: CacheOracle, gdns: GoogleDnsModel,
                  services: Sequence[Service], prefix_ids: np.ndarray,
-                 rounds_per_day: int, rng: np.random.Generator,
+                 rounds_per_day: int,
+                 rng: Optional[np.random.Generator] = None,
                  faults: Optional[FaultContext] = None,
-                 recorder: Optional[Recorder] = None) -> None:
+                 recorder: Optional[Recorder] = None,
+                 streams: Optional[ShardStreams] = None,
+                 executor: Optional[CampaignExecutor] = None) -> None:
         if rounds_per_day < 1:
             raise MeasurementError("need at least one probe round")
         if len(prefix_ids) == 0:
             raise MeasurementError("no prefixes to probe")
         if not services:
             raise MeasurementError("no domains to probe")
+        if rng is None and streams is None:
+            raise MeasurementError("need either rng or streams")
         self._oracle = oracle
         self._gdns = gdns
         self._services = list(services)
+        self._sids = [s.sid for s in self._services]
         self._prefix_ids = np.asarray(prefix_ids, dtype=int)
         self._rounds = rounds_per_day
         self._rng = rng
         self._faults = faults
         self._recorder = resolve_recorder(recorder)
+        self._streams = streams
+        self._executor = executor
+        self._shard_plan = ShardPlan(len(self._prefix_ids),
+                                     CACHE_PROBE_SHARD_SIZE)
 
     def run(self) -> CacheProbingResult:
         """Issue all probes (vectorised Bernoulli sampling)."""
         with self._recorder.span(f"measure.{CACHE_PROBING_CAMPAIGN}"):
+            if self._streams is not None:
+                return self._run_sharded()
             return self._run()
+
+    def _run_sharded(self) -> CacheProbingResult:
+        rec = self._recorder
+        executor = self._executor or CampaignExecutor(recorder=rec)
+        shards = executor.run(_probe_shard, self, self._shard_plan.n_shards,
+                              CACHE_PROBING_CAMPAIGN)
+        scope = (self._faults.campaign(CACHE_PROBING_CAMPAIGN)
+                 if self._faults is not None else None)
+        probes_sent = 0
+        delivered_total = 0
+        pid_parts: List[np.ndarray] = []
+        hit_parts: List[np.ndarray] = []
+        for pids, hits, sent, delivered, state in shards:
+            pid_parts.append(pids)
+            hit_parts.append(hits)
+            probes_sent += sent
+            delivered_total += delivered
+            if scope is not None and state is not None:
+                scope.merge_state(state)
+        pids = np.concatenate(pid_parts)
+        if pids.size == 0:
+            raise MeasurementError(
+                "every probed prefix timed out at the resolver")
+        hits = np.concatenate(hit_parts, axis=1)
+        rec.count(f"measure.{CACHE_PROBING_CAMPAIGN}.prefixes_probed",
+                  len(pids))
+        rec.count(f"measure.{CACHE_PROBING_CAMPAIGN}.probes_sent",
+                  probes_sent)
+        rec.count(f"measure.{CACHE_PROBING_CAMPAIGN}.probes_delivered",
+                  delivered_total)
+        rec.count(f"measure.{CACHE_PROBING_CAMPAIGN}.probes_dropped",
+                  probes_sent - delivered_total)
+        rec.count(f"measure.{CACHE_PROBING_CAMPAIGN}.cache_hits",
+                  int(hits.sum()))
+        return CacheProbingResult(
+            prefix_ids=pids,
+            service_sids=tuple(self._sids),
+            hits=hits,
+            rounds=self._rounds,
+            pop_of_prefix=self._gdns.pop_of_prefix[pids],
+        )
 
     def _run(self) -> CacheProbingResult:
         rec = self._recorder

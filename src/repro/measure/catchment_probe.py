@@ -18,7 +18,7 @@ from the anycast prefix, exactly the paper's point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -26,10 +26,15 @@ from ..errors import MeasurementError
 from ..faults import FaultContext, FaultKind
 from ..net.prefixes import PrefixTable
 from ..obs.recorder import Recorder, resolve_recorder
+from ..par import CampaignExecutor, ShardPlan, ShardStreams
 from ..services.anycast import AnycastModel
 
 CATCHMENT_CAMPAIGN = "catchment-probing"
 DEFAULT_RESPONSE_RATE = 0.62   # share of probed /24s that answer ICMP
+
+# Target prefixes per shard on the sharded path (determinism contract:
+# response/loss draws bind to shards — see docs/parallelism.md).
+CATCHMENT_SHARD_SIZE = 8_192
 
 
 @dataclass
@@ -58,57 +63,119 @@ class CatchmentMeasurement:
         return site if site >= 0 else None
 
 
+def _site_lookup(model: AnycastModel, asns: np.ndarray) -> np.ndarray:
+    """Measured site per target, -1 where the AS has no catchment.
+
+    Catchments are per-AS (BGP decides per network), so each distinct AS
+    is resolved once and the answers broadcast back over the targets.
+    """
+    uniq, inverse = np.unique(asns, return_inverse=True)
+    site_of_uniq = np.full(len(uniq), -1, dtype=np.int32)
+    for j, asn in enumerate(uniq):
+        result = model.catchment(int(asn))
+        if result is not None:
+            site_of_uniq[j] = result.site.site_id
+    return site_of_uniq[inverse]
+
+
+def _catchment_shard(payload: Tuple["VerfploeterCampaign", np.ndarray,
+                                    ShardPlan],
+                     shard: int) -> Tuple[np.ndarray, int, Optional[Dict]]:
+    """Probe one block of sorted targets."""
+    campaign, targets, plan = payload
+    lo, hi = plan.bounds(shard)
+    block = targets[lo:hi]
+    rng = campaign._streams.stream(shard)
+    responds = rng.random(len(block)) < campaign._response_rate
+    scope = None
+    if campaign._faults is not None:
+        ctx = campaign._faults.shard_context(ShardStreams.label(shard))
+        scope = ctx.campaign(CATCHMENT_CAMPAIGN)
+    if scope is not None and scope.active(FaultKind.PROBE_LOSS):
+        responds &= scope.survive_mask(FaultKind.PROBE_LOSS, len(block))
+    mapped = _site_lookup(campaign._model,
+                          campaign._prefixes.asn_array[block])
+    sites = np.where(responds, mapped, -1).astype(np.int32)
+    state = scope.export_state() if scope is not None else None
+    return sites, int(responds.sum()), state
+
+
 class VerfploeterCampaign:
     """Probe out from the anycast prefix; replies reveal catchments.
 
     With an active :class:`FaultContext`, outbound probes (or their
     replies) are lost in flight (``probe_loss``) on top of ordinary
     ICMP non-response, shrinking the measured catchments.
+
+    With ``streams`` the target list is split into fixed-size shards,
+    each drawing from its own substream (the builder's path — results
+    bit-identical for any worker count of the optional ``executor``);
+    with ``rng`` the legacy single-stream sweep runs.
     """
 
     def __init__(self, model: AnycastModel, prefix_table: PrefixTable,
-                 rng: np.random.Generator,
+                 rng: Optional[np.random.Generator] = None,
                  response_rate: float = DEFAULT_RESPONSE_RATE,
                  faults: Optional[FaultContext] = None,
-                 recorder: Optional[Recorder] = None) -> None:
+                 recorder: Optional[Recorder] = None,
+                 streams: Optional[ShardStreams] = None,
+                 executor: Optional[CampaignExecutor] = None) -> None:
         if not 0.0 < response_rate <= 1.0:
             raise MeasurementError("response_rate must be in (0, 1]")
+        if rng is None and streams is None:
+            raise MeasurementError("need either rng or streams")
         self._model = model
         self._prefixes = prefix_table
         self._rng = rng
         self._response_rate = response_rate
         self._faults = faults
         self._recorder = resolve_recorder(recorder)
+        self._streams = streams
+        self._executor = executor
 
     def run(self, target_pids: np.ndarray) -> CatchmentMeasurement:
         with self._recorder.span(f"measure.{CATCHMENT_CAMPAIGN}"):
+            if self._streams is not None:
+                return self._run_sharded(target_pids)
             return self._run(target_pids)
+
+    def _run_sharded(self, target_pids: np.ndarray) -> CatchmentMeasurement:
+        targets = np.sort(np.asarray(target_pids, dtype=int))
+        if len(targets) == 0:
+            raise MeasurementError("no targets to probe")
+        rec = self._recorder
+        plan = ShardPlan(len(targets), CATCHMENT_SHARD_SIZE)
+        executor = self._executor or CampaignExecutor(recorder=rec)
+        shards = executor.run(_catchment_shard, (self, targets, plan),
+                              plan.n_shards, CATCHMENT_CAMPAIGN)
+        scope = (self._faults.campaign(CATCHMENT_CAMPAIGN)
+                 if self._faults is not None else None)
+        replies = 0
+        for _, shard_replies, state in shards:
+            replies += shard_replies
+            if scope is not None and state is not None:
+                scope.merge_state(state)
+        sites = np.concatenate([part for part, _, _ in shards])
+        rec.count(f"measure.{CATCHMENT_CAMPAIGN}.probes_sent",
+                  len(targets))
+        rec.count(f"measure.{CATCHMENT_CAMPAIGN}.replies_received",
+                  replies)
+        return CatchmentMeasurement(
+            prefix_ids=targets, site_of_prefix=sites,
+            site_count=len(self._model.sites))
 
     def _run(self, target_pids: np.ndarray) -> CatchmentMeasurement:
         targets = np.sort(np.asarray(target_pids, dtype=int))
         if len(targets) == 0:
             raise MeasurementError("no targets to probe")
-        sites = np.full(len(targets), -1, dtype=np.int32)
         responds = self._rng.random(len(targets)) < self._response_rate
         scope = (self._faults.campaign(CATCHMENT_CAMPAIGN)
                  if self._faults is not None else None)
         if scope is not None and scope.active(FaultKind.PROBE_LOSS):
             responds &= scope.survive_mask(FaultKind.PROBE_LOSS,
                                            len(targets))
-        # Catchments are per-AS (BGP decides per network); resolve each
-        # distinct AS once.
-        asns = self._prefixes.asn_array[targets]
-        site_by_asn: Dict[int, int] = {}
-        for asn in sorted({int(a) for a in asns}):
-            result = self._model.catchment(asn)
-            if result is not None:
-                site_by_asn[asn] = result.site.site_id
-        for i, (pid, asn) in enumerate(zip(targets, asns)):
-            if not responds[i]:
-                continue
-            site = site_by_asn.get(int(asn))
-            if site is not None:
-                sites[i] = site
+        mapped = _site_lookup(self._model, self._prefixes.asn_array[targets])
+        sites = np.where(responds, mapped, -1).astype(np.int32)
         rec = self._recorder
         rec.count(f"measure.{CATCHMENT_CAMPAIGN}.probes_sent",
                   len(targets))

@@ -16,7 +16,7 @@ paper highlights (§3.2.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,11 +24,16 @@ from ..errors import MeasurementError
 from ..faults import FaultContext, FaultKind
 from ..net.prefixes import PrefixTable
 from ..obs.recorder import Recorder, resolve_recorder
+from ..par import CampaignExecutor, ShardPlan, ShardStreams
 from ..services.catalog import Service, ServiceCatalog
 from ..services.dnsinfra import AuthoritativeDns
 from ..services.hypergiants import RedirectionScheme
 
 ECS_MAPPING_CAMPAIGN = "ecs-mapping"
+
+# Client prefixes per shard on the sharded path (determinism contract:
+# fault draws bind to shards — see docs/parallelism.md).
+ECS_SHARD_SIZE = 16_384
 
 
 @dataclass
@@ -69,6 +74,29 @@ class EcsMappingResult:
         return len(self.per_service) / total
 
 
+def _ecs_shard(payload: Tuple["EcsMapper", np.ndarray, List[Service],
+                              ShardPlan],
+               shard: int) -> Tuple[Dict[str, np.ndarray], Optional[Dict]]:
+    """Map one client-prefix block against every covered service."""
+    mapper, client_pids, services, plan = payload
+    lo, hi = plan.bounds(shard)
+    pids = client_pids[lo:hi]
+    scope = None
+    if mapper._faults is not None:
+        ctx = mapper._faults.shard_context(ShardStreams.label(shard))
+        scope = ctx.campaign(ECS_MAPPING_CAMPAIGN)
+    answers: Dict[str, np.ndarray] = {}
+    for service in services:
+        batch = mapper._auth.resolve_ecs_batch(service.key, pids)
+        if scope is not None and scope.active(FaultKind.ECS_RATE_LIMIT):
+            answered = scope.survive_mask(FaultKind.ECS_RATE_LIMIT,
+                                          len(batch))
+            batch = np.where(answered, batch, -1)
+        answers[service.key] = batch
+    state = scope.export_state() if scope is not None else None
+    return answers, state
+
+
 class EcsMapper:
     """Runs the ECS mapping campaign over a service catalogue.
 
@@ -76,18 +104,25 @@ class EcsMapper:
     rate-limited away (``ecs_rate_limit``): after the retry budget is
     spent, the affected client prefixes simply have no answer (-1) —
     exactly the partial coverage the paper warns rate limits cause.
+
+    With an ``executor`` the sweep runs sharded over fixed-size client
+    blocks (every shard visiting the services in catalogue order), which
+    is the builder's path: results are bit-identical for any worker
+    count. Without one the legacy whole-table sweep runs.
     """
 
     def __init__(self, authoritative: AuthoritativeDns,
                  catalog: ServiceCatalog,
                  prefix_table: PrefixTable,
                  faults: Optional[FaultContext] = None,
-                 recorder: Optional[Recorder] = None) -> None:
+                 recorder: Optional[Recorder] = None,
+                 executor: Optional[CampaignExecutor] = None) -> None:
         self._auth = authoritative
         self._catalog = catalog
         self._prefixes = prefix_table
         self._faults = faults
         self._recorder = resolve_recorder(recorder)
+        self._executor = executor
 
     def map_service(self, service: Service,
                     client_pids: np.ndarray) -> Optional[ServiceMappingResult]:
@@ -120,6 +155,8 @@ class EcsMapper:
              services: Optional[List[Service]]) -> EcsMappingResult:
         targets = services if services is not None else \
             self._catalog.services
+        if self._executor is not None:
+            return self._run_sharded(client_pids, targets)
         per_service: Dict[str, ServiceMappingResult] = {}
         uncovered: List[str] = []
         for service in targets:
@@ -129,6 +166,44 @@ class EcsMapper:
             else:
                 per_service[service.key] = result
         rec = self._recorder
+        rec.count(f"measure.{ECS_MAPPING_CAMPAIGN}.services_mapped",
+                  len(per_service))
+        rec.count(f"measure.{ECS_MAPPING_CAMPAIGN}.services_uncovered",
+                  len(uncovered))
+        return EcsMappingResult(per_service=per_service,
+                                uncovered_services=uncovered)
+
+    def _run_sharded(self, client_pids: np.ndarray,
+                     targets: List[Service]) -> EcsMappingResult:
+        pids = np.asarray(client_pids, dtype=int)
+        covered = [s for s in targets
+                   if s.ecs_supported and
+                   s.redirection is RedirectionScheme.DNS]
+        uncovered = [s.key for s in targets
+                     if not (s.ecs_supported and
+                             s.redirection is RedirectionScheme.DNS)]
+        rec = self._recorder
+        rec.count(f"measure.{ECS_MAPPING_CAMPAIGN}.queries_sent",
+                  len(covered) * len(pids))
+        per_service: Dict[str, ServiceMappingResult] = {}
+        if covered:
+            plan = ShardPlan(len(pids), ECS_SHARD_SIZE)
+            executor = self._executor or CampaignExecutor(recorder=rec)
+            shards = executor.run(_ecs_shard, (self, pids, covered, plan),
+                                  plan.n_shards, ECS_MAPPING_CAMPAIGN)
+            scope = (self._faults.campaign(ECS_MAPPING_CAMPAIGN)
+                     if self._faults is not None else None)
+            for _, state in shards:
+                if scope is not None and state is not None:
+                    scope.merge_state(state)
+            for service in covered:
+                answers = np.concatenate(
+                    [part[service.key] for part, _ in shards]) \
+                    if shards else np.empty(0, dtype=np.int64)
+                per_service[service.key] = ServiceMappingResult(
+                    service_key=service.key,
+                    client_pids=pids,
+                    answer_pids=answers)
         rec.count(f"measure.{ECS_MAPPING_CAMPAIGN}.services_mapped",
                   len(per_service))
         rec.count(f"measure.{ECS_MAPPING_CAMPAIGN}.services_uncovered",

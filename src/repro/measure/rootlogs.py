@@ -22,11 +22,12 @@ reproduced:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import MeasurementError
 from ..faults import FaultContext, FaultKind
 from ..obs.recorder import Recorder, resolve_recorder
+from ..par import CampaignExecutor, ShardStreams
 from ..services.dnsinfra import RootLogArchive
 
 ROOTLOG_CAMPAIGN = "root-logs"
@@ -70,23 +71,97 @@ class RootLogCrawlResult:
         return {asn: vol / total for asn, vol in detected.items()}
 
 
+def _crawl_shard(payload: Tuple["RootLogCrawler", List[str]],
+                 shard: int) -> Tuple[Dict[int, float], float, bool,
+                                      Optional[Dict]]:
+    """Crawl one usable root's log (one root per shard)."""
+    crawler, letters = payload
+    letter = letters[shard]
+    scope = None
+    if crawler._faults is not None:
+        ctx = crawler._faults.shard_context(ShardStreams.label(shard))
+        scope = ctx.campaign(ROOTLOG_CAMPAIGN)
+    if scope is not None and scope.active(FaultKind.ROOTLOG_TRUNCATION) \
+            and not scope.survive(FaultKind.ROOTLOG_TRUNCATION):
+        # This root's feed is truncated for the whole crawl window;
+        # re-fetches (retries) already failed.
+        return {}, 0.0, True, scope.export_state()
+    volume: Dict[int, float] = {}
+    public_volume = 0.0
+    for entry in crawler._archive.entries_for(letter):
+        if entry.is_public_resolver:
+            # 8.8.8.8-style resolvers: the clients behind them are not
+            # in the resolver's AS; volume is unattributable.
+            public_volume += entry.query_count
+            continue
+        volume[entry.resolver_asn] = (
+            volume.get(entry.resolver_asn, 0.0) + entry.query_count)
+    state = scope.export_state() if scope is not None else None
+    return volume, public_volume, False, state
+
+
 class RootLogCrawler:
-    """Crawls whatever root logs are publicly usable."""
+    """Crawls whatever root logs are publicly usable.
+
+    With an ``executor`` each usable root is its own shard (truncation
+    draws bind to the root, per-root subtotals merged in root-letter
+    order) — the builder's path, bit-identical for any worker count.
+    Without one the legacy single-pass crawl runs.
+    """
 
     def __init__(self, archive: RootLogArchive,
                  min_query_threshold: float = 50.0,
                  faults: Optional[FaultContext] = None,
-                 recorder: Optional[Recorder] = None) -> None:
+                 recorder: Optional[Recorder] = None,
+                 executor: Optional[CampaignExecutor] = None) -> None:
         if min_query_threshold < 0:
             raise MeasurementError("threshold must be non-negative")
         self._archive = archive
         self._threshold = min_query_threshold
         self._faults = faults
         self._recorder = resolve_recorder(recorder)
+        self._executor = executor
 
     def run(self) -> RootLogCrawlResult:
         with self._recorder.span(f"measure.{ROOTLOG_CAMPAIGN}"):
+            if self._executor is not None:
+                return self._run_sharded()
             return self._run()
+
+    def _run_sharded(self) -> RootLogCrawlResult:
+        letters = [root.letter for root in self._archive.roots
+                   if root.logs_usable]
+        shards = self._executor.run(_crawl_shard, (self, letters),
+                                    len(letters), ROOTLOG_CAMPAIGN)
+        scope = (self._faults.campaign(ROOTLOG_CAMPAIGN)
+                 if self._faults is not None else None)
+        volume: Dict[int, float] = {}
+        public_volume = 0.0
+        crawled = 0
+        truncated = 0
+        for root_volume, root_public, was_truncated, state in shards:
+            if was_truncated:
+                truncated += 1
+            else:
+                crawled += 1
+                public_volume += root_public
+                for asn, count in root_volume.items():
+                    volume[asn] = volume.get(asn, 0.0) + count
+            if scope is not None and state is not None:
+                scope.merge_state(state)
+        rec = self._recorder
+        rec.count(f"measure.{ROOTLOG_CAMPAIGN}.roots_crawled", crawled)
+        rec.count(f"measure.{ROOTLOG_CAMPAIGN}.roots_truncated", truncated)
+        rec.count(f"measure.{ROOTLOG_CAMPAIGN}.resolver_ases_seen",
+                  len(volume))
+        return RootLogCrawlResult(
+            volume_by_as=volume,
+            roots_crawled=crawled,
+            roots_total=len(self._archive.roots),
+            public_resolver_volume=public_volume,
+            min_query_threshold=self._threshold,
+            roots_truncated=truncated,
+        )
 
     def _run(self) -> RootLogCrawlResult:
         volume: Dict[int, float] = {}

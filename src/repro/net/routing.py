@@ -40,8 +40,6 @@ from __future__ import annotations
 
 import enum
 import heapq
-from collections import OrderedDict
-from dataclasses import dataclass
 from typing import (Dict, FrozenSet, Iterable, Iterator, List, Optional,
                     Sequence, Set, Tuple)
 from weakref import WeakKeyDictionary
@@ -49,6 +47,7 @@ from weakref import WeakKeyDictionary
 import numpy as np
 
 from ..errors import TopologyError
+from ..lru import BoundedLru, CacheStats
 from ..obs.recorder import resolve_recorder as _resolve_recorder
 from .relationships import ASGraph
 
@@ -626,22 +625,6 @@ def _compute_routes_reference(graph: ASGraph, origins: Sequence[int]
 # Simulator with a bounded, instrumented route cache
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True, slots=True)
-class CacheStats:
-    """Counters for the :class:`BgpSimulator` route cache."""
-
-    entries: int
-    max_entries: int
-    hits: int
-    misses: int
-    evictions: int
-
-    @property
-    def hit_rate(self) -> float:
-        """Hits over all lookups (0.0 when the cache is cold)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
 
 class BgpSimulator:
     """Per-origin-set route cache over a (mostly static) AS graph.
@@ -658,18 +641,17 @@ class BgpSimulator:
         if max_cache_entries < 1:
             raise TopologyError("max_cache_entries must be >= 1")
         self._graph = graph
-        self._cache: "OrderedDict[FrozenSet[int], RouteTable]" = OrderedDict()
-        self._cache_epoch = graph.epoch
-        self._max_entries = int(max_cache_entries)
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
         self._recorder = _resolve_recorder(recorder)
+        self._cache: "BoundedLru[FrozenSet[int], RouteTable]" = BoundedLru(
+            max_cache_entries, recorder=self._recorder,
+            counter_prefix="routing.cache")
+        self._cache_epoch = graph.epoch
 
     def attach_recorder(self, recorder) -> None:
         """Mirror cache hit/miss/eviction and route-computation counters
         onto a :class:`repro.obs.Recorder` (observation only)."""
         self._recorder = _resolve_recorder(recorder)
+        self._cache.attach_recorder(self._recorder)
 
     @property
     def graph(self) -> ASGraph:
@@ -685,10 +667,7 @@ class BgpSimulator:
 
     def cache_stats(self) -> CacheStats:
         """Current cache counters (entries, hits, misses, evictions)."""
-        return CacheStats(entries=len(self._cache),
-                          max_entries=self._max_entries,
-                          hits=self._hits, misses=self._misses,
-                          evictions=self._evictions)
+        return self._cache.cache_stats()
 
     def cache_memory_bytes(self) -> int:
         """Resident bytes of all cached route tables' dense arrays.
@@ -707,20 +686,11 @@ class BgpSimulator:
         key = frozenset(origins)
         table = self._cache.get(key)
         if table is not None:
-            self._hits += 1
-            self._recorder.count("routing.cache.hits")
-            self._cache.move_to_end(key)
             return table
-        self._misses += 1
         table = compute_routes(self._graph, sorted(key))
-        self._recorder.count("routing.cache.misses")
         self._recorder.count("routing.routes_computed")
         self._recorder.count("routing.ases_visited", len(table))
-        self._cache[key] = table
-        while len(self._cache) > self._max_entries:
-            self._cache.popitem(last=False)
-            self._evictions += 1
-            self._recorder.count("routing.cache.evictions")
+        self._cache.put(key, table)
         return table
 
     def route(self, src: int, dst: int) -> Optional[Route]:

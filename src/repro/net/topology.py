@@ -36,13 +36,32 @@ from .facilities import Facility, PeeringRegistry
 from .geography import City, WorldAtlas
 from .relationships import ASGraph
 
-# ASN ranges per role keep identities readable in debug output.
+# ASN ranges per role keep identities readable in debug output. The
+# constants are *floors*: scaled worlds whose role counts overflow a
+# range push the next base up (see :func:`asn_bases`), while every
+# paper-scale preset keeps the historical numbering bit-for-bit.
 TIER1_BASE = 1
 TRANSIT_BASE = 100
 EYEBALL_BASE = 1000
 STUB_BASE = 5000
 RESEARCH_BASE = 10_000
 HYPERGIANT_BASE = 20_000
+
+
+def asn_bases(config: TopologyConfig) -> Dict[str, int]:
+    """Per-role ASN bases, stretched so ranges never collide.
+
+    Each role starts at its historical base unless the previous role's
+    count overflows into it, in which case it shifts just past the
+    previous range (with the same headroom ratio the defaults have).
+    """
+    transit = max(TRANSIT_BASE, TIER1_BASE + config.n_tier1)
+    eyeball = max(EYEBALL_BASE, transit + config.n_transit)
+    stub = max(STUB_BASE, eyeball + config.n_eyeball)
+    research = max(RESEARCH_BASE, stub + config.n_stub)
+    hypergiant = max(HYPERGIANT_BASE, research + config.n_research)
+    return {"tier1": TIER1_BASE, "transit": transit, "eyeball": eyeball,
+            "stub": stub, "research": research, "hypergiant": hypergiant}
 
 # Named "focus" eyeball ISPs reproduce Figure 2: large ISPs in France,
 # Japan, South Korea, the UK and the US with ground-truth subscriber counts
@@ -135,6 +154,7 @@ class TopologyBuilder:
         self._hg_names = list(hypergiant_names)
         self._open_peering = set(open_peering_names)
         self._rng = rng
+        self._bases = asn_bases(config)
         self._registry = ASRegistry()
         self._graph = ASGraph()
         self._pdb = PeeringRegistry()
@@ -210,7 +230,7 @@ class TopologyBuilder:
         for idx in range(self._cfg.n_tier1):
             code = homes[idx]
             asys = self._add_as(AutonomousSystem(
-                asn=TIER1_BASE + idx,
+                asn=self._bases["tier1"] + idx,
                 name=f"Tier1-{idx + 1}",
                 as_type=ASType.TIER1,
                 country_code=code,
@@ -234,7 +254,7 @@ class TopologyBuilder:
                       ) -> List[AutonomousSystem]:
         counts = _country_counts(self._atlas, self._cfg.n_transit, self._rng)
         transit: List[AutonomousSystem] = []
-        asn = TRANSIT_BASE
+        asn = self._bases["transit"]
         for code, n in counts.items():
             for k in range(n):
                 home = _pick_city(self._atlas, code, self._rng)
@@ -267,7 +287,28 @@ class TopologyBuilder:
                 region_cities = self._atlas.cities_in_region(region)
                 n_fac = 1 + int(self._rng.poisson(self._cfg.facility_join_mean))
                 self._join_facilities(asys.asn, region_cities, n_fac)
+        if self._cfg.transit_region_ring:
+            self._wire_transit_rings(transit)
         return transit
+
+    def _wire_transit_rings(self, transit: List[AutonomousSystem]) -> None:
+        """Chain each region's transit ASes into a lateral p2p ring.
+
+        At 10-50x scale a region holds hundreds of transit networks whose
+        only mutual connectivity would otherwise run through the tier-1
+        clique; the ring (seed-emulator style) keeps intra-region paths
+        short without altering any random draws (purely deterministic)."""
+        by_region: Dict[str, List[AutonomousSystem]] = {}
+        for t in transit:
+            region = self._atlas.country(t.country_code).region
+            by_region.setdefault(region, []).append(t)
+        for region in sorted(by_region):
+            ring = by_region[region]
+            if len(ring) < 3:
+                continue
+            for a, b in zip(ring, ring[1:] + ring[:1]):
+                if self._graph.relationship_of(a.asn, b.asn) is None:
+                    self._graph.add_p2p(a.asn, b.asn)
 
     # -- eyeballs --------------------------------------------------------------
 
@@ -275,7 +316,7 @@ class TopologyBuilder:
                        ) -> List[AutonomousSystem]:
         counts = _country_counts(self._atlas, self._cfg.n_eyeball, self._rng)
         eyeballs: List[AutonomousSystem] = []
-        asn = EYEBALL_BASE
+        asn = self._bases["eyeball"]
         for code, n in counts.items():
             focus = FOCUS_ISPS.get(code, ())
             n = max(n, len(focus))
@@ -332,11 +373,20 @@ class TopologyBuilder:
     def _make_stubs(self, transit: List[AutonomousSystem],
                     eyeballs: List[AutonomousSystem]) -> None:
         counts = _country_counts(self._atlas, self._cfg.n_stub, self._rng)
-        asn = STUB_BASE
+        asn = self._bases["stub"]
         for code, n in counts.items():
             local_upstreams = ([t for t in transit if t.country_code == code] +
                                [e for e in eyeballs if e.country_code == code])
             pool = local_upstreams or transit
+            if not local_upstreams and self._cfg.regional_subtrees:
+                # Region subtree: countries without local upstreams hang
+                # off their region's transit layer instead of the global
+                # pool, keeping the scaled hierarchy geographic.
+                region = self._atlas.country(code).region
+                regional = [t for t in transit
+                            if self._atlas.country(t.country_code).region
+                            == region]
+                pool = regional or transit
             for k in range(n):
                 home = _pick_city(self._atlas, code, self._rng)
                 asys = self._add_as(AutonomousSystem(
@@ -368,7 +418,7 @@ class TopologyBuilder:
             code = codes[idx % len(codes)]
             home = self._atlas.country(code).capital
             asys = self._add_as(AutonomousSystem(
-                asn=RESEARCH_BASE + idx,
+                asn=self._bases["research"] + idx,
                 name=f"NREN-{code}-{idx + 1}",
                 as_type=ASType.RESEARCH,
                 country_code=code,
@@ -405,7 +455,7 @@ class TopologyBuilder:
                     for code in self._atlas.country_codes}
         self._build_out.hg_country_presence = presence
         for idx, name in enumerate(self._hg_names):
-            asn = HYPERGIANT_BASE + idx
+            asn = self._bases["hypergiant"] + idx
             home = self._atlas.country("US").capital
             asys = self._add_as(AutonomousSystem(
                 asn=asn,
@@ -465,12 +515,13 @@ class TopologyBuilder:
         eligible = {ASType.TRANSIT, ASType.EYEBALL, ASType.RESEARCH}
         for facility in self._pdb.facilities:
             members = sorted(self._pdb.members_at(facility.fid))
+            types = {m: self._registry.get(m).as_type for m in members}
             for i, a in enumerate(members):
-                type_a = self._registry.get(a).as_type
+                type_a = types[a]
                 if type_a not in eligible:
                     continue
                 for b in members[i + 1:]:
-                    type_b = self._registry.get(b).as_type
+                    type_b = types[b]
                     if type_b not in eligible:
                         continue
                     if self._graph.relationship_of(a, b) is not None:

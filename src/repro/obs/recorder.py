@@ -194,6 +194,45 @@ class Recorder:
         """Record a point-in-time value (last write wins)."""
         self.gauges[name] = value
 
+    # -- worker hand-off ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Picklable dump of everything recorded so far.
+
+        Pool workers running whole stages record into their own fresh
+        recorder, ship the snapshot home, and the parent folds it in
+        with :meth:`absorb`.
+        """
+        return {
+            "spans": [(path, label, calls, wall)
+                      for path, (label, calls, wall) in self._spans.items()],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    def absorb(self, snapshot: Dict[str, object]) -> None:
+        """Fold a child recorder's :meth:`snapshot` into this one.
+
+        Span paths are re-rooted under the currently open span, counters
+        accumulate and gauges stay last-write-wins, so a stage executed
+        in a pool worker reports exactly like one executed inline (call
+        absorb in the stages' inline order to keep ordering-sensitive
+        state — span insertion order — identical).
+        """
+        base = ".".join(self._stack)
+        for path, label, calls, wall in snapshot["spans"]:
+            full = f"{base}.{path}" if base else path
+            entry = self._spans.get(full)
+            if entry is None:
+                self._spans[full] = [label, calls, wall]
+            else:
+                entry[1] += calls
+                entry[2] += wall
+        for name, delta in snapshot["counters"].items():
+            self.count(name, delta)
+        for name, value in snapshot["gauges"].items():
+            self.gauge(name, value)
+
 
 class NullRecorder(Recorder):
     """The do-nothing default: no state, no timing, no output.
@@ -222,6 +261,12 @@ class NullRecorder(Recorder):
         pass
 
     def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"spans": [], "counters": {}, "gauges": {}}
+
+    def absorb(self, snapshot: Dict[str, object]) -> None:
         pass
 
     def start_memory_profiling(self) -> None:

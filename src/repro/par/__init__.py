@@ -1,0 +1,5 @@
+"""Deterministic parallel campaign execution (see :mod:`.executor`)."""
+
+from .executor import CampaignExecutor, ShardPlan, ShardStreams
+
+__all__ = ["CampaignExecutor", "ShardPlan", "ShardStreams"]

@@ -61,16 +61,25 @@ class AnycastModel:
         self._pdb = peeringdb
         self._bgp = bgp
         self._cache: Dict[int, Optional[CatchmentResult]] = {}
+        # Entry cities repeat heavily across client ASes (there are only a
+        # few dozen cities in the atlas), so nearest-site answers are
+        # memoised per city.
+        self._nearest_cache: Dict[City, ServingSite] = {}
+        self._remote_entry_cache: Dict[City, City] = {}
 
     @property
     def sites(self) -> List[ServingSite]:
         return list(self._sites)
 
     def _nearest_site(self, city: City) -> ServingSite:
-        return min(self._sites,
-                   key=lambda s: (haversine_km(city.lat, city.lon,
-                                               s.city.lat, s.city.lon),
-                                  s.site_id))
+        cached = self._nearest_cache.get(city)
+        if cached is None:
+            cached = min(self._sites,
+                         key=lambda s: (haversine_km(city.lat, city.lon,
+                                                     s.city.lat, s.city.lon),
+                                        s.site_id))
+            self._nearest_cache[city] = cached
+        return cached
 
     def _entry_city(self, client_asn: int) -> Optional[City]:
         """Where the client's best route enters the anycast network."""
@@ -87,8 +96,18 @@ class AnycastModel:
             if common:
                 cities = [self._pdb.facility(fid).city for fid in common]
             else:
-                cities = self._pdb.facility_cities(self._hg_asn) or \
-                    [client.home_city]
+                # Remote peering: nearest operator presence. The operator
+                # city list is fixed, so memoise per client home city.
+                home = client.home_city
+                cached = self._remote_entry_cache.get(home)
+                if cached is None:
+                    cities = self._pdb.facility_cities(self._hg_asn) or \
+                        [home]
+                    cached = min(cities, key=lambda c: (
+                        haversine_km(home.lat, home.lon, c.lat, c.lon),
+                        c.name))
+                    self._remote_entry_cache[home] = cached
+                return cached
             return min(cities, key=lambda c: (
                 haversine_km(client.home_city.lat, client.home_city.lon,
                              c.lat, c.lon), c.name))

@@ -84,17 +84,18 @@ class GroundTruthMapping:
         self._rng = rng
         self._prefix_quantile = self._compute_prefix_quantiles(
             np.asarray(users_per_prefix, dtype=float))
-        self._prefix_lat, self._prefix_lon = self._prefix_coords()
+        self._city_lat, self._city_lon = self._city_coords()
+        self._city_index = self._prefixes.city_index_array
+        self._city_dist: Dict[str, np.ndarray] = {}
         self._assignments: Dict[tuple, SchemeAssignment] = {}
 
     # -- geometry helpers ------------------------------------------------------
 
-    def _prefix_coords(self) -> "tuple[np.ndarray, np.ndarray]":
+    def _city_coords(self) -> "tuple[np.ndarray, np.ndarray]":
         cities = self._prefixes.cities
         lats = np.array([c.lat for c in cities])
         lons = np.array([c.lon for c in cities])
-        idx = self._prefixes.city_index_array
-        return lats[idx], lons[idx]
+        return lats, lons
 
     @staticmethod
     def _compute_prefix_quantiles(users_per_prefix: np.ndarray) -> np.ndarray:
@@ -123,11 +124,34 @@ class GroundTruthMapping:
             raise ConfigError(f"hypergiant {hg_key!r} has no sites")
         return sites
 
-    def _distance_matrix(self, sites: Sequence[ServingSite]) -> np.ndarray:
-        lats = np.array([s.city.lat for s in sites])
-        lons = np.array([s.city.lon for s in sites])
-        return haversine_km_matrix(self._prefix_lat, self._prefix_lon,
-                                   lats, lons)
+    def _distance_matrix(self, hg_key: str,
+                         sites: Sequence[ServingSite]) -> np.ndarray:
+        """City-to-site distances, (C, S). Prefixes share a handful of
+        cities, so distances are computed once per unique city and looked
+        up through ``city_index_array`` — identical values to a full
+        per-prefix matrix at a fraction of the memory and time."""
+        cached = self._city_dist.get(hg_key)
+        if cached is None or cached.shape[1] != len(sites):
+            lats = np.array([s.city.lat for s in sites])
+            lons = np.array([s.city.lon for s in sites])
+            cached = haversine_km_matrix(self._city_lat, self._city_lon,
+                                         lats, lons)
+            self._city_dist[hg_key] = cached
+        return cached
+
+    def _apply_overrides(self, assigned: np.ndarray,
+                         overrides: Dict[int, int]) -> None:
+        """Vectorised ``assigned[asns == asn] = site`` for every override."""
+        if not overrides:
+            return
+        asns = self._prefixes.asn_array
+        keys = np.fromiter(sorted(overrides), dtype=np.int64,
+                           count=len(overrides))
+        values = np.array([overrides[int(k)] for k in keys], dtype=assigned.dtype)
+        pos = np.searchsorted(keys, asns)
+        pos_safe = np.clip(pos, 0, len(keys) - 1)
+        hit = keys[pos_safe] == asns
+        assigned[hit] = values[pos_safe[hit]]
 
     def _offnet_override(self, hg_key: str, sites: Sequence[ServingSite]
                          ) -> Dict[int, int]:
@@ -140,27 +164,25 @@ class GroundTruthMapping:
 
     def _optimal_assignment(self, hg_key: str) -> SchemeAssignment:
         sites = self._sites_of(hg_key)
-        dist = self._distance_matrix(sites)
+        dist = self._distance_matrix(hg_key, sites)
         onnet_mask = np.array([s.kind is SiteKind.ONNET for s in sites])
         # Optimal among on-net sites, unless the client's AS hosts an
         # off-net cache — then that cache wins regardless of geography.
         masked = np.where(onnet_mask[None, :], dist, np.inf)
         if not onnet_mask.any():
             masked = dist
-        optimal_idx = np.argmin(masked, axis=1).astype(np.int32)
-        overrides = self._offnet_override(hg_key, sites)
-        if overrides:
-            asns = self._prefixes.asn_array
-            for asn, site_idx in overrides.items():
-                optimal_idx[asns == asn] = site_idx
-        optimal_dist = dist[np.arange(len(optimal_idx)), optimal_idx]
+        city_optimal = np.argmin(masked, axis=1).astype(np.int32)
+        optimal_idx = city_optimal[self._city_index]
+        self._apply_overrides(optimal_idx,
+                              self._offnet_override(hg_key, sites))
+        optimal_dist = dist[self._city_index, optimal_idx]
         return SchemeAssignment(
             site_index=optimal_idx.copy(), dist_km=optimal_dist.copy(),
             optimal_index=optimal_idx, optimal_dist_km=optimal_dist)
 
     def _dns_assignment(self, hg_key: str) -> SchemeAssignment:
         sites = self._sites_of(hg_key)
-        dist = self._distance_matrix(sites)
+        dist = self._distance_matrix(hg_key, sites)
         optimal = self._optimal_assignment(hg_key)
         n_prefixes = len(self._prefixes)
         quantiles = self._prefix_quantile
@@ -177,16 +199,12 @@ class GroundTruthMapping:
         sub_rows = np.flatnonzero(~optimal_draw)
         if k > 1 and len(sub_rows):
             pick = self._rng.integers(1, k, size=len(sub_rows))
-            assigned[sub_rows] = nearest_k[sub_rows, pick]
+            assigned[sub_rows] = nearest_k[self._city_index[sub_rows], pick]
         # Off-net caches always serve their own AS (the cache is *in* the
         # request path and mapping it is trivial for the hypergiant).
-        overrides = self._offnet_override(hg_key, sites)
-        if overrides:
-            asns = self._prefixes.asn_array
-            for asn, site_idx in overrides.items():
-                assigned[asns == asn] = site_idx
+        self._apply_overrides(assigned, self._offnet_override(hg_key, sites))
         assigned = assigned.astype(np.int32)
-        assigned_dist = dist[np.arange(n_prefixes), assigned]
+        assigned_dist = dist[self._city_index, assigned]
         return SchemeAssignment(
             site_index=assigned, dist_km=assigned_dist,
             optimal_index=optimal.optimal_index,
@@ -197,7 +215,7 @@ class GroundTruthMapping:
         if model is None:
             raise ConfigError(f"{hg_key!r} has no anycast model")
         sites = self._sites_of(hg_key)
-        dist = self._distance_matrix(sites)
+        dist = self._distance_matrix(hg_key, sites)
         optimal = self._optimal_assignment(hg_key)
         assigned = np.full(len(self._prefixes), -1, dtype=np.int32)
         site_by_asn: Dict[int, int] = {}
@@ -205,12 +223,9 @@ class GroundTruthMapping:
             result = model.catchment(asn)
             if result is not None:
                 site_by_asn[asn] = result.site.site_id
-        asns = self._prefixes.asn_array
-        for asn, site_idx in site_by_asn.items():
-            assigned[asns == asn] = site_idx
-        rows = np.arange(len(assigned))
+        self._apply_overrides(assigned, site_by_asn)
         safe = np.where(assigned >= 0, assigned, 0)
-        assigned_dist = dist[rows, safe]
+        assigned_dist = dist[self._city_index, safe]
         assigned_dist[assigned < 0] = np.inf
         return SchemeAssignment(
             site_index=assigned, dist_km=assigned_dist,

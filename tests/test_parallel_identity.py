@@ -1,0 +1,77 @@
+"""Regression lock: parallel builds are bit-identical to serial ones.
+
+The determinism contract (docs/parallelism.md) covers three artifacts —
+the serialized map JSON, the manifest's per-campaign records (minus
+wall-clock, which measures the machine, not the map), and the coverage
+provenance. For any worker count these must be byte-for-byte what the
+serial build produces, clean or under an active fault plan, because
+every stochastic draw binds to a shard substream rather than to the
+schedule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import pytest
+
+from repro import ScenarioConfig, build_scenario
+from repro.core.builder import BuilderOptions, MapBuilder
+from repro.core.serialize import map_to_json
+from repro.faults import FaultPlan
+from repro.obs import Recorder
+
+SEEDS = (20211110, 7, 99)
+
+FAULT_PLAN = FaultPlan(seed=7, probe_loss=0.05, resolver_timeout=0.02,
+                       ecs_rate_limit=0.03, rootlog_truncation=0.2)
+
+
+def _build_digest(seed: int, workers: int, plan=None) -> str:
+    """One build's identity under the parallel-determinism contract."""
+    config = ScenarioConfig.small(seed=seed)
+    scenario = build_scenario(config)
+    recorder = Recorder()
+    builder = MapBuilder(
+        scenario,
+        options=BuilderOptions(run_auxiliary_campaigns=True,
+                               workers=workers),
+        faults=plan, recorder=recorder)
+    itm = builder.build()
+    manifest = builder.manifest()
+    campaigns = {
+        name: {k: v for k, v in dataclasses.asdict(record).items()
+               if k != "wall_s"}
+        for name, record in sorted(manifest.campaigns.items())
+    }
+    blob = json.dumps({
+        "map": map_to_json(itm),
+        "campaigns": campaigns,
+        "coverage": manifest.coverage,
+    }, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_parallel_build_bit_identical_clean(seed):
+    serial = _build_digest(seed, workers=1)
+    assert _build_digest(seed, workers=2) == serial
+    assert _build_digest(seed, workers=4) == serial
+
+
+@pytest.mark.parametrize("workers", (2, 4))
+def test_parallel_build_bit_identical_under_faults(workers):
+    """Fault draws bind to shards too: an active plan (drops, timeouts,
+    truncated root feeds) must degrade the parallel build exactly as it
+    degrades the serial one."""
+    serial = _build_digest(20211110, workers=1, plan=FAULT_PLAN)
+    assert _build_digest(20211110, workers=workers,
+                         plan=FAULT_PLAN) == serial
+
+
+def test_workers_option_validated():
+    from repro.errors import ValidationError
+    with pytest.raises(ValidationError):
+        BuilderOptions(workers=0).validate()
