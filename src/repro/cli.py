@@ -46,6 +46,14 @@ snapshots instead of recomputing; ``--crash-at STAGE`` arms a simulated
 crash at that stage boundary (exit code 3). The resumed map is
 bit-identical to an uninterrupted build.
 
+Incremental delta builds (see ``docs/delta.md``): ``--mutate PLAN.json``
+applies a :class:`repro.delta.MutationPlan` (BGP link churn, per-prefix
+activity swings, serving-site turnover) to the freshly-built world
+before the campaigns run; adding ``--delta`` (requires
+``--checkpoint-dir``) reuses the previous build's snapshots for every
+stage whose inputs the plan left untouched, recomputing only dirty
+stages — bit-identical to a fresh build of the mutated world.
+
 Exit codes: 0 success; 1 command-specific failure (e.g. failed claims);
 2 bad flags or unreadable inputs; 3 simulated crash; 4 regression found
 by ``compare``; 5 a manifest failed schema validation (nothing invalid
@@ -164,6 +172,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--crash-at", metavar="STAGE", default=None,
                         help="simulate a crash at this stage boundary "
                              "(e.g. 'services'; exit code 3)")
+    parser.add_argument("--mutate", metavar="PLAN", default=None,
+                        help="apply a mutation-plan JSON (repro.delta) "
+                             "to the world before building")
+    parser.add_argument("--delta", action="store_true",
+                        help="incremental build: reuse snapshots from "
+                             "--checkpoint-dir for every stage whose "
+                             "inputs the mutation plan left untouched "
+                             "(see docs/delta.md)")
     parser.add_argument("--map-json", metavar="PATH", default=None,
                         help="also write the serialized map JSON to PATH")
     sub = parser.add_subparsers(dest="command")
@@ -256,6 +272,15 @@ def _prepare(args: argparse.Namespace, recorder: Recorder):
     config = SCALES[args.scale](seed=args.seed)
     faults = _parse_faults(args)
     scenario = build_scenario(config)
+    plan = None
+    if args.mutate is not None:
+        from .delta import MutationPlan, apply_mutation_plan
+        plan = MutationPlan.load(args.mutate)
+        aspects = apply_mutation_plan(scenario, plan)
+        print(f"applied mutation plan {args.mutate} "
+              f"({len(plan)} mutation(s), digest {plan.digest()}, "
+              f"aspects: {', '.join(aspects) or 'none'})",
+              file=sys.stderr)
     # Instrumented runs also exercise the auxiliary campaigns so the
     # manifest covers every measurement campaign, not just the six the
     # map components consume. The serialized map is identical either way
@@ -271,7 +296,8 @@ def _prepare(args: argparse.Namespace, recorder: Recorder):
     builder = MapBuilder(scenario, options=options, faults=faults,
                          recorder=recorder,
                          checkpoint_dir=args.checkpoint_dir,
-                         resume=args.resume)
+                         resume=args.resume,
+                         delta=args.delta, delta_plan=plan)
     itm = builder.build()
     if args.map_json is not None:
         from .core.serialize import map_to_json
@@ -376,6 +402,13 @@ def _main(argv: Optional[List[str]]) -> int:
         args.command = "summary"
     if args.resume and args.checkpoint_dir is None:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.delta and args.checkpoint_dir is None:
+        print("--delta requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.delta and args.resume:
+        print("--delta and --resume are mutually exclusive",
+              file=sys.stderr)
         return 2
     try:
         _parse_faults(args)

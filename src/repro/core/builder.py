@@ -47,6 +47,15 @@ A fault plan with ``crash_at=<stage>`` raises
 :class:`repro.faults.SimulatedCrash` at that stage boundary *after* the
 snapshot is durable, and never after a snapshot load, so a supervised
 resume always makes progress (``repro.ckpt.run_supervised``).
+
+Incremental delta builds (``delta=True``, see :mod:`repro.delta` and
+docs/delta.md): after a :class:`repro.delta.mutations.MutationPlan`
+mutated the scenario, the builder computes each stage's *input digest* —
+the substrate aspects it reads plus its upstream snapshots' digests —
+and reuses the previous build's snapshot whenever that digest matches
+what the snapshot recorded, recomputing only dirty stages. The result is
+bit-identical to a fresh build of the mutated world (regression-locked
+by ``tests/test_delta_identity.py``).
 """
 
 from __future__ import annotations
@@ -113,6 +122,12 @@ PRIMARY_STAGES = ("cache-probing", "root-logs", "users", "services",
                   "routes")
 AUX_STAGES = ("aux-atlas", "aux-reverse-traceroute", "aux-cloud-vantage",
               "aux-ipid", "aux-resolver-assoc")
+
+# Freeze the scenario heap out of the cyclic GC only when it is big
+# enough for the collector rescans to dominate (scale10 is ~150k
+# prefixes); small test worlds (~2k) pay more for the pre-freeze
+# collect than the freeze saves.
+_GC_FREEZE_MIN_PREFIXES = 25_000
 
 
 def checkpoint_stages(options: "BuilderOptions") -> Tuple[str, ...]:
@@ -203,7 +218,9 @@ class MapBuilder:
                  faults: Union[FaultPlan, FaultContext, None] = None,
                  recorder: Optional[Recorder] = None,
                  checkpoint_dir=None,
-                 resume: bool = False
+                 resume: bool = False,
+                 delta: bool = False,
+                 delta_plan=None
                  ) -> None:
         self._scenario = scenario
         self._options = options or BuilderOptions()
@@ -228,11 +245,24 @@ class MapBuilder:
                 f"crash_at={crash_at!r} is not a stage of this build "
                 f"(stages: {', '.join(self.stages())})")
         self._resume = bool(resume)
+        self._delta = bool(delta)
+        self._delta_plan = delta_plan
+        if self._delta and self._resume:
+            raise ValidationError(
+                "delta=True and resume=True are mutually exclusive: a "
+                "delta build already reuses every stage whose inputs "
+                "are unchanged")
         self._ckpt_store = None
         self.ckpt_lineage = None
+        self._substrate = None
+        # stage -> snapshot body digest (reused or saved) / input digest,
+        # in builder order; input digests chain through output digests.
+        self._stage_output_digests: Dict[str, str] = {}
+        self._stage_input_digests: Dict[str, str] = {}
         if checkpoint_dir is not None:
             # Imported lazily: repro.ckpt.supervisor imports this module.
             from ..ckpt.store import CheckpointLineage, CheckpointStore
+            from ..delta.digests import SubstrateDigests
             self._ckpt_store = CheckpointStore(
                 checkpoint_dir,
                 config_digest=config_digest(scenario.config),
@@ -241,9 +271,14 @@ class MapBuilder:
                 recorder=self._recorder)
             self.ckpt_lineage = CheckpointLineage(
                 checkpoint_dir=str(checkpoint_dir), resumed=self._resume)
+            self._substrate = SubstrateDigests(scenario)
         elif resume:
             raise ValidationError(
                 "resume=True needs a checkpoint_dir to resume from")
+        elif delta:
+            raise ValidationError(
+                "delta=True needs a checkpoint_dir holding the previous "
+                "build's snapshots")
 
     def stages(self) -> Tuple[str, ...]:
         """This build's checkpoint stage boundaries, in order."""
@@ -305,13 +340,31 @@ class MapBuilder:
         An armed crash fires only after a fresh compute (and after its
         snapshot is durable), never after a load — that asymmetry is
         what makes supervised resume terminate.
+
+        With ``delta=True`` the snapshot must *additionally* match the
+        stage's input digest (substrate aspects + upstream snapshot
+        digests, :func:`repro.delta.digests.stage_input_digest`): only
+        stages whose inputs are untouched by the mutation plan are
+        reused; dirty stages — and everything downstream of a changed
+        output, via digest chaining — recompute. Every checkpointed
+        build records input digests at save time, so a plain build's
+        snapshots seed a later delta build.
         """
         lineage = self.ckpt_lineage
         if lineage is not None:
             lineage.stages_total += 1
         store = self._ckpt_store
-        if store is not None and self._resume:
-            snapshot = store.load(stage, lineage)
+        input_digest = None
+        if store is not None:
+            # Imported lazily: repro.delta imports repro.scenario.
+            from ..delta.digests import stage_input_digest
+            input_digest = stage_input_digest(
+                stage, self._substrate, self._stage_output_digests)
+            self._stage_input_digests[stage] = input_digest
+        if store is not None and (self._resume or self._delta):
+            snapshot = (store.load(stage, lineage,
+                                   input_digest=input_digest)
+                        if self._delta else store.load(stage, lineage))
             if snapshot is not None:
                 value = stage_payload_from_dict(
                     stage, snapshot.payload, atlas=self._scenario.atlas)
@@ -319,13 +372,16 @@ class MapBuilder:
                 for component, notes in snapshot.notes.items():
                     self._notes[component] = list(notes)
                 lineage.stages_reused.append(stage)
+                self._stage_output_digests[stage] = snapshot.digest
                 return value
         value = compute()
         if store is not None:
             store.save(stage, stage_payload_to_dict(stage, value),
                        scopes=self._faults.export_scopes(campaigns),
                        notes={c: list(self._notes.get(c, []))
-                              for c in note_components})
+                              for c in note_components},
+                       input_digest=input_digest)
+            self._stage_output_digests[stage] = store.last_saved_digest
         if lineage is not None:
             lineage.stages_recomputed.append(stage)
         self._crash_if_armed(stage)
@@ -919,13 +975,20 @@ class MapBuilder:
         # build; freezing it keeps the cyclic GC from rescanning millions
         # of long-lived objects every time the build allocates (a 3x CPU
         # win at scale10). Freezing changes no object lifetimes that
-        # matter here, so the map is unaffected.
-        gc.collect()
-        gc.freeze()
+        # matter here, so the map is unaffected. Below the threshold the
+        # full collect costs more than the rescans it avoids — a small
+        # build finishes in ~0.1s, so the dance is skipped (this matters
+        # for delta rebuild loops, where the collect would be the single
+        # largest fixed cost per step).
+        freeze = len(self._scenario.prefixes) >= _GC_FREEZE_MIN_PREFIXES
+        if freeze:
+            gc.collect()
+            gc.freeze()
         try:
             return self._build_profiled(rec)
         finally:
-            gc.unfreeze()
+            if freeze:
+                gc.unfreeze()
             if self._options.profile_memory:
                 rec.stop_memory_profiling()
 
@@ -979,7 +1042,31 @@ class MapBuilder:
             faults=self._faults,
             cache_stats=self._scenario.bgp.cache_stats(),
             itm=self.itm, checkpoint=self.ckpt_lineage,
+            delta=self._delta_lineage(),
             command=command, scale=scale)
+
+    def _delta_lineage(self) -> Optional[Dict[str, object]]:
+        """The manifest's delta section: what moved, what was reused.
+
+        None unless this is a delta build. The mutation digest ties the
+        lineage to the exact plan applied; the per-stage input digests
+        let two manifests be compared stage-by-stage.
+        """
+        if not self._delta:
+            return None
+        # Imported lazily: repro.delta imports repro.scenario.
+        from ..delta.mutations import MutationPlan
+        plan = self._delta_plan or MutationPlan(mutations=())
+        lineage = self.ckpt_lineage
+        return {
+            "mutation_digest": plan.digest(),
+            "mutation_count": len(plan),
+            "kinds": list(plan.kinds()),
+            "aspects": list(plan.aspects()),
+            "stages_reused": list(lineage.stages_reused),
+            "stages_recomputed": list(lineage.stages_recomputed),
+            "input_digests": dict(self._stage_input_digests),
+        }
 
 
 # Campaigns each auxiliary stage touches (scope merge after a worker run).

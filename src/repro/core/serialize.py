@@ -158,11 +158,44 @@ def _services_to_dict(services: ServicesComponent) -> Dict[str, Any]:
         "serving_asns_by_domain": {
             d: sorted(asns) for d, asns in
             services.serving_asns_by_domain.items()},
+        # Columnar on purpose: the per-service user->host map is the
+        # bulk of the services payload (every client prefix appears in
+        # every mapped service), and parallel int arrays encode, parse
+        # and decode several times faster than a str-keyed object.
         "user_to_host": {
-            key: {str(c): a for c, a in mapping.items()}
+            key: {"clients": list(mapping.keys()),
+                  "hosts": list(mapping.values())}
             for key, mapping in services.user_to_host.items()},
         "unmapped_services": list(services.unmapped_services),
     }
+
+
+def _user_to_host_from(mapping: Any, where: str) -> Dict[int, int]:
+    """Decode one service's user->host map (columnar or legacy form).
+
+    The columnar ``{"clients": [...], "hosts": [...]}`` form is what
+    :func:`_services_to_dict` writes; the str-keyed object form is
+    accepted so artefacts and stage snapshots written before the
+    columnar encoding still load.
+    """
+    if isinstance(mapping, dict) and "clients" in mapping:
+        clients = _get(mapping, "clients", list, where)
+        hosts = _get(mapping, "hosts", list, where)
+        if len(clients) != len(hosts):
+            raise ValidationError(
+                f"{where} clients/hosts length mismatch: "
+                f"{len(clients)} != {len(hosts)}")
+        # JSON-parsed arrays are already int; coerce only when a
+        # hand-edited artefact says otherwise (these arrays carry
+        # hundreds of thousands of entries at scale, so the per-element
+        # cast is worth skipping).
+        if any(type(v) is not int for v in clients[:1] + hosts[:1]):
+            return dict(zip(map(int, clients), map(int, hosts)))
+        return dict(zip(clients, hosts))
+    if not isinstance(mapping, dict):
+        raise ValidationError(
+            f"{where} must be an object, got {type(mapping).__name__}")
+    return {int(c): int(a) for c, a in mapping.items()}
 
 
 def _services_from_dict(raw: Any, atlas: WorldAtlas,
@@ -188,7 +221,8 @@ def _services_from_dict(raw: Any, atlas: WorldAtlas,
             d: set(asns) for d, asns in
             _get(raw, "serving_asns_by_domain", dict, where).items()},
         user_to_host={
-            key: {int(c): int(a) for c, a in mapping.items()}
+            key: _user_to_host_from(mapping,
+                                    f"{where}.user_to_host[{key!r}]")
             for key, mapping in
             _get(raw, "user_to_host", dict, where).items()},
         unmapped_services=tuple(

@@ -1,0 +1,174 @@
+"""Apply a mutation plan to a built scenario and re-derive its surfaces.
+
+:func:`apply_mutation_plan` is the single entry point: it performs every
+raw substrate edit in plan order, then rebuilds exactly the derived
+public surfaces the touched aspects feed — using the *same* named seed
+substreams :func:`repro.scenario.build_scenario` drew from, in the same
+relative order. That discipline is what makes mutation application
+deterministic and *path-independent*: a scenario mutated after
+generation is bit-identical to what generation would have produced for
+the mutated substrate, and applying a plan followed by its inverse
+restores every surface bit-for-bit (the round-trip property locked in
+``tests/test_delta.py``).
+
+Aspect -> re-derived surfaces:
+
+* ``routing`` — collector public view, anycast catchment models,
+  ground-truth mapping (+ authoritative DNS), flows, routers;
+* ``activity`` — GDNS cache oracle (+ temporal oracle), flows, routers;
+* ``serving`` — active deployment (filtered from the pristine one),
+  TLS certificate store, anycast models, mapping (+ authoritative),
+  flows, routers.
+
+Serving-site turnover never rebuilds the deployment: the active
+deployment is *filtered* from the pristine (as-generated) one, site ids
+renumbered to stay index-aligned with the per-hypergiant site lists the
+mapping and catchment code index into. Reviving every retired site
+yields the pristine deployment object itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Set, Tuple
+
+import numpy as np
+
+from ..net.collectors import build_public_view
+from ..net.routers import build_routers
+from ..rand import substream
+from ..services.anycast import AnycastModel
+from ..services.cdn import CdnDeployment, SiteKind
+from ..services.dnsinfra import (AuthoritativeDns, CacheOracle,
+                                 TemporalCacheOracle)
+from ..services.mapping import GroundTruthMapping
+from ..services.tls import issue_certificates
+from .mutations import MutationPlan
+
+
+def filtered_deployment(pristine: CdnDeployment,
+                        retired: Set[Tuple[str, int]]) -> CdnDeployment:
+    """The active deployment: pristine sites minus the retired set.
+
+    Site ids are renumbered to list positions (mapping assignments and
+    catchment answers index per-hypergiant site lists by ``site_id``),
+    preserving the pristine order so the filtering is deterministic and
+    exactly reversible. With nothing retired the pristine deployment is
+    returned as-is.
+    """
+    if not retired:
+        return pristine
+    active = CdnDeployment()
+    active.stub_hosting = dict(pristine.stub_hosting)
+    for key, sites in pristine.sites_by_hypergiant.items():
+        kept = []
+        for site in sites:
+            if (key, site.site_id) in retired:
+                continue
+            renumbered = replace(site, site_id=len(kept))
+            kept.append(renumbered)
+            for pid in renumbered.prefix_ids:
+                active.site_of_prefix[pid] = (key, renumbered)
+            if renumbered.kind is SiteKind.OFFNET:
+                active.offnet_index.setdefault(
+                    renumbered.host_asn, {})[key] = renumbered
+        active.sites_by_hypergiant[key] = kept
+    return active
+
+
+def apply_mutation_plan(scenario, plan: MutationPlan) -> Tuple[str, ...]:
+    """Mutate a built scenario in place; returns the dirtied aspects.
+
+    Applies every step in plan order (validating each against the
+    current substrate — a bad step raises :class:`ValidationError`
+    after earlier steps already applied, so validate plans against a
+    scratch scenario when atomicity matters), then re-derives the
+    affected public surfaces. An empty plan is a no-op.
+    """
+    plan.validate()
+    if not plan.mutations:
+        return ()
+    if scenario.pristine_deployment is None:
+        scenario.pristine_deployment = scenario.deployment
+    for mutation in plan.mutations:
+        mutation.apply(scenario)
+    aspects = plan.aspects()
+    _rederive(scenario, frozenset(aspects))
+    return aspects
+
+
+def _rederive(scenario, aspects: "frozenset[str]") -> None:
+    """Rebuild the derived surfaces the dirtied aspects feed.
+
+    Mirrors the tail of :func:`repro.scenario.build_scenario`: the same
+    constructors, the same named substreams, the same relative order —
+    in particular the mapping is rebuilt *immediately before* the flow
+    assignment, whose per-service assignment calls are the mapping
+    RNG's first consumers, exactly as during generation.
+    """
+    seed = scenario.config.seed
+    topo = scenario.topology
+    catalog = scenario.catalog
+    serving = "serving" in aspects
+    routing = "routing" in aspects
+    activity = "activity" in aspects
+
+    if serving:
+        scenario.deployment = filtered_deployment(
+            scenario.pristine_deployment, scenario.retired_sites)
+        scenario.certstore = issue_certificates(
+            catalog, scenario.deployment, scenario.prefixes,
+            substream(seed, "tls"))
+
+    if serving or routing:
+        models = {}
+        for key, spec in catalog.hypergiants.items():
+            if spec.uses_anycast:
+                models[key] = AnycastModel(
+                    hypergiant_key=key,
+                    hg_asn=topo.hypergiant_asns[spec.display_name],
+                    sites=scenario.deployment.sites(key),
+                    graph=topo.graph, registry=topo.registry,
+                    peeringdb=topo.peeringdb, bgp=scenario.bgp)
+        scenario.anycast_models = models
+        scenario.mapping = GroundTruthMapping(
+            prefix_table=scenario.prefixes, registry=topo.registry,
+            deployment=scenario.deployment, catalog=catalog,
+            anycast_models=scenario.anycast_models,
+            users_per_prefix=scenario.population.users_per_prefix,
+            rng=substream(seed, "mapping"))
+        scenario.authoritative = AuthoritativeDns(catalog,
+                                                  scenario.mapping)
+
+    if activity:
+        cfg = scenario.config
+        gdns_rate = (scenario.traffic.queries_per_day
+                     * scenario.gdns.gdns_share[None, :])
+        ttls = [s.dns_ttl for s in catalog.services]
+        probe_sids = [s.sid for s in catalog.top_by_popularity(
+            cfg.measurement.probe_top_k_domains)]
+        scenario.cache_oracle = CacheOracle.calibrated(
+            gdns_rate, ttls, probe_sids,
+            scenario.population.prefixes_with_users())
+        city_offsets = np.array([c.utc_offset
+                                 for c in scenario.prefixes.cities])
+        scenario.temporal_oracle = TemporalCacheOracle.from_oracle(
+            scenario.cache_oracle,
+            utc_offsets=city_offsets[
+                scenario.prefixes.city_index_array],
+            curve=scenario.diurnal)
+
+    # Flows fold traffic x mapping x deployment over BGP routes, and the
+    # router population scales with per-AS flow volume — any dirty
+    # aspect reaches them.
+    from ..traffic.flows import assign_flows
+    scenario.flows = assign_flows(scenario.traffic, scenario.mapping,
+                                  scenario.deployment, scenario.bgp)
+    scenario.routers = build_routers(topo.registry,
+                                     scenario.flows.volume_by_as,
+                                     scenario.diurnal,
+                                     substream(seed, "routers"))
+
+    if routing:
+        scenario.public_view = build_public_view(
+            topo.graph, topo.registry, substream(seed, "collectors"))

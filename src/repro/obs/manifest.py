@@ -8,12 +8,14 @@ coverage each map component ended up with. It is plain JSON — no
 dependencies beyond the standard library — so dashboards, CI checks and
 benchmark harnesses can consume it without importing the package.
 
-Schema (``format_version`` 2), field by field, is documented in
+Schema (``format_version`` 3), field by field, is documented in
 ``docs/observability.md``; :func:`validate_manifest` enforces it and the
 counter invariants (e.g. per campaign ``units == delivered + giveups``,
 and for checkpointed runs ``reused + recomputed == total`` stages).
-Format 1 manifests (pre-checkpointing) are still accepted; the optional
-``checkpoint`` lineage section is format-2 only.
+Format 1 (pre-checkpointing) and format 2 (pre-delta) manifests are
+still accepted; the optional ``checkpoint`` lineage section needs
+format 2+, the optional ``delta`` lineage section (incremental builds,
+``docs/delta.md``) format 3.
 """
 
 from __future__ import annotations
@@ -28,11 +30,11 @@ from typing import Dict, List, Optional
 from ..errors import ValidationError
 from .recorder import Recorder, StageTiming
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
-# Format 1 predates the checkpoint-lineage section; those manifests are
-# still readable. Writers always emit FORMAT_VERSION.
-SUPPORTED_FORMAT_VERSIONS = (1, FORMAT_VERSION)
+# Format 1 predates the checkpoint-lineage section, format 2 the delta
+# section; both are still readable. Writers always emit FORMAT_VERSION.
+SUPPORTED_FORMAT_VERSIONS = (1, 2, FORMAT_VERSION)
 
 # The eleven measurement campaigns of repro.measure, by their canonical
 # names. Kept as literals (not imports) so the manifest layer stays
@@ -101,6 +103,10 @@ class RunManifest:
     # run resumed from, which stages were reused vs recomputed, and any
     # snapshots that failed verification and were quarantined.
     checkpoint: Optional[Dict[str, object]] = None
+    # Delta lineage (format 3, delta builds only): the mutation plan's
+    # digest/kinds/aspects and the per-stage input digests that decided
+    # which snapshots were reused (see repro.delta and docs/delta.md).
+    delta: Optional[Dict[str, object]] = None
 
     # -- lookups ----------------------------------------------------------
 
@@ -163,7 +169,8 @@ class RunManifest:
             campaigns=campaigns,
             route_cache=payload.get("route_cache"),
             coverage=dict(payload.get("coverage", {})),
-            checkpoint=payload.get("checkpoint"))
+            checkpoint=payload.get("checkpoint"),
+            delta=payload.get("delta"))
 
     @classmethod
     def from_json(cls, text: str) -> "RunManifest":
@@ -233,6 +240,7 @@ def options_digest(options) -> str:
 
 def collect_manifest(recorder: Recorder, config, *, faults=None,
                      cache_stats=None, itm=None, checkpoint=None,
+                     delta=None,
                      command: Optional[str] = None,
                      scale: Optional[str] = None) -> RunManifest:
     """Fold a run's recorder, fault context and map into one manifest.
@@ -242,8 +250,9 @@ def collect_manifest(recorder: Recorder, config, *, faults=None,
     ``itm`` an optional built :class:`InternetTrafficMap` (its coverage
     report becomes the manifest's ``coverage`` section); ``checkpoint``
     an optional :class:`repro.ckpt.CheckpointLineage` (or its dict form)
-    for checkpointed builds. All are duck-typed so this module imports
-    nothing above ``repro.errors``.
+    for checkpointed builds; ``delta`` the delta-lineage dict of an
+    incremental build (``MapBuilder._delta_lineage``). All are
+    duck-typed so this module imports nothing above ``repro.errors``.
     """
     manifest = RunManifest(
         seed=int(config.seed),
@@ -312,6 +321,8 @@ def collect_manifest(recorder: Recorder, config, *, faults=None,
     if checkpoint is not None:
         manifest.checkpoint = (checkpoint if isinstance(checkpoint, dict)
                                else checkpoint.to_dict())
+    if delta is not None:
+        manifest.delta = dict(delta)
     return manifest
 
 
@@ -349,11 +360,18 @@ def _validate_checkpoint(errors: List[str],
     if len(lists) == 2 and isinstance(total, int):
         reused, recomputed = (lists["stages_reused"],
                               lists["stages_recomputed"])
+        # Name the stage lists, not just their lengths: when a lineage
+        # is inconsistent the reader needs to see *which* stages were
+        # claimed on each side to find the double-counted or dropped one.
         _check(errors, len(reused) + len(recomputed) == total,
                "checkpoint: reused + recomputed != stages_total "
-               f"({len(reused)} + {len(recomputed)} != {total})")
-        _check(errors, not set(reused) & set(recomputed),
-               "checkpoint: a stage cannot be both reused and recomputed")
+               f"({len(reused)} + {len(recomputed)} != {total}; "
+               f"stages_reused={reused!r}, "
+               f"stages_recomputed={recomputed!r})")
+        overlap = sorted(set(reused) & set(recomputed))
+        _check(errors, not overlap,
+               "checkpoint: stages cannot be both reused and recomputed: "
+               f"{overlap!r}")
     quarantined = section.get("quarantined", [])
     if not isinstance(quarantined, list):
         errors.append("checkpoint.quarantined must be a list")
@@ -367,8 +385,41 @@ def _validate_checkpoint(errors: List[str],
                f"checkpoint.quarantined[{i}] needs string stage/reason")
 
 
+def _validate_delta(errors: List[str],
+                    section: Dict[str, object]) -> None:
+    """Schema + invariants of the delta-lineage section (format 3)."""
+    if not isinstance(section, dict):
+        errors.append("delta must be an object or null")
+        return
+    digest = section.get("mutation_digest")
+    _check(errors, isinstance(digest, str) and len(digest) >= 8,
+           "delta.mutation_digest must be a hex string")
+    count = section.get("mutation_count")
+    _check(errors, isinstance(count, int) and count >= 0,
+           "delta.mutation_count must be a non-negative integer")
+    for key in ("kinds", "aspects", "stages_reused",
+                "stages_recomputed"):
+        value = section.get(key)
+        _check(errors, isinstance(value, list) and all(
+                   isinstance(s, str) for s in value),
+               f"delta.{key} must be a list of strings")
+    reused = section.get("stages_reused")
+    recomputed = section.get("stages_recomputed")
+    if isinstance(reused, list) and isinstance(recomputed, list):
+        overlap = sorted(set(reused) & set(recomputed))
+        _check(errors, not overlap,
+               "delta: stages cannot be both reused and recomputed: "
+               f"{overlap!r}")
+    digests = section.get("input_digests")
+    if not isinstance(digests, dict) or not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in digests.items()):
+        errors.append("delta.input_digests must map stage names to "
+                      "digests")
+
+
 def validate_manifest(payload: Dict[str, object]) -> None:
-    """Check a manifest dict against the format-1/2 schema.
+    """Check a manifest dict against the format-1/2/3 schema.
 
     Raises :class:`ValidationError` listing every violation found:
     missing/ill-typed fields, malformed stage entries, broken counter
@@ -471,10 +522,19 @@ def validate_manifest(payload: Dict[str, object]) -> None:
 
     checkpoint = payload.get("checkpoint")
     if checkpoint is not None:
-        _check(errors, version == FORMAT_VERSION,
-               "checkpoint lineage requires format_version "
-               f"{FORMAT_VERSION}")
+        _check(errors, isinstance(version, int) and version >= 2,
+               "checkpoint lineage requires format_version >= 2")
         _validate_checkpoint(errors, checkpoint)
+
+    delta = payload.get("delta")
+    if delta is not None:
+        _check(errors, version == FORMAT_VERSION,
+               "delta lineage requires format_version "
+               f"{FORMAT_VERSION}")
+        _check(errors, checkpoint is not None,
+               "delta lineage requires a checkpoint section (delta "
+               "builds are checkpointed builds)")
+        _validate_delta(errors, delta)
 
     if errors:
         raise ValidationError("invalid manifest: " + "; ".join(errors))

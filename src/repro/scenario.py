@@ -12,8 +12,8 @@ Measurement modules must only consume the public surfaces; validation code
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -71,6 +71,11 @@ class Scenario:
     root_archive: RootLogArchive
     public_view: PublicTopologyView
     diurnal: DiurnalCurve
+    # Delta-build state (repro.delta): the as-generated deployment and
+    # the (hypergiant_key, pristine_site_id) pairs currently retired.
+    # ``deployment`` above is always the *active* (filtered) one.
+    pristine_deployment: Optional[CdnDeployment] = None
+    retired_sites: Set[Tuple[str, int]] = field(default_factory=set)
 
     # -- convenience accessors ------------------------------------------------
 

@@ -1,0 +1,213 @@
+"""The delta-build identity guarantee, locked by a churn matrix.
+
+The contract (ISSUE 7 tentpole, docs/delta.md): for any mutation plan,
+
+    delta_build(mutations)  ==  fresh_build(mutated_world)
+
+bit-for-bit — the map JSON, the campaign records (minus execution
+provenance: wall-clock times, and the ``ran`` flag, which truthfully
+stays False for campaigns restored from a snapshot) and the coverage
+provenance. The matrix crosses every mutation
+kind with several seeds and with faults on/off, and every non-empty case
+must also *reuse* at least one stage, otherwise "delta" silently means
+"fresh" and the identity is vacuous.
+
+Builds here are small but numerous; each case constructs two worlds from
+the same seed (one mutated in place after a baseline checkpointed build,
+one mutated immediately after generation) so nothing leaks between
+parametrizations or into the shared session fixtures.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import pytest
+
+from repro import ScenarioConfig, build_scenario
+from repro.core.builder import BuilderOptions, MapBuilder
+from repro.core.serialize import map_to_json
+from repro.delta import (ActivitySwing, LinkChurn, MutationPlan,
+                         SiteTurnover, apply_mutation_plan)
+from repro.faults import FaultPlan
+from repro.obs import Recorder, validate_manifest
+
+SEEDS = (20211110, 7, 99)
+
+FAULTS = {
+    "clean": None,
+    "faulty": FaultPlan.uniform(0.2, seed=11),
+}
+
+
+def world(seed):
+    return build_scenario(ScenarioConfig.small(seed=seed))
+
+
+def plan_for(kind: str, scenario) -> MutationPlan:
+    """A canonical single-mutation plan of the given kind, valid for
+    the scenario it was derived from *and* for any same-config world."""
+    if kind == "link-churn":
+        a, b, rel = sorted(scenario.graph.edges())[0]
+        step = LinkChurn(op="remove", a=a, b=b,
+                         relationship=rel.value)
+    elif kind == "activity-swing":
+        step = ActivitySwing(prefix_ids=(0, 1, 2, 3, 4), factor=4.0)
+    else:
+        hg = next(k for k, sites in
+                  sorted(scenario.deployment.sites_by_hypergiant.items())
+                  if len(sites) >= 2)
+        step = SiteTurnover(hypergiant_key=hg, site_id=1, op="retire")
+    return MutationPlan(mutations=(step,))
+
+
+def composite_plan(scenario) -> MutationPlan:
+    """One plan dirtying every aspect a mutation can reach."""
+    steps = (plan_for("link-churn", scenario).mutations
+             + plan_for("activity-swing", scenario).mutations
+             + plan_for("site-turnover", scenario).mutations)
+    return MutationPlan(mutations=steps)
+
+
+# Campaign-record fields that describe *this process's execution*, not
+# the measurement outcome: a reused stage's campaigns truthfully did not
+# run (ran=False, wall_s=None) — the restored content must still match.
+EXECUTION_PROVENANCE = ("wall_s", "ran")
+
+
+def campaign_content(manifest) -> dict:
+    """Campaign records minus execution provenance (wall_s, ran)."""
+    payload = manifest.to_dict()
+    return {name: {k: v for k, v in record.items()
+                   if k not in EXECUTION_PROVENANCE}
+            for name, record in payload["campaigns"].items()}
+
+
+def identity_case(seed, plan, faults, options=None):
+    """Run one matrix cell; returns the delta builder for extra asserts.
+
+    Asserts the three identity surfaces: map JSON, campaign records
+    (sans wall times) and coverage provenance.
+    """
+    # Reference: generate the world, mutate it, build from scratch.
+    reference = world(seed)
+    apply_mutation_plan(reference, plan)
+    fresh_builder = MapBuilder(reference, options=options, faults=faults,
+                               recorder=Recorder())
+    fresh_json = map_to_json(fresh_builder.build())
+    fresh_manifest = fresh_builder.manifest()
+
+    # Delta: same seed, baseline checkpointed build, then mutate the
+    # *live* scenario and delta-build against the stale snapshots.
+    return check_delta(fresh_json, fresh_manifest, seed, plan, faults,
+                       options)
+
+
+def check_delta(fresh_json, fresh_manifest, seed, plan, faults, options):
+    with tempfile.TemporaryDirectory(prefix="delta-ident-") as root:
+        scenario = world(seed)
+        MapBuilder(scenario, options=options, faults=faults,
+                   checkpoint_dir=root).build()
+        apply_mutation_plan(scenario, plan)
+        builder = MapBuilder(scenario, options=options, faults=faults,
+                             recorder=Recorder(), checkpoint_dir=root,
+                             delta=True, delta_plan=plan)
+        delta_json = map_to_json(builder.build())
+
+        assert delta_json == fresh_json, \
+            "delta build diverged from fresh build of the mutated world"
+        delta_manifest = builder.manifest()
+        assert campaign_content(delta_manifest) \
+            == campaign_content(fresh_manifest)
+        assert delta_manifest.to_dict()["coverage"] \
+            == fresh_manifest.to_dict()["coverage"]
+        if len(plan):
+            assert builder.ckpt_lineage.stages_reused, \
+                "no stage reused — the delta identity is vacuous"
+        assert not builder.ckpt_lineage.quarantined
+        return builder
+
+
+class TestChurnMatrix:
+    @pytest.mark.parametrize("fault_key", sorted(FAULTS))
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("kind", ["link-churn", "activity-swing",
+                                      "site-turnover"])
+    def test_single_kind_identity(self, kind, seed, fault_key):
+        plan = plan_for(kind, world(seed))
+        identity_case(seed, plan, FAULTS[fault_key])
+
+    def test_composite_plan_identity_with_aux(self):
+        # Every aspect dirty at once, with the auxiliary campaigns on so
+        # the aux stage boundaries are part of the identity too.
+        seed = SEEDS[0]
+        plan = composite_plan(world(seed))
+        options = BuilderOptions(run_auxiliary_campaigns=True)
+        builder = identity_case(seed, plan, FAULTS["faulty"],
+                                options=options)
+        lineage = builder.ckpt_lineage
+        # Population is the one aspect no mutation dirties, and
+        # root-logs is the one stage that reads nothing else.
+        assert lineage.stages_reused == ["root-logs"]
+        assert set(lineage.stages_recomputed) \
+            == set(builder.stages()) - {"root-logs"}
+        manifest = builder.manifest(command="summary", scale="small")
+        validate_manifest(manifest.to_dict())
+        delta = manifest.to_dict()["delta"]
+        assert delta["kinds"] == ["link-churn", "activity-swing",
+                                  "site-turnover"]
+        assert delta["aspects"] == ["routing", "activity", "serving"]
+        assert delta["mutation_count"] == 3
+        assert delta["mutation_digest"] == plan.digest()
+
+    def test_empty_plan_identity(self):
+        # Degenerate matrix cell: no mutation at all. The delta build
+        # must reuse everything and still equal the fresh build.
+        builder = identity_case(SEEDS[0], MutationPlan(mutations=()),
+                                None)
+        assert not builder.ckpt_lineage.stages_recomputed
+
+
+class TestChurnSequences:
+    def test_hypothesis_multi_step_identity(self):
+        pytest.importorskip("hypothesis")
+        from hypothesis import HealthCheck, given, settings
+        from hypothesis import strategies as st
+
+        probe = world(SEEDS[0])
+        edges = sorted(probe.graph.edges())[:6]
+        hg = next(k for k, sites in
+                  sorted(probe.deployment.sites_by_hypergiant.items())
+                  if len(sites) >= 3)
+        n_sites = len(probe.deployment.sites_by_hypergiant[hg])
+
+        @st.composite
+        def plans(draw):
+            steps = []
+            for index in draw(st.lists(st.integers(0, len(edges) - 1),
+                                       min_size=1, max_size=2,
+                                       unique=True)):
+                a, b, rel = edges[index]
+                steps.append(LinkChurn(op="remove", a=a, b=b,
+                                       relationship=rel.value))
+            if draw(st.booleans()):
+                ids = draw(st.lists(st.integers(0, 63), min_size=1,
+                                    max_size=4, unique=True))
+                steps.append(ActivitySwing(
+                    prefix_ids=tuple(ids),
+                    factor=draw(st.sampled_from((0.5, 2.0)))))
+            if draw(st.booleans()):
+                steps.append(SiteTurnover(
+                    hypergiant_key=hg,
+                    site_id=draw(st.integers(0, n_sites - 1)),
+                    op="retire"))
+            return MutationPlan(mutations=tuple(draw(
+                st.permutations(steps))))
+
+        @given(plan=plans())
+        @settings(max_examples=5, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+        def holds(plan):
+            identity_case(SEEDS[0], plan, None)
+
+        holds()

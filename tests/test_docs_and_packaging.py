@@ -28,7 +28,8 @@ class TestDocumentation:
         for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                      "docs/architecture.md", "docs/techniques.md",
                      "docs/calibration.md", "docs/observability.md",
-                     "docs/tutorial.md"):
+                     "docs/tutorial.md", "docs/checkpointing.md",
+                     "docs/delta.md"):
             assert (REPO / name).is_file(), name
 
     def test_intra_repo_doc_links_resolve(self):
