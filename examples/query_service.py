@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Serve the map and query it over HTTP — the §2 loop, end to end.
+
+Builds the small world, snapshots the map into a read-optimized
+:class:`~repro.core.mapstore.MapStore`, puts it behind the
+`repro.serve` HTTP/JSON service on a free port, and asks the paper's
+§2.1 questions with plain ``urllib`` — weighted CDFs toward the
+biggest hypergiant, the blast radius of losing the largest eyeball,
+and anycast placement for one client — then prints the answer-cache
+counters a run manifest would carry. Endpoint reference:
+``docs/serving.md``.
+
+Usage::
+
+    python examples/query_service.py [seed]
+"""
+
+import json
+import sys
+import threading
+import urllib.request
+
+from repro import ScenarioConfig, build_scenario
+from repro.core.builder import MapBuilder
+from repro.core.mapstore import MapStore
+from repro.serve import MapService, serve_http
+
+
+def fetch(base: str, path: str) -> dict:
+    """GET ``base+path`` and decode the JSON body."""
+    with urllib.request.urlopen(base + path) as resp:
+        return json.load(resp)
+
+
+def main(seed: int = 20211110) -> None:
+    scenario = build_scenario(ScenarioConfig.small(seed=seed))
+    itm = MapBuilder(scenario).build()
+    store = MapStore.from_map(itm, graph=scenario.graph)
+    service = MapService(store)
+    server = serve_http(service, port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    base = f"http://127.0.0.1:{server.server_port}"
+    print(f"serving map {store.short_digest} on {base}\n")
+
+    health = fetch(base, "/v1/health")
+    print(f"health: {health['status']} "
+          f"(format v{health['format_version']})")
+
+    summary = fetch(base, "/v1/map")
+    counts = summary["counts"]
+    print(f"map: {counts['prefixes']} prefixes, {counts['ases']} ASes, "
+          f"{counts['mapped_services']} mapped services, "
+          f"{counts['route_pairs']} route pairs\n")
+
+    # Weighted CDF of AS-path length toward the busiest route target.
+    target = store.route_targets()[0]
+    cdf = fetch(base, f"/v1/cdf?as={target}")["results"][0]
+    print(f"paths to AS{target}: median {cdf['unweighted']['median']:g} "
+          f"unweighted vs {cdf['weighted']['median']:g} weighted "
+          f"over {cdf['samples']} client ASes "
+          f"(median shift {cdf['median_shift']:+g})")
+
+    # Outage blast radius of the most active eyeball AS.
+    top_asn, __ = itm.users.top_ases(1)[0]
+    outage = fetch(base, f"/v1/outage?asn={top_asn}")["report"]
+    print(outage["headline"])
+
+    # Anycast placement for one mapped client of the first service.
+    service_key = store.service_keys[0]
+    client = int(store.svc_clients[0][0])
+    anycast = fetch(
+        base, f"/v1/anycast?service={service_key}&prefix={client}&k=2")
+    print(f"{service_key} serves prefix {client} from "
+          f"AS{anycast['host_asn']} ({anycast['organization']}); "
+          f"{len(anycast['candidates'])} nearby alternatives")
+
+    stats = service.cache_stats()
+    print(f"\nanswer cache: {stats.hits} hit(s), {stats.misses} "
+          f"miss(es) — rerun any query above and hits grow")
+    server.shutdown()
+    server.server_close()
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20211110)

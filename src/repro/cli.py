@@ -8,7 +8,15 @@ Build commands (default: ``summary``):
 * ``figures`` — regenerate Figures 1a, 1b and 2 as ASCII;
 * ``table1``  — regenerate Table 1;
 * ``outage``  — outage-impact report for an AS (or the top-k ASes);
-* ``report``  — write the full markdown report.
+* ``report``  — write the full markdown report;
+* ``serve``   — HTTP/JSON query service over a built map (see
+  ``docs/serving.md``): ``--map-json PATH`` serves an existing artefact
+  (the scenario flags re-attach its ground-truth context), no
+  ``--map-json`` builds in-process first; ``--host/--port`` bind the
+  socket, ``--cache-entries`` bounds the answer cache, ``--watch``
+  hot-swaps the store when the artefact is rewritten (e.g. by a
+  ``--delta`` rebuild) and ``--max-requests N`` exits after N requests
+  (smoke tests).
 
 Cross-run observability commands (no world is built; see
 ``docs/observability.md``):
@@ -57,7 +65,8 @@ stages — bit-identical to a fresh build of the mutated world.
 Exit codes: 0 success; 1 command-specific failure (e.g. failed claims);
 2 bad flags or unreadable inputs; 3 simulated crash; 4 regression found
 by ``compare``; 5 a manifest failed schema validation (nothing invalid
-is ever persisted).
+is ever persisted); 6 ``serve`` was pointed at a missing or
+format-incompatible map artefact.
 """
 
 from __future__ import annotations
@@ -93,6 +102,8 @@ from .obs import (DEFAULT_HISTORY_PATH, DIFF_CATEGORIES, NULL_RECORDER,
 EXIT_REGRESSION = 4
 #: A manifest failed schema validation and was not persisted.
 EXIT_INVALID_MANIFEST = 5
+#: ``serve`` was pointed at a missing or incompatible map artefact.
+EXIT_BAD_MAP = 6
 
 SCALES = {
     "small": ScenarioConfig.small,
@@ -181,7 +192,10 @@ def _build_parser() -> argparse.ArgumentParser:
                              "inputs the mutation plan left untouched "
                              "(see docs/delta.md)")
     parser.add_argument("--map-json", metavar="PATH", default=None,
-                        help="also write the serialized map JSON to PATH")
+                        help="build commands: also write the serialized "
+                             "map JSON to PATH; serve: the map artefact "
+                             "to serve (exit 6 if missing or "
+                             "incompatible)")
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("summary", help="build the map and summarise it")
     sub.add_parser("claims", help="run the headline-claim suite")
@@ -196,6 +210,34 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="write the full markdown report")
     report.add_argument("-o", "--output", default="itm-report.md",
                         help="output path (default itm-report.md)")
+    serve = sub.add_parser(
+        "serve", help="HTTP/JSON query service over a built map "
+                      "(docs/serving.md)")
+    # Accepted in either position: ``repro --map-json M serve`` (the
+    # global flag) or ``repro serve --map-json M``. SUPPRESS keeps the
+    # subparser from overwriting the global value with its default.
+    serve.add_argument("--map-json", dest="map_json", metavar="PATH",
+                       default=argparse.SUPPRESS,
+                       help="map artefact to serve (exit 6 if missing "
+                            "or incompatible)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8211,
+                       help="bind port; 0 picks a free one "
+                            "(default: 8211)")
+    serve.add_argument("--cache-entries", type=int, default=4096,
+                       metavar="N",
+                       help="answer-cache capacity (default: 4096)")
+    serve.add_argument("--watch", action="store_true",
+                       help="poll the --map-json artefact and hot-swap "
+                            "the served store when it is rewritten")
+    serve.add_argument("--watch-interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="artefact poll interval (default: 2.0)")
+    serve.add_argument("--max-requests", type=int, default=None,
+                       metavar="N",
+                       help="exit after serving N requests (smoke "
+                            "tests; default: serve forever)")
     history = sub.add_parser(
         "history", help="inspect or append to a run-history registry")
     history_sub = history.add_subparsers(dest="history_command",
@@ -301,9 +343,14 @@ def _prepare(args: argparse.Namespace, recorder: Recorder):
     itm = builder.build()
     if args.map_json is not None:
         from .core.serialize import map_to_json
-        with open(args.map_json, "w") as handle:
-            handle.write(map_to_json(itm, indent=2))
-            handle.write("\n")
+        try:
+            with open(args.map_json, "w") as handle:
+                handle.write(map_to_json(itm, indent=2))
+                handle.write("\n")
+        except OSError as exc:
+            raise ConfigError(
+                f"cannot write map JSON to {args.map_json}: {exc}") \
+                from None
         print(f"wrote map JSON to {args.map_json}", file=sys.stderr)
     return scenario, builder, itm
 
@@ -591,11 +638,85 @@ def _cmd_history(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: HTTP/JSON query service over a built map.
+
+    With ``--map-json`` the artefact at that path is served (the
+    scenario flags rebuild the ground-truth context it needs — use the
+    same ``--scale``/``--seed``/``--mutate`` the artefact was built
+    with); without it a map is built in-process first, and any
+    observability flags produce a run manifest carrying the ``serve.*``
+    counters accumulated while serving.
+    """
+    from .core.mapstore import MapStore
+    from .serve import (ArtefactWatcher, MapArtefactError, MapService,
+                        load_store, serve_http)
+    if args.watch and args.map_json is None:
+        print("--watch requires --map-json", file=sys.stderr)
+        return 2
+    recorder = _make_recorder(args)
+    builder = None
+    if args.map_json is not None:
+        scenario = build_scenario(SCALES[args.scale](seed=args.seed))
+        if args.mutate is not None:
+            from .delta import MutationPlan, apply_mutation_plan
+            apply_mutation_plan(scenario, MutationPlan.load(args.mutate))
+        try:
+            store = load_store(args.map_json, scenario)
+        except MapArtefactError as exc:
+            print(f"cannot serve {args.map_json}: {exc}", file=sys.stderr)
+            print(f"hint: build one with 'repro --scale {args.scale} "
+                  f"--seed {args.seed} --map-json {args.map_json} "
+                  f"summary'", file=sys.stderr)
+            return EXIT_BAD_MAP
+    else:
+        try:
+            scenario, builder, itm = _prepare(args, recorder)
+        except ValidationError as exc:
+            print(f"bad build flags: {exc}", file=sys.stderr)
+            return 2
+        store = MapStore.from_map(itm, graph=scenario.graph)
+    service = MapService(store, recorder=recorder,
+                         cache_entries=args.cache_entries)
+    watcher = None
+    if args.watch:
+        watcher = ArtefactWatcher(service, args.map_json, scenario,
+                                  interval=args.watch_interval)
+        watcher.start()
+    server = serve_http(service, host=args.host, port=args.port)
+    print(f"serving map {store.short_digest} on "
+          f"http://{args.host}:{server.server_port} "
+          f"(endpoints: /v1/health /v1/map /v1/cdf /v1/outage "
+          f"/v1/anycast)", file=sys.stderr)
+    try:
+        if args.max_requests is not None:
+            for __ in range(args.max_requests):
+                server.handle_request()
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if watcher is not None:
+            watcher.stop()
+        server.server_close()
+        stats = service.cache_stats()
+        print(f"serve: answer cache {stats.hits} hit(s) / "
+              f"{stats.misses} miss(es) / {stats.evictions} eviction(s) "
+              f"({stats.hit_rate:.0%} hit rate)", file=sys.stderr)
+    if builder is not None and (args.metrics is not None
+                                or args.history is not None):
+        return _persist_observability(args, builder, None)
+    return 0
+
+
 def _run(args: argparse.Namespace) -> int:
     if args.command == "history":
         return _cmd_history(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.metrics == "-":
         # The manifest owns stdout: the command's own output moves to
         # stderr so `repro --metrics - summary | repro compare - BASE`
@@ -619,6 +740,9 @@ def _run_build(args: argparse.Namespace,
         return 3
     except ValidationError as exc:
         print(f"bad build flags: {exc}", file=sys.stderr)
+        return 2
+    except ConfigError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
     obs_code = 0
     try:

@@ -20,13 +20,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ValidationError
+from ..net.geography import haversine_km
 from ..net.prefixes import PrefixTable
 from ..net.relationships import ASGraph
 from ..net.routing import BgpSimulator
 from ..services.catalog import Service
 from ..services.hypergiants import RedirectionScheme
 from ..services.mapping import SchemeAssignment
-from .traffic_map import InternetTrafficMap
+from .traffic_map import InternetTrafficMap, MappedSite
 from .weighting import WeightedCDF, WeightingContrast, weighting_contrast
 
 
@@ -348,3 +349,139 @@ class RegionOutageReport:
         return (f"{len(self.asns)} ASes: {self.activity_share:.1%} of "
                 f"activity, {self.affected_prefix_count} prefixes, "
                 f"{len(self.affected_services)} services affected")
+
+
+# ---------------------------------------------------------------------------
+# Map-only queries (the ``repro.serve`` endpoint semantics)
+# ---------------------------------------------------------------------------
+#
+# The query service answers from a read-optimized MapStore
+# (:mod:`repro.core.mapstore`); the functions below are the *reference*
+# semantics, computed straight off the dict-based map. The store is
+# regression-locked to answer bit-identically to these.
+
+def map_path_length_contrast(itm: InternetTrafficMap,
+                             target_asn: int) -> WeightingContrast:
+    """Unweighted vs activity-weighted AS-path-length CDFs to one
+    destination AS, from the map alone (the §2.1 "weighted CDF for
+    AS X" question).
+
+    Samples are the map's routes component entries ``(src, target_asn)``
+    with a predicted path; each sample's weight is ``src``'s activity
+    share from the users component. Iteration order is the routes dict's
+    insertion order, which the serialisation preserves — answers are
+    bit-stable across round trips.
+    """
+    lengths: List[float] = []
+    weights: List[float] = []
+    for (src, dst), path in itm.routes.paths.items():
+        if dst != target_asn or path is None:
+            continue
+        lengths.append(float(len(path) - 1))
+        weights.append(itm.users.as_weight(src))
+    if not lengths:
+        raise ValidationError(
+            f"map covers no predicted routes to AS{target_asn}")
+    if all(w == 0 for w in weights):
+        raise ValidationError(
+            f"no activity weight on any AS routed to AS{target_asn}")
+    return weighting_contrast("as_path_length", lengths, weights,
+                              weight_name="client activity")
+
+
+@dataclass(frozen=True)
+class SiteCandidate:
+    """One ranked alternative serving site for an anycast answer."""
+
+    organization: str
+    prefix_id: int
+    asn: int
+    distance_km: Optional[float]    # None when either city is unknown
+    is_offnet: bool
+
+
+@dataclass(frozen=True)
+class AnycastAnswer:
+    """Where a client prefix is served, and its best failover sites."""
+
+    service_key: str
+    client_pid: int
+    host_pid: int
+    host_asn: Optional[int]         # None when the site is unknown
+    organization: Optional[str]     # org owning the serving site
+    candidates: Tuple[SiteCandidate, ...]
+
+
+def rank_site_candidates(serving: MappedSite,
+                         pool: Sequence[MappedSite],
+                         k: int) -> Tuple[SiteCandidate, ...]:
+    """The k best alternative sites, nearest the current serving site.
+
+    Sites with a known estimated city rank by great-circle distance from
+    the serving site's city; city-less sites sort after them. Ties break
+    on (ASN, prefix id) so the ranking is total and deterministic.
+    """
+    def sort_key(site: MappedSite):
+        if serving.estimated_city is None or site.estimated_city is None:
+            return (1, 0.0, site.asn, site.prefix_id)
+        distance = haversine_km(
+            serving.estimated_city.lat, serving.estimated_city.lon,
+            site.estimated_city.lat, site.estimated_city.lon)
+        return (0, distance, site.asn, site.prefix_id)
+
+    ranked = sorted(pool, key=sort_key)[:max(0, k)]
+    out = []
+    for site in ranked:
+        if serving.estimated_city is None or site.estimated_city is None:
+            distance = None
+        else:
+            distance = haversine_km(
+                serving.estimated_city.lat, serving.estimated_city.lon,
+                site.estimated_city.lat, site.estimated_city.lon)
+        out.append(SiteCandidate(
+            organization=site.organization, prefix_id=site.prefix_id,
+            asn=site.asn, distance_km=distance,
+            is_offnet=site.is_offnet))
+    return tuple(out)
+
+
+def anycast_site_candidates(itm: InternetTrafficMap, service_key: str,
+                            client_pid: int, k: int = 3
+                            ) -> AnycastAnswer:
+    """The §2.1 anycast-placement question, from the map alone.
+
+    For client prefix ``client_pid`` and one mapped service: which site
+    serves it today (the ECS user→host answer), and which k sites of the
+    same organisation are the best alternatives — "where the prefixes
+    may be routed instead". Organisations are scanned in sorted order so
+    a prefix hosted by several deployments resolves deterministically.
+    """
+    mapping = itm.services.user_to_host.get(service_key)
+    if mapping is None:
+        raise ValidationError(
+            f"service {service_key!r} has no user->host mapping")
+    host_pid = mapping.get(int(client_pid))
+    if host_pid is None:
+        raise ValidationError(
+            f"prefix {client_pid} is not mapped by {service_key!r}")
+    serving: Optional[MappedSite] = None
+    org_of: Optional[str] = None
+    for org in sorted(itm.services.sites_by_org):
+        for site in itm.services.sites_by_org[org]:
+            if site.prefix_id == host_pid:
+                serving, org_of = site, org
+                break
+        if serving is not None:
+            break
+    candidates: Tuple[SiteCandidate, ...] = ()
+    if serving is not None:
+        pool = [s for s in itm.services.sites_by_org[org_of]
+                if s.prefix_id != host_pid]
+        candidates = rank_site_candidates(serving, pool, k)
+    return AnycastAnswer(
+        service_key=service_key,
+        client_pid=int(client_pid),
+        host_pid=int(host_pid),
+        host_asn=serving.asn if serving is not None else None,
+        organization=org_of,
+        candidates=candidates)

@@ -1,0 +1,153 @@
+"""HTTP transport for :class:`~repro.serve.service.MapService`.
+
+Zero-dependency on purpose: a ``ThreadingHTTPServer`` with one GET
+handler, so the serving layer stays cheap enough to sit next to the
+measurement loop (the DIMES argument). All responses are JSON; errors
+are ``{"error": ...}`` with the status carried by
+:class:`~repro.serve.service.QueryError` (400 malformed parameters,
+404 not covered by the map, 405 non-GET, 500 bugs). Every response
+carries the served map's digest in an ``X-Map-Digest`` header so a
+client can detect a hot swap mid-session.
+
+Endpoint reference with parameters and response schemas:
+``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from .service import MapService, QueryError
+
+
+class QueryServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`MapService`.
+
+    Handler threads are non-daemon and joined by ``server_close()``, so
+    a bounded run (``--max-requests``) never cuts off an in-flight
+    response at process exit; the per-connection socket timeout below
+    bounds how long an idle keep-alive connection can delay that join.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(self, address, service: MapService,
+                 quiet: bool = True) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+
+
+def serve_http(service: MapService, host: str = "127.0.0.1",
+               port: int = 0, quiet: bool = True) -> QueryServer:
+    """Bind a :class:`QueryServer` (``port=0`` picks a free port; the
+    bound port is ``server.server_port``). The caller drives it with
+    ``serve_forever()`` or ``handle_request()``."""
+    return QueryServer((host, port), service, quiet=quiet)
+
+
+def _single(params: Dict[str, List[str]], name: str,
+            required: bool = False) -> Optional[str]:
+    values = params.get(name, [])
+    if len(values) > 1:
+        raise QueryError(400, f"parameter {name!r} given more than once")
+    if not values:
+        if required:
+            raise QueryError(400, f"missing required parameter {name!r}")
+        return None
+    return values[0]
+
+
+def _int_param(raw: str, name: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise QueryError(
+            400, f"parameter {name!r} must be an integer, "
+                 f"got {raw!r}") from None
+
+
+def _bool_param(raw: Optional[str], name: str) -> Optional[bool]:
+    if raw is None:
+        return None
+    lowered = raw.lower()
+    if lowered in ("true", "1", "yes"):
+        return True
+    if lowered in ("false", "0", "no"):
+        return False
+    raise QueryError(
+        400, f"parameter {name!r} must be true or false, got {raw!r}")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+    # Idle keep-alive connections close after this many seconds; bounds
+    # the server_close() join (see QueryServer).
+    timeout = 10
+
+    def log_message(self, fmt, *args):  # noqa: D102 - stdlib override
+        if not self.server.quiet:
+            super().log_message(fmt, *args)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        service: MapService = self.server.service
+        url = urlsplit(self.path)
+        params = parse_qs(url.query, keep_blank_values=True)
+        try:
+            answer = self._route(service, url.path, params)
+        except QueryError as exc:
+            self._send(exc.status, {"error": str(exc)}, service.digest)
+            return
+        except Exception as exc:  # pragma: no cover - bug surface
+            self._send(500, {"error": f"internal error: {exc}"},
+                       service.digest)
+            return
+        self._send(200, answer, service.digest)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._send(405, {"error": "only GET is supported"},
+                   self.server.service.digest)
+
+    do_PUT = do_DELETE = do_PATCH = do_POST
+
+    def _route(self, service: MapService, path: str,
+               params: Dict[str, List[str]]) -> Dict[str, Any]:
+        if path == "/v1/health":
+            return service.health()
+        if path == "/v1/map":
+            return service.map_summary()
+        if path == "/v1/cdf":
+            raw = _single(params, "as", required=True)
+            asns = [_int_param(part, "as")
+                    for part in raw.split(",") if part]
+            weighted = _bool_param(_single(params, "weighted"), "weighted")
+            return service.cdf(asns, weighted=weighted)
+        if path == "/v1/outage":
+            asn = _single(params, "asn")
+            hypergiant = _single(params, "hypergiant")
+            return service.outage(
+                asn=None if asn is None else _int_param(asn, "asn"),
+                hypergiant=hypergiant)
+        if path == "/v1/anycast":
+            service_key = _single(params, "service", required=True)
+            prefix = _int_param(_single(params, "prefix", required=True),
+                                "prefix")
+            k_raw = _single(params, "k")
+            k = 3 if k_raw is None else _int_param(k_raw, "k")
+            return service.anycast(service_key, prefix, k=k)
+        raise QueryError(404, f"unknown endpoint {path!r}")
+
+    def _send(self, status: int, payload: Dict[str, Any],
+              digest: str) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Map-Digest", digest)
+        self.end_headers()
+        self.wfile.write(body)

@@ -1,0 +1,188 @@
+"""Seeded query streams and replay harnesses for the serving layer.
+
+The benchmark (``benchmarks/test_bench_serve.py``) and the CI smoke job
+need realistic, *reproducible* load: :func:`seeded_queries` draws a
+query mix from the served store's own keys (real route targets, mapped
+services, covered client prefixes) using :func:`repro.rand.substream`,
+so the same seed against the same map yields byte-identical streams —
+which is what makes the answer-cache hit counters deterministic and
+gateable.
+
+:func:`replay` drives a :class:`~repro.serve.service.MapService`
+in-process (measures the query layer alone); :func:`replay_http` drives
+a running server over ``urllib`` (measures the full transport). Both
+return the same summary shape: query/error counts, wall time, qps, and
+latency percentiles in milliseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..core.mapstore import MapStore
+from ..rand import substream
+from .service import MapService, QueryError
+
+#: Relative odds of each endpoint in a seeded stream. CDF dominates (it
+#: is the paper's headline query), health is the keep-alive noise floor.
+ENDPOINT_MIX: Tuple[Tuple[str, int], ...] = (
+    ("cdf", 5), ("anycast", 3), ("outage", 2), ("map", 1), ("health", 1),
+)
+
+
+@dataclass(frozen=True)
+class Query:
+    """One generated request: an endpoint name plus its parameters."""
+
+    endpoint: str
+    params: Tuple[Tuple[str, str], ...]
+
+    def url_path(self) -> str:
+        """The ``/v1/...`` path+query form of this query."""
+        query = urllib.parse.urlencode(list(self.params))
+        return f"/v1/{self.endpoint}" + (f"?{query}" if query else "")
+
+
+def seeded_queries(store: MapStore, n: int,
+                   seed: int = 0) -> List[Query]:
+    """``n`` queries drawn from the store's own keys, deterministically
+    in ``(store content, n, seed)``.
+
+    Batched CDF queries (2–4 targets) appear alongside single-target
+    ones, and a bounded key pool guarantees repeats, so replays exercise
+    both the batch path and the answer cache.
+    """
+    rng = substream(seed, "serve", "loadgen")
+    targets = [int(a) for a in store.route_targets()]
+    services = list(store.service_keys)
+    orgs = list(store.organizations)
+    clients: List[Tuple[str, int]] = []
+    for key in services[:8]:
+        svc = store._svc_index[key]
+        for pid in store.svc_clients[svc][:32]:
+            clients.append((key, int(pid)))
+
+    queries: List[Query] = []
+    names = [name for name, __ in ENDPOINT_MIX]
+    odds = [float(weight) for __, weight in ENDPOINT_MIX]
+    probabilities = [w / sum(odds) for w in odds]
+    for __ in range(n):
+        endpoint = names[int(rng.choice(len(names), p=probabilities))]
+        params: Tuple[Tuple[str, str], ...] = ()
+        if endpoint == "cdf" and targets:
+            batch = int(rng.integers(1, 5))
+            chosen = rng.choice(len(targets), size=min(batch, len(targets)),
+                                replace=False)
+            value = ",".join(str(targets[int(i)]) for i in sorted(chosen))
+            params = (("as", value),)
+        elif endpoint == "anycast" and clients:
+            key, pid = clients[int(rng.integers(0, len(clients)))]
+            params = (("service", key), ("prefix", str(pid)),
+                      ("k", str(int(rng.integers(1, 5)))))
+        elif endpoint == "outage":
+            if orgs and rng.random() < 0.5:
+                org = orgs[int(rng.integers(0, len(orgs)))]
+                params = (("hypergiant", org),)
+            elif targets:
+                params = (("asn",
+                           str(targets[int(rng.integers(0,
+                                                        len(targets)))])),)
+        queries.append(Query(endpoint=endpoint, params=params))
+    return queries
+
+
+def _summary(latencies_ns: List[int], errors: int,
+             wall_seconds: float) -> Dict[str, Any]:
+    ordered = sorted(latencies_ns)
+
+    def percentile(p: float) -> float:
+        if not ordered:
+            return 0.0
+        rank = min(len(ordered) - 1,
+                   max(0, int(round(p * (len(ordered) - 1)))))
+        return ordered[rank] / 1e6
+
+    count = len(ordered)
+    return {
+        "queries": count,
+        "errors": errors,
+        "wall_seconds": wall_seconds,
+        "qps": count / wall_seconds if wall_seconds > 0 else 0.0,
+        "latency_ms": {
+            "p50": percentile(0.50),
+            "p90": percentile(0.90),
+            "p99": percentile(0.99),
+            "max": ordered[-1] / 1e6 if ordered else 0.0,
+        },
+    }
+
+
+def _dispatch(service: MapService, query: Query) -> Dict[str, Any]:
+    params = dict(query.params)
+    if query.endpoint == "health":
+        return service.health()
+    if query.endpoint == "map":
+        return service.map_summary()
+    if query.endpoint == "cdf":
+        asns = [int(part) for part in params["as"].split(",")]
+        return service.cdf(asns)
+    if query.endpoint == "outage":
+        asn = params.get("asn")
+        return service.outage(
+            asn=None if asn is None else int(asn),
+            hypergiant=params.get("hypergiant"))
+    if query.endpoint == "anycast":
+        return service.anycast(params["service"], int(params["prefix"]),
+                               k=int(params.get("k", 3)))
+    raise QueryError(400, f"unknown endpoint {query.endpoint!r}")
+
+
+def replay(service: MapService,
+           queries: Sequence[Query]) -> Dict[str, Any]:
+    """Replay a stream against the service in-process; returns the
+    latency/throughput summary plus the answer cache's counters."""
+    latencies: List[int] = []
+    errors = 0
+    started = time.perf_counter()
+    for query in queries:
+        t0 = time.perf_counter_ns()
+        try:
+            _dispatch(service, query)
+        except QueryError:
+            errors += 1
+        latencies.append(time.perf_counter_ns() - t0)
+    summary = _summary(latencies, errors, time.perf_counter() - started)
+    stats = service.cache_stats()
+    summary["cache"] = {
+        "entries": stats.entries, "hits": stats.hits,
+        "misses": stats.misses, "evictions": stats.evictions,
+        "hit_rate": stats.hit_rate,
+    }
+    return summary
+
+
+def replay_http(base_url: str, queries: Sequence[Query],
+                timeout: float = 10.0) -> Dict[str, Any]:
+    """Replay a stream over HTTP against ``base_url`` (e.g.
+    ``http://127.0.0.1:8211``); 4xx responses count as errors, and every
+    200 body must parse as JSON."""
+    latencies: List[int] = []
+    errors = 0
+    started = time.perf_counter()
+    for query in queries:
+        url = base_url.rstrip("/") + query.url_path()
+        t0 = time.perf_counter_ns()
+        try:
+            with urllib.request.urlopen(url, timeout=timeout) as response:
+                json.load(response)
+        except urllib.error.HTTPError as exc:
+            exc.read()
+            errors += 1
+        latencies.append(time.perf_counter_ns() - t0)
+    return _summary(latencies, errors, time.perf_counter() - started)

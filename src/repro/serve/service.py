@@ -1,0 +1,302 @@
+"""Transport-free query service over a :class:`~repro.core.mapstore.\
+MapStore`.
+
+:class:`MapService` is what the HTTP layer, the load generator and the
+tests all talk to: plain methods returning JSON-serialisable dicts. It
+owns three cross-cutting concerns so the transport does not have to:
+
+* **Answer cache** — a :class:`repro.lru.BoundedLru` keyed by
+  ``(map_digest, endpoint, params)``. The digest in the key is the
+  hot-swap invalidation: after :meth:`MapService.swap` every lookup
+  misses naturally and stale entries age out of the LRU — nothing is
+  ever explicitly flushed, so a swap cannot race an in-flight answer.
+* **Counters** — ``serve.requests.<endpoint>``, ``serve.errors``,
+  ``serve.swaps`` and the cache's ``serve.cache.*`` mirror on the
+  attached :class:`repro.obs.Recorder`, so a served build's run manifest
+  shows the query mix and the cache hit rate. Counters only: recorder
+  *spans* share a stack across threads and belong to the single-threaded
+  build path.
+* **Locking** — one lock serialises answer computation, so concurrent
+  identical queries cannot double-compute (which would make the cache
+  counters nondeterministic under the benchmark's seeded replay).
+  Answers are array slices over an immutable store; serialising them is
+  cheaper than the bookkeeping to avoid it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..core.mapstore import MapStore
+from ..core.uncertainty import coverage_caveats
+from ..errors import ReproError, ValidationError
+from ..lru import BoundedLru, CacheStats
+from ..obs.recorder import Recorder, resolve_recorder
+
+#: Endpoints whose answers are memoized (identity-keyed by map digest).
+CACHED_ENDPOINTS = ("cdf", "outage", "anycast", "map")
+
+
+class QueryError(ReproError):
+    """A query the map cannot answer; carries the HTTP status to emit.
+
+    ``400`` for malformed parameters, ``404`` for entities the map does
+    not cover (unknown AS, unmapped service, unknown organisation).
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
+class MapArtefactError(ReproError):
+    """A map artefact that cannot be served: missing file, invalid JSON,
+    wrong format version, or prefix ids outside the scenario context."""
+
+
+def load_store(path: str, scenario) -> MapStore:
+    """Load a map artefact from ``path`` into a query-ready store.
+
+    The artefact carries only measurement-derived content (see
+    :mod:`repro.core.serialize`); ``scenario`` re-attaches the ground
+    truth context cross-component queries need — the prefix→AS table,
+    the city atlas, the AS graph. Any unreadable, unparseable or
+    incompatible artefact raises :class:`MapArtefactError` with a
+    one-line reason.
+    """
+    from ..core.serialize import map_from_json
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise MapArtefactError(f"cannot read map artefact: {exc}") \
+            from None
+    try:
+        itm = map_from_json(text, atlas=scenario.atlas,
+                            prefix_asn=scenario.prefixes.asn_array)
+        return MapStore.from_map(itm, graph=scenario.graph)
+    except ValidationError as exc:
+        raise MapArtefactError(str(exc)) from None
+
+
+class MapService:
+    """Answers the §2 endpoint queries, with caching, counters and an
+    atomic hot-swap hook (see module docstring)."""
+
+    def __init__(self, store: MapStore,
+                 recorder: Optional[Recorder] = None,
+                 cache_entries: int = 4096) -> None:
+        self._lock = threading.RLock()
+        self._store = store
+        self._recorder = resolve_recorder(recorder)
+        self._cache: BoundedLru = BoundedLru(
+            cache_entries, recorder=self._recorder,
+            counter_prefix="serve.cache")
+
+    @property
+    def store(self) -> MapStore:
+        """The store currently answering queries."""
+        with self._lock:
+            return self._store
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the currently-served map."""
+        return self.store.digest
+
+    def swap(self, store: MapStore) -> bool:
+        """Atomically replace the served store; no-op (returns False)
+        when ``store`` has the digest already being served.
+
+        Cached answers for the old digest are not flushed — their keys
+        can simply never be built again, so they age out of the LRU.
+        """
+        with self._lock:
+            if store.digest == self._store.digest:
+                return False
+            self._store = store
+            self._recorder.count("serve.swaps")
+            return True
+
+    def cache_stats(self) -> CacheStats:
+        """Counter snapshot of the answer cache."""
+        with self._lock:
+            return self._cache.cache_stats()
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """``/v1/health``: liveness plus the served digest (not cached)."""
+        with self._lock:
+            self._recorder.count("serve.requests.health")
+            return {"status": "ok",
+                    "digest": self._store.digest,
+                    "format_version": self._store.format_version}
+
+    def map_summary(self) -> Dict[str, Any]:
+        """``/v1/map``: identity, sizes and honesty labels of the served
+        map — digest, format version, seed, component sizes, degraded
+        components and their coverage caveats (§4.2)."""
+        return self._answer("map", (), self._compute_map_summary)
+
+    def cdf(self, asns: Sequence[int],
+            weighted: Optional[bool] = None) -> Dict[str, Any]:
+        """``/v1/cdf``: AS-path-length CDFs to each target AS, weighted
+        by client activity (§2.1's "weighted CDF for AS X").
+
+        ``asns`` may name several targets (the batched
+        ``?as=64500,64501`` form); each target is answered — and cached —
+        independently, so a batch warms the same entries the single-AS
+        queries would. ``weighted`` selects one curve (``True``/``False``)
+        or both plus their contrast (``None``).
+        """
+        if not asns:
+            raise QueryError(400, "no target AS given")
+        results = [self._answer("cdf", (int(asn), weighted),
+                                lambda a=int(asn): self._compute_cdf(
+                                    a, weighted))
+                   for asn in asns]
+        return {"digest": self.digest, "results": results}
+
+    def outage(self, asn: Optional[int] = None,
+               hypergiant: Optional[str] = None) -> Dict[str, Any]:
+        """``/v1/outage``: blast radius of losing one AS (``asn=``) or a
+        hypergiant's whole serving footprint (``hypergiant=``), §2.1's
+        outage question.
+
+        A hypergiant resolves to its on-net site ASes; one AS answers
+        with the full single-AS report, several aggregate into the
+        region-outage form.
+        """
+        if (asn is None) == (hypergiant is None):
+            raise QueryError(
+                400, "exactly one of asn= and hypergiant= is required")
+        return self._answer("outage", (asn, hypergiant),
+                            lambda: self._compute_outage(asn, hypergiant))
+
+    def anycast(self, service_key: str, prefix: int,
+                k: int = 3) -> Dict[str, Any]:
+        """``/v1/anycast``: which site serves a client prefix for one
+        mapped service, and the k nearest same-organisation alternatives
+        (§2.1's anycast-placement question)."""
+        if k < 0:
+            raise QueryError(400, f"k must be >= 0, got {k}")
+        return self._answer("anycast", (service_key, int(prefix), int(k)),
+                            lambda: self._compute_anycast(
+                                service_key, int(prefix), int(k)))
+
+    # -- computation (store snapshot in hand, lock held) -------------------
+
+    def _answer(self, endpoint: str, params: Tuple,
+                compute) -> Dict[str, Any]:
+        with self._lock:
+            self._recorder.count(f"serve.requests.{endpoint}")
+            key = (self._store.digest, endpoint, params)
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+            try:
+                answer = compute()
+            except ValidationError as exc:
+                self._recorder.count("serve.errors")
+                raise QueryError(404, str(exc)) from None
+            except QueryError:
+                self._recorder.count("serve.errors")
+                raise
+            self._cache.put(key, answer)
+            return answer
+
+    def _compute_map_summary(self) -> Dict[str, Any]:
+        store = self._store
+        return {
+            "digest": store.digest,
+            "format_version": store.format_version,
+            "seed": store.seed,
+            "counts": store.counts(),
+            "techniques": list(store.techniques),
+            "route_predictability": store.predictability,
+            "degraded_components": store.degraded_components(),
+            "caveats": [{
+                "component": caveat.component,
+                "coverage": caveat.coverage,
+                "missing_techniques": list(caveat.missing_techniques),
+                "detail": caveat.detail,
+            } for caveat in coverage_caveats(store)],
+        }
+
+    def _compute_cdf(self, asn: int,
+                     weighted: Optional[bool]) -> Dict[str, Any]:
+        contrast = self._store.cdf_contrast(asn)
+        out: Dict[str, Any] = {"as": asn, "metric": contrast.metric_name,
+                               "samples": len(contrast.weighted)}
+        if weighted is not True:
+            out["unweighted"] = _cdf_to_dict(contrast.unweighted)
+        if weighted is not False:
+            out["weighted"] = _cdf_to_dict(contrast.weighted)
+        if weighted is None:
+            out["median_shift"] = contrast.median_shift()
+        return out
+
+    def _compute_outage(self, asn: Optional[int],
+                        hypergiant: Optional[str]) -> Dict[str, Any]:
+        store = self._store
+        if asn is not None:
+            return {"digest": store.digest, "kind": "as",
+                    "report": _outage_to_dict(store.outage_report(asn))}
+        asns = store.hypergiant_asns(hypergiant)
+        if len(asns) == 1:
+            report = _outage_to_dict(store.outage_report(asns[0]))
+            kind = "as"
+        else:
+            region = store.region_outage_report(asns)
+            report = {
+                "asns": list(region.asns),
+                "activity_share": region.activity_share,
+                "affected_prefix_count": region.affected_prefix_count,
+                "affected_services": list(region.affected_services),
+                "offnet_orgs_inside": list(region.offnet_orgs_inside),
+            }
+            kind = "region"
+        return {"digest": store.digest, "kind": kind,
+                "hypergiant": hypergiant, "asns": list(asns),
+                "report": report}
+
+    def _compute_anycast(self, service_key: str, prefix: int,
+                         k: int) -> Dict[str, Any]:
+        answer = self._store.anycast_answer(service_key, prefix, k=k)
+        return {
+            "digest": self._store.digest,
+            "service": answer.service_key,
+            "client_prefix": answer.client_pid,
+            "host_prefix": answer.host_pid,
+            "host_asn": answer.host_asn,
+            "organization": answer.organization,
+            "candidates": [{
+                "organization": c.organization,
+                "prefix_id": c.prefix_id,
+                "asn": c.asn,
+                "distance_km": c.distance_km,
+                "is_offnet": c.is_offnet,
+            } for c in answer.candidates],
+        }
+
+
+def _cdf_to_dict(cdf) -> Dict[str, Any]:
+    return {"points": [[x, f] for x, f in cdf.points()],
+            "median": cdf.median,
+            "mean": cdf.mean()}
+
+
+def _outage_to_dict(report) -> Dict[str, Any]:
+    return {
+        "asn": report.asn,
+        "activity_share": report.activity_share,
+        "affected_prefix_count": report.affected_prefix_count,
+        "affected_services": list(report.affected_services),
+        "offnet_orgs_inside": list(report.offnet_orgs_inside),
+        "alternate_transit": report.alternate_transit,
+        "rerouted_service_asns": {str(k): v for k, v in
+                                  report.rerouted_service_asns.items()},
+        "headline": report.headline(),
+    }

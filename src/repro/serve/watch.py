@@ -1,0 +1,87 @@
+"""Hot-reload: watch a map artefact and swap it into a live service.
+
+``--delta`` rebuilds (see ``docs/delta.md``) end by rewriting the map
+JSON artefact. :class:`ArtefactWatcher` polls that path; when the file's
+(mtime, size) signature changes it reloads the artefact into a fresh
+:class:`~repro.core.mapstore.MapStore` and calls
+:meth:`~repro.serve.service.MapService.swap`. The swap is a single
+reference assignment under the service lock, so in-flight requests
+finish against the store they started with and the next request answers
+from the new map — no request is ever dropped or mixed across digests.
+
+A broken artefact (mid-write, truncated, wrong format) never takes the
+service down: the reload error is counted (``serve.watch.errors``),
+reported to stderr, and the old store keeps serving until the next poll
+finds a loadable file.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Optional, Tuple
+
+from .service import MapArtefactError, MapService, load_store
+
+
+class ArtefactWatcher(threading.Thread):
+    """Daemon thread polling one artefact path into one service.
+
+    ``scenario`` supplies the ground-truth context each reload re-attaches
+    (prefix table, atlas, AS graph) — the same context the initial
+    :func:`~repro.serve.service.load_store` used, so a reloaded map
+    answers exactly as a fresh serve of the same artefact would.
+    """
+
+    def __init__(self, service: MapService, path: str, scenario,
+                 interval: float = 2.0) -> None:
+        super().__init__(name="repro-serve-watch", daemon=True)
+        self._service = service
+        self._path = path
+        self._scenario = scenario
+        self._interval = max(0.05, float(interval))
+        self._stop = threading.Event()
+        self._signature = self._stat()
+
+    def _stat(self) -> Optional[Tuple[float, int]]:
+        try:
+            stat = os.stat(self._path)
+        except OSError:
+            return None
+        return (stat.st_mtime, stat.st_size)
+
+    def poll_once(self) -> bool:
+        """One poll step: reload and swap if the artefact changed.
+
+        Returns True when a new digest was swapped in. Exposed so tests
+        (and the CI smoke job) can drive the watcher deterministically
+        without sleeping.
+        """
+        signature = self._stat()
+        if signature is None or signature == self._signature:
+            return False
+        self._signature = signature
+        recorder = self._service._recorder
+        try:
+            store = load_store(self._path, self._scenario)
+        except MapArtefactError as exc:
+            recorder.count("serve.watch.errors")
+            print(f"serve: artefact reload failed, keeping map "
+                  f"{self._service.store.short_digest}: {exc}",
+                  file=sys.stderr)
+            return False
+        if self._service.swap(store):
+            print(f"serve: hot-swapped map {store.short_digest} "
+                  f"from {self._path}", file=sys.stderr)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Ask the thread to exit; it wakes from its poll sleep."""
+        self._stop.set()
+
+    def run(self) -> None:
+        """Poll until :meth:`stop` (daemon: dies with the process)."""
+        while not self._stop.wait(self._interval):
+            self.poll_once()

@@ -29,7 +29,8 @@ class TestDocumentation:
                      "docs/architecture.md", "docs/techniques.md",
                      "docs/calibration.md", "docs/observability.md",
                      "docs/tutorial.md", "docs/checkpointing.md",
-                     "docs/delta.md"):
+                     "docs/delta.md", "docs/parallelism.md",
+                     "docs/serving.md"):
             assert (REPO / name).is_file(), name
 
     def test_intra_repo_doc_links_resolve(self):

@@ -1,0 +1,405 @@
+"""The serving layer: endpoints, caching, hot swap, watcher, CLI.
+
+The HTTP tests run a real :class:`~repro.serve.http.QueryServer` on a
+loopback port and drive it with ``urllib`` — the same client the CI
+smoke job uses — asserting each endpoint's JSON equals the reference
+answer computed straight off the dict-based map (floats included: JSON
+round-trips Python floats exactly).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.cli import EXIT_BAD_MAP, main
+from repro.core import usecases as uc
+from repro.core.mapstore import MapStore
+from repro.core.serialize import map_from_dict, map_to_dict, map_to_json
+from repro.errors import ValidationError
+from repro.obs import Recorder
+from repro.serve import (ArtefactWatcher, MapArtefactError, MapService,
+                         QueryError, load_store, replay, replay_http,
+                         seeded_queries, serve_http)
+
+
+@pytest.fixture(scope="module")
+def store(small_itm, small_scenario):
+    return MapStore.from_map(small_itm, graph=small_scenario.graph)
+
+
+@pytest.fixture(scope="module")
+def server(store):
+    service = MapService(store)
+    httpd = serve_http(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield httpd
+    httpd.shutdown()
+    httpd.server_close()
+    thread.join(timeout=10)
+
+
+def _get(server, path):
+    url = f"http://127.0.0.1:{server.server_port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return (response.status, json.load(response),
+                    response.headers.get("X-Map-Digest"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), \
+            exc.headers.get("X-Map-Digest")
+
+
+def _variant_store(small_itm, small_scenario):
+    """A second store with a different digest: one activity weight moved
+    (legal content, same shape)."""
+    payload = map_to_dict(small_itm)
+    target = next(iter(payload["users"]["activity_by_prefix"]))
+    payload["users"]["activity_by_prefix"][target] *= 0.5
+    variant = map_from_dict(
+        payload, atlas=small_scenario.atlas,
+        prefix_asn=small_scenario.prefixes.asn_array)
+    return MapStore.from_map(variant, graph=small_scenario.graph)
+
+
+class TestEndpoints:
+    def test_health(self, server, store):
+        status, body, digest = _get(server, "/v1/health")
+        assert status == 200
+        assert body == {"status": "ok", "digest": store.digest,
+                        "format_version": store.format_version}
+        assert digest == store.digest
+
+    def test_map_summary(self, server, store, small_itm):
+        status, body, __ = _get(server, "/v1/map")
+        assert status == 200
+        assert body["digest"] == store.digest
+        assert body["format_version"] == 1
+        assert body["counts"] == store.counts()
+        assert body["degraded_components"] == []
+        assert body["caveats"] == []
+        assert body["route_predictability"] == \
+            small_itm.routes.predictability
+
+    def test_cdf_matches_reference(self, server, store, small_itm):
+        target = int(store.route_targets()[0])
+        status, body, __ = _get(server, f"/v1/cdf?as={target}")
+        assert status == 200
+        (result,) = body["results"]
+        ref = uc.map_path_length_contrast(small_itm, target)
+        assert result["weighted"]["points"] == \
+            [[x, f] for x, f in ref.weighted.points()]
+        assert result["unweighted"]["points"] == \
+            [[x, f] for x, f in ref.unweighted.points()]
+        assert result["weighted"]["median"] == ref.weighted.median
+        assert result["weighted"]["mean"] == ref.weighted.mean()
+        assert result["median_shift"] == ref.median_shift()
+        assert result["samples"] == len(ref.weighted)
+
+    def test_cdf_batch_equals_singles(self, server, store):
+        targets = [int(a) for a in store.route_targets()[:3]]
+        batched = _get(server,
+                       "/v1/cdf?as=" + ",".join(map(str, targets)))[1]
+        singles = [_get(server, f"/v1/cdf?as={t}")[1]["results"][0]
+                   for t in targets]
+        assert batched["results"] == singles
+
+    def test_cdf_weighted_selector(self, server, store):
+        target = int(store.route_targets()[0])
+        both = _get(server, f"/v1/cdf?as={target}")[1]["results"][0]
+        weighted = _get(server,
+                        f"/v1/cdf?as={target}&weighted=true")[1]
+        unweighted = _get(server,
+                          f"/v1/cdf?as={target}&weighted=false")[1]
+        assert weighted["results"][0]["weighted"] == both["weighted"]
+        assert "unweighted" not in weighted["results"][0]
+        assert unweighted["results"][0]["unweighted"] == \
+            both["unweighted"]
+        assert "weighted" not in unweighted["results"][0]
+
+    def test_outage_matches_reference(self, server, store, small_itm,
+                                      small_scenario):
+        asn = int(store.act_asns[0])
+        status, body, __ = _get(server, f"/v1/outage?asn={asn}")
+        assert status == 200
+        analyzer = uc.OutageImpactAnalyzer(
+            small_itm, small_scenario.prefixes, small_scenario.graph)
+        ref = analyzer.assess_as_outage(asn)
+        report = body["report"]
+        assert report["asn"] == ref.asn
+        assert report["activity_share"] == ref.activity_share
+        assert report["affected_prefix_count"] == \
+            ref.affected_prefix_count
+        assert report["affected_services"] == \
+            list(ref.affected_services)
+        assert report["alternate_transit"] == ref.alternate_transit
+        assert report["rerouted_service_asns"] == {
+            str(k): v for k, v in ref.rerouted_service_asns.items()}
+        assert report["headline"] == ref.headline()
+
+    def test_outage_hypergiant(self, server, store):
+        org = store.organizations[0]
+        status, body, __ = _get(
+            server, "/v1/outage?hypergiant=" + urllib.parse.quote(org))
+        assert status == 200
+        assert body["hypergiant"] == org
+        assert tuple(body["asns"]) == store.hypergiant_asns(org)
+        assert body["kind"] in ("as", "region")
+
+    def test_anycast_matches_reference(self, server, store, small_itm):
+        key = store.service_keys[0]
+        pid = int(store.svc_clients[0][0])
+        status, body, __ = _get(
+            server, f"/v1/anycast?service={urllib.parse.quote(key)}"
+                    f"&prefix={pid}&k=2")
+        assert status == 200
+        ref = uc.anycast_site_candidates(small_itm, key, pid, k=2)
+        assert body["host_prefix"] == ref.host_pid
+        assert body["host_asn"] == ref.host_asn
+        assert body["organization"] == ref.organization
+        assert [(c["prefix_id"], c["asn"], c["distance_km"])
+                for c in body["candidates"]] == \
+            [(c.prefix_id, c.asn, c.distance_km) for c in ref.candidates]
+
+
+class TestErrors:
+    def test_unknown_endpoint_404(self, server):
+        assert _get(server, "/v1/nope")[0] == 404
+
+    def test_unknown_as_404(self, server):
+        status, body, __ = _get(server, "/v1/cdf?as=999999999")
+        assert status == 404
+        assert "routes" in body["error"]
+
+    def test_missing_params_400(self, server):
+        assert _get(server, "/v1/cdf")[0] == 400
+        assert _get(server, "/v1/anycast?service=x")[0] == 400
+        assert _get(server, "/v1/outage")[0] == 400
+
+    def test_conflicting_outage_params_400(self, server):
+        assert _get(server, "/v1/outage?asn=1&hypergiant=x")[0] == 400
+
+    def test_malformed_params_400(self, server):
+        assert _get(server, "/v1/cdf?as=abc")[0] == 400
+        assert _get(server, "/v1/cdf?as=1&weighted=maybe")[0] == 400
+        assert _get(server, "/v1/anycast?service=x&prefix=zz")[0] == 400
+        key = "anything"
+        assert _get(server, f"/v1/anycast?service={key}"
+                            f"&prefix=1&k=-1")[0] == 400
+
+    def test_post_is_405(self, server):
+        url = f"http://127.0.0.1:{server.server_port}/v1/health"
+        request = urllib.request.Request(url, data=b"{}", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 405
+
+
+class TestServiceCacheAndSwap:
+    def test_cache_counters_deterministic(self, store):
+        recorder = Recorder()
+        service = MapService(store, recorder=recorder)
+        target = int(store.route_targets()[0])
+        first = service.cdf([target])
+        again = service.cdf([target])
+        assert first == again
+        stats = service.cache_stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        counters = recorder.snapshot()["counters"]
+        assert counters["serve.cache.hits"] == 1
+        assert counters["serve.cache.misses"] == 1
+        assert counters["serve.requests.cdf"] == 2
+
+    def test_batch_warms_single_entries(self, store):
+        service = MapService(store)
+        targets = [int(a) for a in store.route_targets()[:3]]
+        service.cdf(targets)
+        assert service.cache_stats().misses == len(targets)
+        for target in targets:
+            service.cdf([target])
+        assert service.cache_stats().hits == len(targets)
+
+    def test_errors_not_cached(self, store):
+        service = MapService(store)
+        for __ in range(2):
+            with pytest.raises(QueryError) as excinfo:
+                service.cdf([999_999_999])
+            assert excinfo.value.status == 404
+        assert service.cache_stats().misses == 2
+
+    def test_hot_swap_changes_digest_and_misses(
+            self, store, small_itm, small_scenario):
+        service = MapService(store)
+        variant = _variant_store(small_itm, small_scenario)
+        assert variant.digest != store.digest
+        target = int(store.route_targets()[0])
+        service.cdf([target])
+        assert service.swap(variant) is True
+        assert service.digest == variant.digest
+        service.cdf([target])   # new digest -> new cache key -> miss
+        stats = service.cache_stats()
+        assert (stats.hits, stats.misses) == (0, 2)
+
+    def test_swap_same_digest_is_noop(self, store, small_itm,
+                                      small_scenario):
+        service = MapService(store)
+        same = MapStore.from_map(small_itm, graph=small_scenario.graph)
+        assert service.swap(same) is False
+
+    def test_swap_visible_over_http(self, store, small_itm,
+                                    small_scenario):
+        service = MapService(store)
+        httpd = serve_http(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            assert _get(httpd, "/v1/health")[1]["digest"] == store.digest
+            variant = _variant_store(small_itm, small_scenario)
+            service.swap(variant)
+            status, body, header = _get(httpd, "/v1/health")
+            assert body["digest"] == variant.digest
+            assert header == variant.digest
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=10)
+
+
+class TestWatcher:
+    def test_poll_swaps_on_rewrite(self, tmp_path, store, small_itm,
+                                   small_scenario):
+        artefact = tmp_path / "map.json"
+        artefact.write_text(map_to_json(small_itm))
+        service = MapService(load_store(str(artefact), small_scenario))
+        watcher = ArtefactWatcher(service, str(artefact), small_scenario,
+                                  interval=60)
+        assert watcher.poll_once() is False   # unchanged
+
+        payload = map_to_dict(small_itm)
+        target = next(iter(payload["users"]["activity_by_prefix"]))
+        payload["users"]["activity_by_prefix"][target] *= 0.5
+        artefact.write_text(json.dumps(payload))
+        before = service.digest
+        assert watcher.poll_once() is True
+        assert service.digest != before
+
+    def test_broken_rewrite_keeps_serving(self, tmp_path, store,
+                                          small_itm, small_scenario):
+        artefact = tmp_path / "map.json"
+        artefact.write_text(map_to_json(small_itm))
+        service = MapService(load_store(str(artefact), small_scenario))
+        digest = service.digest
+        artefact.write_text("{ truncated")
+        assert watcher_poll(service, artefact, small_scenario) is False
+        assert service.digest == digest
+        assert service.health()["status"] == "ok"
+
+    def test_missing_artefact_raises_artefact_error(self, tmp_path,
+                                                    small_scenario):
+        with pytest.raises(MapArtefactError):
+            load_store(str(tmp_path / "absent.json"), small_scenario)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format_version": 99}')
+        with pytest.raises(MapArtefactError):
+            load_store(str(bad), small_scenario)
+
+
+def watcher_poll(service, artefact, scenario) -> bool:
+    """One watcher poll against a freshly-constructed watcher whose
+    baseline signature predates the rewrite."""
+    watcher = ArtefactWatcher(service, str(artefact), scenario,
+                              interval=60)
+    watcher._signature = None
+    return watcher.poll_once()
+
+
+class TestLoadgen:
+    def test_seeded_stream_deterministic(self, store):
+        first = seeded_queries(store, 100, seed=3)
+        assert first == seeded_queries(store, 100, seed=3)
+        assert first != seeded_queries(store, 100, seed=4)
+
+    def test_replay_summary_shape(self, store):
+        service = MapService(store)
+        queries = seeded_queries(store, 120, seed=3)
+        summary = replay(service, queries)
+        assert summary["queries"] == 120
+        assert summary["errors"] == 0
+        assert summary["qps"] > 0
+        assert summary["latency_ms"]["p50"] <= \
+            summary["latency_ms"]["p99"] <= summary["latency_ms"]["max"]
+        stats = service.cache_stats()
+        assert summary["cache"]["hits"] == stats.hits
+        assert stats.hits + stats.misses > 0
+
+    def test_replay_http_agrees_with_service(self, server, store):
+        queries = seeded_queries(store, 40, seed=9)
+        base = f"http://127.0.0.1:{server.server_port}"
+        summary = replay_http(base, queries)
+        assert summary["queries"] == 40
+        assert summary["errors"] == 0
+
+
+class TestCli:
+    def test_missing_artefact_exits_bad_map(self, tmp_path, capsys):
+        code = main(["serve", "--map-json",
+                     str(tmp_path / "absent.json")])
+        assert code == EXIT_BAD_MAP
+        err = capsys.readouterr().err
+        assert err.count("\n") <= 2
+        assert "cannot serve" in err and "hint" in err
+
+    def test_incompatible_artefact_exits_bad_map(self, tmp_path,
+                                                 capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format_version": 99}')
+        assert main(["serve", "--map-json", str(bad)]) == EXIT_BAD_MAP
+        assert "unsupported map format" in capsys.readouterr().err
+
+    def test_watch_requires_map_json(self, capsys):
+        assert main(["serve", "--watch"]) == 2
+        assert "--watch requires --map-json" in capsys.readouterr().err
+
+    def test_serve_artefact_over_http(self, tmp_path, small_itm, store,
+                                      monkeypatch):
+        """End to end through the CLI: serve an artefact, answer real
+        requests, exit cleanly after --max-requests."""
+        import repro.serve as serve_pkg
+        artefact = tmp_path / "map.json"
+        artefact.write_text(map_to_json(small_itm))
+        holder = {}
+        original = serve_pkg.serve_http
+
+        def capture(service, host="127.0.0.1", port=0, quiet=True):
+            bound = original(service, host=host, port=port, quiet=quiet)
+            holder["server"] = bound
+            return bound
+
+        monkeypatch.setattr(serve_pkg, "serve_http", capture)
+        result = {}
+        thread = threading.Thread(
+            target=lambda: result.setdefault("code", main(
+                ["serve", "--map-json", str(artefact), "--port", "0",
+                 "--max-requests", "2"])))
+        thread.start()
+        try:
+            for __ in range(1200):   # scenario build takes a while
+                if "server" in holder or not thread.is_alive():
+                    break
+                thread.join(timeout=0.1)
+            assert "server" in holder, "server never started"
+            status, body, __ = _get(holder["server"], "/v1/health")
+            assert status == 200
+            assert body["digest"] == store.digest
+            assert _get(holder["server"], "/v1/map")[0] == 200
+        finally:
+            thread.join(timeout=60)
+        assert result["code"] == 0
+        assert not thread.is_alive()
