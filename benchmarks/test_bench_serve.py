@@ -94,7 +94,8 @@ def test_serve_loadgen_gates():
     summary = replay(service, queries)
 
     # -- correctness under load (exact, deterministic) -------------------
-    assert summary["errors"] == 0, summary
+    assert summary["http_errors"] == 0, summary
+    assert summary["shed"] == 0, summary
     lookups, unique = expected_cache_traffic(queries)
     cache = summary["cache"]
     assert cache["evictions"] == 0, \
@@ -150,7 +151,8 @@ def test_serve_loadgen_gates():
         "queries": N_QUERIES,
         "cache_lookups": lookups,
         "unique_keys": unique,
-        "errors": 0,
+        "http_errors": 0,
+        "shed": 0,
         "qps_floor": QPS_FLOOR,
         "p99_ms_ceiling": P99_CEILING_MS,
     }

@@ -1,0 +1,160 @@
+"""Overload-protection benchmark: the admission gate under 3× capacity.
+
+The resilience promise (see ``docs/serving.md``) is that overload
+*degrades* service instead of breaking it: excess requests are shed
+with 429 + ``Retry-After`` while every admitted request still answers
+correctly and promptly. This bench drives a real HTTP server with
+open-loop load at three times the token bucket's sustained rate and
+gates:
+
+* **no silent failures** — zero 5xx/transport errors across the run;
+  every request either completes (2xx) or is shed (429);
+* **the gate actually sheds** — the shed fraction lands inside the
+  committed band around the arithmetic prediction (offered 3×, serving
+  capacity 1× → about 2/3 shed, the band absorbs burst credit and
+  scheduling noise);
+* **admitted latency stays flat** — p99 of admitted requests under
+  overload at most ``P99_OVERLOAD_FACTOR`` × the unloaded closed-loop
+  p99 (floored at ``P99_ABS_FLOOR_MS`` for shared CI boxes): shedding
+  at the door is what keeps the queue, and therefore the latency, from
+  growing;
+* **the manifest tells the story** — the instrumented run's ``serve``
+  section (manifest format 4) carries matching admit counters with
+  ``offered == admitted + shed``.
+
+The committed baseline (``baselines/serve-resilience.json``) locks the
+deterministic scenario parameters and bands; regenerate after an
+intentional change with::
+
+    REPRO_UPDATE_BASELINES=1 PYTHONPATH=src \
+        python -m pytest benchmarks/test_bench_serve_resilience.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+from repro import ScenarioConfig, build_scenario
+from repro.core.builder import MapBuilder
+from repro.core.mapstore import MapStore
+from repro.obs import Recorder
+from repro.serve import (AdmissionGate, MapService, replay_http,
+                         seeded_queries, serve_http,
+                         serve_manifest_section)
+
+BASELINE = Path(__file__).parent / "baselines" / "serve-resilience.json"
+
+SEED = 20211110
+N_WARMUP = 150
+N_QUERIES = 400
+RATE_QPS = 60.0            # token bucket: sustained serving capacity
+BURST = 12
+OVERLOAD_FACTOR = 3.0      # open-loop arrival rate = 3× capacity
+SHED_BAND = (0.40, 0.85)   # around the 2/3 arithmetic prediction
+P99_OVERLOAD_FACTOR = 2.0
+P99_ABS_FLOOR_MS = 60.0
+
+
+def test_overload_gate():
+    scenario = build_scenario(ScenarioConfig.small(seed=SEED))
+    recorder = Recorder()
+    builder = MapBuilder(scenario, recorder=recorder)
+    store = MapStore.from_map(builder.build(), graph=scenario.graph)
+    gate = AdmissionGate(max_inflight=16, rate=RATE_QPS, burst=BURST,
+                         max_wait_s=0.0, recorder=recorder)
+    service = MapService(store, recorder=recorder, cache_entries=4096,
+                         gate=gate)
+    httpd = serve_http(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{httpd.server_port}"
+    try:
+        # Unloaded reference: open-loop at half the bucket rate, so
+        # nothing sheds and p99 is the service's natural latency.
+        warmup = seeded_queries(store, N_WARMUP, seed=SEED + 1)
+        unloaded = replay_http(base, warmup, seed=SEED,
+                               open_loop_rate=RATE_QPS * 0.5,
+                               max_workers=8)
+        assert unloaded["shed"] == 0, unloaded
+        assert unloaded["http_errors"] == 0, unloaded
+
+        # Overload: open-loop Poisson arrivals at 3× the bucket rate.
+        queries = seeded_queries(store, N_QUERIES, seed=SEED)
+        loaded = replay_http(base, queries, seed=SEED,
+                             open_loop_rate=RATE_QPS * OVERLOAD_FACTOR,
+                             max_workers=32)
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=10)
+
+    # -- no silent failures: completed or shed, nothing in between ------
+    assert loaded["http_errors"] == 0, loaded
+    assert loaded["queries"] == N_QUERIES
+
+    # -- the gate sheds inside the committed band -----------------------
+    shed_fraction = loaded["shed"] / N_QUERIES
+    low, high = SHED_BAND
+    assert low <= shed_fraction <= high, (
+        f"shed fraction {shed_fraction:.2f} outside the committed "
+        f"[{low}, {high}] band: {loaded}")
+
+    # -- admitted latency stays flat under overload ---------------------
+    p99_unloaded = unloaded["latency_ms"]["p99"]
+    p99_loaded = loaded["latency_ms"]["p99"]
+    ceiling = max(P99_OVERLOAD_FACTOR * p99_unloaded, P99_ABS_FLOOR_MS)
+    assert p99_loaded <= ceiling, (
+        f"admitted p99 {p99_loaded:.1f} ms under overload exceeds "
+        f"{ceiling:.1f} ms (unloaded p99 {p99_unloaded:.1f} ms)")
+
+    # -- the manifest's serve section tells the same story --------------
+    section = serve_manifest_section(recorder)
+    assert section is not None
+    admit = section["admit"]
+    assert admit["offered"] == admit["admitted"] + admit["shed"]
+    assert admit["shed"] >= loaded["shed"]   # gate counts every attempt
+    manifest = builder.manifest(command="bench-serve-resilience",
+                                scale="small",
+                                serve=section).to_dict()
+    assert manifest["format_version"] == 4
+    assert manifest["serve"]["admit"]["shed"] == admit["shed"]
+
+    print(f"\nserve overload: offered {admit['offered']} "
+          f"(gate: {admit['admitted']} admitted / {admit['shed']} shed), "
+          f"client shed fraction {shed_fraction:.2f}, "
+          f"p99 {p99_unloaded:.1f} ms unloaded -> {p99_loaded:.1f} ms "
+          f"at {OVERLOAD_FACTOR:.0f}x capacity")
+
+    summary_path = os.environ.get("REPRO_SERVE_SUMMARY")
+    if summary_path:
+        with open(summary_path, "w") as handle:
+            json.dump({"digest": store.digest, "seed": SEED,
+                       "unloaded": unloaded, "loaded": loaded,
+                       "serve": section}, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote resilience summary to {summary_path}")
+
+    deterministic = {
+        "scale": "small",
+        "seed": SEED,
+        "queries": N_QUERIES,
+        "rate_qps": RATE_QPS,
+        "burst": BURST,
+        "overload_factor": OVERLOAD_FACTOR,
+        "shed_band": list(SHED_BAND),
+        "http_errors": 0,
+        "p99_overload_factor": P99_OVERLOAD_FACTOR,
+        "p99_abs_floor_ms": P99_ABS_FLOOR_MS,
+    }
+    if os.environ.get("REPRO_UPDATE_BASELINES"):
+        BASELINE.write_text(json.dumps(deterministic, indent=2) + "\n")
+        print(f"baseline rewritten: {BASELINE}")
+        return
+    baseline = json.loads(BASELINE.read_text())
+    assert baseline == deterministic, (
+        "serve resilience scenario drifted from the committed baseline "
+        f"({BASELINE}): expected {baseline}, got {deterministic}; "
+        "regenerate with REPRO_UPDATE_BASELINES=1 if intentional")

@@ -75,9 +75,11 @@ import argparse
 import contextlib
 import json
 import os
+import signal
 import sys
+import threading
 import time
-from typing import List, Optional, TextIO
+from typing import Dict, List, Optional, TextIO
 
 from . import ScenarioConfig, build_scenario
 from .errors import ConfigError, ValidationError
@@ -238,6 +240,44 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="exit after serving N requests (smoke "
                             "tests; default: serve forever)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       metavar="N",
+                       help="admission gate: at most N requests in "
+                            "flight; excess requests are shed with 429 "
+                            "+ Retry-After (default: no gate)")
+    serve.add_argument("--rate", type=float, default=None,
+                       metavar="QPS",
+                       help="admission gate: token-bucket rate limit "
+                            "in requests/second (default: unlimited)")
+    serve.add_argument("--burst", type=int, default=None, metavar="N",
+                       help="token-bucket burst capacity (default: "
+                            "--rate rounded down, at least 1)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       metavar="MS",
+                       help="per-request deadline budget; expired "
+                            "requests answer 504 and abandon the rest "
+                            "of their computation (default: unbounded)")
+    serve.add_argument("--max-wait-ms", type=float, default=50.0,
+                       metavar="MS",
+                       help="bounded wait at the admission gate before "
+                            "shedding (default: 50)")
+    serve.add_argument("--request-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="per-connection socket timeout; aborts are "
+                            "counted as serve.http.timeouts "
+                            "(default: 10)")
+    serve.add_argument("--chaos", nargs="?", const="all=0.05",
+                       default=None, metavar="SPEC",
+                       help="arm serve-side fault injection: a "
+                            "kind=rate list over slow_handler, "
+                            "artefact_corruption, cache_eviction_storm, "
+                            "client_disconnect, or bare --chaos for "
+                            "all at 0.05 (docs/serving.md)")
+    serve.add_argument("--chaos-seed", type=int, default=0,
+                       metavar="SEED",
+                       help="seed for the chaos injection substreams "
+                            "(default: 0; a fixed seed makes the "
+                            "schedule bit-reproducible)")
     history = sub.add_parser(
         "history", help="inspect or append to a run-history registry")
     history_sub = history.add_subparsers(dest="history_command",
@@ -484,7 +524,8 @@ def _main(argv: Optional[List[str]]) -> int:
 
 
 def _persist_observability(args: argparse.Namespace, builder: MapBuilder,
-                           manifest_stream: Optional[TextIO]) -> int:
+                           manifest_stream: Optional[TextIO],
+                           serve_section=None) -> int:
     """Validate the run's manifest, then write/record it as requested.
 
     Runs :func:`repro.obs.validate_manifest` first; an invalid manifest
@@ -492,8 +533,11 @@ def _persist_observability(args: argparse.Namespace, builder: MapBuilder,
     ``--history`` registry — and the run exits :data:`EXIT_INVALID_MANIFEST`
     instead. ``manifest_stream`` is the real stdout captured before
     ``--metrics -`` redirected the command's own output to stderr.
+    ``serve_section`` is the serving-path counter section a drained
+    ``repro serve`` run attaches (format 4).
     """
-    manifest = builder.manifest(command=args.command, scale=args.scale)
+    manifest = builder.manifest(command=args.command, scale=args.scale,
+                                serve=serve_section)
     try:
         validate_manifest(manifest.to_dict())
     except ValidationError as exc:
@@ -638,6 +682,49 @@ def _cmd_history(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_chaos_plan(spec: str, seed: int):
+    """Parse a ``--chaos`` spec into a serve-side :class:`FaultPlan`.
+
+    ``spec`` is a comma list of ``kind=rate`` over the serve kinds
+    (``slow_handler``, ``artefact_corruption``, ``cache_eviction_storm``,
+    ``client_disconnect``); the pseudo-kind ``all`` sets every serve
+    kind at once. Build-side kinds are rejected — chaos arms the
+    serving path only.
+    """
+    from .faults import SERVE_KINDS, FaultKind, FaultPlan
+    values: Dict[str, float] = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        name, sep, raw = token.partition("=")
+        if not sep:
+            raise ValidationError(
+                f"bad chaos spec entry {token!r}: expected kind=rate")
+        try:
+            rate = float(raw)
+        except ValueError:
+            raise ValidationError(
+                f"bad chaos rate {raw!r} for {name.strip()!r}") from None
+        name = name.strip()
+        if name == "all":
+            for kind in SERVE_KINDS:
+                values[kind.value] = rate
+            continue
+        try:
+            kind = FaultKind(name)
+        except ValueError:
+            kind = None
+        if kind is None or kind not in SERVE_KINDS:
+            known = ", ".join(k.value for k in SERVE_KINDS)
+            raise ValidationError(
+                f"unknown chaos kind {name!r} (known: all, {known})")
+        values[kind.value] = rate
+    plan = FaultPlan(seed=seed, **values)
+    plan.validate()
+    return plan
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: HTTP/JSON query service over a built map.
 
@@ -647,10 +734,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     with); without it a map is built in-process first, and any
     observability flags produce a run manifest carrying the ``serve.*``
     counters accumulated while serving.
+
+    SIGTERM/SIGINT trigger a graceful drain: the gate stops admitting
+    (new requests answer 503), in-flight handlers finish and deliver
+    byte-complete responses, the manifest is flushed, and the process
+    exits 0.
     """
     from .core.mapstore import MapStore
-    from .serve import (ArtefactWatcher, MapArtefactError, MapService,
-                        load_store, serve_http)
+    from .serve import (AdmissionGate, ArtefactWatcher, ChaosEngine,
+                        MapArtefactError, MapService, load_store,
+                        serve_http, serve_manifest_section)
     if args.watch and args.map_json is None:
         print("--watch requires --map-json", file=sys.stderr)
         return 2
@@ -676,22 +769,71 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"bad build flags: {exc}", file=sys.stderr)
             return 2
         store = MapStore.from_map(itm, graph=scenario.graph)
+    gate = None
+    if args.max_inflight is not None or args.rate is not None \
+            or args.deadline_ms is not None:
+        gate = AdmissionGate(
+            max_inflight=(args.max_inflight
+                          if args.max_inflight is not None else 64),
+            rate=args.rate, burst=args.burst,
+            max_wait_s=args.max_wait_ms / 1000.0,
+            deadline_s=(None if args.deadline_ms is None
+                        else args.deadline_ms / 1000.0),
+            recorder=recorder)
+    chaos = None
+    if args.chaos is not None:
+        try:
+            plan = _parse_chaos_plan(args.chaos, args.chaos_seed)
+        except ValidationError as exc:
+            print(f"bad --chaos spec: {exc}", file=sys.stderr)
+            return 2
+        chaos = ChaosEngine(plan, recorder=recorder)
+        print(f"serve: chaos armed ({plan.describe()}, "
+              f"seed {args.chaos_seed})", file=sys.stderr)
     service = MapService(store, recorder=recorder,
-                         cache_entries=args.cache_entries)
+                         cache_entries=args.cache_entries,
+                         gate=gate, chaos=chaos)
     watcher = None
     if args.watch:
         watcher = ArtefactWatcher(service, args.map_json, scenario,
-                                  interval=args.watch_interval)
+                                  interval=args.watch_interval,
+                                  chaos=chaos)
+        service.attach_watch_circuit(watcher.circuit)
         watcher.start()
-    server = serve_http(service, host=args.host, port=args.port)
+    server = serve_http(service, host=args.host, port=args.port,
+                        request_timeout=args.request_timeout)
+
+    def _drain(signum, frame):
+        # Stop admitting, let serve_forever return; server_close below
+        # joins the in-flight handler threads so every admitted
+        # response is delivered byte-complete.
+        print("serve: draining (stop accepting, finishing in-flight "
+              "handlers)", file=sys.stderr)
+        service.begin_drain()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain)
+        signal.signal(signal.SIGINT, _drain)
+    except ValueError:
+        # Not the main thread (tests drive main() from a worker);
+        # KeyboardInterrupt still lands in the except below.
+        pass
     print(f"serving map {store.short_digest} on "
           f"http://{args.host}:{server.server_port} "
-          f"(endpoints: /v1/health /v1/map /v1/cdf /v1/outage "
-          f"/v1/anycast)", file=sys.stderr)
+          f"(endpoints: /v1/health /v1/healthz /v1/readyz /v1/map "
+          f"/v1/cdf /v1/outage /v1/anycast)", file=sys.stderr)
     try:
         if args.max_requests is not None:
-            for __ in range(args.max_requests):
+            server.timeout = 0.5  # re-check the drain flag while idle
+            timed_out: List[bool] = []
+            server.handle_timeout = lambda: timed_out.append(True)
+            handled = 0
+            while handled < args.max_requests and not service.draining:
+                del timed_out[:]
                 server.handle_request()
+                if not timed_out:
+                    handled += 1
         else:
             server.serve_forever()
     except KeyboardInterrupt:
@@ -706,7 +848,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"({stats.hit_rate:.0%} hit rate)", file=sys.stderr)
     if builder is not None and (args.metrics is not None
                                 or args.history is not None):
-        return _persist_observability(args, builder, None)
+        return _persist_observability(
+            args, builder, None,
+            serve_section=serve_manifest_section(recorder))
     return 0
 
 

@@ -1031,11 +1031,14 @@ class MapBuilder:
         return itm
 
     def manifest(self, command: Optional[str] = None,
-                 scale: Optional[str] = None) -> RunManifest:
+                 scale: Optional[str] = None,
+                 serve: Optional[Dict[str, object]] = None) -> RunManifest:
         """Snapshot this build's provenance as a :class:`RunManifest`.
 
         Callable any time after :meth:`build` (earlier snapshots are
-        valid too — they just carry fewer stages).
+        valid too — they just carry fewer stages). ``serve`` is the
+        optional serving-path section a ``repro serve`` run assembles
+        after the server drains (format 4).
         """
         return collect_manifest(
             self._recorder, self._scenario.config,
@@ -1043,6 +1046,7 @@ class MapBuilder:
             cache_stats=self._scenario.bgp.cache_stats(),
             itm=self.itm, checkpoint=self.ckpt_lineage,
             delta=self._delta_lineage(),
+            serve=serve,
             command=command, scale=scale)
 
     def _delta_lineage(self) -> Optional[Dict[str, object]]:

@@ -16,8 +16,8 @@ degrades or fails outright.
 
 from .context import CampaignFaultScope, FaultContext, FaultCounters
 from .degrade import COLLECTOR_FEED_CAMPAIGN, degraded_public_view
-from .plan import (RATE_KINDS, FaultKind, FaultPlan, RetryPolicy,
-                   SimulatedCrash)
+from .plan import (RATE_KINDS, SERVE_KINDS, FaultKind, FaultPlan,
+                   RetryPolicy, SimulatedCrash)
 
 __all__ = [
     "CampaignFaultScope",
@@ -28,6 +28,7 @@ __all__ = [
     "FaultPlan",
     "RATE_KINDS",
     "RetryPolicy",
+    "SERVE_KINDS",
     "SimulatedCrash",
     "degraded_public_view",
 ]

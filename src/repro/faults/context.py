@@ -134,6 +134,35 @@ class CampaignFaultScope:
         """Scalar convenience: does a single operation survive?"""
         return bool(self.survive_mask(kind, 1)[0])
 
+    def inject(self, kind: FaultKind) -> bool:
+        """Single-shot chaos draw: does this fault fire right now?
+
+        Unlike :meth:`survive_mask` there is no retry ladder — an injected
+        fault *is* the event (a stalled handler, a torn connection), and
+        the serving path's own resilience machinery deals with the
+        aftermath. Counts one unit and one attempt always, plus one drop
+        when the fault fires; with the kind inactive no randomness is
+        consumed, so arming an unrelated kind never shifts the schedule.
+        """
+        self._bump(kind, units=1, attempts=1)
+        rate = self.rate_of(kind)
+        if rate <= 0.0:
+            return False
+        rng = self._context.stream(self.name, kind)
+        fired = bool(rng.random() < rate)
+        if fired:
+            self._bump(kind, drops=1)
+        return fired
+
+    def draw(self, kind: FaultKind) -> float:
+        """A uniform [0, 1) draw from this (campaign, kind) substream.
+
+        For chaos parameters that need a magnitude, not just a yes/no —
+        e.g. how long a slow handler stalls. Deterministic for the plan
+        seed and independent of other kinds' schedules.
+        """
+        return float(self._context.stream(self.name, kind).random())
+
     def thin_rounds(self, kind: FaultKind, rounds: int,
                     shape: Tuple[int, ...]) -> np.ndarray:
         """Per-cell surviving repetition counts for ``rounds`` probes.

@@ -26,6 +26,20 @@ Fault kinds and the campaigns they bite:
                             temporarily withdrawn;
 * ``stale_collector``     — the collector snapshot is stale: visible
                             links missing from the downloaded feed;
+
+Serve-side kinds (``SERVE_KINDS``) extend the same model to the query
+service (PR 9): they bite the serving path rather than the build
+campaigns, and are drawn from the same seed-substreamed machinery so a
+chaos run is bit-reproducible for a fixed ``--chaos-seed``:
+
+* ``slow_handler``        — a handler stalls mid-computation (injected
+                            virtual-time delay before answering);
+* ``artefact_corruption`` — a hot-swap rewrite lands a corrupt artefact
+                            on disk, tripping the watcher;
+* ``cache_eviction_storm``— the answer cache is flushed under a request,
+                            forcing recomputation of warm entries;
+* ``client_disconnect``   — the client tears the connection down before
+                            the response body is written;
 * ``crash``               — the build *process itself* dies at a stage
                             boundary. Unlike the rate-based kinds above,
                             a crash is targeted: ``FaultPlan.crash_at``
@@ -55,6 +69,12 @@ class FaultKind(enum.Enum):
     SNI_RATE_LIMIT = "sni_rate_limit"
     ROOTLOG_TRUNCATION = "rootlog_truncation"
     STALE_COLLECTOR = "stale_collector"
+    # Serve-side kinds: chaos injected into the query service rather
+    # than the build campaigns (see repro.serve.chaos).
+    SLOW_HANDLER = "slow_handler"
+    ARTEFACT_CORRUPTION = "artefact_corruption"
+    CACHE_EVICTION_STORM = "cache_eviction_storm"
+    CLIENT_DISCONNECT = "client_disconnect"
     # Process death at a stage boundary. Targeted (``crash_at`` names the
     # stage), not rate-based: RATE_KINDS below excludes it.
     CRASH = "crash"
@@ -68,6 +88,16 @@ class FaultKind(enum.Enum):
 # exactly this set.
 RATE_KINDS: Tuple[FaultKind, ...] = tuple(
     k for k in FaultKind if k is not FaultKind.CRASH)
+
+# The kinds that bite the serving path (repro.serve.chaos) rather than
+# the build campaigns. A subset of RATE_KINDS; build campaigns never
+# draw from these streams, so arming them cannot perturb a build.
+SERVE_KINDS: Tuple[FaultKind, ...] = (
+    FaultKind.SLOW_HANDLER,
+    FaultKind.ARTEFACT_CORRUPTION,
+    FaultKind.CACHE_EVICTION_STORM,
+    FaultKind.CLIENT_DISCONNECT,
+)
 
 
 class SimulatedCrash(ReproError):
@@ -133,6 +163,11 @@ class FaultPlan:
     sni_rate_limit: float = 0.0
     rootlog_truncation: float = 0.0
     stale_collector: float = 0.0
+    # Serve-side chaos rates (repro.serve.chaos); inert during builds.
+    slow_handler: float = 0.0
+    artefact_corruption: float = 0.0
+    cache_eviction_storm: float = 0.0
+    client_disconnect: float = 0.0
     # Stage boundary after which the build dies with SimulatedCrash
     # (None = never). Stage names are the builder's checkpoint stages,
     # e.g. "users" or "services"; see repro.ckpt.
@@ -198,6 +233,20 @@ class FaultPlan:
         """
         plan = cls(seed=seed,
                    **{kind.value: rate for kind in RATE_KINDS},
+                   retry=retry or RetryPolicy())
+        plan.validate()
+        return plan
+
+    @classmethod
+    def serve_chaos(cls, rate: float = 0.05, seed: int = 0,
+                    retry: Optional[RetryPolicy] = None) -> "FaultPlan":
+        """Every serve-side kind at the same rate, build kinds at zero.
+
+        The default plan behind ``repro serve --chaos``: enough weather
+        to exercise the resilience machinery without drowning the run.
+        """
+        plan = cls(seed=seed,
+                   **{kind.value: rate for kind in SERVE_KINDS},
                    retry=retry or RetryPolicy())
         plan.validate()
         return plan

@@ -8,14 +8,17 @@ coverage each map component ended up with. It is plain JSON — no
 dependencies beyond the standard library — so dashboards, CI checks and
 benchmark harnesses can consume it without importing the package.
 
-Schema (``format_version`` 3), field by field, is documented in
+Schema (``format_version`` 4), field by field, is documented in
 ``docs/observability.md``; :func:`validate_manifest` enforces it and the
 counter invariants (e.g. per campaign ``units == delivered + giveups``,
-and for checkpointed runs ``reused + recomputed == total`` stages).
-Format 1 (pre-checkpointing) and format 2 (pre-delta) manifests are
-still accepted; the optional ``checkpoint`` lineage section needs
-format 2+, the optional ``delta`` lineage section (incremental builds,
-``docs/delta.md``) format 3.
+for checkpointed runs ``reused + recomputed == total`` stages, and for
+served runs ``offered == admitted + shed`` at the admission gate).
+Format 1 (pre-checkpointing), format 2 (pre-delta) and format 3
+(pre-serving) manifests are still accepted; the optional ``checkpoint``
+lineage section needs format 2+, the optional ``delta`` lineage section
+(incremental builds, ``docs/delta.md``) format 3+, and the optional
+``serve`` section (query-service resilience counters,
+``docs/serving.md``) format 4.
 """
 
 from __future__ import annotations
@@ -30,11 +33,12 @@ from typing import Dict, List, Optional
 from ..errors import ValidationError
 from .recorder import Recorder, StageTiming
 
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
 
 # Format 1 predates the checkpoint-lineage section, format 2 the delta
-# section; both are still readable. Writers always emit FORMAT_VERSION.
-SUPPORTED_FORMAT_VERSIONS = (1, 2, FORMAT_VERSION)
+# section, format 3 the serve section; all remain readable. Writers
+# always emit FORMAT_VERSION.
+SUPPORTED_FORMAT_VERSIONS = (1, 2, 3, FORMAT_VERSION)
 
 # The eleven measurement campaigns of repro.measure, by their canonical
 # names. Kept as literals (not imports) so the manifest layer stays
@@ -103,10 +107,15 @@ class RunManifest:
     # run resumed from, which stages were reused vs recomputed, and any
     # snapshots that failed verification and were quarantined.
     checkpoint: Optional[Dict[str, object]] = None
-    # Delta lineage (format 3, delta builds only): the mutation plan's
+    # Delta lineage (format 3+, delta builds only): the mutation plan's
     # digest/kinds/aspects and the per-stage input digests that decided
     # which snapshots were reused (see repro.delta and docs/delta.md).
     delta: Optional[Dict[str, object]] = None
+    # Serving-path resilience counters (format 4, served runs only):
+    # admission gate outcomes, HTTP-transport aborts, watcher circuit
+    # transitions and chaos injections (see repro.serve.resilience and
+    # docs/serving.md).
+    serve: Optional[Dict[str, object]] = None
 
     # -- lookups ----------------------------------------------------------
 
@@ -170,7 +179,8 @@ class RunManifest:
             route_cache=payload.get("route_cache"),
             coverage=dict(payload.get("coverage", {})),
             checkpoint=payload.get("checkpoint"),
-            delta=payload.get("delta"))
+            delta=payload.get("delta"),
+            serve=payload.get("serve"))
 
     @classmethod
     def from_json(cls, text: str) -> "RunManifest":
@@ -240,7 +250,7 @@ def options_digest(options) -> str:
 
 def collect_manifest(recorder: Recorder, config, *, faults=None,
                      cache_stats=None, itm=None, checkpoint=None,
-                     delta=None,
+                     delta=None, serve=None,
                      command: Optional[str] = None,
                      scale: Optional[str] = None) -> RunManifest:
     """Fold a run's recorder, fault context and map into one manifest.
@@ -251,7 +261,9 @@ def collect_manifest(recorder: Recorder, config, *, faults=None,
     report becomes the manifest's ``coverage`` section); ``checkpoint``
     an optional :class:`repro.ckpt.CheckpointLineage` (or its dict form)
     for checkpointed builds; ``delta`` the delta-lineage dict of an
-    incremental build (``MapBuilder._delta_lineage``). All are
+    incremental build (``MapBuilder._delta_lineage``); ``serve`` the
+    serving-path counter section a ``repro serve`` run assembles via
+    :func:`repro.serve.resilience.serve_manifest_section`. All are
     duck-typed so this module imports nothing above ``repro.errors``.
     """
     manifest = RunManifest(
@@ -323,6 +335,8 @@ def collect_manifest(recorder: Recorder, config, *, faults=None,
                                else checkpoint.to_dict())
     if delta is not None:
         manifest.delta = dict(delta)
+    if serve is not None:
+        manifest.serve = dict(serve)
     return manifest
 
 
@@ -418,8 +432,50 @@ def _validate_delta(errors: List[str],
                       "digests")
 
 
+_SERVE_SECTION_FIELDS = {
+    "admit": ("offered", "admitted", "shed", "deadline_expired"),
+    "http": ("timeouts", "client_disconnects"),
+    "watch": ("errors", "circuit_open", "circuit_close"),
+}
+
+
+def _validate_serve(errors: List[str],
+                    section: Dict[str, object]) -> None:
+    """Schema + invariants of the serve section (format 4)."""
+    if not isinstance(section, dict):
+        errors.append("serve must be an object or null")
+        return
+    for name, fields in _SERVE_SECTION_FIELDS.items():
+        sub = section.get(name)
+        if not isinstance(sub, dict):
+            errors.append(f"serve.{name} must be an object")
+            continue
+        for field_name in fields:
+            value = sub.get(field_name)
+            _check(errors, isinstance(value, int) and value >= 0,
+                   f"serve.{name}.{field_name} must be a non-negative "
+                   "integer")
+    admit = section.get("admit")
+    if isinstance(admit, dict) and all(
+            isinstance(admit.get(f), int)
+            for f in _SERVE_SECTION_FIELDS["admit"]):
+        _check(errors,
+               admit["offered"] == admit["admitted"] + admit["shed"],
+               "serve.admit: offered != admitted + shed "
+               f"({admit['offered']} != {admit['admitted']} + "
+               f"{admit['shed']})")
+        _check(errors, admit["deadline_expired"] <= admit["admitted"],
+               "serve.admit: deadline_expired exceeds admitted")
+    chaos = section.get("chaos")
+    if chaos is not None and (not isinstance(chaos, dict) or not all(
+            isinstance(k, str) and isinstance(v, int) and v >= 0
+            for k, v in chaos.items())):
+        errors.append("serve.chaos must map fault kinds to non-negative "
+                      "integers")
+
+
 def validate_manifest(payload: Dict[str, object]) -> None:
-    """Check a manifest dict against the format-1/2/3 schema.
+    """Check a manifest dict against the format-1/2/3/4 schema.
 
     Raises :class:`ValidationError` listing every violation found:
     missing/ill-typed fields, malformed stage entries, broken counter
@@ -528,13 +584,18 @@ def validate_manifest(payload: Dict[str, object]) -> None:
 
     delta = payload.get("delta")
     if delta is not None:
-        _check(errors, version == FORMAT_VERSION,
-               "delta lineage requires format_version "
-               f"{FORMAT_VERSION}")
+        _check(errors, isinstance(version, int) and version >= 3,
+               "delta lineage requires format_version >= 3")
         _check(errors, checkpoint is not None,
                "delta lineage requires a checkpoint section (delta "
                "builds are checkpointed builds)")
         _validate_delta(errors, delta)
+
+    serve = payload.get("serve")
+    if serve is not None:
+        _check(errors, version == FORMAT_VERSION,
+               f"serve section requires format_version {FORMAT_VERSION}")
+        _validate_serve(errors, serve)
 
     if errors:
         raise ValidationError("invalid manifest: " + "; ".join(errors))

@@ -15,28 +15,50 @@ plain HTTP/JSON using only the standard library:
   ``/v1/anycast``; see ``docs/serving.md``);
 * :mod:`repro.serve.watch` — artefact watcher that reloads a map JSON
   written by a ``--delta`` rebuild and swaps it in without dropping
-  requests;
-* :mod:`repro.serve.loadgen` — seeded query streams and the
-  latency/throughput summaries the serving benchmark gates on.
+  requests, with a circuit breaker bounding broken-rewrite retries;
+* :mod:`repro.serve.resilience` — overload protection: the admission
+  gate (429 + ``Retry-After``), per-request deadlines (504), the
+  watcher's circuit breaker and the virtual clock that makes chaos
+  runs deterministic;
+* :mod:`repro.serve.chaos` — seeded serve-side fault injection
+  (:data:`repro.faults.SERVE_KINDS`) and the bit-reproducible
+  virtual-time overload harness;
+* :mod:`repro.serve.loadgen` — seeded query streams (closed- or
+  open-loop, with a ``Retry-After``-honoring backoff client) and the
+  latency/throughput summaries the serving benchmarks gate on.
 
 ``python -m repro serve`` wires the pieces together.
 """
 
+from .chaos import ChaosEngine, run_chaos
 from .loadgen import Query, replay, replay_http, seeded_queries
+from .resilience import (AdmissionError, AdmissionGate, CircuitBreaker,
+                         Deadline, DeadlineExpired, TokenBucket,
+                         VirtualClock, serve_manifest_section)
 from .service import MapArtefactError, MapService, QueryError, load_store
 from .http import QueryServer, serve_http
 from .watch import ArtefactWatcher
 
 __all__ = [
+    "AdmissionError",
+    "AdmissionGate",
     "ArtefactWatcher",
+    "ChaosEngine",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExpired",
     "MapArtefactError",
     "MapService",
     "Query",
     "QueryError",
     "QueryServer",
+    "TokenBucket",
+    "VirtualClock",
     "load_store",
     "replay",
     "replay_http",
+    "run_chaos",
     "seeded_queries",
     "serve_http",
+    "serve_manifest_section",
 ]

@@ -5,9 +5,16 @@ handler, so the serving layer stays cheap enough to sit next to the
 measurement loop (the DIMES argument). All responses are JSON; errors
 are ``{"error": ...}`` with the status carried by
 :class:`~repro.serve.service.QueryError` (400 malformed parameters,
-404 not covered by the map, 405 non-GET, 500 bugs). Every response
-carries the served map's digest in an ``X-Map-Digest`` header so a
-client can detect a hot swap mid-session.
+404 not covered by the map, 405 non-GET, 429 shed at the admission
+gate — with a ``Retry-After`` header, 503 draining or not ready, 504
+deadline expired, 500 bugs). Every response carries the served map's
+digest in an ``X-Map-Digest`` header so a client can detect a hot swap
+mid-session.
+
+Query endpoints pass through :meth:`MapService.admit` (overload
+protection, ``docs/serving.md`` §resilience); the health probes
+(``/v1/health``, ``/v1/healthz``, ``/v1/readyz``) bypass the gate so an
+overloaded replica still answers its orchestrator.
 
 Endpoint reference with parameters and response schemas:
 ``docs/serving.md``.
@@ -16,11 +23,17 @@ Endpoint reference with parameters and response schemas:
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional
 from urllib.parse import parse_qs, urlsplit
 
+from .resilience import AdmissionError
 from .service import MapService, QueryError
+
+#: Probe endpoints that bypass the admission gate: liveness and
+#: readiness must answer even when the replica is saturated.
+UNGATED_PATHS = ("/v1/health", "/v1/healthz", "/v1/readyz")
 
 
 class QueryServer(ThreadingHTTPServer):
@@ -36,18 +49,22 @@ class QueryServer(ThreadingHTTPServer):
     block_on_close = True
 
     def __init__(self, address, service: MapService,
-                 quiet: bool = True) -> None:
+                 quiet: bool = True,
+                 request_timeout: float = 10.0) -> None:
         super().__init__(address, _Handler)
         self.service = service
         self.quiet = quiet
+        self.request_timeout = float(request_timeout)
 
 
 def serve_http(service: MapService, host: str = "127.0.0.1",
-               port: int = 0, quiet: bool = True) -> QueryServer:
+               port: int = 0, quiet: bool = True,
+               request_timeout: float = 10.0) -> QueryServer:
     """Bind a :class:`QueryServer` (``port=0`` picks a free port; the
     bound port is ``server.server_port``). The caller drives it with
     ``serve_forever()`` or ``handle_request()``."""
-    return QueryServer((host, port), service, quiet=quiet)
+    return QueryServer((host, port), service, quiet=quiet,
+                       request_timeout=request_timeout)
 
 
 def _single(params: Dict[str, List[str]], name: str,
@@ -87,19 +104,47 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-serve"
     # Idle keep-alive connections close after this many seconds; bounds
-    # the server_close() join (see QueryServer).
+    # the server_close() join (see QueryServer). Overridden per server
+    # by setup() from QueryServer.request_timeout (--request-timeout).
     timeout = 10
+
+    def setup(self) -> None:  # noqa: D102 - stdlib override
+        self.timeout = self.server.request_timeout
+        super().setup()
 
     def log_message(self, fmt, *args):  # noqa: D102 - stdlib override
         if not self.server.quiet:
             super().log_message(fmt, *args)
+
+    def log_error(self, fmt, *args):  # noqa: D102 - stdlib override
+        # handle_one_request swallows socket timeouts after logging
+        # them here; count the abort instead of dropping it silently.
+        if args and isinstance(args[0], TimeoutError):
+            self.server.service._recorder.count("serve.http.timeouts")
+        self.log_message(fmt, *args)
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         service: MapService = self.server.service
         url = urlsplit(self.path)
         params = parse_qs(url.query, keep_blank_values=True)
         try:
-            answer = self._route(service, url.path, params)
+            if url.path in UNGATED_PATHS:
+                answer = self._route(service, url.path, params)
+            else:
+                with service.admit():
+                    answer = self._route(service, url.path, params)
+            chaos = service.chaos
+            if chaos is not None and chaos.client_disconnect():
+                # The simulated client went away before the body: abort
+                # the response and tear the connection down, exactly the
+                # failure a real disconnect leaves behind.
+                service._recorder.count("serve.http.client_disconnects")
+                self.close_connection = True
+                return
+        except AdmissionError as exc:
+            self._send(exc.status, {"error": str(exc)}, service.digest,
+                       retry_after=exc.retry_after)
+            return
         except QueryError as exc:
             self._send(exc.status, {"error": str(exc)}, service.digest)
             return
@@ -107,7 +152,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(500, {"error": f"internal error: {exc}"},
                        service.digest)
             return
-        self._send(200, answer, service.digest)
+        status = 200
+        if url.path == "/v1/readyz" and answer.get("status") != "ok":
+            status = 503
+        self._send(status, answer, service.digest)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         self._send(405, {"error": "only GET is supported"},
@@ -119,6 +167,10 @@ class _Handler(BaseHTTPRequestHandler):
                params: Dict[str, List[str]]) -> Dict[str, Any]:
         if path == "/v1/health":
             return service.health()
+        if path == "/v1/healthz":
+            return service.alive()
+        if path == "/v1/readyz":
+            return service.ready()
         if path == "/v1/map":
             return service.map_summary()
         if path == "/v1/cdf":
@@ -143,11 +195,23 @@ class _Handler(BaseHTTPRequestHandler):
         raise QueryError(404, f"unknown endpoint {path!r}")
 
     def _send(self, status: int, payload: Dict[str, Any],
-              digest: str) -> None:
+              digest: str, retry_after: Optional[float] = None) -> None:
         body = json.dumps(payload).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.send_header("X-Map-Digest", digest)
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("X-Map-Digest", digest)
+            if retry_after is not None:
+                # Whole seconds, rounded up — never tell a client to
+                # retry immediately into the same refill window.
+                self.send_header("Retry-After",
+                                 str(max(1, math.ceil(retry_after))))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The real client went away mid-response; account for it
+            # rather than letting the handler thread die noisily.
+            self.server.service._recorder.count(
+                "serve.http.client_disconnects")
+            self.close_connection = True

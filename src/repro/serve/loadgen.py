@@ -10,9 +10,17 @@ gateable.
 
 :func:`replay` drives a :class:`~repro.serve.service.MapService`
 in-process (measures the query layer alone); :func:`replay_http` drives
-a running server over ``urllib`` (measures the full transport). Both
-return the same summary shape: query/error counts, wall time, qps, and
-latency percentiles in milliseconds.
+a running server over ``urllib`` (measures the full transport), either
+closed-loop (next request waits for the previous answer) or open-loop
+(``open_loop_rate``: seeded Poisson arrivals fire on schedule no matter
+how slow the server is — the arrival pattern overload actually has).
+Shed requests (HTTP 429) are retried with client-side jittered
+exponential backoff that honors the server's ``Retry-After`` hint.
+
+Both replays return the same summary shape: query counts, the outcome
+split (``http_errors`` / ``shed`` / ``retries``), wall time, qps
+(completed and errored round trips only — shed requests never count
+toward throughput), and latency percentiles in milliseconds.
 """
 
 from __future__ import annotations
@@ -22,11 +30,15 @@ import time
 import urllib.error
 import urllib.parse
 import urllib.request
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.mapstore import MapStore
 from ..rand import substream
+from .resilience import AdmissionError, DeadlineExpired
 from .service import MapService, QueryError
 
 #: Relative odds of each endpoint in a seeded stream. CDF dominates (it
@@ -97,8 +109,9 @@ def seeded_queries(store: MapStore, n: int,
     return queries
 
 
-def _summary(latencies_ns: List[int], errors: int,
-             wall_seconds: float) -> Dict[str, Any]:
+def _summary(latencies_ns: List[int], wall_seconds: float,
+             http_errors: int = 0, shed: int = 0,
+             retries: int = 0) -> Dict[str, Any]:
     ordered = sorted(latencies_ns)
 
     def percentile(p: float) -> float:
@@ -108,10 +121,14 @@ def _summary(latencies_ns: List[int], errors: int,
                    max(0, int(round(p * (len(ordered) - 1)))))
         return ordered[rank] / 1e6
 
+    # Shed requests never produced an answer, so they carry no latency
+    # sample and are excluded from throughput.
     count = len(ordered)
     return {
-        "queries": count,
-        "errors": errors,
+        "queries": count + shed,
+        "http_errors": http_errors,
+        "shed": shed,
+        "retries": retries,
         "wall_seconds": wall_seconds,
         "qps": count / wall_seconds if wall_seconds > 0 else 0.0,
         "latency_ms": {
@@ -146,18 +163,28 @@ def _dispatch(service: MapService, query: Query) -> Dict[str, Any]:
 def replay(service: MapService,
            queries: Sequence[Query]) -> Dict[str, Any]:
     """Replay a stream against the service in-process; returns the
-    latency/throughput summary plus the answer cache's counters."""
+    latency/throughput summary plus the answer cache's counters.
+
+    With an admission gate attached, shed and deadline-expired requests
+    are counted (``shed`` / ``http_errors``) rather than retried — the
+    in-process replay is a microbenchmark, not a client."""
     latencies: List[int] = []
-    errors = 0
+    http_errors = 0
+    shed = 0
     started = time.perf_counter()
     for query in queries:
         t0 = time.perf_counter_ns()
         try:
-            _dispatch(service, query)
-        except QueryError:
-            errors += 1
+            with service.admit():
+                _dispatch(service, query)
+        except AdmissionError:
+            shed += 1
+            continue
+        except (QueryError, DeadlineExpired):
+            http_errors += 1
         latencies.append(time.perf_counter_ns() - t0)
-    summary = _summary(latencies, errors, time.perf_counter() - started)
+    summary = _summary(latencies, time.perf_counter() - started,
+                       http_errors=http_errors, shed=shed)
     stats = service.cache_stats()
     summary["cache"] = {
         "entries": stats.entries, "hits": stats.hits,
@@ -167,22 +194,96 @@ def replay(service: MapService,
     return summary
 
 
-def replay_http(base_url: str, queries: Sequence[Query],
-                timeout: float = 10.0) -> Dict[str, Any]:
-    """Replay a stream over HTTP against ``base_url`` (e.g.
-    ``http://127.0.0.1:8211``); 4xx responses count as errors, and every
-    200 body must parse as JSON."""
-    latencies: List[int] = []
-    errors = 0
-    started = time.perf_counter()
-    for query in queries:
-        url = base_url.rstrip("/") + query.url_path()
+def _fetch(url: str, timeout: float, max_attempts: int,
+           backoffs: Sequence[float]) -> Tuple[str, Optional[int], int]:
+    """One query's HTTP round trips: ``(outcome, latency_ns, retries)``.
+
+    Retries only 429 responses, sleeping the server's ``Retry-After``
+    plus this attempt's pre-drawn jittered backoff; any other failure —
+    4xx/5xx, torn connection, socket timeout — is terminal. The latency
+    sample is the *final* attempt's round trip (backoff wait is client
+    policy, not server latency).
+    """
+    attempt = 1
+    retries = 0
+    while True:
         t0 = time.perf_counter_ns()
         try:
             with urllib.request.urlopen(url, timeout=timeout) as response:
                 json.load(response)
+            return "completed", time.perf_counter_ns() - t0, retries
         except urllib.error.HTTPError as exc:
             exc.read()
-            errors += 1
-        latencies.append(time.perf_counter_ns() - t0)
-    return _summary(latencies, errors, time.perf_counter() - started)
+            if exc.code == 429 and attempt < max_attempts:
+                retry_after = float(exc.headers.get("Retry-After") or 0.0)
+                time.sleep(retry_after + backoffs[attempt - 1])
+                attempt += 1
+                retries += 1
+                continue
+            if exc.code == 429:
+                return "shed", None, retries
+            return "http_error", time.perf_counter_ns() - t0, retries
+        except OSError:
+            # URLError, connection reset by a chaos disconnect, timeout.
+            return "http_error", time.perf_counter_ns() - t0, retries
+
+
+def replay_http(base_url: str, queries: Sequence[Query],
+                timeout: float = 10.0, max_attempts: int = 1,
+                backoff_base_s: float = 0.2, backoff_cap_s: float = 5.0,
+                seed: int = 0, open_loop_rate: Optional[float] = None,
+                max_workers: int = 32) -> Dict[str, Any]:
+    """Replay a stream over HTTP against ``base_url`` (e.g.
+    ``http://127.0.0.1:8211``).
+
+    Closed-loop by default (one request at a time, like the original
+    replay). With ``open_loop_rate`` set, arrivals follow a seeded
+    Poisson schedule at that rate and fire from a thread pool whether or
+    not earlier requests have answered — open-loop load, the shape that
+    actually overloads a server. ``max_attempts > 1`` enables the
+    backoff client: 429 responses are retried after ``Retry-After`` plus
+    a seeded jittered exponential backoff (base ``backoff_base_s``,
+    doubling per retry, capped at ``backoff_cap_s``).
+    """
+    n = len(queries)
+    jitter = substream(seed, "serve", "loadgen", "backoff")
+    steps = max(0, max_attempts - 1)
+    # Pre-drawn per-(query, retry) backoffs: deterministic in the seed
+    # and safe to read from worker threads.
+    scale = np.minimum(backoff_cap_s,
+                       backoff_base_s * 2.0 ** np.arange(max(steps, 1)))
+    backoffs = (jitter.random((n, steps)) * scale[:steps]
+                if steps else np.zeros((n, 0)))
+    urls = [base_url.rstrip("/") + query.url_path() for query in queries]
+
+    results: List[Tuple[str, Optional[int], int]] = [None] * n  # type: ignore
+    started = time.perf_counter()
+    if open_loop_rate is None:
+        for i, url in enumerate(urls):
+            results[i] = _fetch(url, timeout, max_attempts,
+                                backoffs[i].tolist())
+    else:
+        gaps = substream(seed, "serve", "loadgen", "arrivals") \
+            .exponential(1.0 / float(open_loop_rate), size=n)
+        offsets = np.cumsum(gaps)
+        t0 = time.monotonic()
+
+        def fire(i: int) -> Tuple[str, Optional[int], int]:
+            delay = t0 + float(offsets[i]) - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            return _fetch(urls[i], timeout, max_attempts,
+                          backoffs[i].tolist())
+
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            for i, result in enumerate(pool.map(fire, range(n))):
+                results[i] = result
+    wall = time.perf_counter() - started
+
+    latencies = [lat for __, lat, __r in results if lat is not None]
+    return _summary(
+        latencies, wall,
+        http_errors=sum(1 for kind, __, __r in results
+                        if kind == "http_error"),
+        shed=sum(1 for kind, __, __r in results if kind == "shed"),
+        retries=sum(r for __, __lat, r in results))

@@ -25,8 +25,9 @@ owns three cross-cutting concerns so the transport does not have to:
 
 from __future__ import annotations
 
+import contextlib
 import threading
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
 from ..core.mapstore import MapStore
 from ..core.uncertainty import coverage_caveats
@@ -36,6 +37,11 @@ from ..obs.recorder import Recorder, resolve_recorder
 
 #: Endpoints whose answers are memoized (identity-keyed by map digest).
 CACHED_ENDPOINTS = ("cdf", "outage", "anycast", "map")
+
+#: Hard cap on ``?as=`` batch size: a single request cannot monopolise
+#: the service by smuggling an unbounded target list past the admission
+#: gate (each target is one cached computation).
+MAX_CDF_BATCH = 32
 
 
 class QueryError(ReproError):
@@ -86,13 +92,24 @@ class MapService:
 
     def __init__(self, store: MapStore,
                  recorder: Optional[Recorder] = None,
-                 cache_entries: int = 4096) -> None:
+                 cache_entries: int = 4096,
+                 gate=None, chaos=None,
+                 max_cdf_batch: int = MAX_CDF_BATCH) -> None:
         self._lock = threading.RLock()
         self._store = store
         self._recorder = resolve_recorder(recorder)
         self._cache: BoundedLru = BoundedLru(
             cache_entries, recorder=self._recorder,
             counter_prefix="serve.cache")
+        # Optional resilience attachments (see repro.serve.resilience /
+        # repro.serve.chaos); both are duck-typed so the core service
+        # never imports the modules that build on top of it.
+        self.gate = gate
+        self.chaos = chaos
+        self.max_cdf_batch = int(max_cdf_batch)
+        self._draining = threading.Event()
+        self._watch_circuit = None
+        self._local = threading.local()
 
     @property
     def store(self) -> MapStore:
@@ -124,6 +141,82 @@ class MapService:
         with self._lock:
             return self._cache.cache_stats()
 
+    def flush_cache(self) -> None:
+        """Drop every cached answer (the eviction-storm chaos hook).
+
+        Correctness is untouched — every key rebuilds from the immutable
+        store — but warm entries recompute, which is exactly the latency
+        weather the chaos harness wants to inject.
+        """
+        with self._lock:
+            self._cache.clear()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop admitting new requests; in-flight answers complete.
+
+        Called from the SIGTERM/SIGINT handler. Subsequent
+        :meth:`admit` calls fail with a 503 ``QueryError`` while the
+        transport finishes the handlers already inside the gate.
+        """
+        self._draining.set()
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`begin_drain` has been called."""
+        return self._draining.is_set()
+
+    def attach_watch_circuit(self, breaker) -> None:
+        """Let readiness reflect the artefact watcher's circuit state."""
+        self._watch_circuit = breaker
+
+    @contextlib.contextmanager
+    def admit(self) -> Iterator[None]:
+        """Admission guard for one request (the overload front door).
+
+        Raises a 503 ``QueryError`` while draining and
+        :class:`~repro.serve.resilience.AdmissionError` (429) when the
+        gate sheds; otherwise arms the per-request deadline the
+        computation checkpoints against. A service without a gate admits
+        everything with an unbounded deadline.
+        """
+        if self._draining.is_set():
+            self._recorder.count("serve.admit.drained")
+            raise QueryError(503, "service is draining")
+        if self.gate is None:
+            yield
+            return
+        with self.gate.admit() as admission:
+            self._local.deadline = admission.deadline
+            try:
+                yield
+            finally:
+                self._local.deadline = None
+
+    def alive(self) -> Dict[str, Any]:
+        """``/v1/healthz``: pure liveness — the process answers."""
+        self._recorder.count("serve.requests.healthz")
+        return {"status": "alive"}
+
+    def ready(self) -> Dict[str, Any]:
+        """``/v1/readyz``: should this replica receive traffic?
+
+        Ready means a map is loaded, the service is not draining, and
+        the artefact watcher's circuit (when one is attached) is closed.
+        The transport maps a not-ok status to HTTP 503.
+        """
+        self._recorder.count("serve.requests.readyz")
+        reasons = []
+        if self._draining.is_set():
+            reasons.append("draining")
+        circuit = self._watch_circuit
+        if circuit is not None and circuit.is_open:
+            reasons.append("watch circuit open")
+        return {"status": "ok" if not reasons else "unavailable",
+                "digest": self.digest,
+                "reasons": reasons}
+
     # -- endpoints ---------------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
@@ -153,6 +246,10 @@ class MapService:
         """
         if not asns:
             raise QueryError(400, "no target AS given")
+        if len(asns) > self.max_cdf_batch:
+            raise QueryError(
+                400, f"batch of {len(asns)} targets exceeds the "
+                     f"limit of {self.max_cdf_batch}")
         results = [self._answer("cdf", (int(asn), weighted),
                                 lambda a=int(asn): self._compute_cdf(
                                     a, weighted))
@@ -190,6 +287,17 @@ class MapService:
 
     def _answer(self, endpoint: str, params: Tuple,
                 compute) -> Dict[str, Any]:
+        # Cancellation checkpoint: a batched query abandons its
+        # remaining targets the moment the admission deadline runs out
+        # (the per-target loop in cdf() re-enters here).
+        deadline = getattr(self._local, "deadline", None)
+        if deadline is not None:
+            deadline.check()
+        # Chaos injection point: stalls and eviction storms land before
+        # the lock so an injected stall never serialises other handlers.
+        chaos = self.chaos
+        if chaos is not None:
+            chaos.on_answer(self, endpoint)
         with self._lock:
             self._recorder.count(f"serve.requests.{endpoint}")
             key = (self._store.digest, endpoint, params)

@@ -201,6 +201,88 @@ class TestErrors:
         assert excinfo.value.code == 405
 
 
+GET_ENDPOINTS = ("/v1/health", "/v1/healthz", "/v1/readyz", "/v1/map",
+                 "/v1/cdf", "/v1/outage", "/v1/anycast")
+
+
+class TestMalformedHttp:
+    """Malformed requests over a real socket must answer structured
+    4xx JSON — never a 500, never a hung or torn connection."""
+
+    def test_post_to_every_get_endpoint_is_405(self, server):
+        for path in GET_ENDPOINTS:
+            url = f"http://127.0.0.1:{server.server_port}{path}"
+            request = urllib.request.Request(url, data=b"{}",
+                                             method="POST")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == 405, path
+
+    def test_unknown_paths_structured_404(self, server):
+        for path in ("/", "/v1", "/v2/cdf", "/v1/cdf/extra",
+                     "/v1/unknown"):
+            status, body, __ = _get(server, path)
+            assert status == 404, path
+            assert "error" in body, path
+
+    def test_bad_params_never_500(self, server):
+        bad = ("/v1/cdf", "/v1/cdf?as=", "/v1/cdf?as=abc",
+               "/v1/cdf?as=1,,2", "/v1/cdf?as=1&weighted=maybe",
+               "/v1/outage", "/v1/outage?asn=abc",
+               "/v1/outage?asn=1&hypergiant=x",
+               "/v1/anycast", "/v1/anycast?service=x",
+               "/v1/anycast?service=x&prefix=zz",
+               "/v1/anycast?service=x&prefix=1&k=-1",
+               "/v1/anycast?service=x&prefix=1&k=abc")
+        for path in bad:
+            status, body, __ = _get(server, path)
+            assert 400 <= status < 500, path
+            assert "error" in body, path
+
+    def test_oversized_cdf_batch_400(self, server):
+        from repro.serve.service import MAX_CDF_BATCH
+        batch = ",".join(str(i + 1) for i in range(MAX_CDF_BATCH + 1))
+        status, body, __ = _get(server, f"/v1/cdf?as={batch}")
+        assert status == 400
+        assert "exceeds" in body["error"]
+
+    def test_probes_answer_without_params(self, server, store):
+        status, body, __ = _get(server, "/v1/healthz")
+        assert (status, body) == (200, {"status": "alive"})
+        status, body, __ = _get(server, "/v1/readyz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["digest"] == store.digest
+        assert body["reasons"] == []
+
+    def test_slow_request_line_counts_timeout(self, store):
+        import socket
+        import time
+
+        recorder = Recorder()
+        service = MapService(store, recorder=recorder)
+        httpd = serve_http(service, port=0, request_timeout=0.2)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            with socket.create_connection(
+                    ("127.0.0.1", httpd.server_port), timeout=5) as sock:
+                sock.sendall(b"GET /v1/health")   # never finished
+                deadline = time.monotonic() + 5
+                while time.monotonic() < deadline:
+                    if recorder.snapshot()["counters"].get(
+                            "serve.http.timeouts"):
+                        break
+                    time.sleep(0.05)
+            counters = recorder.snapshot()["counters"]
+            assert counters.get("serve.http.timeouts", 0) >= 1
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=10)
+
+
 class TestServiceCacheAndSwap:
     def test_cache_counters_deterministic(self, store):
         recorder = Recorder()
@@ -301,6 +383,23 @@ class TestWatcher:
         assert service.digest == digest
         assert service.health()["status"] == "ok"
 
+    def test_stop_joins_poll_thread(self, tmp_path, small_itm,
+                                    small_scenario):
+        """stop() must join the poll thread — no leaked threads."""
+        artefact = tmp_path / "map.json"
+        artefact.write_text(map_to_json(small_itm))
+        service = MapService(load_store(str(artefact), small_scenario))
+        before = set(threading.enumerate())
+        watcher = ArtefactWatcher(service, str(artefact), small_scenario,
+                                  interval=0.05)
+        watcher.start()
+        assert watcher.is_alive()
+        watcher.stop()
+        assert not watcher.is_alive()
+        leaked = [t for t in threading.enumerate()
+                  if t not in before and t.is_alive()]
+        assert leaked == []
+
     def test_missing_artefact_raises_artefact_error(self, tmp_path,
                                                     small_scenario):
         with pytest.raises(MapArtefactError):
@@ -331,7 +430,9 @@ class TestLoadgen:
         queries = seeded_queries(store, 120, seed=3)
         summary = replay(service, queries)
         assert summary["queries"] == 120
-        assert summary["errors"] == 0
+        assert summary["http_errors"] == 0
+        assert summary["shed"] == 0
+        assert summary["retries"] == 0
         assert summary["qps"] > 0
         assert summary["latency_ms"]["p50"] <= \
             summary["latency_ms"]["p99"] <= summary["latency_ms"]["max"]
@@ -344,7 +445,8 @@ class TestLoadgen:
         base = f"http://127.0.0.1:{server.server_port}"
         summary = replay_http(base, queries)
         assert summary["queries"] == 40
-        assert summary["errors"] == 0
+        assert summary["http_errors"] == 0
+        assert summary["shed"] == 0
 
 
 class TestCli:
@@ -377,8 +479,10 @@ class TestCli:
         holder = {}
         original = serve_pkg.serve_http
 
-        def capture(service, host="127.0.0.1", port=0, quiet=True):
-            bound = original(service, host=host, port=port, quiet=quiet)
+        def capture(service, host="127.0.0.1", port=0, quiet=True,
+                    **kwargs):
+            bound = original(service, host=host, port=port, quiet=quiet,
+                             **kwargs)
             holder["server"] = bound
             return bound
 
