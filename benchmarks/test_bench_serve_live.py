@@ -1,0 +1,118 @@
+"""Live-telemetry bench: scrape/manifest equality and observe overhead.
+
+Two gates close the acceptance loop of the telemetry layer:
+
+* **scrape equals manifest** — after a seeded in-process replay, a
+  ``/v1/metricsz`` scrape (both exposition formats) must report exactly
+  the counters and latency histograms the flushed run manifest records.
+  The scrape itself is exempt from observation, so the equality is
+  exact, not approximate — any double-count or missed request breaks
+  it.
+* **overhead** — recording one observation must cost well under 5 % of
+  the mean in-process query latency measured by the loadgen bench's
+  stream, so enabling telemetry cannot move the committed serving
+  gates.
+
+The overhead gate is timed on a shared CI box, so it gates a generous
+multiple of the budget's intent; the equality gates are deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+import urllib.request
+
+from repro import ScenarioConfig, build_scenario
+from repro.core.builder import MapBuilder
+from repro.core.mapstore import MapStore
+from repro.obs import LiveTelemetry, Recorder, validate_manifest
+from repro.serve import (MapService, replay, seeded_queries, serve_http,
+                         serve_manifest_section)
+
+SEED = 20211110
+N_QUERIES = 1000
+
+#: Telemetry budget: one observe() against the 5% of mean query latency
+#: the issue allows. The replay mean on any box is > 20 us, so a 1 us
+#: per-observation ceiling keeps the histogram path honest while
+#: staying timer-noise-proof on shared runners.
+OBSERVE_CEILING_US = 1.0
+N_OBSERVATIONS = 50_000
+
+
+def test_scrape_equals_flushed_manifest():
+    scenario = build_scenario(ScenarioConfig.small(seed=SEED))
+    recorder = Recorder()
+    builder = MapBuilder(scenario, recorder=recorder)
+    itm = builder.build()
+    store = MapStore.from_map(itm, graph=scenario.graph)
+    service = MapService(store, recorder=recorder)
+
+    queries = seeded_queries(store, N_QUERIES, seed=SEED)
+    summary = replay(service, queries)
+    assert summary["http_errors"] == 0
+
+    # Scrape over a real socket, twice, to prove scrapes are free.
+    httpd = serve_http(service, port=0)
+    import threading
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{httpd.server_port}"
+    try:
+        text = urllib.request.urlopen(
+            base + "/v1/metricsz", timeout=30).read().decode()
+        snap = json.loads(urllib.request.urlopen(
+            base + "/v1/metricsz?format=json", timeout=30).read())
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+
+    section = serve_manifest_section(recorder,
+                                     telemetry=service.telemetry)
+    manifest = builder.manifest(command="bench-serve-live",
+                                scale="small", serve=section).to_dict()
+    validate_manifest(manifest)
+    assert manifest["format_version"] == 5
+
+    # Counter-for-counter equality between the scrape and the manifest.
+    assert snap["counters"] == manifest["counters"]
+    assert snap["latency"] == manifest["serve"]["latency"]["endpoints"]
+    total = manifest["serve"]["latency"]["total"]
+    assert total["count"] == summary["queries"]
+
+    # The text exposition carries the same totals: the +Inf bucket of
+    # every series sums to the manifest's total count.
+    inf_total = sum(
+        int(line.rsplit(" ", 1)[1]) for line in text.splitlines()
+        if line.startswith("repro_serve_latency_seconds_bucket")
+        and 'le="+Inf"' in line)
+    assert inf_total == total["count"]
+    for name, value in manifest["counters"].items():
+        metric = ("repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+                  + "_total")
+        assert f"{metric} {value:g}" in text \
+            or f"{metric} {value}" in text, metric
+
+    print(f"\nserve live: {total['count']} observations, scrape == "
+          f"manifest across {len(manifest['counters'])} counters")
+
+
+def test_observe_overhead_under_budget():
+    telemetry = LiveTelemetry()
+    # Warm the (endpoint, outcome) histogram allocations out of the
+    # timed region.
+    telemetry.observe("map", "ok", 0.001)
+    start = time.perf_counter()
+    for i in range(N_OBSERVATIONS):
+        telemetry.observe("map", "ok", 0.0001 * (i % 50))
+    elapsed = time.perf_counter() - start
+    per_call_us = elapsed / N_OBSERVATIONS * 1e6
+    assert per_call_us <= OBSERVE_CEILING_US * 20, (
+        f"observe() costs {per_call_us:.2f} us/call — over even the "
+        "20x slack ceiling; the histogram hot path regressed")
+    print(f"\nobserve overhead: {per_call_us:.3f} us/call "
+          f"({N_OBSERVATIONS} observations in {elapsed * 1e3:.1f} ms)")
+    section = telemetry.manifest_section()
+    assert section["total"]["count"] == N_OBSERVATIONS + 1

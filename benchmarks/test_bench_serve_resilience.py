@@ -119,7 +119,7 @@ def test_overload_gate():
     manifest = builder.manifest(command="bench-serve-resilience",
                                 scale="small",
                                 serve=section).to_dict()
-    assert manifest["format_version"] == 4
+    assert manifest["format_version"] == 5
     assert manifest["serve"]["admit"]["shed"] == admit["shed"]
 
     print(f"\nserve overload: offered {admit['offered']} "

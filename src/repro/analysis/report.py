@@ -123,7 +123,9 @@ def render_run_report(manifest: RunManifest) -> str:
     Renders the manifest a :class:`repro.obs.Recorder` collected: the
     stage timing tree (indented by span depth), the per-campaign
     delivery table, the route-cache totals, per-component coverage with
-    its degradation notes, the checkpoint lineage of resumed builds, and
+    its degradation notes, the checkpoint lineage of resumed builds,
+    the serve section of served runs (admission arithmetic, answer-cache
+    hit rate, circuit events, live-telemetry latency quantiles), and
     the peak-memory gauges of memory-profiled builds.
     """
     lines = [f"Run report — seed {manifest.seed}, "
@@ -187,6 +189,64 @@ def render_run_report(manifest: RunManifest) -> str:
         for entry in ckpt.get("quarantined", []):
             lines.append(f"  quarantined {entry.get('stage')}: "
                          f"{entry.get('reason')}")
+    serve = manifest.serve
+    if serve:
+        lines.append("")
+        lines.append("Serving:")
+        admit = serve.get("admit", {}) or {}
+        offered = int(admit.get("offered", 0) or 0)
+        shed = int(admit.get("shed", 0) or 0)
+        line = (f"  admission: {offered} offered = "
+                f"{admit.get('admitted', 0)} admitted + {shed} shed")
+        if offered:
+            line += f" ({shed / offered:.1%} shed)"
+        lines.append(line)
+        deadline = int(admit.get("deadline_expired", 0) or 0)
+        if deadline:
+            lines.append(f"  deadline expired: {deadline} of "
+                         f"{admit.get('admitted', 0)} admitted")
+        hits = int(manifest.counters.get("serve.cache.hits", 0))
+        misses = int(manifest.counters.get("serve.cache.misses", 0))
+        if hits + misses:
+            lines.append(f"  answer cache: {hits} hits / {misses} misses "
+                         f"(hit rate {hits / (hits + misses):.1%})")
+        http = serve.get("http", {}) or {}
+        lines.append(f"  http: {http.get('timeouts', 0)} timeout(s), "
+                     f"{http.get('client_disconnects', 0)} client "
+                     "disconnect(s)")
+        watch = serve.get("watch", {}) or {}
+        if any(watch.get(k, 0) for k in ("errors", "circuit_open",
+                                         "circuit_close")):
+            lines.append(f"  watch: {watch.get('errors', 0)} reload "
+                         f"error(s), circuit opened "
+                         f"{watch.get('circuit_open', 0)}x / closed "
+                         f"{watch.get('circuit_close', 0)}x")
+        chaos = serve.get("chaos", {}) or {}
+        if chaos:
+            fired = ", ".join(f"{kind}={count}"
+                              for kind, count in sorted(chaos.items()))
+            lines.append(f"  chaos injections: {fired}")
+        latency = serve.get("latency") or {}
+        if latency:
+            rows = []
+            for endpoint in sorted(latency.get("endpoints", {})):
+                outcomes = latency["endpoints"][endpoint]
+                for outcome in sorted(outcomes):
+                    s = outcomes[outcome]
+                    rows.append((endpoint, outcome, s.get("count", 0),
+                                 f"{s.get('p50_ms', 0.0):.1f}",
+                                 f"{s.get('p99_ms', 0.0):.1f}",
+                                 f"{s.get('max_ms', 0.0):.1f}"))
+            total = latency.get("total", {}) or {}
+            rows.append(("total", "-", total.get("count", 0),
+                         f"{total.get('p50_ms', 0.0):.1f}",
+                         f"{total.get('p99_ms', 0.0):.1f}",
+                         f"{total.get('max_ms', 0.0):.1f}"))
+            lines.append("  latency (server-side histograms, ms):")
+            table = render_table(
+                ["endpoint", "outcome", "count", "p50", "p99", "max"],
+                rows)
+            lines.extend("  " + row for row in table.splitlines())
     peaks = sorted(
         ((name[len("mem."):-len(".peak_bytes")], value)
          for name, value in manifest.gauges.items()

@@ -15,8 +15,14 @@ Build commands (default: ``summary``):
   ``--map-json`` builds in-process first; ``--host/--port`` bind the
   socket, ``--cache-entries`` bounds the answer cache, ``--watch``
   hot-swaps the store when the artefact is rewritten (e.g. by a
-  ``--delta`` rebuild) and ``--max-requests N`` exits after N requests
-  (smoke tests).
+  ``--delta`` rebuild), ``--max-requests N`` exits after N requests
+  (smoke tests) and ``--access-log PATH`` appends one JSON line per
+  finished request (``--access-log-sample R`` applies seeded
+  sampling);
+* ``obs top URL`` / ``obs tail FILE`` — live telemetry tooling: poll a
+  running service's ``/v1/metricsz`` endpoint and render a qps /
+  shed / p50 / p99 dashboard, or summarise an access-log file
+  offline (see ``docs/observability.md``).
 
 Cross-run observability commands (no world is built; see
 ``docs/observability.md``):
@@ -278,6 +284,33 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seed for the chaos injection substreams "
                             "(default: 0; a fixed seed makes the "
                             "schedule bit-reproducible)")
+    serve.add_argument("--access-log", metavar="PATH", default=None,
+                       help="append one JSON line per finished request "
+                            "to PATH ('-' writes to stdout); rotation-"
+                            "safe, inspect with 'repro obs tail'")
+    serve.add_argument("--access-log-sample", type=float, default=1.0,
+                       metavar="RATE",
+                       help="seeded sampling fraction of requests to "
+                            "log (default: 1.0, log everything)")
+    obs = sub.add_parser(
+        "obs", help="live telemetry tooling for a running query "
+                    "service (docs/observability.md)")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    top = obs_sub.add_parser(
+        "top", help="poll /v1/metricsz and render a live per-endpoint "
+                    "qps/shed/latency dashboard")
+    top.add_argument("url", help="service base URL, e.g. "
+                                 "http://127.0.0.1:8211")
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="scrape interval (default: 2.0)")
+    top.add_argument("--frames", type=int, default=0, metavar="N",
+                     help="stop after N scrapes (default: 0, poll "
+                          "until interrupted)")
+    tail = obs_sub.add_parser(
+        "tail", help="summarise a --access-log JSONL file")
+    tail.add_argument("file", help="access-log path written by "
+                                   "'repro serve --access-log'")
     history = sub.add_parser(
         "history", help="inspect or append to a run-history registry")
     history_sub = history.add_subparsers(dest="history_command",
@@ -534,10 +567,19 @@ def _persist_observability(args: argparse.Namespace, builder: MapBuilder,
     instead. ``manifest_stream`` is the real stdout captured before
     ``--metrics -`` redirected the command's own output to stderr.
     ``serve_section`` is the serving-path counter section a drained
-    ``repro serve`` run attaches (format 4).
+    ``repro serve`` run attaches (format 4; format 5 once latency
+    histograms are recorded).
     """
     manifest = builder.manifest(command=args.command, scale=args.scale,
                                 serve=serve_section)
+    return _persist_manifest(args, manifest, manifest_stream,
+                             options_digest(builder.options))
+
+
+def _persist_manifest(args: argparse.Namespace, manifest: RunManifest,
+                      manifest_stream: Optional[TextIO],
+                      options_dig: Optional[str] = None) -> int:
+    """Validate ``manifest``, then write/record it as the flags ask."""
     try:
         validate_manifest(manifest.to_dict())
     except ValidationError as exc:
@@ -561,7 +603,7 @@ def _persist_observability(args: argparse.Namespace, builder: MapBuilder,
     if args.history is not None:
         try:
             entry = RunHistory(args.history).record(
-                manifest, options_digest=options_digest(builder.options))
+                manifest, options_digest=options_dig)
         except ValidationError as exc:
             print(f"cannot append to history {args.history}: {exc}",
                   file=sys.stderr)
@@ -741,11 +783,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     exits 0.
     """
     from .core.mapstore import MapStore
+    from .obs import AccessLog, LiveTelemetry
     from .serve import (AdmissionGate, ArtefactWatcher, ChaosEngine,
                         MapArtefactError, MapService, load_store,
                         serve_http, serve_manifest_section)
     if args.watch and args.map_json is None:
         print("--watch requires --map-json", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.access_log_sample <= 1.0:
+        print("--access-log-sample must be within [0, 1]",
+              file=sys.stderr)
         return 2
     recorder = _make_recorder(args)
     builder = None
@@ -790,9 +837,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         chaos = ChaosEngine(plan, recorder=recorder)
         print(f"serve: chaos armed ({plan.describe()}, "
               f"seed {args.chaos_seed})", file=sys.stderr)
+    access_log = None
+    if args.access_log is not None:
+        try:
+            access_log = AccessLog(args.access_log,
+                                   sample=args.access_log_sample,
+                                   seed=args.seed)
+        except OSError as exc:
+            print(f"cannot open access log {args.access_log}: {exc}",
+                  file=sys.stderr)
+            return 2
+    telemetry = LiveTelemetry(access_log=access_log)
     service = MapService(store, recorder=recorder,
                          cache_entries=args.cache_entries,
-                         gate=gate, chaos=chaos)
+                         gate=gate, chaos=chaos, telemetry=telemetry)
     watcher = None
     if args.watch:
         watcher = ArtefactWatcher(service, args.map_json, scenario,
@@ -822,7 +880,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"serving map {store.short_digest} on "
           f"http://{args.host}:{server.server_port} "
           f"(endpoints: /v1/health /v1/healthz /v1/readyz /v1/map "
-          f"/v1/cdf /v1/outage /v1/anycast)", file=sys.stderr)
+          f"/v1/cdf /v1/outage /v1/anycast /v1/metricsz)",
+          file=sys.stderr)
     try:
         if args.max_requests is not None:
             server.timeout = 0.5  # re-check the drain flag while idle
@@ -846,12 +905,122 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serve: answer cache {stats.hits} hit(s) / "
               f"{stats.misses} miss(es) / {stats.evictions} eviction(s) "
               f"({stats.hit_rate:.0%} hit rate)", file=sys.stderr)
-    if builder is not None and (args.metrics is not None
-                                or args.history is not None):
-        return _persist_observability(
-            args, builder, None,
-            serve_section=serve_manifest_section(recorder))
+        if access_log is not None:
+            access_log.close()
+    if args.metrics is not None or args.history is not None:
+        serve_section = serve_manifest_section(
+            recorder, telemetry=service.telemetry)
+        if builder is not None:
+            return _persist_observability(args, builder, None,
+                                          serve_section=serve_section)
+        # Artefact mode has no MapBuilder; assemble the manifest
+        # straight from the recorder so the CI smoke can compare a
+        # /v1/metricsz scrape against the flushed serve section.
+        from .obs import collect_manifest
+        manifest = collect_manifest(recorder,
+                                    SCALES[args.scale](seed=args.seed),
+                                    serve=serve_section,
+                                    command=args.command,
+                                    scale=args.scale)
+        return _persist_manifest(args, manifest, None)
     return 0
+
+
+def _render_obs_entry(name: str, entry: Dict) -> List[str]:
+    """One dashboard table row from a window/aggregate entry."""
+    return [name, f"{entry.get('qps', 0.0):.1f}",
+            f"{entry.get('shed_fraction', 0.0):.1%}",
+            f"{entry.get('p50_ms', 0.0):.1f}",
+            f"{entry.get('p99_ms', 0.0):.1f}"]
+
+
+_OBS_HEADERS = ["endpoint", "qps", "shed", "p50(ms)", "p99(ms)"]
+
+
+def _render_obs_frame(snapshot: Dict) -> str:
+    """One ``repro obs top`` frame from a /v1/metricsz JSON snapshot."""
+    counters = snapshot.get("counters") or {}
+    window = snapshot.get("window") or {}
+    totals = window.get("totals") or {}
+    hits = counters.get("serve.cache.hits", 0)
+    misses = counters.get("serve.cache.misses", 0)
+    lookups = hits + misses
+    hit_rate = f"{hits / lookups:.0%}" if lookups else "n/a"
+    lines = [
+        f"map {snapshot.get('digest', '?')}  "
+        f"draining={'yes' if snapshot.get('draining') else 'no'}  "
+        f"window={window.get('window_s', 0)}s",
+        f"qps {totals.get('qps', 0.0):.1f}  "
+        f"shed {totals.get('shed_fraction', 0.0):.1%}  "
+        f"cache hit-rate {hit_rate}",
+    ]
+    endpoints = window.get("endpoints") or {}
+    if endpoints:
+        rows = [_render_obs_entry(name, endpoints[name])
+                for name in sorted(endpoints)]
+        rows.append(_render_obs_entry("(total)", totals))
+        lines.append(render_table(_OBS_HEADERS, rows))
+    else:
+        lines.append("(no requests in the last "
+                     f"{window.get('window_s', 0)}s)")
+    return "\n".join(lines)
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    """``repro obs top URL``: poll /v1/metricsz?format=json and render."""
+    from urllib.error import URLError
+    from urllib.request import urlopen
+    base = args.url if "://" in args.url else f"http://{args.url}"
+    endpoint = base.rstrip("/") + "/v1/metricsz?format=json"
+    frame = 0
+    try:
+        while True:
+            try:
+                with urlopen(endpoint, timeout=10) as resp:
+                    snapshot = json.loads(resp.read().decode("utf-8"))
+            except (OSError, URLError, ValueError) as exc:
+                print(f"cannot scrape {endpoint}: {exc}",
+                      file=sys.stderr)
+                return 2
+            if frame:
+                print()
+            print(_render_obs_frame(snapshot))
+            frame += 1
+            if args.frames and frame >= args.frames:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    """``repro obs tail FILE``: summarise a --access-log JSONL file."""
+    from .obs import aggregate_access_log, load_access_log
+    try:
+        records, malformed = load_access_log(args.file)
+    except OSError as exc:
+        print(f"cannot read access log {args.file}: {exc}",
+              file=sys.stderr)
+        return 2
+    if malformed:
+        print(f"warning: skipped {malformed} malformed line(s)",
+              file=sys.stderr)
+    summary = aggregate_access_log(records)
+    print(f"{summary['records']} request(s) over "
+          f"{summary['span_s']:.1f}s in {args.file}")
+    endpoints = summary["endpoints"]
+    if endpoints:
+        rows = [_render_obs_entry(name, endpoints[name])
+                for name in sorted(endpoints)]
+        rows.append(_render_obs_entry("(total)", summary["totals"]))
+        print(render_table(_OBS_HEADERS, rows))
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "tail":
+        return _cmd_obs_tail(args)
+    return _cmd_obs_top(args)
 
 
 def _run(args: argparse.Namespace) -> int:
@@ -859,6 +1028,8 @@ def _run(args: argparse.Namespace) -> int:
         return _cmd_history(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.metrics == "-":

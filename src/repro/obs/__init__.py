@@ -19,6 +19,10 @@ from .diff import (DIFF_CATEGORIES, STATUS_OK, STATUS_REGRESSION,
                    comparability_errors, diff_manifests)
 from .history import (DEFAULT_HISTORY_PATH, HISTORY_SCHEMA_VERSION,
                       HistoryEntry, RunHistory, RunKey, run_key_of)
+from .live import (ACCESS_LOG_FIELDS, BUCKET_BOUNDS, BUCKET_GROWTH,
+                   OUTCOMES, WINDOW_SECONDS, AccessLog, Histogram,
+                   LiveTelemetry, RollingWindow, aggregate_access_log,
+                   classify_status, load_access_log, render_prometheus)
 from .manifest import (FORMAT_VERSION, KNOWN_CAMPAIGNS,
                        SUPPORTED_FORMAT_VERSIONS, CampaignRecord,
                        RunManifest, collect_manifest, config_digest,
@@ -28,19 +32,28 @@ from .recorder import (NULL_RECORDER, NullRecorder, Recorder, StageTiming,
                        resolve_recorder)
 
 __all__ = [
+    "ACCESS_LOG_FIELDS",
+    "BUCKET_BOUNDS",
+    "BUCKET_GROWTH",
     "DEFAULT_HISTORY_PATH",
     "DIFF_CATEGORIES",
     "FORMAT_VERSION",
     "HISTORY_SCHEMA_VERSION",
     "KNOWN_CAMPAIGNS",
+    "OUTCOMES",
+    "WINDOW_SECONDS",
+    "AccessLog",
     "CampaignRecord",
     "DiffFinding",
     "DiffThresholds",
+    "Histogram",
     "HistoryEntry",
+    "LiveTelemetry",
     "ManifestDiff",
     "NULL_RECORDER",
     "NullRecorder",
     "Recorder",
+    "RollingWindow",
     "RunHistory",
     "RunKey",
     "RunManifest",
@@ -49,12 +62,16 @@ __all__ = [
     "STATUS_WARN",
     "StageTiming",
     "SUPPORTED_FORMAT_VERSIONS",
+    "aggregate_access_log",
+    "classify_status",
     "collect_manifest",
     "comparability_errors",
     "config_digest",
     "diff_manifests",
     "fault_plan_digest",
+    "load_access_log",
     "options_digest",
+    "render_prometheus",
     "resolve_recorder",
     "run_key_of",
     "validate_manifest",

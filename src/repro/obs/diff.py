@@ -20,7 +20,11 @@ every change against configurable :class:`DiffThresholds` into
 * ``coverage`` — per-component map coverage and lost techniques;
 * ``route-cache`` — hit-rate drops;
 * ``checkpoint`` — snapshot reuse-ratio drops between resumed builds;
-* ``memory`` — ``mem.*.peak_bytes`` growth (profiled builds only).
+* ``memory`` — ``mem.*.peak_bytes`` growth (profiled builds only);
+* ``serve`` — serving-path drift between served runs (format ≥ 4
+  manifests): shed/deadline fraction increases, http/watch incident
+  counters, chaos-schedule drift, and — format 5 — latency quantile
+  growth from the live-telemetry histograms.
 
 The result renders to markdown via
 :func:`repro.analysis.report.render_diff_report` and gates CI through
@@ -45,7 +49,7 @@ _STATUS_RANK = {STATUS_OK: 0, STATUS_WARN: 1, STATUS_REGRESSION: 2}
 
 #: Every category a finding can carry (the CLI's --ignore vocabulary).
 DIFF_CATEGORIES = ("wall", "counter", "gauge", "campaign", "coverage",
-                   "route-cache", "checkpoint", "memory")
+                   "route-cache", "checkpoint", "memory", "serve")
 
 
 @dataclass(frozen=True)
@@ -71,6 +75,14 @@ class DiffThresholds:
     memory_regression_ratio: float = 0.50
     memory_min_bytes: int = 1 << 20
     reuse_warn_drop: float = 0.25
+    # Serve section: shed/deadline fractions are absolute increases of
+    # values in [0, 1]; latency quantiles are relative increases with a
+    # milli-second floor so micro-benchmark jitter never gates.
+    serve_shed_warn_increase: float = 0.02
+    serve_shed_regression_increase: float = 0.10
+    serve_latency_warn_ratio: float = 0.25
+    serve_latency_regression_ratio: float = 1.00
+    serve_latency_min_ms: float = 5.0
 
     def validate(self) -> None:
         """Reject impossible orderings (warn above regression, negatives)."""
@@ -80,14 +92,19 @@ class DiffThresholds:
                  ("hit_rate", self.hit_rate_warn_drop,
                   self.hit_rate_regression_drop),
                  ("memory", self.memory_warn_ratio,
-                  self.memory_regression_ratio))
+                  self.memory_regression_ratio),
+                 ("serve_shed", self.serve_shed_warn_increase,
+                  self.serve_shed_regression_increase),
+                 ("serve_latency", self.serve_latency_warn_ratio,
+                  self.serve_latency_regression_ratio))
         for name, warn, regression in pairs:
             if warn < 0 or regression < warn:
                 raise ValidationError(
                     f"thresholds: need 0 <= {name} warn <= regression "
                     f"(got {warn} / {regression})")
         if self.wall_min_seconds < 0 or self.memory_min_bytes < 0 \
-                or self.counter_warn_ratio < 0 or self.reuse_warn_drop < 0:
+                or self.counter_warn_ratio < 0 or self.reuse_warn_drop < 0 \
+                or self.serve_latency_min_ms < 0:
             raise ValidationError("thresholds must be non-negative")
 
 
@@ -450,6 +467,135 @@ def _diff_checkpoint(old: RunManifest, new: RunManifest,
             f"snapshot reuse {before:.0%} -> {after:.0%}"))
 
 
+def _serve_fraction(section: Dict[str, object], numerator: str,
+                    denominator: str) -> float:
+    admit = section.get("admit", {}) or {}
+    total = float(admit.get(denominator, 0) or 0)
+    return float(admit.get(numerator, 0) or 0) / total if total else 0.0
+
+
+#: Serve incident counters: (subsection, field, severity when increased).
+_SERVE_INCIDENT_FIELDS = (
+    ("http", "timeouts", STATUS_WARN),
+    ("http", "client_disconnects", STATUS_WARN),
+    ("watch", "errors", STATUS_WARN),
+    ("watch", "circuit_open", STATUS_REGRESSION),
+    ("watch", "circuit_close", STATUS_WARN),
+)
+
+
+def _diff_serve(old: RunManifest, new: RunManifest, t: DiffThresholds,
+                out: List[DiffFinding]) -> None:
+    """Serving-path drift between two served runs.
+
+    Both runs replay the same seeded load (comparability pins the
+    config digest), so the gate arithmetic, incident counters, chaos
+    schedule and latency histograms are all expected to hold still;
+    the thresholds say how much movement is weather and how much is a
+    serving regression.
+    """
+    if old.serve is None and new.serve is None:
+        return
+    if old.serve is None or new.serve is None:
+        side = "new" if old.serve is None else "old"
+        out.append(DiffFinding(
+            "serve", "serve", STATUS_WARN, None, None,
+            f"serve section recorded in the {side} run only"))
+        return
+    before, after = old.serve, new.serve
+    # Shed fraction of offered, deadline fraction of admitted: the two
+    # gate ratios an operator actually watches.
+    for metric, numerator, denominator in (
+            ("admit.shed_fraction", "shed", "offered"),
+            ("admit.deadline_fraction", "deadline_expired", "admitted")):
+        b = _serve_fraction(before, numerator, denominator)
+        a = _serve_fraction(after, numerator, denominator)
+        increase = a - b
+        if increase >= t.serve_shed_regression_increase:
+            status = STATUS_REGRESSION
+        elif increase >= t.serve_shed_warn_increase:
+            status = STATUS_WARN
+        elif -increase >= t.serve_shed_warn_increase:
+            status = STATUS_OK         # reported, flagged as improved
+        else:
+            continue
+        detail = f"{b:.1%} -> {a:.1%}"
+        if status == STATUS_OK:
+            detail += " (improved)"
+        out.append(DiffFinding("serve", metric, status, b, a, detail))
+    for sub, name, severity in _SERVE_INCIDENT_FIELDS:
+        b = int((before.get(sub, {}) or {}).get(name, 0) or 0)
+        a = int((after.get(sub, {}) or {}).get(name, 0) or 0)
+        if a == b:
+            continue
+        status = severity if a > b else STATUS_OK
+        detail = f"{b} -> {a}"
+        if status == STATUS_OK:
+            detail += " (improved)"
+        out.append(DiffFinding("serve", f"{sub}.{name}", status,
+                               float(b), float(a), detail))
+    # Chaos schedules are seeded: any per-kind drift between comparable
+    # runs means the injection schedule itself changed.
+    old_chaos = before.get("chaos", {}) or {}
+    new_chaos = after.get("chaos", {}) or {}
+    for kind in sorted(set(old_chaos) | set(new_chaos)):
+        b = int(old_chaos.get(kind, 0) or 0)
+        a = int(new_chaos.get(kind, 0) or 0)
+        if a != b:
+            out.append(DiffFinding(
+                "serve", f"chaos.{kind}", STATUS_WARN, float(b),
+                float(a), f"seeded injection count drifted: {b} -> {a}"))
+    _diff_serve_latency(before, after, t, out)
+
+
+def _diff_serve_latency(before: Dict[str, object],
+                        after: Dict[str, object], t: DiffThresholds,
+                        out: List[DiffFinding]) -> None:
+    def rows(section: Dict[str, object]) -> Dict[str, Dict[str, object]]:
+        latency = section.get("latency") or {}
+        flat: Dict[str, Dict[str, object]] = {}
+        total = latency.get("total")
+        if isinstance(total, dict):
+            flat["total"] = total
+        for endpoint, outcomes in (latency.get("endpoints") or {}).items():
+            for outcome, summary in (outcomes or {}).items():
+                if isinstance(summary, dict):
+                    flat[f"{endpoint}.{outcome}"] = summary
+        return flat
+
+    old_rows = rows(before)
+    new_rows = rows(after)
+    if not old_rows and not new_rows:
+        return
+    if bool(old_rows) != bool(new_rows):
+        side = "new" if not old_rows else "old"
+        out.append(DiffFinding(
+            "serve", "latency", STATUS_WARN, None, None,
+            f"latency histograms recorded in the {side} run only "
+            "(format 4 vs format 5?)"))
+        return
+    for row in sorted(set(old_rows) & set(new_rows)):
+        for quantile in ("p50_ms", "p99_ms"):
+            b = float(old_rows[row].get(quantile, 0.0) or 0.0)
+            a = float(new_rows[row].get(quantile, 0.0) or 0.0)
+            delta = a - b
+            ratio = delta / b if b > 0 else None
+            status = _classify_increase(ratio, delta,
+                                        t.serve_latency_warn_ratio,
+                                        t.serve_latency_regression_ratio,
+                                        t.serve_latency_min_ms)
+            if status == STATUS_OK and not (
+                    -delta >= t.serve_latency_min_ms and ratio is not None
+                    and -ratio >= t.serve_latency_warn_ratio):
+                continue
+            detail = (f"{b:.1f} ms -> {a:.1f} ms"
+                      + ("" if ratio is None else f" ({ratio:+.0%})"))
+            if status == STATUS_OK:
+                detail += " (improved)"
+            out.append(DiffFinding("serve", f"latency.{row}.{quantile}",
+                                   status, b, a, detail))
+
+
 def diff_manifests(old: RunManifest, new: RunManifest,
                    thresholds: Optional[DiffThresholds] = None, *,
                    force: bool = False,
@@ -496,6 +642,8 @@ def diff_manifests(old: RunManifest, new: RunManifest,
         _diff_route_cache(old, new, t, findings)
     if "checkpoint" not in ignored:
         _diff_checkpoint(old, new, t, findings)
+    if "serve" not in ignored:
+        _diff_serve(old, new, t, findings)
 
     return ManifestDiff(
         old_created_unix=old.created_unix,

@@ -8,17 +8,19 @@ coverage each map component ended up with. It is plain JSON — no
 dependencies beyond the standard library — so dashboards, CI checks and
 benchmark harnesses can consume it without importing the package.
 
-Schema (``format_version`` 4), field by field, is documented in
+Schema (``format_version`` 5), field by field, is documented in
 ``docs/observability.md``; :func:`validate_manifest` enforces it and the
 counter invariants (e.g. per campaign ``units == delivered + giveups``,
 for checkpointed runs ``reused + recomputed == total`` stages, and for
 served runs ``offered == admitted + shed`` at the admission gate).
-Format 1 (pre-checkpointing), format 2 (pre-delta) and format 3
-(pre-serving) manifests are still accepted; the optional ``checkpoint``
-lineage section needs format 2+, the optional ``delta`` lineage section
-(incremental builds, ``docs/delta.md``) format 3+, and the optional
-``serve`` section (query-service resilience counters,
-``docs/serving.md``) format 4.
+Format 1 (pre-checkpointing), format 2 (pre-delta), format 3
+(pre-serving) and format 4 (pre-live-telemetry) manifests are still
+accepted; the optional ``checkpoint`` lineage section needs format 2+,
+the optional ``delta`` lineage section (incremental builds,
+``docs/delta.md``) format 3+, the optional ``serve`` section
+(query-service resilience counters, ``docs/serving.md``) format 4+,
+and its ``serve.latency`` histogram summaries (live telemetry,
+``repro.obs.live``) format 5.
 """
 
 from __future__ import annotations
@@ -33,12 +35,13 @@ from typing import Dict, List, Optional
 from ..errors import ValidationError
 from .recorder import Recorder, StageTiming
 
-FORMAT_VERSION = 4
+FORMAT_VERSION = 5
 
 # Format 1 predates the checkpoint-lineage section, format 2 the delta
-# section, format 3 the serve section; all remain readable. Writers
-# always emit FORMAT_VERSION.
-SUPPORTED_FORMAT_VERSIONS = (1, 2, 3, FORMAT_VERSION)
+# section, format 3 the serve section, format 4 the serve.latency
+# histogram summaries; all remain readable. Writers always emit
+# FORMAT_VERSION.
+SUPPORTED_FORMAT_VERSIONS = (1, 2, 3, 4, FORMAT_VERSION)
 
 # The eleven measurement campaigns of repro.measure, by their canonical
 # names. Kept as literals (not imports) so the manifest layer stays
@@ -441,7 +444,7 @@ _SERVE_SECTION_FIELDS = {
 
 def _validate_serve(errors: List[str],
                     section: Dict[str, object]) -> None:
-    """Schema + invariants of the serve section (format 4)."""
+    """Schema + invariants of the serve section (format ≥ 4)."""
     if not isinstance(section, dict):
         errors.append("serve must be an object or null")
         return
@@ -472,10 +475,85 @@ def _validate_serve(errors: List[str],
             for k, v in chaos.items())):
         errors.append("serve.chaos must map fault kinds to non-negative "
                       "integers")
+    latency = section.get("latency")
+    if latency is not None:
+        _validate_serve_latency(errors, latency)
+
+
+_LATENCY_SUMMARY_FIELDS = ("count", "p50_ms", "p99_ms", "mean_ms",
+                           "max_ms")
+
+
+def _validate_latency_summary(errors: List[str], prefix: str,
+                              summary: object) -> Optional[int]:
+    """One histogram summary; returns its count when well-formed."""
+    if not isinstance(summary, dict):
+        errors.append(f"{prefix} must be an object")
+        return None
+    ok = True
+    for name in _LATENCY_SUMMARY_FIELDS:
+        value = summary.get(name)
+        if name == "count":
+            good = isinstance(value, int) and value >= 0
+        else:
+            good = (isinstance(value, (int, float))
+                    and not isinstance(value, bool) and value >= 0)
+        if not good:
+            errors.append(f"{prefix}.{name} must be a non-negative "
+                          f"{'integer' if name == 'count' else 'number'}")
+            ok = False
+    if ok:
+        _check(errors, summary["p50_ms"] <= summary["p99_ms"],
+               f"{prefix}: p50_ms exceeds p99_ms")
+        _check(errors, summary["p99_ms"] <= summary["max_ms"] or
+               summary["count"] == 0,
+               f"{prefix}: p99_ms exceeds max_ms")
+    return summary.get("count") if ok else None
+
+
+def _validate_serve_latency(errors: List[str], latency: object) -> None:
+    """Schema + invariants of serve.latency (format 5, live telemetry).
+
+    Shape: ``{"unit": "ms", "total": summary, "endpoints": {endpoint:
+    {outcome: summary}}}``; the per-(endpoint, outcome) counts must sum
+    to the total count, because every summary derives from the same
+    exact-count histograms (:class:`repro.obs.live.Histogram`).
+    """
+    if not isinstance(latency, dict):
+        errors.append("serve.latency must be an object or null")
+        return
+    _check(errors, latency.get("unit") == "ms",
+           "serve.latency.unit must be 'ms'")
+    total = _validate_latency_summary(errors, "serve.latency.total",
+                                      latency.get("total"))
+    endpoints = latency.get("endpoints")
+    if not isinstance(endpoints, dict):
+        errors.append("serve.latency.endpoints must be an object")
+        return
+    summed = 0
+    complete = total is not None
+    for endpoint, outcomes in endpoints.items():
+        if not isinstance(outcomes, dict) or not outcomes:
+            errors.append(f"serve.latency.endpoints.{endpoint} must be "
+                          "a non-empty object of outcome summaries")
+            complete = False
+            continue
+        for outcome, summary in outcomes.items():
+            count = _validate_latency_summary(
+                errors, f"serve.latency.endpoints.{endpoint}.{outcome}",
+                summary)
+            if count is None:
+                complete = False
+            else:
+                summed += count
+    if complete:
+        _check(errors, summed == total,
+               "serve.latency: endpoint-outcome counts sum to "
+               f"{summed}, total.count is {total}")
 
 
 def validate_manifest(payload: Dict[str, object]) -> None:
-    """Check a manifest dict against the format-1/2/3/4 schema.
+    """Check a manifest dict against the format-1..5 schema.
 
     Raises :class:`ValidationError` listing every violation found:
     missing/ill-typed fields, malformed stage entries, broken counter
@@ -593,8 +671,11 @@ def validate_manifest(payload: Dict[str, object]) -> None:
 
     serve = payload.get("serve")
     if serve is not None:
-        _check(errors, version == FORMAT_VERSION,
-               f"serve section requires format_version {FORMAT_VERSION}")
+        _check(errors, isinstance(version, int) and version >= 4,
+               "serve section requires format_version >= 4")
+        if isinstance(serve, dict) and serve.get("latency") is not None:
+            _check(errors, isinstance(version, int) and version >= 5,
+                   "serve.latency requires format_version >= 5")
         _validate_serve(errors, serve)
 
     if errors:

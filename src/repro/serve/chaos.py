@@ -155,14 +155,28 @@ def run_chaos(service: MapService, queries: Sequence[Query],
     outcome = {"queries": len(queries), "completed": 0, "shed": 0,
                "retries": 0, "giveups": 0, "deadline_expired": 0,
                "http_errors": 0, "disconnects": 0}
+    # Live telemetry rides the same virtual clock: every attempt is
+    # timed in simulated seconds, so histograms are a pure function of
+    # the run's inputs and same-seed runs stay bit-identical with
+    # telemetry enabled. Observation never feeds back into scheduling.
+    telemetry = service.telemetry
+
+    def observe(query: Query, label: str, started: float) -> None:
+        telemetry.observe(query.endpoint, label,
+                          clock.now() - started,
+                          request_id=telemetry.next_request_id(),
+                          digest=service.digest)
+
     while events:
         due, __, index, attempt = heapq.heappop(events)
         clock.advance(due - clock.now())
         query = queries[index]
+        started = clock.now()
         try:
             with service.admit():
                 _dispatch(service, query)
         except AdmissionError as exc:
+            observe(query, "shed", started)
             outcome["shed"] += 1
             if attempt >= max_attempts:
                 outcome["giveups"] += 1
@@ -179,11 +193,14 @@ def run_chaos(service: MapService, queries: Sequence[Query],
             sequence += 1
             continue
         except DeadlineExpired:
+            observe(query, "deadline", started)
             outcome["deadline_expired"] += 1
             continue
         except QueryError:
+            observe(query, "error", started)
             outcome["http_errors"] += 1
             continue
+        observe(query, "ok", started)
         chaos = service.chaos
         if chaos is not None and chaos.client_disconnect():
             outcome["disconnects"] += 1

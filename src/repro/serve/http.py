@@ -13,8 +13,14 @@ mid-session.
 
 Query endpoints pass through :meth:`MapService.admit` (overload
 protection, ``docs/serving.md`` §resilience); the health probes
-(``/v1/health``, ``/v1/healthz``, ``/v1/readyz``) bypass the gate so an
-overloaded replica still answers its orchestrator.
+(``/v1/health``, ``/v1/healthz``, ``/v1/readyz``) and the telemetry
+scrape (``/v1/metricsz``) bypass the gate so an overloaded or draining
+replica still answers its orchestrator and its monitoring.
+
+Every response also carries an ``X-Request-Id`` header (the inbound
+header value when the client sent one, a fresh sequential id
+otherwise); the same id lands in the JSONL access log when one is
+attached, so a slow response can be joined to its log record.
 
 Endpoint reference with parameters and response schemas:
 ``docs/serving.md``.
@@ -28,12 +34,20 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs.live import classify_status
 from .resilience import AdmissionError
 from .service import MapService, QueryError
 
-#: Probe endpoints that bypass the admission gate: liveness and
-#: readiness must answer even when the replica is saturated.
-UNGATED_PATHS = ("/v1/health", "/v1/healthz", "/v1/readyz")
+#: Probe endpoints that bypass the admission gate: liveness, readiness
+#: and the telemetry scrape must answer even when the replica is
+#: saturated or draining.
+UNGATED_PATHS = ("/v1/health", "/v1/healthz", "/v1/readyz",
+                 "/v1/metricsz")
+
+#: Endpoint labels used for latency histograms and access logs; paths
+#: outside this set are folded into "other" to bound label cardinality.
+_ENDPOINT_LABELS = ("health", "healthz", "readyz", "map", "cdf",
+                    "outage", "anycast")
 
 
 class QueryServer(ThreadingHTTPServer):
@@ -127,35 +141,91 @@ class _Handler(BaseHTTPRequestHandler):
         service: MapService = self.server.service
         url = urlsplit(self.path)
         params = parse_qs(url.query, keep_blank_values=True)
+        telemetry = service.telemetry
+        request_id = service.begin_request(self.headers.get("X-Request-Id"))
+        if url.path == "/v1/metricsz":
+            # The scrape observes the service without becoming part of
+            # what it observes: it is never timed, logged or counted, so
+            # a scrape taken after the last query exactly matches the
+            # manifest flushed at shutdown.
+            try:
+                self._metricsz(service, params, request_id)
+            finally:
+                service.end_request()
+            return
+        started = telemetry.now()
+        retry_after = None
+        disconnected = False
         try:
-            if url.path in UNGATED_PATHS:
-                answer = self._route(service, url.path, params)
-            else:
-                with service.admit():
+            try:
+                if url.path in UNGATED_PATHS:
                     answer = self._route(service, url.path, params)
-            chaos = service.chaos
-            if chaos is not None and chaos.client_disconnect():
-                # The simulated client went away before the body: abort
-                # the response and tear the connection down, exactly the
-                # failure a real disconnect leaves behind.
-                service._recorder.count("serve.http.client_disconnects")
-                self.close_connection = True
-                return
-        except AdmissionError as exc:
-            self._send(exc.status, {"error": str(exc)}, service.digest,
-                       retry_after=exc.retry_after)
-            return
+                else:
+                    with service.admit():
+                        answer = self._route(service, url.path, params)
+            except AdmissionError as exc:
+                status, answer = exc.status, {"error": str(exc)}
+                retry_after = exc.retry_after
+            except QueryError as exc:
+                status, answer = exc.status, {"error": str(exc)}
+            except Exception as exc:  # pragma: no cover - bug surface
+                status, answer = 500, {"error": f"internal error: {exc}"}
+            else:
+                status = 200
+                if url.path == "/v1/readyz" \
+                        and answer.get("status") != "ok":
+                    status = 503
+                chaos = service.chaos
+                if chaos is not None and chaos.client_disconnect():
+                    # The simulated client went away before the body:
+                    # abort the response and tear the connection down,
+                    # exactly the failure a real disconnect leaves
+                    # behind. The request still did the work, so it is
+                    # observed below with the status it computed.
+                    service._recorder.count(
+                        "serve.http.client_disconnects")
+                    self.close_connection = True
+                    disconnected = True
+            digest = service.digest
+            elapsed = max(0.0, telemetry.now() - started)
+            if not disconnected:
+                self._send(status, answer, digest,
+                           retry_after=retry_after,
+                           request_id=request_id)
+            telemetry.observe(self._endpoint_label(url.path),
+                              classify_status(status), elapsed,
+                              status=status, path=url.path,
+                              request_id=request_id, digest=digest)
+        finally:
+            service.end_request()
+
+    @staticmethod
+    def _endpoint_label(path: str) -> str:
+        name = path.rsplit("/", 1)[-1]
+        if path.startswith("/v1/") and name in _ENDPOINT_LABELS:
+            return name
+        return "other"
+
+    def _metricsz(self, service: MapService,
+                  params: Dict[str, List[str]],
+                  request_id: Optional[str]) -> None:
+        try:
+            fmt = _single(params, "format")
         except QueryError as exc:
-            self._send(exc.status, {"error": str(exc)}, service.digest)
+            self._send(exc.status, {"error": str(exc)}, service.digest,
+                       request_id=request_id)
             return
-        except Exception as exc:  # pragma: no cover - bug surface
-            self._send(500, {"error": f"internal error: {exc}"},
-                       service.digest)
-            return
-        status = 200
-        if url.path == "/v1/readyz" and answer.get("status") != "ok":
-            status = 503
-        self._send(status, answer, service.digest)
+        if fmt in (None, "text"):
+            self._send_bytes(200, service.metrics_text().encode("utf-8"),
+                             "text/plain; version=0.0.4; charset=utf-8",
+                             service.digest, request_id=request_id)
+        elif fmt == "json":
+            self._send(200, service.metrics_snapshot(), service.digest,
+                       request_id=request_id)
+        else:
+            self._send(400, {"error": f"unknown format {fmt!r} "
+                                      "(expected text or json)"},
+                       service.digest, request_id=request_id)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         self._send(405, {"error": "only GET is supported"},
@@ -195,13 +265,22 @@ class _Handler(BaseHTTPRequestHandler):
         raise QueryError(404, f"unknown endpoint {path!r}")
 
     def _send(self, status: int, payload: Dict[str, Any],
-              digest: str, retry_after: Optional[float] = None) -> None:
-        body = json.dumps(payload).encode()
+              digest: str, retry_after: Optional[float] = None,
+              request_id: Optional[str] = None) -> None:
+        self._send_bytes(status, json.dumps(payload).encode(),
+                         "application/json", digest,
+                         retry_after=retry_after, request_id=request_id)
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str,
+                    digest: str, retry_after: Optional[float] = None,
+                    request_id: Optional[str] = None) -> None:
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.send_header("X-Map-Digest", digest)
+            if request_id is not None:
+                self.send_header("X-Request-Id", request_id)
             if retry_after is not None:
                 # Whole seconds, rounded up — never tell a client to
                 # retry immediately into the same refill window.

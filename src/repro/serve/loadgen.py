@@ -109,18 +109,30 @@ def seeded_queries(store: MapStore, n: int,
     return queries
 
 
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-quantile of ``values`` by linear interpolation between
+    the closest order statistics (numpy's default "linear" method).
+
+    Interpolating (rather than rounding to the nearest rank, which this
+    replaced) keeps client-side percentiles within one bucket width of
+    the server-side :class:`repro.obs.live.Histogram` quantiles on
+    identical samples — the agreement is locked by a shared fixture
+    test, so the two latency sources cannot silently diverge.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    position = min(1.0, max(0.0, float(p))) * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(len(ordered) - 1, lower + 1)
+    fraction = position - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
 def _summary(latencies_ns: List[int], wall_seconds: float,
              http_errors: int = 0, shed: int = 0,
              retries: int = 0) -> Dict[str, Any]:
     ordered = sorted(latencies_ns)
-
-    def percentile(p: float) -> float:
-        if not ordered:
-            return 0.0
-        rank = min(len(ordered) - 1,
-                   max(0, int(round(p * (len(ordered) - 1)))))
-        return ordered[rank] / 1e6
-
     # Shed requests never produced an answer, so they carry no latency
     # sample and are excluded from throughput.
     count = len(ordered)
@@ -132,9 +144,9 @@ def _summary(latencies_ns: List[int], wall_seconds: float,
         "wall_seconds": wall_seconds,
         "qps": count / wall_seconds if wall_seconds > 0 else 0.0,
         "latency_ms": {
-            "p50": percentile(0.50),
-            "p90": percentile(0.90),
-            "p99": percentile(0.99),
+            "p50": percentile(ordered, 0.50) / 1e6,
+            "p90": percentile(ordered, 0.90) / 1e6,
+            "p99": percentile(ordered, 0.99) / 1e6,
             "max": ordered[-1] / 1e6 if ordered else 0.0,
         },
     }
@@ -171,18 +183,28 @@ def replay(service: MapService,
     latencies: List[int] = []
     http_errors = 0
     shed = 0
+    telemetry = service.telemetry
     started = time.perf_counter()
     for query in queries:
+        outcome = "ok"
         t0 = time.perf_counter_ns()
         try:
             with service.admit():
                 _dispatch(service, query)
         except AdmissionError:
+            telemetry.observe(query.endpoint, "shed",
+                              (time.perf_counter_ns() - t0) / 1e9,
+                              digest=service.digest)
             shed += 1
             continue
-        except (QueryError, DeadlineExpired):
+        except (QueryError, DeadlineExpired) as exc:
+            outcome = ("deadline" if getattr(exc, "status", None) == 504
+                       else "error")
             http_errors += 1
-        latencies.append(time.perf_counter_ns() - t0)
+        elapsed_ns = time.perf_counter_ns() - t0
+        telemetry.observe(query.endpoint, outcome, elapsed_ns / 1e9,
+                          digest=service.digest)
+        latencies.append(elapsed_ns)
     summary = _summary(latencies, time.perf_counter() - started,
                        http_errors=http_errors, shed=shed)
     stats = service.cache_stats()

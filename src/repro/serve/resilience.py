@@ -376,14 +376,18 @@ class CircuitBreaker:
             return max(default, min(backoff, self.max_backoff_s))
 
 
-def serve_manifest_section(recorder: Recorder) -> Optional[Dict[str, Any]]:
-    """The manifest's ``serve`` section (format 4) from a recorder.
+def serve_manifest_section(recorder: Recorder,
+                           telemetry=None) -> Optional[Dict[str, Any]]:
+    """The manifest's ``serve`` section (format ≥ 4) from a recorder.
 
     Collects the serving-path counters into the nested shape
     ``{admit: {...}, http: {...}, watch: {...}, chaos: {...}}`` that
-    :func:`repro.obs.manifest.validate_manifest` checks. Returns ``None``
-    when the recorder saw no admission gate at all (e.g. a plain build),
-    so old-style manifests stay byte-identical.
+    :func:`repro.obs.manifest.validate_manifest` checks. With a
+    :class:`repro.obs.live.LiveTelemetry` attached, its histogram
+    summaries land in a ``latency`` subsection (format 5). Returns
+    ``None`` when the recorder saw no admission gate at all (e.g. a
+    plain build) *and* no telemetry samples were recorded, so old-style
+    manifests stay byte-identical.
     """
     if recorder is NULL_RECORDER or not recorder.enabled:
         return None
@@ -392,7 +396,11 @@ def serve_manifest_section(recorder: Recorder) -> Optional[Dict[str, Any]]:
     def take(name: str) -> int:
         return int(counters.get(name, 0))
 
-    if not any(name.startswith("serve.admit.") for name in counters):
+    latency = telemetry.manifest_section() if telemetry is not None \
+        else None
+    if latency is None \
+            and not any(name.startswith("serve.admit.")
+                        for name in counters):
         return None
     section: Dict[str, Any] = {
         "admit": {
@@ -416,4 +424,6 @@ def serve_manifest_section(recorder: Recorder) -> Optional[Dict[str, Any]]:
              if name.startswith("serve.chaos.")}
     if chaos:
         section["chaos"] = chaos
+    if latency is not None:
+        section["latency"] = latency
     return section

@@ -33,6 +33,7 @@ from ..core.mapstore import MapStore
 from ..core.uncertainty import coverage_caveats
 from ..errors import ReproError, ValidationError
 from ..lru import BoundedLru, CacheStats
+from ..obs.live import LiveTelemetry, render_prometheus
 from ..obs.recorder import Recorder, resolve_recorder
 
 #: Endpoints whose answers are memoized (identity-keyed by map digest).
@@ -94,7 +95,8 @@ class MapService:
                  recorder: Optional[Recorder] = None,
                  cache_entries: int = 4096,
                  gate=None, chaos=None,
-                 max_cdf_batch: int = MAX_CDF_BATCH) -> None:
+                 max_cdf_batch: int = MAX_CDF_BATCH,
+                 telemetry: Optional[LiveTelemetry] = None) -> None:
         self._lock = threading.RLock()
         self._store = store
         self._recorder = resolve_recorder(recorder)
@@ -107,6 +109,12 @@ class MapService:
         self.gate = gate
         self.chaos = chaos
         self.max_cdf_batch = int(max_cdf_batch)
+        # Live telemetry (latency histograms, rolling window, access
+        # log, request ids).  Always present so callers never branch;
+        # observation never steers, so a default instance costs a few
+        # dict updates per request and changes no answer.
+        self.telemetry = (telemetry if telemetry is not None
+                          else LiveTelemetry())
         self._draining = threading.Event()
         self._watch_circuit = None
         self._local = threading.local()
@@ -170,6 +178,47 @@ class MapService:
     def attach_watch_circuit(self, breaker) -> None:
         """Let readiness reflect the artefact watcher's circuit state."""
         self._watch_circuit = breaker
+
+    # -- live telemetry ----------------------------------------------------
+
+    def begin_request(self, request_id: Optional[str] = None) -> str:
+        """Bind a request id to the calling thread and return it.
+
+        An inbound ``X-Request-Id`` header wins (so a caller can thread
+        its own correlation id through); otherwise a fresh sequential
+        ``req-<n>`` is assigned.  The id rides the thread through
+        admission → cache → compute and back out on the response.
+        """
+        rid = request_id or self.telemetry.next_request_id()
+        self._local.request_id = rid
+        return rid
+
+    @property
+    def current_request_id(self) -> Optional[str]:
+        """The id bound to the calling thread's in-flight request."""
+        return getattr(self._local, "request_id", None)
+
+    def end_request(self) -> None:
+        self._local.request_id = None
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """``/v1/metricsz?format=json``: full telemetry snapshot."""
+        return {
+            "digest": self.digest,
+            "draining": self.draining,
+            "counters": dict(self._recorder.counters),
+            "gauges": dict(self._recorder.gauges),
+            "latency": self.telemetry.latency_snapshot(),
+            "window": self.telemetry.window_snapshot(),
+        }
+
+    def metrics_text(self) -> str:
+        """``/v1/metricsz``: Prometheus text exposition (format 0.0.4)."""
+        return render_prometheus(dict(self._recorder.counters),
+                                 dict(self._recorder.gauges),
+                                 self.telemetry,
+                                 digest=self.digest,
+                                 draining=self.draining)
 
     @contextlib.contextmanager
     def admit(self) -> Iterator[None]:
